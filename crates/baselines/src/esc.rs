@@ -1,0 +1,208 @@
+//! Expansion–Sorting–Compression (ESC) SpGEMM — the CUSP analog.
+//!
+//! CUSP materializes every elementary product as an (row, col, value) triple
+//! in an intermediate COO buffer ("possible duplicates"), sorts the buffer,
+//! and compresses duplicate coordinates by summation (§1 of the paper, and
+//! Bell/Dalton/Olson's exposed fine-grained formulation). The intermediate
+//! is large — `flops/2` triples at 16 B of coordinate+value each — which is
+//! the memory-overhead weakness the paper attributes to CUSP (§10).
+//!
+//! The three phases are timed separately because Fig. 4 plots the
+//! multiply/merge split: ESC's sort+compress corresponds to the merge side.
+
+use std::time::{Duration, Instant};
+
+use outerspace_sparse::{Coo, Csr, SparseError};
+
+use crate::TrafficStats;
+
+/// Statistics and phase timings for an ESC run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EscStats {
+    /// Shared traffic counters (expansion reads + output writes).
+    pub traffic: TrafficStats,
+    /// Triples in the intermediate buffer.
+    pub expanded_triples: u64,
+    /// Wall time of the expansion phase.
+    pub expand_time: Duration,
+    /// Wall time of the sort phase.
+    pub sort_time: Duration,
+    /// Wall time of the compression phase.
+    pub compress_time: Duration,
+}
+
+/// ESC SpGEMM (`C = A × B`).
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
+///
+/// # Example
+///
+/// ```
+/// use outerspace_sparse::Csr;
+/// use outerspace_baselines::esc;
+///
+/// # fn main() -> Result<(), outerspace_sparse::SparseError> {
+/// let a = Csr::identity(2);
+/// let (c, stats) = esc::spgemm(&a, &a)?;
+/// assert_eq!(c.nnz(), 2);
+/// assert_eq!(stats.expanded_triples, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn spgemm(a: &Csr, b: &Csr) -> Result<(Csr, EscStats), SparseError> {
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            left: (a.nrows() as u64, a.ncols() as u64),
+            right: (b.nrows() as u64, b.ncols() as u64),
+            op: "spgemm",
+        });
+    }
+    let mut stats = EscStats::default();
+
+    // --- Expansion: materialize every elementary product. ---
+    let t0 = Instant::now();
+    let mut triples: Vec<(u64, f64)> = Vec::new();
+    for i in 0..a.nrows() {
+        let (a_cols, a_vals) = a.row(i);
+        stats.traffic.bytes_touched += 12 * a_cols.len() as u64;
+        for (&k, &a_ik) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k);
+            stats.traffic.bytes_touched += 12 * b_cols.len() as u64;
+            for (&j, &b_kj) in b_cols.iter().zip(b_vals) {
+                stats.traffic.multiplies += 1;
+                // Pack (row, col) into one u64 key for a cheap sort.
+                triples.push((((i as u64) << 32) | j as u64, a_ik * b_kj));
+            }
+        }
+    }
+    stats.expanded_triples = triples.len() as u64;
+    stats.traffic.bytes_written += 16 * triples.len() as u64; // intermediate
+    stats.expand_time = t0.elapsed();
+
+    // --- Sorting: order the intermediate by (row, col). ---
+    let t1 = Instant::now();
+    triples.sort_by_key(|&(key, _)| key); // stable: deterministic summation
+    stats.traffic.bytes_touched += 16 * triples.len() as u64; // re-read
+    stats.sort_time = t1.elapsed();
+
+    // --- Compression: sum duplicates, build CSR. ---
+    let t2 = Instant::now();
+    let mut row_ptr = vec![0usize; a.nrows() as usize + 1];
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    let mut idx = 0usize;
+    while idx < triples.len() {
+        let (key, mut v) = triples[idx];
+        let mut j = idx + 1;
+        while j < triples.len() && triples[j].0 == key {
+            v += triples[j].1;
+            stats.traffic.additions += 1;
+            j += 1;
+        }
+        let row = (key >> 32) as usize;
+        cols.push((key & 0xFFFF_FFFF) as u32);
+        vals.push(v);
+        row_ptr[row + 1] = cols.len();
+        idx = j;
+    }
+    // Forward-fill row_ptr for empty rows.
+    for r in 1..row_ptr.len() {
+        if row_ptr[r] < row_ptr[r - 1] {
+            row_ptr[r] = row_ptr[r - 1];
+        }
+    }
+    stats.traffic.bytes_written += 12 * cols.len() as u64;
+    stats.compress_time = t2.elapsed();
+
+    Ok((Csr::from_raw_parts_unchecked(a.nrows(), b.ncols(), row_ptr, cols, vals), stats))
+}
+
+/// Intermediate-buffer footprint in bytes for an ESC run on `a × b` —
+/// the CUSP memory overhead the paper contrasts with the outer-product
+/// intermediate (§10).
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
+pub fn intermediate_bytes(a: &Csr, b: &Csr) -> Result<u64, SparseError> {
+    let flops = outerspace_sparse::ops::spgemm_flops(a, b)?;
+    Ok((flops / 2) * 16)
+}
+
+/// Reference COO equivalent of the ESC intermediate, exposed for tests that
+/// verify the duplicate-then-compress semantics.
+pub fn expand_to_coo(a: &Csr, b: &Csr) -> Result<Coo, SparseError> {
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            left: (a.nrows() as u64, a.ncols() as u64),
+            right: (b.nrows() as u64, b.ncols() as u64),
+            op: "spgemm",
+        });
+    }
+    let mut coo = Coo::new(a.nrows(), b.ncols());
+    for i in 0..a.nrows() {
+        let (a_cols, a_vals) = a.row(i);
+        for (&k, &a_ik) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k);
+            for (&j, &b_kj) in b_cols.iter().zip(b_vals) {
+                coo.push(i, j, a_ik * b_kj);
+            }
+        }
+    }
+    Ok(coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outerspace_gen::uniform;
+    use outerspace_sparse::ops;
+
+    #[test]
+    fn matches_reference() {
+        let a = uniform::matrix(72, 72, 700, 1);
+        let b = uniform::matrix(72, 72, 700, 2);
+        let (c, _) = spgemm(&a, &b).unwrap();
+        let want = ops::spgemm_reference(&a, &b).unwrap();
+        assert!(c.approx_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn expanded_triples_equal_half_flops() {
+        let a = uniform::matrix(64, 64, 512, 3);
+        let b = uniform::matrix(64, 64, 512, 4);
+        let (_, stats) = spgemm(&a, &b).unwrap();
+        let flops = ops::spgemm_flops(&a, &b).unwrap();
+        assert_eq!(stats.expanded_triples, flops / 2);
+        assert_eq!(intermediate_bytes(&a, &b).unwrap(), (flops / 2) * 16);
+    }
+
+    #[test]
+    fn coo_expansion_compresses_to_same_result() {
+        let a = uniform::matrix(48, 48, 400, 5);
+        let coo = expand_to_coo(&a, &a).unwrap();
+        let via_coo = coo.to_csr();
+        let (via_esc, _) = spgemm(&a, &a).unwrap();
+        assert!(via_coo.approx_eq(&via_esc, 1e-9));
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        // Matrix with empty rows in the middle.
+        let a = Csr::new(4, 4, vec![0, 1, 1, 1, 2], vec![2, 0], vec![1.0, 2.0]).unwrap();
+        let (c, _) = spgemm(&a, &a).unwrap();
+        let want = ops::spgemm_reference(&a, &a).unwrap();
+        assert!(c.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn rectangular() {
+        let a = uniform::matrix(20, 50, 200, 7);
+        let b = uniform::matrix(50, 30, 300, 8);
+        let (c, _) = spgemm(&a, &b).unwrap();
+        assert_eq!((c.nrows(), c.ncols()), (20, 30));
+        assert!(c.approx_eq(&ops::spgemm_reference(&a, &b).unwrap(), 1e-9));
+    }
+}

@@ -1,0 +1,128 @@
+//! Naive inner-product SpGEMM with explicit index matching.
+//!
+//! The motivating strawman of §2–§4: `c_ij = Σ_k a_ik · b_kj` computed as
+//! sparse dot products between rows-of-`A` and columns-of-`B`. Most index
+//! comparisons match nothing, so the kernel fetches operand elements that
+//! produce no output — the redundant-access pathology the outer-product
+//! method exists to remove. Exposed so the benchmark suite can quantify the
+//! index-matching overhead directly.
+
+use outerspace_sparse::{Csc, Csr, Index, SparseError, Value};
+
+use crate::TrafficStats;
+
+/// Inner-product statistics: traffic plus match-efficiency counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InnerStats {
+    /// Shared traffic counters.
+    pub traffic: TrafficStats,
+    /// Index comparisons performed while intersecting rows and columns.
+    pub comparisons: u64,
+    /// Comparisons that produced a multiply (matched indices).
+    pub matches: u64,
+}
+
+/// Inner-product SpGEMM (`C = A × B`), `A` in CSR and `B` in CSC so that
+/// rows and columns are both contiguous.
+///
+/// Only the output positions `(i, j)` where row `i` of `A` and column `j` of
+/// `B` might overlap are evaluated; each evaluation is a sorted-list
+/// intersection.
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
+pub fn spgemm(a: &Csr, b: &Csc) -> Result<(Csr, InnerStats), SparseError> {
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            left: (a.nrows() as u64, a.ncols() as u64),
+            right: (b.nrows() as u64, b.ncols() as u64),
+            op: "spgemm",
+        });
+    }
+    let mut stats = InnerStats::default();
+    let mut row_ptr = vec![0usize];
+    let mut cols: Vec<Index> = Vec::new();
+    let mut vals: Vec<Value> = Vec::new();
+    for i in 0..a.nrows() {
+        let (a_cols, a_vals) = a.row(i);
+        for j in 0..b.ncols() {
+            let (b_rows, b_vals) = b.col(j);
+            if a_cols.is_empty() || b_rows.is_empty() {
+                continue;
+            }
+            // Sorted intersection with index matching.
+            stats.traffic.bytes_touched += 12 * (a_cols.len() + b_rows.len()) as u64;
+            let (mut p, mut q) = (0usize, 0usize);
+            let mut acc = 0.0;
+            let mut hit = false;
+            while p < a_cols.len() && q < b_rows.len() {
+                stats.comparisons += 1;
+                match a_cols[p].cmp(&b_rows[q]) {
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                    std::cmp::Ordering::Equal => {
+                        stats.matches += 1;
+                        stats.traffic.multiplies += 1;
+                        if hit {
+                            stats.traffic.additions += 1;
+                        }
+                        acc += a_vals[p] * b_vals[q];
+                        hit = true;
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            if hit {
+                cols.push(j);
+                vals.push(acc);
+            }
+        }
+        row_ptr.push(cols.len());
+    }
+    stats.traffic.bytes_written = 12 * cols.len() as u64;
+    Ok((Csr::from_raw_parts_unchecked(a.nrows(), b.ncols(), row_ptr, cols, vals), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outerspace_gen::uniform;
+    use outerspace_sparse::ops;
+
+    #[test]
+    fn matches_reference() {
+        let a = uniform::matrix(40, 40, 300, 1);
+        let b = uniform::matrix(40, 40, 300, 2);
+        let (c, _) = spgemm(&a, &b.to_csc()).unwrap();
+        let want = ops::spgemm_reference(&a, &b).unwrap();
+        assert!(c.approx_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn most_comparisons_miss_when_sparse() {
+        let a = uniform::matrix(128, 128, 512, 3); // density 3%
+        let (_, stats) = spgemm(&a, &a.to_csc()).unwrap();
+        let hit_rate = stats.matches as f64 / stats.comparisons as f64;
+        assert!(hit_rate < 0.3, "hit rate {hit_rate} unexpectedly high");
+    }
+
+    #[test]
+    fn traffic_dwarfs_gustavson_traffic() {
+        let a = uniform::matrix(128, 128, 512, 4);
+        let (_, inner_stats) = spgemm(&a, &a.to_csc()).unwrap();
+        let (_, gus_stats) = crate::gustavson::spgemm(&a, &a).unwrap();
+        assert!(inner_stats.traffic.bytes_touched > 2 * gus_stats.bytes_touched);
+    }
+
+    #[test]
+    fn zero_cancellation_is_kept() {
+        // acc may sum to exactly 0.0; pattern decision is match-driven.
+        let a = Csr::new(1, 2, vec![0, 2], vec![0, 1], vec![1.0, -1.0]).unwrap();
+        let b = Csr::new(2, 1, vec![0, 1, 2], vec![0, 0], vec![1.0, 1.0]).unwrap();
+        let (c, _) = spgemm(&a, &b.to_csc()).unwrap();
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Baseline sparse kernels the OuterSPACE paper compares against.
+//!
+//! The paper's evaluation (§6, §7) measures Intel MKL on a Xeon CPU and
+//! NVIDIA cuSPARSE/CUSP on a K40 GPU. Neither library's source is available,
+//! but their *algorithms* are published, and this crate re-implements them
+//! faithfully so the harness can reproduce the comparison shape:
+//!
+//! * [`gustavson`] — row-wise SpGEMM with a dense accumulator, the
+//!   algorithm underlying MKL's `mkl_sparse_spmm` (vectorized Gustavson).
+//!   The MKL analog for Figs. 3, 6, 7 and Table 1.
+//! * [`hash`] — row-parallel SpGEMM using a hash table to merge the partial
+//!   products of each output row, as cuSPARSE does (§1: "cuSPARSE applies
+//!   row-by-row parallelism and uses a hash table").
+//! * [`esc`] — expansion / sorting / compression, CUSP's fine-grained
+//!   formulation (§1: intermediate COO with duplicates, sorted and
+//!   compressed). Phase-separated for Fig. 4.
+//! * [`inner`] — textbook inner-product SpGEMM with explicit index matching,
+//!   quantifying the redundant-access problem motivating the paper (§2).
+//! * [`spmv`] — row-wise CSR SpMV baselines, including MKL's
+//!   treat-the-vector-as-dense behaviour that Table 5 exploits.
+//!
+//! All kernels count the bytes of matrix data they touch, enabling the
+//! bandwidth-utilization analysis of Table 1 without hardware counters.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod esc;
+pub mod gustavson;
+pub mod hash;
+pub mod inner;
+pub mod spmv;
+
+/// Memory-traffic counters shared by the baseline kernels.
+///
+/// `bytes_touched` counts every operand element *access* at 12 B (value +
+/// index), including repeated accesses to the same data — the quantity whose
+/// inflation by redundant reads the paper identifies as the key SpGEMM
+/// bottleneck (§1). Compulsory traffic (each element once) is available from
+/// the matrix sizes; the ratio of the two measures redundancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Operand element accesses × 12 B (includes redundant re-reads).
+    pub bytes_touched: u64,
+    /// Bytes written to the output (and intermediates, for ESC).
+    pub bytes_written: u64,
+    /// Multiply flops.
+    pub multiplies: u64,
+    /// Add flops.
+    pub additions: u64,
+}
+
+impl TrafficStats {
+    /// Total useful flops (multiplies + additions), the paper's GFLOPS basis.
+    pub fn flops(&self) -> u64 {
+        self.multiplies + self.additions
+    }
+}

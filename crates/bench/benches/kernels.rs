@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks of the software kernels: the outer-product
+//! phases, the baseline SpGEMMs, SpMV variants, and format conversion.
+//!
+//! These complement the per-figure binaries (which print the paper's
+//! tables): criterion gives statistically robust relative numbers for the
+//! software implementations themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use outerspace::outer::{self, MergeKind};
+use outerspace::prelude::*;
+
+fn fixture(n: u32, nnz: usize, seed: u64) -> (Csr, Csr) {
+    (
+        outerspace::gen::uniform::matrix(n, n, nnz, seed),
+        outerspace::gen::uniform::matrix(n, n, nnz, seed + 1),
+    )
+}
+
+fn bench_spgemm_algorithms(c: &mut Criterion) {
+    let (a, b) = fixture(1024, 16_000, 1);
+    let a_csc = a.to_csc();
+    let mut g = c.benchmark_group("spgemm");
+    g.bench_function("outer_sequential", |bench| {
+        bench.iter(|| outer::spgemm(&a, &b).unwrap())
+    });
+    g.bench_function("outer_parallel_4", |bench| {
+        bench.iter(|| outer::spgemm_parallel(&a, &b, 4).unwrap())
+    });
+    g.bench_function("gustavson", |bench| {
+        bench.iter(|| outerspace::baselines::gustavson::spgemm(&a, &b).unwrap())
+    });
+    g.bench_function("hash", |bench| {
+        bench.iter(|| outerspace::baselines::hash::spgemm(&a, &b).unwrap())
+    });
+    g.bench_function("esc", |bench| {
+        bench.iter(|| outerspace::baselines::esc::spgemm(&a, &b).unwrap())
+    });
+    g.bench_function("reference", |bench| {
+        bench.iter(|| outerspace::sparse::ops::spgemm_reference(&a, &b).unwrap())
+    });
+    drop(g);
+
+    // Phases in isolation.
+    let mut g = c.benchmark_group("outer_phases");
+    g.bench_function("multiply", |bench| {
+        bench.iter(|| outer::multiply(&a_csc, &b).unwrap())
+    });
+    g.bench_function("merge_streaming", |bench| {
+        bench.iter_batched(
+            || outer::multiply(&a_csc, &b).unwrap().0,
+            |pp| outer::merge(pp, MergeKind::Streaming),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("merge_sort_based", |bench| {
+        bench.iter_batched(
+            || outer::multiply(&a_csc, &b).unwrap().0,
+            |pp| outer::merge(pp, MergeKind::SortBased),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_density_sweep(c: &mut Criterion) {
+    // Fig. 3's regime: fixed nnz, growing dimension.
+    let mut g = c.benchmark_group("density_sweep_outer");
+    for n in [1024u32, 4096] {
+        let (a, b) = fixture(n, 16_000, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| outer::spgemm(&a, &b).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let a = outerspace::gen::uniform::matrix(8_192, 8_192, 80_000, 3);
+    let a_cc = a.to_csc();
+    let mut g = c.benchmark_group("spmv");
+    for r in [0.01f64, 0.1, 1.0] {
+        let x = outerspace::gen::vector::sparse(8_192, r, 4);
+        g.bench_with_input(BenchmarkId::new("outer", r), &x, |bench, x| {
+            bench.iter(|| outer::spmv(&a_cc, x).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("mkl_analog", r), &x, |bench, x| {
+            bench.iter(|| outerspace::baselines::spmv::spmv_dense_vector(&a, x).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_conversion(c: &mut Criterion) {
+    let a = outerspace::gen::uniform::matrix(4096, 4096, 80_000, 5);
+    let mut g = c.benchmark_group("format_conversion");
+    g.bench_function("csr_to_csc_via_outer", |bench| {
+        bench.iter(|| outer::csr_to_csc_via_outer(&a))
+    });
+    g.bench_function("csr_to_csc_direct", |bench| bench.iter(|| a.to_csc()));
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    // Simulator throughput itself (not simulated time): how fast the model
+    // processes a small workload.
+    let a = outerspace::gen::uniform::matrix(1024, 1024, 12_000, 6);
+    let sim = Simulator::new(OuterSpaceConfig::default()).unwrap();
+    c.bench_function("simulator_spgemm_1k", |bench| {
+        bench.iter(|| sim.spgemm(&a, &a).unwrap())
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    g.bench_function("uniform_50k", |bench| {
+        bench.iter(|| outerspace::gen::uniform::matrix(32_768, 32_768, 50_000, 7))
+    });
+    g.bench_function("rmat_25k", |bench| {
+        bench.iter(|| outerspace::gen::rmat::graph500(32_768, 25_000, 7))
+    });
+    g.bench_function("powerlaw_50k", |bench| {
+        bench.iter(|| outerspace::gen::powerlaw::graph(32_768, 50_000, 7))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_spgemm_algorithms, bench_density_sweep, bench_spmv,
+              bench_conversion, bench_simulator, bench_generators
+}
+criterion_main!(benches);

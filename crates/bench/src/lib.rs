@@ -1,0 +1,224 @@
+//! Shared harness for the per-figure/per-table benchmark binaries.
+//!
+//! Every binary regenerates one artifact of the paper's evaluation section
+//! (see DESIGN.md's experiment index) and prints the same rows/series the
+//! paper reports, plus a JSON dump under `bench_results/` for
+//! EXPERIMENTS.md. Absolute numbers are not expected to match the authors'
+//! testbed — the *shape* (who wins, by what factor, where crossovers fall)
+//! is the reproduction target.
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use outerspace::prelude::*;
+use outerspace::sim::xmodels::{gpu::row_imbalance, CpuModel, GpuModel};
+
+/// Command-line options shared by all harness binaries.
+///
+/// * `--scale N` — divide workload dimensions/non-zeros by `N` (default
+///   chosen per binary so a full run takes minutes).
+/// * `--full` — run at the paper's original sizes (`scale = 1`).
+/// * `--seed N` — change the workload seed.
+/// * `--out DIR` — where JSON results go (default `bench_results/`).
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Workload divisor.
+    pub scale: u32,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Output directory for JSON dumps.
+    pub out_dir: PathBuf,
+}
+
+impl HarnessOpts {
+    /// Parses `std::env::args`, with `default_scale` when `--scale`/`--full`
+    /// are absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args(default_scale: u32) -> Self {
+        let mut scale = default_scale;
+        let mut seed = 42u64;
+        let mut out_dir = PathBuf::from("bench_results");
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    scale = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--scale needs a positive integer"));
+                }
+                "--full" => scale = 1,
+                "--seed" => {
+                    seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs an integer"));
+                }
+                "--out" => {
+                    out_dir = args
+                        .next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| panic!("--out needs a directory"));
+                }
+                "--table4" => {} // handled by fig07 via args().any()
+                other => panic!("unknown argument '{other}' (try --scale N | --full | --seed N | --out DIR)"),
+            }
+        }
+        HarnessOpts { scale: scale.max(1), seed, out_dir }
+    }
+
+    /// Writes `value` as pretty JSON to `<out>/<name>.json` (best effort:
+    /// failures are reported to stderr, not fatal).
+    pub fn dump_json<T: serde::Serialize>(&self, name: &str, value: &T) {
+        if let Err(e) = std::fs::create_dir_all(&self.out_dir) {
+            eprintln!("warning: cannot create {}: {e}", self.out_dir.display());
+            return;
+        }
+        let path = self.out_dir.join(format!("{name}.json"));
+        match serde_json::to_string_pretty(value) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                } else {
+                    eprintln!("(results written to {})", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+        }
+    }
+}
+
+/// All baseline timings for one SpGEMM workload (`C = A × A`).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BaselineTimes {
+    /// Host wall-clock of the Gustavson (MKL-analog) kernel, seconds.
+    pub mkl_host_s: f64,
+    /// Xeon model prediction for MKL, seconds.
+    pub mkl_model_s: f64,
+    /// K40 model prediction for cuSPARSE (row-hash), seconds.
+    pub cusparse_model_s: f64,
+    /// K40 model prediction for CUSP (ESC), seconds.
+    pub cusp_model_s: f64,
+    /// Useful flops of the product (2 × elementary products).
+    pub flops: u64,
+}
+
+/// Runs every baseline for `C = A × A` and returns their timings.
+///
+/// # Panics
+///
+/// Panics if any kernel fails (shape errors cannot occur for square `A`).
+pub fn run_baselines(a: &Csr) -> BaselineTimes {
+    let profile = outerspace::sparse::stats::profile(a);
+    let t0 = Instant::now();
+    let (_, gus) = outerspace::baselines::gustavson::spgemm_parallel(a, a, 6)
+        .expect("square operands");
+    let mkl_host_s = t0.elapsed().as_secs_f64();
+    let cpu = CpuModel::xeon_e5_1650_v4();
+    let mkl_model_s = cpu.spgemm_seconds(
+        &gus,
+        12 * a.nnz() as u64,
+        a.ncols() as u64,
+        a.nrows() as u64,
+        profile.diagonal_fraction,
+    );
+    let k40 = GpuModel::tesla_k40();
+    let (_, hash) = outerspace::baselines::hash::spgemm(a, a).expect("square operands");
+    let cusparse_model_s =
+        k40.cusparse_time(&hash, a.nrows() as u64, row_imbalance(a, a)).total();
+    let (_, esc) = outerspace::baselines::esc::spgemm(a, a).expect("square operands");
+    let cusp_model_s = k40.cusp_time(&esc, a.nrows() as u64).total();
+    BaselineTimes {
+        mkl_host_s,
+        mkl_model_s,
+        cusparse_model_s,
+        cusp_model_s,
+        flops: gus.flops(),
+    }
+}
+
+/// Simulates OuterSPACE for `C = A × A`, returning the report.
+///
+/// # Panics
+///
+/// Panics on simulation failure (cannot occur for a valid square `A`).
+pub fn run_outerspace(a: &Csr) -> SimReport {
+    let sim = Simulator::new(OuterSpaceConfig::default()).expect("default config");
+    sim.spgemm(a, a).expect("square operands").1
+}
+
+/// Geometric mean of a non-empty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+/// Measures this host's sustainable memory bandwidth with a STREAM-triad
+/// style probe (used by the Table 1 reproduction as the "peak" reference).
+pub fn host_peak_bandwidth_bytes_per_s() -> f64 {
+    const N: usize = 8 * 1024 * 1024; // 3 x 64 MB working set
+    let a = vec![1.0f64; N];
+    let b = vec![2.0f64; N];
+    let mut c = vec![0.0f64; N];
+    // Warm-up + 3 timed passes, best of.
+    let mut best = f64::MAX;
+    for _ in 0..4 {
+        let t = Instant::now();
+        for i in 0..N {
+            c[i] = a[i] + 3.0 * b[i];
+        }
+        let dt = t.elapsed().as_secs_f64();
+        best = best.min(dt);
+        std::hint::black_box(&c);
+    }
+    (3 * N * 8) as f64 / best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_powers() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn fmt_secs_units() {
+        assert_eq!(fmt_secs(2.5), "2.50 s");
+        assert_eq!(fmt_secs(0.0025), "2.50 ms");
+        assert_eq!(fmt_secs(0.0000025), "2.5 us");
+    }
+
+    #[test]
+    fn baselines_run_on_small_input() {
+        let a = outerspace::gen::uniform::matrix(64, 64, 400, 1);
+        let b = run_baselines(&a);
+        assert!(b.mkl_host_s > 0.0);
+        assert!(b.mkl_model_s > 0.0);
+        assert!(b.cusparse_model_s > 0.0);
+        assert!(b.cusp_model_s > 0.0);
+        assert!(b.flops > 0);
+        let rep = run_outerspace(&a);
+        assert!(rep.seconds() > 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! `ospace` — command-line front end for the OuterSPACE reproduction.
+//!
+//! ```text
+//! ospace info      <matrix>                      structural profile
+//! ospace spgemm    <A> [B] [--algo NAME] [--out C.mtx]
+//! ospace simulate  <A> [B]                       accelerator timing report
+//! ospace spmv      <A> [--density R]             SpMV on the accelerator
+//! ospace generate  <kind> <n> <nnz> --out F.mtx  uniform|rmat|powerlaw|road
+//! ospace suite                                   list the Table 4 matrices
+//! ```
+//!
+//! Matrix files: `.mtx` (Matrix Market) or anything else is parsed as a
+//! SNAP-style edge list (`src dst` per line, `#` comments).
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use outerspace::prelude::*;
+use outerspace::sparse::{io, stats};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("info") => cmd_info(&args[1..]),
+        Some("spgemm") => cmd_spgemm(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("spmv") => cmd_spmv(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("suite") => cmd_suite(),
+        _ => {
+            eprintln!(
+                "usage: ospace <info|spgemm|simulate|spmv|generate|suite> [args]\n\
+                 see the module docs (`cargo doc`) or README for details"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Loads `.mtx` as Matrix Market, anything else as a SNAP edge list.
+fn load(path: &str) -> Result<Csr, String> {
+    let p = Path::new(path);
+    let file = std::fs::File::open(p).map_err(|e| format!("{path}: {e}"))?;
+    if p.extension().and_then(|e| e.to_str()) == Some("mtx") {
+        Ok(io::read_coo(file).map_err(|e| format!("{path}: {e}"))?.to_csr())
+    } else {
+        Ok(io::read_edge_list(file, false).map_err(|e| format!("{path}: {e}"))?.to_csr())
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn positional(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true; // all our flags take one value
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let path = pos.first().ok_or("info needs a matrix file")?;
+    let m = load(path)?;
+    let p = stats::profile(&m);
+    println!("{path}: {} x {}, {} non-zeros", p.nrows, p.ncols, p.nnz);
+    println!("  density            {:.6e}", p.density);
+    println!("  nnz/row            mean {:.2}, max {}, std {:.2}", p.nnz_per_row_mean, p.nnz_per_row_max, p.nnz_per_row_std);
+    println!("  row-length gini    {:.3} (0 = uniform, 1 = hub-dominated)", p.row_gini);
+    println!("  diagonal fraction  {:.3}", p.diagonal_fraction);
+    println!("  empty rows         {:.1} %", p.empty_row_fraction * 100.0);
+    Ok(())
+}
+
+fn cmd_spgemm(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let a = load(pos.first().ok_or("spgemm needs at least one matrix")?)?;
+    let b = match pos.get(1) {
+        Some(p) => load(p)?,
+        None => a.clone(),
+    };
+    let algo = flag_value(args, "--algo").unwrap_or("outer");
+    let t0 = Instant::now();
+    let c = match algo {
+        "outer" => outerspace::outer::spgemm_parallel(&a, &b, 4).map_err(|e| e.to_string())?.0,
+        "gustavson" => outerspace::baselines::gustavson::spgemm_parallel(&a, &b, 4)
+            .map_err(|e| e.to_string())?
+            .0,
+        "hash" => outerspace::baselines::hash::spgemm(&a, &b).map_err(|e| e.to_string())?.0,
+        "esc" => outerspace::baselines::esc::spgemm(&a, &b).map_err(|e| e.to_string())?.0,
+        other => return Err(format!("unknown --algo '{other}' (outer|gustavson|hash|esc)")),
+    };
+    let dt = t0.elapsed();
+    println!("C = A x B: {} x {}, {} non-zeros ({algo}, {dt:?})", c.nrows(), c.ncols(), c.nnz());
+    if let Some(out) = flag_value(args, "--out") {
+        let f = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
+        io::write_csr(f, &c).map_err(|e| e.to_string())?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let a = load(pos.first().ok_or("simulate needs at least one matrix")?)?;
+    let b = match pos.get(1) {
+        Some(p) => load(p)?,
+        None => a.clone(),
+    };
+    let sim = Simulator::new(OuterSpaceConfig::default())?;
+    let (c, rep) = sim.spgemm(&a, &b).map_err(|e| e.to_string())?;
+    println!("result: {} non-zeros", c.nnz());
+    println!(
+        "simulated OuterSPACE time: {:.6} s ({:.2} GFLOPS)",
+        rep.seconds(),
+        rep.gflops()
+    );
+    if let Some(conv) = rep.convert {
+        println!(
+            "  convert : {:>12} cycles",
+            conv.cycles
+        );
+    }
+    for (name, p) in [("multiply", &rep.multiply), ("merge", &rep.merge)] {
+        println!(
+            "  {name:<8}: {:>12} cycles, BW {:>5.1} %, L0 hit {:.3}",
+            p.cycles,
+            p.bandwidth_utilization(&rep.config) * 100.0,
+            p.l0_hit_rate()
+        );
+    }
+    let t6 = outerspace::energy::AreaPowerModel::tsmc32nm().table6(&rep.config, Some(&rep));
+    println!(
+        "energy: {:.2} W -> {:.3} GFLOPS/W",
+        t6.total_power_w(),
+        rep.gflops() / t6.total_power_w()
+    );
+    Ok(())
+}
+
+fn cmd_spmv(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let a = load(pos.first().ok_or("spmv needs a matrix file")?)?;
+    let r: f64 = flag_value(args, "--density").unwrap_or("0.1").parse().map_err(|_| "--density needs a number")?;
+    let x = outerspace::gen::vector::sparse(a.ncols(), r, 1);
+    let sim = Simulator::new(OuterSpaceConfig::default())?;
+    let (y, rep) = sim.spmv(&a.to_csc(), &x).map_err(|e| e.to_string())?;
+    println!(
+        "y = A x (r = {r}): {} non-zeros in, {} out; simulated {:.3} us",
+        x.nnz(),
+        y.nnz(),
+        rep.seconds() * 1e6
+    );
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let (kind, n, nnz) = match pos.as_slice() {
+        [kind, n, nnz, ..] => (*kind, *n, *nnz),
+        _ => return Err("generate needs: <kind> <n> <nnz> --out FILE".into()),
+    };
+    let n: u32 = n.parse().map_err(|_| "n must be an integer")?;
+    let nnz: usize = nnz.parse().map_err(|_| "nnz must be an integer")?;
+    let seed = flag_value(args, "--seed").unwrap_or("42").parse().map_err(|_| "--seed needs an integer")?;
+    let m = match kind {
+        "uniform" => outerspace::gen::uniform::matrix(n, n, nnz, seed),
+        "rmat" => outerspace::gen::rmat::graph500(n, nnz / 2, seed),
+        "powerlaw" => outerspace::gen::powerlaw::graph(n, nnz, seed),
+        "road" => outerspace::gen::road::network(n, nnz, seed),
+        other => return Err(format!("unknown kind '{other}' (uniform|rmat|powerlaw|road)")),
+    };
+    let out = flag_value(args, "--out").ok_or("generate needs --out FILE")?;
+    let f = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
+    io::write_csr(f, &m).map_err(|e| e.to_string())?;
+    println!("wrote {out}: {} x {}, {} non-zeros", m.nrows(), m.ncols(), m.nnz());
+    Ok(())
+}
+
+fn cmd_suite() -> Result<(), String> {
+    println!("{:<16} {:>9} {:>10} {:>7}  kind", "matrix", "dim", "nnz", "nnz/row");
+    for e in outerspace::gen::suite::TABLE4 {
+        println!(
+            "{:<16} {:>9} {:>10} {:>7.1}  {}",
+            e.name,
+            e.dim,
+            e.nnz,
+            e.nnz_per_row(),
+            e.kind
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! # OuterSPACE reproduction
+//!
+//! A from-scratch Rust reproduction of *OuterSPACE: An Outer Product based
+//! Sparse Matrix Multiplication Accelerator* (Pal et al., HPCA 2018): the
+//! outer-product SpGEMM/SpMV algorithms, the CPU/GPU baselines the paper
+//! compares against, a transaction-level timing simulator of the
+//! accelerator, and its power/area model.
+//!
+//! This crate is the umbrella: it re-exports every sub-crate under a short
+//! name and adds the high-level linear-algebra conveniences the paper's
+//! motivation section appeals to (chained multiplication, matrix powers,
+//! §4.3).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use outerspace::prelude::*;
+//!
+//! # fn main() -> Result<(), outerspace::sparse::SparseError> {
+//! // Generate a power-law graph and square its adjacency matrix, both in
+//! // portable software and on the simulated accelerator.
+//! let a = outerspace::gen::rmat::graph500(512, 4_000, 42);
+//! let c_soft = outerspace::outer::spgemm(&a, &a)?;
+//!
+//! let sim = Simulator::new(OuterSpaceConfig::default()).expect("valid config");
+//! let (c_hw, report) = sim.spgemm(&a, &a)?;
+//! assert!(c_soft.approx_eq(&c_hw, 1e-9));
+//! println!("simulated time: {:.3} ms", report.seconds() * 1e3);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`sparse`] | CR/CC/COO/dense formats, Matrix Market I/O, reference kernels |
+//! | [`gen`] | Uniform, R-MAT, stencil, power-law generators; Table 4 stand-ins |
+//! | [`outer`] | The outer-product multiply/merge algorithm (§4) |
+//! | [`baselines`] | MKL / cuSPARSE / CUSP analogs |
+//! | [`sim`] | The accelerator timing simulator (§5–§6) + CPU/GPU models |
+//! | [`energy`] | Power & area model (Table 6) |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub use outerspace_baselines as baselines;
+pub use outerspace_energy as energy;
+pub use outerspace_gen as gen;
+pub use outerspace_outer as outer;
+pub use outerspace_sim as sim;
+pub use outerspace_sparse as sparse;
+
+mod linalg;
+
+pub use linalg::{chain_multiply, matrix_power};
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use crate::energy::AreaPowerModel;
+    pub use crate::gen::suite::TABLE4;
+    pub use crate::outer::{spgemm, spgemm_parallel, spmv};
+    pub use crate::sim::{OuterSpaceConfig, SimReport, Simulator};
+    pub use crate::sparse::{Coo, Csc, Csr, Dense, SparseError, SparseVector};
+    pub use crate::{chain_multiply, matrix_power};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_workflow() {
+        let a = Csr::identity(8);
+        let c = crate::outer::spgemm(&a, &a).unwrap();
+        assert_eq!(c.nnz(), 8);
+        let sim = Simulator::new(OuterSpaceConfig::default()).unwrap();
+        let (_, rep) = sim.spgemm(&a, &a).unwrap();
+        let model = AreaPowerModel::tsmc32nm();
+        assert!(model.gflops_per_watt(sim.config(), &rep) >= 0.0);
+        assert_eq!(TABLE4.len(), 20);
+    }
+}

@@ -1,0 +1,133 @@
+//! High-level chained operations built on the outer-product pipeline.
+//!
+//! §4.3 of the paper: format conversion is "a one-time requirement for
+//! chained multiplication operations of the type A×B×C…, since OuterSPACE
+//! can output the result in either CR or CC formats", and powers `Aᴺ`
+//! decompose into a logarithmic number of squarings (`A² = A×A`,
+//! `A⁴ = A²×A²`, …). These helpers realize both schemes in software.
+
+use outerspace_outer as outer;
+use outerspace_sparse::{Csr, SparseError};
+
+/// Multiplies a chain `M₁ × M₂ × … × Mₖ` left to right with the
+/// outer-product algorithm.
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if the chain is empty or any
+/// adjacent pair has incompatible shapes.
+///
+/// # Example
+///
+/// ```
+/// use outerspace::chain_multiply;
+/// use outerspace::sparse::Csr;
+///
+/// # fn main() -> Result<(), outerspace::sparse::SparseError> {
+/// let eye = Csr::identity(4);
+/// let c = chain_multiply(&[&eye, &eye, &eye])?;
+/// assert!(c.approx_eq(&eye, 0.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn chain_multiply(mats: &[&Csr]) -> Result<Csr, SparseError> {
+    let (first, rest) = mats.split_first().ok_or(SparseError::ShapeMismatch {
+        left: (0, 0),
+        right: (0, 0),
+        op: "chain_multiply",
+    })?;
+    let mut acc = (*first).clone();
+    for m in rest {
+        acc = outer::spgemm(&acc, m)?;
+    }
+    Ok(acc)
+}
+
+/// Computes `A^n` for `n ≥ 1` with logarithmically many squarings (§4.3).
+///
+/// Matrix powers are the workhorse of reachability and Markov-style graph
+/// analyses; the decomposition means only `O(log n)` format conversions are
+/// ever needed.
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if `a` is not square or `n == 0`.
+pub fn matrix_power(a: &Csr, n: u32) -> Result<Csr, SparseError> {
+    if a.nrows() != a.ncols() || n == 0 {
+        return Err(SparseError::ShapeMismatch {
+            left: (a.nrows() as u64, a.ncols() as u64),
+            right: (n as u64, n as u64),
+            op: "matrix_power",
+        });
+    }
+    // Exponentiation by squaring.
+    let mut base = a.clone();
+    let mut result: Option<Csr> = None;
+    let mut exp = n;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = Some(match result {
+                None => base.clone(),
+                Some(r) => outer::spgemm(&r, &base)?,
+            });
+        }
+        exp >>= 1;
+        if exp > 0 {
+            base = outer::spgemm(&base, &base)?;
+        }
+    }
+    Ok(result.expect("n >= 1 guarantees at least one factor"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outerspace_gen::uniform;
+    use outerspace_sparse::ops;
+
+    #[test]
+    fn chain_matches_pairwise_reference() {
+        let a = uniform::matrix(24, 32, 150, 1);
+        let b = uniform::matrix(32, 16, 150, 2);
+        let c = uniform::matrix(16, 24, 100, 3);
+        let chained = chain_multiply(&[&a, &b, &c]).unwrap();
+        let want = ops::spgemm_reference(&ops::spgemm_reference(&a, &b).unwrap(), &c).unwrap();
+        assert!(chained.approx_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        assert!(chain_multiply(&[]).is_err());
+    }
+
+    #[test]
+    fn power_one_is_identity_operation() {
+        let a = uniform::matrix(16, 16, 64, 4);
+        assert!(matrix_power(&a, 1).unwrap().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn power_four_matches_repeated_squaring() {
+        // Use a pruned stochastic-ish matrix to keep values bounded.
+        let a = uniform::matrix(24, 24, 72, 5);
+        let a2 = ops::spgemm_reference(&a, &a).unwrap();
+        let a4 = ops::spgemm_reference(&a2, &a2).unwrap();
+        assert!(matrix_power(&a, 4).unwrap().approx_eq(&a4, 1e-6));
+    }
+
+    #[test]
+    fn odd_power() {
+        let a = uniform::matrix(16, 16, 48, 6);
+        let a2 = ops::spgemm_reference(&a, &a).unwrap();
+        let a3 = ops::spgemm_reference(&a2, &a).unwrap();
+        assert!(matrix_power(&a, 3).unwrap().approx_eq(&a3, 1e-7));
+    }
+
+    #[test]
+    fn zero_power_and_rectangular_rejected() {
+        let a = uniform::matrix(8, 8, 16, 7);
+        assert!(matrix_power(&a, 0).is_err());
+        let r = uniform::matrix(4, 6, 8, 8);
+        assert!(matrix_power(&r, 2).is_err());
+    }
+}

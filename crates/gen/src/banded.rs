@@ -1,0 +1,205 @@
+//! Banded matrices: non-zeros concentrated at fixed diagonal offsets.
+//!
+//! These model the "regular" matrices the paper calls out (filter3D,
+//! cop20k_A, scircuit): most non-zeros sit on or near the diagonal, which is
+//! the structure that favours the index-matching baselines (MKL/cuSPARSE) and
+//! therefore bounds OuterSPACE's speedup from below in Fig. 7.
+
+use outerspace_sparse::{Coo, Csr, Index};
+use rand::Rng;
+
+use crate::{draw_value, rng_from_seed};
+
+/// Generates an `n` × `n` banded matrix.
+///
+/// For every row, an entry is placed at each diagonal offset in `offsets`
+/// (clipped at the matrix edge) with probability `fill`. With `fill = 1.0`
+/// each interior row gets exactly `offsets.len()` entries.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `fill` is outside `[0, 1]` or `offsets` is empty.
+pub fn matrix(n: Index, offsets: &[i64], fill: f64, seed: u64) -> Csr {
+    assert!((0.0..=1.0).contains(&fill), "fill must be in [0, 1]");
+    assert!(!offsets.is_empty(), "offsets must be non-empty");
+    let mut rng = rng_from_seed(seed);
+    let mut coo = Coo::with_capacity(n, n, (n as usize) * offsets.len());
+    for r in 0..n as i64 {
+        for &d in offsets {
+            let c = r + d;
+            if c < 0 || c >= n as i64 {
+                continue;
+            }
+            if fill >= 1.0 || rng.gen::<f64>() < fill {
+                coo.push(r as Index, c as Index, draw_value(&mut rng));
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Derives a quasi-symmetric offset set with `k` offsets spread over a band
+/// of half-width `half_band`: `{0, ±1, ±2, …}` padded with strided offsets
+/// (`±half_band/2`, `±half_band`) once the near-diagonal is exhausted.
+///
+/// This mimics the offset pattern of finite-element/finite-difference
+/// matrices whose stencils couple neighbouring unknowns plus a few
+/// longer-range strides.
+pub fn spread_offsets(k: usize, half_band: i64) -> Vec<i64> {
+    let mut offsets = vec![0i64];
+    let mut d = 1i64;
+    // Alternate +d, -d near the diagonal.
+    while offsets.len() < k && d <= half_band.max(1) {
+        offsets.push(d);
+        if offsets.len() < k {
+            offsets.push(-d);
+        }
+        // Grow the stride once past the immediate neighbours, as stencil
+        // matrices do (unit stride, then row stride, then plane stride).
+        d = if d < 4 { d + 1 } else { d * 2 };
+    }
+    // If the band was too narrow to supply k offsets, fill linearly.
+    let mut extra = half_band.max(1) + 1;
+    while offsets.len() < k {
+        offsets.push(extra);
+        if offsets.len() < k {
+            offsets.push(-extra);
+        }
+        extra += 1;
+    }
+    offsets.truncate(k);
+    offsets.sort_unstable();
+    offsets.dedup();
+    offsets
+}
+
+/// Generates an `n` × `n` circulant matrix with exactly `k` entries in
+/// *every* row and *every* column, at pseudo-random wrap-around offsets —
+/// the stand-in for fixed-degree combinatorial matrices like `m133-b3`
+/// (exactly 4 non-zeros per row; §7.3 notes this makes its outer-product
+/// allocation fully static, a property that requires the fixed degree on
+/// both axes).
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn circulant(n: Index, k: usize, seed: u64) -> Csr {
+    assert!(k as u64 <= n as u64, "cannot place {k} distinct offsets in dimension {n}");
+    let mut rng = rng_from_seed(seed);
+    // Distinct offsets spread over the full index range.
+    let mut offsets: Vec<u64> = Vec::with_capacity(k);
+    while offsets.len() < k {
+        let o = rng.gen_range(0..n as u64);
+        if !offsets.contains(&o) {
+            offsets.push(o);
+        }
+    }
+    let mut coo = Coo::with_capacity(n, n, n as usize * k);
+    for r in 0..n as u64 {
+        for &o in &offsets {
+            coo.push(r as Index, ((r + o) % n as u64) as Index, draw_value(&mut rng));
+        }
+    }
+    coo.to_csr()
+}
+
+/// Generates an `n` × `n` matrix with `nnz` non-zeros (approximately) whose
+/// per-row count is exactly `per_row` for interior rows.
+///
+/// Columns are chosen uniformly at random, distinct within each row (column
+/// counts vary; use [`circulant`] when both axes must be fixed-degree).
+pub fn fixed_per_row(n: Index, per_row: usize, seed: u64) -> Csr {
+    let mut rng = rng_from_seed(seed);
+    let mut coo = Coo::with_capacity(n, n, n as usize * per_row);
+    let mut picked: Vec<Index> = Vec::with_capacity(per_row);
+    for r in 0..n {
+        picked.clear();
+        while picked.len() < per_row.min(n as usize) {
+            let c = rng.gen_range(0..n);
+            if !picked.contains(&c) {
+                picked.push(c);
+                coo.push(r, c, draw_value(&mut rng));
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outerspace_sparse::stats;
+
+    #[test]
+    fn full_fill_gives_exact_band() {
+        let m = matrix(16, &[-1, 0, 1], 1.0, 0);
+        // Tridiagonal: 3n - 2 entries.
+        assert_eq!(m.nnz(), 3 * 16 - 2);
+        assert_eq!(stats::diagonal_fraction(&m, 1), 1.0);
+    }
+
+    #[test]
+    fn partial_fill_reduces_nnz() {
+        let full = matrix(128, &[-2, -1, 0, 1, 2], 1.0, 1);
+        let half = matrix(128, &[-2, -1, 0, 1, 2], 0.5, 1);
+        assert!(half.nnz() < full.nnz());
+        assert!(half.nnz() > full.nnz() / 4);
+    }
+
+    #[test]
+    fn spread_offsets_contains_diagonal_and_is_sorted() {
+        let offs = spread_offsets(7, 100);
+        assert!(offs.contains(&0));
+        assert!(offs.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(offs.len(), 7);
+    }
+
+    #[test]
+    fn spread_offsets_narrow_band_fills_linearly() {
+        let offs = spread_offsets(9, 2);
+        assert_eq!(offs.len(), 9);
+        assert!(offs.iter().all(|&d| d.unsigned_abs() <= 8));
+    }
+
+    #[test]
+    fn circulant_is_fixed_degree_on_both_axes() {
+        let m = circulant(97, 4, 3);
+        for r in 0..97 {
+            assert_eq!(m.row_nnz(r), 4, "row {r}");
+        }
+        let t = m.transpose();
+        for c in 0..97 {
+            assert_eq!(t.row_nnz(c), 4, "col {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct offsets")]
+    fn circulant_rejects_oversized_k() {
+        let _ = circulant(3, 4, 0);
+    }
+
+    #[test]
+    fn fixed_per_row_is_exact() {
+        let m = fixed_per_row(64, 4, 5);
+        for r in 0..64 {
+            assert_eq!(m.row_nnz(r), 4, "row {r}");
+        }
+        let p = stats::profile(&m);
+        assert!(p.row_gini < 1e-9);
+    }
+
+    #[test]
+    fn offsets_outside_matrix_are_clipped() {
+        let m = matrix(4, &[-10, 0, 10], 1.0, 0);
+        assert_eq!(m.nnz(), 4); // only the main diagonal survives
+    }
+
+    #[test]
+    #[should_panic(expected = "fill must be")]
+    fn bad_fill_panics() {
+        let _ = matrix(4, &[0], 1.5, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Workload generators for the OuterSPACE reproduction.
+//!
+//! The paper evaluates on three families of inputs, all reproduced here:
+//!
+//! * **Uniformly random** matrices with a fixed non-zero budget and swept
+//!   dimension (Figs. 3, 4; Tables 1, 5) — [`uniform`].
+//! * **Graph500 R-MAT** power-law graphs with the default parameters
+//!   `(A, B, C) = (0.57, 0.19, 0.19)` (Fig. 6) — [`rmat`].
+//! * **Real-world matrices** from SuiteSparse/SNAP (Table 4, Fig. 7). The
+//!   collections are not redistributable inside this repository, so
+//!   [`suite`] provides deterministic *synthetic stand-ins* that match each
+//!   matrix's dimension, non-zero count and structure class; genuine `.mtx`
+//!   files can be substituted through `outerspace_sparse::io`.
+//!
+//! Additional structural generators ([`stencil`], [`banded`], [`powerlaw`],
+//! [`road`]) back the stand-ins. Everything is seeded and deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use outerspace_gen::uniform;
+//!
+//! // 1024 x 1024, exactly 4096 non-zeros, uniformly placed.
+//! let m = uniform::matrix(1024, 1024, 4096, 1);
+//! assert_eq!(m.nnz(), 4096);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod banded;
+pub mod powerlaw;
+pub mod rmat;
+pub mod road;
+pub mod stencil;
+pub mod suite;
+pub mod uniform;
+pub mod vector;
+
+pub(crate) fn rng_from_seed(seed: u64) -> rand::rngs::SmallRng {
+    use rand::SeedableRng;
+    rand::rngs::SmallRng::seed_from_u64(seed)
+}
+
+/// Draws a non-zero value for a generated entry: uniform in `[0.5, 1.5)`.
+///
+/// Keeping magnitudes near 1 avoids cancellation to exact zero in products
+/// and keeps accumulated values well-conditioned for comparison tests.
+pub(crate) fn draw_value<R: rand::Rng>(rng: &mut R) -> f64 {
+    0.5 + rng.gen::<f64>()
+}

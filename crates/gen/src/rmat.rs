@@ -1,0 +1,232 @@
+//! Graph500 R-MAT (recursive matrix) graph generator.
+//!
+//! Fig. 6 of the paper evaluates on R-MAT graphs produced with the Graph500
+//! reference generator's default parameters `(A, B, C) = (0.57, 0.19, 0.19)`
+//! for undirected power-law graphs, `nEdges = 100 000`, and the vertex count
+//! swept from 5 000 to 80 000. This module reproduces that generator,
+//! extended to arbitrary (non-power-of-two) vertex counts by splitting index
+//! ranges instead of bit positions.
+
+use outerspace_sparse::{Coo, Csr, Index};
+use rand::Rng;
+
+use crate::{draw_value, rng_from_seed};
+
+/// Configuration for the R-MAT generator (builder-style).
+///
+/// # Example
+///
+/// ```
+/// use outerspace_gen::rmat::RmatConfig;
+///
+/// let g = RmatConfig::new(5_000, 100_000).undirected(true).generate(1);
+/// assert_eq!(g.nrows(), 5_000);
+/// assert!(g.nnz() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RmatConfig {
+    n_vertices: Index,
+    n_edges: usize,
+    a: f64,
+    b: f64,
+    c: f64,
+    undirected: bool,
+    noise: f64,
+}
+
+impl RmatConfig {
+    /// A generator for `n_vertices` vertices and `n_edges` sampled edges,
+    /// with the Graph500 default quadrant probabilities
+    /// `(A, B, C, D) = (0.57, 0.19, 0.19, 0.05)`, undirected.
+    ///
+    /// Duplicate edges are merged (summed), so the resulting matrix may have
+    /// fewer than `n_edges` (or, undirected, `2·n_edges`) stored entries —
+    /// exactly like the Graph500 reference code.
+    pub fn new(n_vertices: Index, n_edges: usize) -> Self {
+        RmatConfig {
+            n_vertices,
+            n_edges,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            undirected: true,
+            noise: 0.1,
+        }
+    }
+
+    /// Overrides the quadrant probabilities `(a, b, c)`; `d = 1 - a - b - c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `a + b + c < 1` and all are non-negative.
+    pub fn probabilities(mut self, a: f64, b: f64, c: f64) -> Self {
+        assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0, "need a+b+c < 1");
+        self.a = a;
+        self.b = b;
+        self.c = c;
+        self
+    }
+
+    /// Whether each sampled edge `(u, v)` also inserts `(v, u)`.
+    pub fn undirected(mut self, yes: bool) -> Self {
+        self.undirected = yes;
+        self
+    }
+
+    /// Per-level multiplicative noise on the quadrant probabilities, as used
+    /// by the Graph500 reference implementation to avoid exact self-similar
+    /// artifacts. `0.0` disables it. Default `0.1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is not in `[0, 1)`.
+    pub fn noise(mut self, noise: f64) -> Self {
+        assert!((0.0..1.0).contains(&noise), "noise must be in [0, 1)");
+        self.noise = noise;
+        self
+    }
+
+    /// Generates the adjacency matrix, deterministic in `seed`.
+    pub fn generate(&self, seed: u64) -> Csr {
+        let mut rng = rng_from_seed(seed);
+        self.generate_with(&mut rng)
+    }
+
+    /// [`RmatConfig::generate`] with a caller-provided random source.
+    pub fn generate_with<R: Rng>(&self, rng: &mut R) -> Csr {
+        let cap = if self.undirected { self.n_edges * 2 } else { self.n_edges };
+        let mut coo = Coo::with_capacity(self.n_vertices, self.n_vertices, cap);
+        for _ in 0..self.n_edges {
+            let (u, v) = self.sample_edge(rng);
+            let w = draw_value(rng);
+            coo.push(u, v, w);
+            if self.undirected && u != v {
+                coo.push(v, u, w);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Samples one edge by recursive quadrant descent over the index ranges
+    /// `[r0, r1) × [c0, c1)`.
+    fn sample_edge<R: Rng>(&self, rng: &mut R) -> (Index, Index) {
+        let (mut r0, mut r1) = (0u64, self.n_vertices as u64);
+        let (mut c0, mut c1) = (0u64, self.n_vertices as u64);
+        while r1 - r0 > 1 || c1 - c0 > 1 {
+            // Jitter the probabilities per level (Graph500 "noise").
+            let jit = |p: f64, rng: &mut R| -> f64 {
+                if self.noise == 0.0 {
+                    p
+                } else {
+                    p * (1.0 - self.noise + 2.0 * self.noise * rng.gen::<f64>())
+                }
+            };
+            let (pa, pb, pc) = (jit(self.a, rng), jit(self.b, rng), jit(self.c, rng));
+            let pd = jit(1.0 - self.a - self.b - self.c, rng);
+            let total = pa + pb + pc + pd;
+            let x = rng.gen::<f64>() * total;
+            let (top, left) = if x < pa {
+                (true, true)
+            } else if x < pa + pb {
+                (true, false)
+            } else if x < pa + pb + pc {
+                (false, true)
+            } else {
+                (false, false)
+            };
+            let rm = r0 + (r1 - r0 + 1) / 2;
+            let cm = c0 + (c1 - c0 + 1) / 2;
+            if r1 - r0 > 1 {
+                if top {
+                    r1 = rm;
+                } else {
+                    r0 = rm;
+                }
+            }
+            if c1 - c0 > 1 {
+                if left {
+                    c1 = cm;
+                } else {
+                    c0 = cm;
+                }
+            }
+        }
+        (r0 as Index, c0 as Index)
+    }
+}
+
+/// Convenience wrapper: the paper's Fig. 6 configuration — undirected R-MAT,
+/// Graph500 default probabilities, `n_edges` sampled edges.
+pub fn graph500(n_vertices: Index, n_edges: usize, seed: u64) -> Csr {
+    RmatConfig::new(n_vertices, n_edges).generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outerspace_sparse::stats;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = graph500(1000, 5000, 3);
+        let b = graph500(1000, 5000, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.nrows(), 1000);
+        assert_eq!(a.ncols(), 1000);
+        assert!(a.nnz() > 0 && a.nnz() <= 10_000);
+    }
+
+    #[test]
+    fn undirected_graph_is_symmetric_in_pattern() {
+        let g = graph500(512, 2000, 5);
+        let t = g.transpose();
+        // Values are shared between (u,v) and (v,u), so full symmetry holds.
+        assert_eq!(g, t);
+    }
+
+    #[test]
+    fn directed_graph_not_symmetric() {
+        let g = RmatConfig::new(512, 4000).undirected(false).generate(5);
+        assert!(!g.is_symmetric());
+    }
+
+    #[test]
+    fn rmat_is_more_skewed_than_uniform() {
+        let g = RmatConfig::new(2048, 20_000).undirected(false).generate(1);
+        let u = crate::uniform::matrix(2048, 2048, g.nnz(), 1);
+        let gp = stats::profile(&g);
+        let up = stats::profile(&u);
+        assert!(
+            gp.row_gini > up.row_gini + 0.2,
+            "rmat gini {} should exceed uniform gini {}",
+            gp.row_gini,
+            up.row_gini
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_dimensions() {
+        let g = graph500(5000, 10_000, 9);
+        assert_eq!(g.nrows(), 5000);
+        assert!(g.iter().all(|(r, c, _)| r < 5000 && c < 5000));
+    }
+
+    #[test]
+    fn zero_noise_still_works() {
+        let g = RmatConfig::new(256, 1000).noise(0.0).generate(2);
+        assert!(g.nnz() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "a+b+c < 1")]
+    fn invalid_probabilities_panic() {
+        let _ = RmatConfig::new(4, 1).probabilities(0.5, 0.5, 0.5);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = graph500(1, 3, 0);
+        assert_eq!(g.nrows(), 1);
+        assert_eq!(g.nnz(), 1); // all edges collapse to the self-loop
+    }
+}

@@ -1,0 +1,163 @@
+//! Finite-difference stencil matrices on 2-D and 3-D grids.
+//!
+//! Stand-ins for the PDE/EM matrices of Table 4 (2cubes_sphere, offshore,
+//! poisson3Da, mario002): symmetric, strongly diagonal, with strided
+//! off-diagonals at the grid strides. These are the "regular" matrices on
+//! which the paper reports MKL/cuSPARSE performing comparatively well.
+
+use outerspace_sparse::{Coo, Csr, Index};
+use rand::Rng;
+
+use crate::{draw_value, rng_from_seed};
+
+/// Generates the 5-point Laplacian-pattern matrix of an `nx` × `ny` grid
+/// (dimension `nx · ny`), with random values and optional random `fill`
+/// thinning (probability of keeping each off-diagonal entry).
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `fill` is outside `[0, 1]`.
+pub fn grid2d(nx: Index, ny: Index, fill: f64, seed: u64) -> Csr {
+    assert!((0.0..=1.0).contains(&fill), "fill must be in [0, 1]");
+    let n = nx as usize * ny as usize;
+    let mut rng = rng_from_seed(seed);
+    let mut coo = Coo::with_capacity(n as Index, n as Index, n * 5);
+    let idx = |x: Index, y: Index| -> Index { y * nx + x };
+    for y in 0..ny {
+        for x in 0..nx {
+            let me = idx(x, y);
+            coo.push(me, me, draw_value(&mut rng) + 4.0); // diagonally dominant
+            let mut neighbour = |other: Index, rng: &mut rand::rngs::SmallRng| {
+                if fill >= 1.0 || rng.gen::<f64>() < fill {
+                    coo.push(me, other, -draw_value(rng));
+                }
+            };
+            if x > 0 {
+                neighbour(idx(x - 1, y), &mut rng);
+            }
+            if x + 1 < nx {
+                neighbour(idx(x + 1, y), &mut rng);
+            }
+            if y > 0 {
+                neighbour(idx(x, y - 1), &mut rng);
+            }
+            if y + 1 < ny {
+                neighbour(idx(x, y + 1), &mut rng);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Generates the 7-point Laplacian-pattern matrix of an `nx` × `ny` × `nz`
+/// grid (dimension `nx · ny · nz`), with `fill` thinning as in [`grid2d`].
+///
+/// # Panics
+///
+/// Panics if `fill` is outside `[0, 1]`.
+pub fn grid3d(nx: Index, ny: Index, nz: Index, fill: f64, seed: u64) -> Csr {
+    assert!((0.0..=1.0).contains(&fill), "fill must be in [0, 1]");
+    let n = nx as usize * ny as usize * nz as usize;
+    let mut rng = rng_from_seed(seed);
+    let mut coo = Coo::with_capacity(n as Index, n as Index, n * 7);
+    let idx = |x: Index, y: Index, z: Index| -> Index { (z * ny + y) * nx + x };
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let me = idx(x, y, z);
+                coo.push(me, me, draw_value(&mut rng) + 6.0);
+                let mut neighbour = |other: Index, rng: &mut rand::rngs::SmallRng| {
+                    if fill >= 1.0 || rng.gen::<f64>() < fill {
+                        coo.push(me, other, -draw_value(rng));
+                    }
+                };
+                if x > 0 {
+                    neighbour(idx(x - 1, y, z), &mut rng);
+                }
+                if x + 1 < nx {
+                    neighbour(idx(x + 1, y, z), &mut rng);
+                }
+                if y > 0 {
+                    neighbour(idx(x, y - 1, z), &mut rng);
+                }
+                if y + 1 < ny {
+                    neighbour(idx(x, y + 1, z), &mut rng);
+                }
+                if z > 0 {
+                    neighbour(idx(x, y, z - 1), &mut rng);
+                }
+                if z + 1 < nz {
+                    neighbour(idx(x, y, z + 1), &mut rng);
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Picks grid dimensions `(nx, ny, nz)` whose product is close to `n`
+/// (within rounding) with near-cubic aspect, for use with [`grid3d`].
+pub fn near_cubic_dims(n: usize) -> (Index, Index, Index) {
+    let side = (n as f64).cbrt().round().max(1.0) as usize;
+    let nx = side;
+    let ny = side;
+    let nz = (n + nx * ny - 1) / (nx * ny);
+    (nx as Index, ny as Index, nz.max(1) as Index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outerspace_sparse::stats;
+
+    #[test]
+    fn grid2d_full_pattern_counts() {
+        // 4x4 grid: 16 diagonal + interior edges. Edge count (directed):
+        // horizontal 2*3*4 = 24, vertical 24 -> total nnz = 16 + 48... wait:
+        // each of 4 rows has 3 horizontal adjacencies, stored both ways: 2*3*4=24.
+        let m = grid2d(4, 4, 1.0, 0);
+        assert_eq!(m.nnz(), 16 + 24 + 24);
+        assert!(m.iter().all(|(r, c, _)| r < 16 && c < 16));
+    }
+
+    #[test]
+    fn grid2d_pattern_is_structurally_symmetric() {
+        let m = grid2d(5, 3, 1.0, 1);
+        let t = m.transpose();
+        for (r, c, _) in m.iter() {
+            assert_ne!(t.get(r, c), 0.0, "missing transposed entry ({c},{r})");
+        }
+    }
+
+    #[test]
+    fn grid3d_interior_row_has_seven_entries() {
+        let m = grid3d(3, 3, 3, 1.0, 0);
+        // Center cell of the 3x3x3 cube: index (1,1,1) = (1*3+1)*3+1 = 13.
+        assert_eq!(m.row_nnz(13), 7);
+        assert_eq!(m.nrows(), 27);
+    }
+
+    #[test]
+    fn grids_are_diagonal_heavy() {
+        let m = grid3d(8, 8, 8, 1.0, 2);
+        let p = stats::profile(&m);
+        assert!(p.diagonal_fraction > 0.5, "got {}", p.diagonal_fraction);
+        assert!(p.row_gini < 0.1);
+    }
+
+    #[test]
+    fn fill_thins_offdiagonals_only() {
+        let m = grid2d(10, 10, 0.0, 3);
+        assert_eq!(m.nnz(), 100); // only diagonals survive
+    }
+
+    #[test]
+    fn near_cubic_dims_cover_n() {
+        for n in [27, 100, 14_000, 1_000_000] {
+            let (x, y, z) = near_cubic_dims(n);
+            assert!((x as usize) * (y as usize) * (z as usize) >= n);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Uniformly random sparse matrices with an exact non-zero budget.
+//!
+//! This is the workload of Fig. 3, Fig. 4, Table 1 and Table 5: "uniformly
+//! random matrices with increasing dimension and decreasing density, keeping
+//! the number of non-zeros constant".
+
+use std::collections::HashSet;
+
+use outerspace_sparse::{Coo, Csr, Index};
+use rand::Rng;
+
+use crate::{draw_value, rng_from_seed};
+
+/// Generates an `nrows` × `ncols` matrix with exactly `nnz` non-zeros placed
+/// uniformly at random (without replacement), values uniform in `[0.5, 1.5)`.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `nnz > nrows * ncols` (the budget cannot be placed).
+pub fn matrix(nrows: Index, ncols: Index, nnz: usize, seed: u64) -> Csr {
+    let mut rng = rng_from_seed(seed);
+    matrix_with(nrows, ncols, nnz, &mut rng)
+}
+
+/// [`matrix`] with a caller-provided random source.
+///
+/// # Panics
+///
+/// Panics if `nnz > nrows * ncols`.
+pub fn matrix_with<R: Rng>(nrows: Index, ncols: Index, nnz: usize, rng: &mut R) -> Csr {
+    let cells = nrows as u64 * ncols as u64;
+    assert!(
+        nnz as u64 <= cells,
+        "cannot place {nnz} non-zeros in a {nrows} x {ncols} matrix"
+    );
+    let mut coo = Coo::with_capacity(nrows, ncols, nnz);
+    if nnz as u64 * 2 > cells {
+        // Dense-ish regime: permutation sampling (reservoir over all cells)
+        // avoids rejection stalls.
+        let mut chosen: Vec<u64> = (0..cells).collect();
+        for i in 0..nnz as u64 {
+            let j = rng.gen_range(i..cells);
+            chosen.swap(i as usize, j as usize);
+        }
+        for &cell in &chosen[..nnz] {
+            let (r, c) = ((cell / ncols as u64) as Index, (cell % ncols as u64) as Index);
+            coo.push(r, c, draw_value(rng));
+        }
+    } else {
+        let mut seen: HashSet<u64> = HashSet::with_capacity(nnz * 2);
+        while seen.len() < nnz {
+            let r = rng.gen_range(0..nrows as u64);
+            let c = rng.gen_range(0..ncols as u64);
+            if seen.insert(r * ncols as u64 + c) {
+                coo.push(r as Index, c as Index, draw_value(rng));
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Generates a square matrix of dimension `n` whose density is `density`
+/// (i.e. `nnz = round(density · n²)`).
+pub fn square_with_density(n: Index, density: f64, seed: u64) -> Csr {
+    let nnz = (density * n as f64 * n as f64).round() as usize;
+    matrix(n, n, nnz, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outerspace_sparse::stats;
+
+    #[test]
+    fn exact_nnz_budget() {
+        let m = matrix(100, 100, 500, 7);
+        assert_eq!(m.nnz(), 500);
+        assert_eq!(m.nrows(), 100);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = matrix(64, 64, 200, 42);
+        let b = matrix(64, 64, 200, 42);
+        assert_eq!(a, b);
+        let c = matrix(64, 64, 200, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dense_regime_uses_permutation_path() {
+        let m = matrix(16, 16, 200, 3); // 200 / 256 > half
+        assert_eq!(m.nnz(), 200);
+    }
+
+    #[test]
+    fn full_matrix_possible() {
+        let m = matrix(8, 8, 64, 3);
+        assert_eq!(m.nnz(), 64);
+        assert_eq!(m.density(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn over_budget_panics() {
+        let _ = matrix(4, 4, 17, 0);
+    }
+
+    #[test]
+    fn rows_are_roughly_uniform() {
+        let m = matrix(256, 256, 8192, 11);
+        let p = stats::profile(&m);
+        // Uniform placement: Gini of row counts must be small.
+        assert!(p.row_gini < 0.25, "row gini {} too high for uniform", p.row_gini);
+        // And no diagonal concentration.
+        assert!(p.diagonal_fraction < 0.25);
+    }
+
+    #[test]
+    fn density_helper_rounds() {
+        let m = square_with_density(100, 0.01, 5);
+        assert_eq!(m.nnz(), 100);
+    }
+
+    #[test]
+    fn values_in_expected_range() {
+        let m = matrix(32, 32, 100, 9);
+        assert!(m.values().iter().all(|&v| (0.5..1.5).contains(&v)));
+    }
+}

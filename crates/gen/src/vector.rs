@@ -1,0 +1,81 @@
+//! Sparse and dense vector generators for the SpMV experiments (Table 5).
+
+use outerspace_sparse::{Index, SparseVector, Value};
+use rand::Rng;
+
+use crate::{draw_value, rng_from_seed};
+
+/// Generates a sparse vector of length `len` with `round(r · len)` non-zeros
+/// at uniformly random positions. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `r` is outside `[0, 1]`.
+pub fn sparse(len: Index, r: f64, seed: u64) -> SparseVector {
+    assert!((0.0..=1.0).contains(&r), "density must be in [0, 1]");
+    let mut rng = rng_from_seed(seed);
+    let nnz = ((r * len as f64).round() as usize).min(len as usize);
+    // Partial Fisher-Yates over positions.
+    let mut pos: Vec<Index> = (0..len).collect();
+    for i in 0..nnz {
+        let j = rng.gen_range(i..len as usize);
+        pos.swap(i, j);
+    }
+    let mut indices: Vec<Index> = pos[..nnz].to_vec();
+    indices.sort_unstable();
+    let values = indices.iter().map(|_| draw_value(&mut rng)).collect();
+    SparseVector { len, indices, values }
+}
+
+/// Generates a fully dense random vector of length `len`.
+pub fn dense(len: Index, seed: u64) -> Vec<Value> {
+    let mut rng = rng_from_seed(seed);
+    (0..len).map(|_| draw_value(&mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_realized_exactly() {
+        let v = sparse(1000, 0.1, 1);
+        assert_eq!(v.nnz(), 100);
+        assert!((v.density() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indices_sorted_and_unique() {
+        let v = sparse(500, 0.5, 2);
+        assert!(v.indices.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn full_density_is_dense() {
+        let v = sparse(64, 1.0, 3);
+        assert_eq!(v.nnz(), 64);
+        assert_eq!(v.indices, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_density_is_empty() {
+        let v = sparse(64, 0.0, 4);
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.to_dense(), vec![0.0; 64]);
+    }
+
+    #[test]
+    fn to_dense_round_trip() {
+        let v = sparse(128, 0.25, 5);
+        let d = v.to_dense();
+        for (&i, &val) in v.indices.iter().zip(&v.values) {
+            assert_eq!(d[i as usize], val);
+        }
+        assert_eq!(d.iter().filter(|&&x| x != 0.0).count(), v.nnz());
+    }
+
+    #[test]
+    fn dense_generator_length() {
+        assert_eq!(dense(37, 0).len(), 37);
+    }
+}

@@ -1,0 +1,161 @@
+//! The intermediate partial-product structure of Fig. 2.
+//!
+//! The multiply phase emits, for every result row `i`, a list of *chunks* —
+//! each chunk is the contribution of one outer product to that row: the
+//! paired row-of-`B` scaled by one non-zero of the column-of-`A`. Chunks are
+//! contiguous runs of column-index/value pairs; the per-row list corresponds
+//! to the paper's linked list hanging off the row pointer `R_i`. Because
+//! each producer appends whole chunks, processing units never synchronize on
+//! element granularity — the property OuterSPACE exploits for lock-free
+//! multiply-phase writes.
+
+use outerspace_sparse::{Index, Value};
+
+/// One outer product's contribution to one result row: a contiguous run of
+/// column-index/value pairs, already sorted by column (it inherits the order
+/// of the source row-of-`B`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    /// Column indices, strictly increasing.
+    pub cols: Vec<Index>,
+    /// Values, parallel to `cols`.
+    pub vals: Vec<Value>,
+}
+
+impl Chunk {
+    /// Number of entries in the chunk.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when the chunk holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+}
+
+/// The multiply phase's output: for every result row, the list of chunks to
+/// be merged (the paper's `R_i` linked lists, Fig. 2).
+///
+/// In CC mode the same structure is indexed by result *column*; the merge
+/// code is agnostic.
+#[derive(Debug, Clone, Default)]
+pub struct PartialProducts {
+    /// `rows[i]` holds the chunks contributing to result row `i`.
+    rows: Vec<Vec<Chunk>>,
+    /// Number of columns of the result (bound for merge output).
+    ncols: Index,
+}
+
+impl PartialProducts {
+    /// Creates an empty structure for an `nrows` × `ncols` result.
+    pub fn new(nrows: Index, ncols: Index) -> Self {
+        PartialProducts { rows: vec![Vec::new(); nrows as usize], ncols }
+    }
+
+    /// Number of result rows.
+    pub fn nrows(&self) -> Index {
+        self.rows.len() as Index
+    }
+
+    /// Number of result columns.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Appends a chunk to row `i`'s list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn push_chunk(&mut self, i: Index, chunk: Chunk) {
+        self.rows[i as usize].push(chunk);
+    }
+
+    /// The chunk list of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row_chunks(&self, i: Index) -> &[Chunk] {
+        &self.rows[i as usize]
+    }
+
+    /// Takes ownership of row `i`'s chunk list, leaving it empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn take_row(&mut self, i: Index) -> Vec<Chunk> {
+        std::mem::take(&mut self.rows[i as usize])
+    }
+
+    /// Total stored elementary products across all chunks.
+    pub fn total_entries(&self) -> usize {
+        self.rows.iter().flat_map(|r| r.iter().map(Chunk::len)).sum()
+    }
+
+    /// Total number of chunks (the paper's linked-list node count).
+    pub fn total_chunks(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Approximate memory footprint in bytes, counting 12 B per stored
+    /// element (8 B value + 4 B index) plus 16 B of chunk bookkeeping —
+    /// the `α·N + β·N²·r + γ·N³·r²` structure of §5.5 made concrete.
+    pub fn memory_footprint_bytes(&self) -> usize {
+        let row_ptrs = self.rows.len() * 8;
+        let chunk_overhead = self.total_chunks() * 16;
+        let elements = self.total_entries() * 12;
+        row_ptrs + chunk_overhead + elements
+    }
+}
+
+/// Counters captured during a multiply phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MultiplyStats {
+    /// Elementary products `a_ki · b_ij` performed (one multiply flop each).
+    pub elementary_products: u64,
+    /// Chunks emitted.
+    pub chunks: u64,
+    /// Outer products with both a non-empty column-of-A and row-of-B.
+    pub nonempty_outer_products: u64,
+    /// Bytes read from the operand matrices (12 B per non-zero touched,
+    /// counting the reuse-free streaming the algorithm guarantees).
+    pub bytes_read: u64,
+    /// Bytes written to the intermediate structure (12 B per product).
+    pub bytes_written: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_take() {
+        let mut pp = PartialProducts::new(3, 4);
+        pp.push_chunk(1, Chunk { cols: vec![0, 2], vals: vec![1.0, 2.0] });
+        pp.push_chunk(1, Chunk { cols: vec![1], vals: vec![3.0] });
+        assert_eq!(pp.row_chunks(1).len(), 2);
+        assert_eq!(pp.total_entries(), 3);
+        assert_eq!(pp.total_chunks(), 2);
+        let taken = pp.take_row(1);
+        assert_eq!(taken.len(), 2);
+        assert!(pp.row_chunks(1).is_empty());
+    }
+
+    #[test]
+    fn footprint_accounting() {
+        let mut pp = PartialProducts::new(2, 2);
+        pp.push_chunk(0, Chunk { cols: vec![0], vals: vec![1.0] });
+        // 2 row ptrs * 8 + 1 chunk * 16 + 1 element * 12 = 44.
+        assert_eq!(pp.memory_footprint_bytes(), 44);
+    }
+
+    #[test]
+    fn empty_chunk_properties() {
+        let c = Chunk { cols: vec![], vals: vec![] };
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+}

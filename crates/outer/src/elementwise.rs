@@ -1,0 +1,187 @@
+//! N-way element-wise matrix operations (§5.6).
+//!
+//! Given matrices `A_1 … A_N` of equal shape, the rows are reorganized into
+//! the Fig. 2 intermediate structure (one chunk per source matrix per row)
+//! and the merge-phase machinery combines them. The paper observes a
+//! one-to-one correspondence between element-wise routines and the merge
+//! phase; this module realizes that correspondence directly by reusing
+//! [`crate::merge`].
+
+use outerspace_sparse::{Csr, SparseError, Value};
+
+use crate::chunks::{Chunk, PartialProducts};
+use crate::merge::{merge, MergeKind, MergeStats};
+
+/// Combines `mats` element-wise with a reduction `op` applied pairwise in
+/// matrix order over present entries (absent entries contribute nothing).
+///
+/// `op` must be associative and commutative for the result to be
+/// well-defined (`+`, `min`, `max`, …); multiplication-like semantics that
+/// need *intersection* patterns should use
+/// [`outerspace_sparse::ops::hadamard`] instead, since merge-style
+/// combination operates on the pattern *union*.
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if shapes differ, and
+/// [`SparseError::MalformedPointers`] if `mats` is empty.
+pub fn elementwise_merge<F>(
+    mats: &[&Csr],
+    op: F,
+) -> Result<(Csr, MergeStats), SparseError>
+where
+    F: Fn(Value, Value) -> Value,
+{
+    let first = mats.first().ok_or_else(|| {
+        SparseError::MalformedPointers("elementwise_merge needs at least one matrix".into())
+    })?;
+    for m in &mats[1..] {
+        if m.nrows() != first.nrows() || m.ncols() != first.ncols() {
+            return Err(SparseError::ShapeMismatch {
+                left: (first.nrows() as u64, first.ncols() as u64),
+                right: (m.nrows() as u64, m.ncols() as u64),
+                op: "elementwise",
+            });
+        }
+    }
+    // Reorganize: one chunk per matrix per row, exactly the Fig. 2 layout.
+    let mut pp = PartialProducts::new(first.nrows(), first.ncols());
+    for m in mats {
+        for i in 0..m.nrows() {
+            let (cols, vals) = m.row(i);
+            if !cols.is_empty() {
+                pp.push_chunk(i, Chunk { cols: cols.to_vec(), vals: vals.to_vec() });
+            }
+        }
+    }
+    // The streaming merge accumulates collisions with `+`; generalize by
+    // re-running with the caller's op. To keep the merge code monomorphic,
+    // sum-accumulation is the fast path and other ops go through a local
+    // union merge.
+    if is_plain_sum(&op) {
+        return Ok(merge(pp, MergeKind::Streaming));
+    }
+    let mut row_ptr = vec![0usize];
+    let mut out_cols = Vec::new();
+    let mut out_vals: Vec<Value> = Vec::new();
+    let mut stats = MergeStats::default();
+    for i in 0..first.nrows() {
+        let chunks = pp.take_row(i);
+        let mut heads: Vec<(u32, usize)> = (0..chunks.len() as u32).map(|c| (c, 0)).collect();
+        loop {
+            // Find the smallest current column among chunk cursors.
+            let mut best: Option<(u32, u32)> = None; // (col, chunk)
+            for &(ci, pos) in &heads {
+                let ch = &chunks[ci as usize];
+                if pos < ch.len() {
+                    let col = ch.cols[pos];
+                    if best.map_or(true, |(bc, _)| col < bc) {
+                        best = Some((col, ci));
+                    }
+                }
+            }
+            let Some((col, _)) = best else { break };
+            let mut acc: Option<Value> = None;
+            for (ci, pos) in heads.iter_mut() {
+                let ch = &chunks[*ci as usize];
+                if *pos < ch.len() && ch.cols[*pos] == col {
+                    let v = ch.vals[*pos];
+                    acc = Some(match acc {
+                        None => v,
+                        Some(prev) => {
+                            stats.collisions += 1;
+                            op(prev, v)
+                        }
+                    });
+                    *pos += 1;
+                    stats.bytes_read += 12;
+                }
+            }
+            out_cols.push(col);
+            out_vals.push(acc.expect("best column has at least one source"));
+            stats.output_entries += 1;
+        }
+        row_ptr.push(out_cols.len());
+    }
+    stats.bytes_written = stats.output_entries * 12;
+    Ok((
+        Csr::from_raw_parts_unchecked(first.nrows(), first.ncols(), row_ptr, out_cols, out_vals),
+        stats,
+    ))
+}
+
+/// Sums `mats` element-wise — the N-way generalization of matrix addition,
+/// implemented directly by the merge phase.
+///
+/// # Errors
+///
+/// Propagates [`elementwise_merge`] errors.
+pub fn sum_all(mats: &[&Csr]) -> Result<(Csr, MergeStats), SparseError> {
+    elementwise_merge(mats, std::ops::Add::add)
+}
+
+/// Detects the plain-`+` reduction so [`elementwise_merge`] can take the
+/// merge-phase fast path. Probes the closure on sentinel values; exact for
+/// every op whose behaviour on these probes distinguishes it from `+`.
+fn is_plain_sum<F: Fn(Value, Value) -> Value>(op: &F) -> bool {
+    op(1.5, 2.25) == 3.75 && op(-1.0, 1.0) == 0.0 && op(0.25, 0.5) == 0.75
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outerspace_gen::uniform;
+    use outerspace_sparse::ops;
+
+    #[test]
+    fn two_way_sum_matches_reference_add() {
+        let a = uniform::matrix(32, 32, 128, 1);
+        let b = uniform::matrix(32, 32, 128, 2);
+        let (c, _) = sum_all(&[&a, &b]).unwrap();
+        let want = ops::add(&a, &b).unwrap();
+        assert!(c.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn n_way_sum() {
+        let mats: Vec<_> = (0..4).map(|s| uniform::matrix(16, 16, 32, s)).collect();
+        let refs: Vec<&Csr> = mats.iter().collect();
+        let (c, _) = sum_all(&refs).unwrap();
+        let mut want = mats[0].clone();
+        for m in &mats[1..] {
+            want = ops::add(&want, m).unwrap();
+        }
+        assert!(c.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn max_reduction() {
+        let a = uniform::matrix(16, 16, 64, 5);
+        let b = uniform::matrix(16, 16, 64, 6);
+        let (c, _) = elementwise_merge(&[&a, &b], Value::max).unwrap();
+        for (r, col, v) in c.iter() {
+            let (x, y) = (a.get(r, col), b.get(r, col));
+            let want = if x != 0.0 && y != 0.0 { x.max(y) } else if x != 0.0 { x } else { y };
+            assert_eq!(v, want);
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(elementwise_merge(&[], |a, _| a).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = uniform::matrix(8, 8, 8, 1);
+        let b = uniform::matrix(8, 9, 8, 1);
+        assert!(sum_all(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn single_matrix_is_identity_op() {
+        let a = uniform::matrix(8, 8, 20, 3);
+        let (c, _) = sum_all(&[&a]).unwrap();
+        assert!(c.approx_eq(&a, 0.0));
+    }
+}

@@ -1,0 +1,61 @@
+//! The outer-product sparse matrix multiplication algorithm of the
+//! OuterSPACE paper (§4), as portable software.
+//!
+//! `C = A × B` is decomposed into `N` rank-1 outer products: the *i*-th
+//! column of `A` times the *i*-th row of `B`. Computation proceeds in two
+//! phases with opposite data-sharing behaviour:
+//!
+//! 1. **Multiply** ([`multiply`]): every pair of non-zeros
+//!    `(a_ki, b_ij)` produces a useful elementary product — no index
+//!    matching, every element of a row-of-`B` is reused for every element of
+//!    the paired column-of-`A`, and once an outer product is done its inputs
+//!    are never touched again. The results are stored as per-result-row
+//!    lists of contiguous *chunks* ([`PartialProducts`], Fig. 2's linked
+//!    lists).
+//! 2. **Merge** ([`merge`]): each result row's chunks are combined
+//!    independently — the paper's streaming multi-way merge that keeps only
+//!    one head element per chunk resident (§5.4.2), chosen over a full sort
+//!    to minimize memory traffic.
+//!
+//! Both phases come in sequential and multi-threaded flavours; the
+//! multi-threaded versions mimic OuterSPACE's greedy SPMD scheduling with a
+//! shared work counter. Format conversion (§4.3, `I_CC × A_CR → A_CC`),
+//! outer-product SpMV (§5.6) and `N`-way element-wise operations (§5.6) are
+//! built from the same machinery.
+//!
+//! # Example
+//!
+//! ```
+//! use outerspace_sparse::Csr;
+//! use outerspace_outer::spgemm;
+//!
+//! # fn main() -> Result<(), outerspace_sparse::SparseError> {
+//! let a = Csr::identity(4);
+//! let c = spgemm(&a, &a)?;
+//! assert!(c.approx_eq(&a, 0.0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chunks;
+mod convert;
+mod elementwise;
+mod merge;
+mod multiply;
+mod spgemm;
+mod spmv;
+
+pub use chunks::{Chunk, MultiplyStats, PartialProducts};
+pub use convert::{csr_to_csc_via_outer, ConversionStats};
+pub use elementwise::{elementwise_merge, sum_all};
+pub use merge::{
+    merge, merge_parallel, merge_sort_based, MergeKind, MergeStats,
+};
+pub use multiply::{multiply, multiply_parallel};
+pub use spgemm::{
+    multiply_only, spgemm, spgemm_cc, spgemm_parallel, spgemm_with_stats, SpGemmReport,
+};
+pub use spmv::{spmv, spmv_dense, SpmvStats};

@@ -1,0 +1,385 @@
+//! The merge phase (§4.2, §5.4.2): combine partial products into the result.
+//!
+//! Each result row is processed independently (the phase with *no* data
+//! sharing, which OuterSPACE exploits by reconfiguring its caches into
+//! private scratchpads). Two strategies are provided:
+//!
+//! * [`MergeKind::Streaming`] — the paper's algorithm: keep one *head*
+//!   element per chunk in a sorted working set, repeatedly emit the smallest
+//!   column index (summing collisions) and refill from that chunk. Local
+//!   memory holds only `O(chunks)` elements, minimizing traffic; total work
+//!   is `O(r³N³)` in the paper's uniform-density notation.
+//! * [`MergeKind::SortBased`] — the algorithmically-cheaper alternative the
+//!   paper rejects (§5.4.2): concatenate every chunk and sort
+//!   (`O(rN log rN)` per row), at the cost of holding entire rows in local
+//!   memory. Kept as the ablation baseline.
+
+use std::collections::BinaryHeap;
+use std::sync::Mutex;
+
+use outerspace_sparse::{Csr, Index, Value};
+
+use crate::chunks::{Chunk, PartialProducts};
+
+/// Which merge algorithm to run. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeKind {
+    /// The paper's streaming multi-way merge (default).
+    #[default]
+    Streaming,
+    /// Concatenate-and-sort ablation baseline.
+    SortBased,
+}
+
+/// Counters captured during a merge phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Entries in the merged result.
+    pub output_entries: u64,
+    /// Elementary additions performed (index collisions across outer
+    /// products; rare for very sparse matrices, §4.2).
+    pub collisions: u64,
+    /// Bytes streamed in from the intermediate structure (12 B per element).
+    pub bytes_read: u64,
+    /// Bytes written to the result (12 B per element).
+    pub bytes_written: u64,
+    /// Working-set insertions (list/heap sort steps) — the hardware sort
+    /// cost the simulator's merge model charges per element.
+    pub sort_steps: u64,
+}
+
+impl MergeStats {
+    fn absorb(&mut self, o: MergeStats) {
+        self.output_entries += o.output_entries;
+        self.collisions += o.collisions;
+        self.bytes_read += o.bytes_read;
+        self.bytes_written += o.bytes_written;
+        self.sort_steps += o.sort_steps;
+    }
+}
+
+/// Merges all rows sequentially with the chosen algorithm, producing the
+/// final CSR result.
+pub fn merge(mut pp: PartialProducts, kind: MergeKind) -> (Csr, MergeStats) {
+    let nrows = pp.nrows();
+    let mut row_ptr = Vec::with_capacity(nrows as usize + 1);
+    row_ptr.push(0usize);
+    let mut cols: Vec<Index> = Vec::new();
+    let mut vals: Vec<Value> = Vec::new();
+    let mut stats = MergeStats::default();
+    for i in 0..nrows {
+        let chunks = pp.take_row(i);
+        let s = merge_row(&chunks, kind, &mut cols, &mut vals);
+        stats.absorb(s);
+        row_ptr.push(cols.len());
+    }
+    let ncols = pp.ncols();
+    (Csr::from_raw_parts_unchecked(nrows, ncols, row_ptr, cols, vals), stats)
+}
+
+/// Merges rows with `n_threads` workers pulling row blocks from a greedy
+/// work counter, then stitches the per-block outputs together.
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0`.
+pub fn merge_parallel(
+    mut pp: PartialProducts,
+    kind: MergeKind,
+    n_threads: usize,
+) -> (Csr, MergeStats) {
+    assert!(n_threads > 0, "need at least one thread");
+    const BLOCK: u32 = 256;
+    let nrows = pp.nrows();
+    let ncols = pp.ncols();
+    let n_blocks = (nrows + BLOCK - 1) / BLOCK;
+    // Pre-split the rows so each worker owns its slice without locking.
+    let mut row_lists: Vec<Vec<Chunk>> =
+        (0..nrows).map(|i| pp.take_row(i)).collect();
+    let blocks: Vec<(u32, &mut [Vec<Chunk>])> = {
+        let mut rest = row_lists.as_mut_slice();
+        let mut out = Vec::with_capacity(n_blocks as usize);
+        let mut idx = 0u32;
+        while !rest.is_empty() {
+            let take = rest.len().min(BLOCK as usize);
+            let (head, tail) = rest.split_at_mut(take);
+            out.push((idx, head));
+            rest = tail;
+            idx += 1;
+        }
+        out
+    };
+    let work = Mutex::new(blocks);
+
+    type BlockOut = (u32, Vec<usize>, Vec<Index>, Vec<Value>, MergeStats);
+    let mut outputs: Vec<BlockOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                let work = &work;
+                scope.spawn(move || {
+                    let mut done: Vec<BlockOut> = Vec::new();
+                    loop {
+                        let item = work.lock().expect("queue poisoned").pop();
+                        let Some((block_idx, rows)) = item else { break };
+                        let mut cols = Vec::new();
+                        let mut vals = Vec::new();
+                        let mut sizes = Vec::with_capacity(rows.len());
+                        let mut stats = MergeStats::default();
+                        for chunks in rows.iter() {
+                            let before = cols.len();
+                            let s = merge_row(chunks, kind, &mut cols, &mut vals);
+                            stats.absorb(s);
+                            sizes.push(cols.len() - before);
+                        }
+                        done.push((block_idx, sizes, cols, vals, stats));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    outputs.sort_by_key(|&(idx, ..)| idx);
+    let mut row_ptr = Vec::with_capacity(nrows as usize + 1);
+    row_ptr.push(0usize);
+    let mut cols: Vec<Index> = Vec::new();
+    let mut vals: Vec<Value> = Vec::new();
+    let mut stats = MergeStats::default();
+    for (_, sizes, bcols, bvals, s) in outputs {
+        for size in sizes {
+            let base = *row_ptr.last().expect("non-empty");
+            row_ptr.push(base + size);
+        }
+        cols.extend_from_slice(&bcols);
+        vals.extend_from_slice(&bvals);
+        stats.absorb(s);
+    }
+    (Csr::from_raw_parts_unchecked(nrows, ncols, row_ptr, cols, vals), stats)
+}
+
+/// Sort-based single-row merge exposed for benchmarks.
+pub fn merge_sort_based(pp: PartialProducts) -> (Csr, MergeStats) {
+    merge(pp, MergeKind::SortBased)
+}
+
+/// Merges one row's chunks, appending the combined entries to `cols`/`vals`.
+fn merge_row(
+    chunks: &[Chunk],
+    kind: MergeKind,
+    cols: &mut Vec<Index>,
+    vals: &mut Vec<Value>,
+) -> MergeStats {
+    match kind {
+        MergeKind::Streaming => merge_row_streaming(chunks, cols, vals),
+        MergeKind::SortBased => merge_row_sort(chunks, cols, vals),
+    }
+}
+
+/// Head entry in the streaming working set: smallest column first.
+#[derive(PartialEq, Eq)]
+struct Head {
+    col: Index,
+    chunk: u32,
+}
+
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the minimum column.
+        other.col.cmp(&self.col).then(other.chunk.cmp(&self.chunk))
+    }
+}
+
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn merge_row_streaming(
+    chunks: &[Chunk],
+    cols: &mut Vec<Index>,
+    vals: &mut Vec<Value>,
+) -> MergeStats {
+    let mut stats = MergeStats::default();
+    // Step 1 (§5.4.2): fetch the head of each chunk into the sorted working
+    // set. Only one element per chunk is ever resident.
+    let mut heads = BinaryHeap::with_capacity(chunks.len());
+    let mut cursor = vec![0usize; chunks.len()];
+    for (ci, chunk) in chunks.iter().enumerate() {
+        if !chunk.is_empty() {
+            heads.push(Head { col: chunk.cols[0], chunk: ci as u32 });
+            stats.sort_steps += 1;
+            stats.bytes_read += 12;
+        }
+    }
+    // Steps 2-3: repeatedly emit the smallest column, accumulating
+    // collisions, and refill from the source chunk.
+    let mut current: Option<(Index, Value)> = None;
+    while let Some(Head { col, chunk }) = heads.pop() {
+        let ci = chunk as usize;
+        let pos = cursor[ci];
+        let v = chunks[ci].vals[pos];
+        match current {
+            Some((ccol, ref mut acc)) if ccol == col => {
+                *acc += v;
+                stats.collisions += 1;
+            }
+            Some((ccol, acc)) => {
+                cols.push(ccol);
+                vals.push(acc);
+                current = Some((col, v));
+            }
+            None => current = Some((col, v)),
+        }
+        cursor[ci] += 1;
+        if cursor[ci] < chunks[ci].len() {
+            heads.push(Head { col: chunks[ci].cols[cursor[ci]], chunk });
+            stats.sort_steps += 1;
+            stats.bytes_read += 12;
+        }
+    }
+    if let Some((ccol, acc)) = current {
+        cols.push(ccol);
+        vals.push(acc);
+    }
+    // Every fetched element either became an output entry or a collision.
+    stats.output_entries = (stats.bytes_read / 12) - stats.collisions;
+    stats.bytes_written += stats.output_entries * 12;
+    stats
+}
+
+fn merge_row_sort(
+    chunks: &[Chunk],
+    cols: &mut Vec<Index>,
+    vals: &mut Vec<Value>,
+) -> MergeStats {
+    let mut stats = MergeStats::default();
+    let total: usize = chunks.iter().map(Chunk::len).sum();
+    let mut buf: Vec<(Index, Value)> = Vec::with_capacity(total);
+    for chunk in chunks {
+        buf.extend(chunk.cols.iter().copied().zip(chunk.vals.iter().copied()));
+    }
+    stats.bytes_read += 12 * total as u64;
+    // Stable sort keeps duplicate accumulation order deterministic.
+    buf.sort_by_key(|&(c, _)| c);
+    // log2(total) comparisons per element, as the merge-sort cost model.
+    stats.sort_steps +=
+        (total as u64) * (usize::BITS - total.leading_zeros().min(usize::BITS - 1)) as u64;
+    let mut i = 0;
+    while i < buf.len() {
+        let (c, mut v) = buf[i];
+        let mut j = i + 1;
+        while j < buf.len() && buf[j].0 == c {
+            v += buf[j].1;
+            stats.collisions += 1;
+            j += 1;
+        }
+        cols.push(c);
+        vals.push(v);
+        stats.output_entries += 1;
+        i = j;
+    }
+    stats.bytes_written += stats.output_entries * 12;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiply::multiply;
+    use outerspace_sparse::{ops, Csc, Dense};
+
+    fn chunk(entries: &[(Index, Value)]) -> Chunk {
+        Chunk {
+            cols: entries.iter().map(|&(c, _)| c).collect(),
+            vals: entries.iter().map(|&(_, v)| v).collect(),
+        }
+    }
+
+    #[test]
+    fn streaming_merges_disjoint_chunks() {
+        let mut pp = PartialProducts::new(1, 8);
+        pp.push_chunk(0, chunk(&[(0, 1.0), (4, 2.0)]));
+        pp.push_chunk(0, chunk(&[(2, 3.0), (6, 4.0)]));
+        let (c, stats) = merge(pp, MergeKind::Streaming);
+        assert_eq!(c.row(0).0, &[0, 2, 4, 6]);
+        assert_eq!(c.row(0).1, &[1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(stats.collisions, 0);
+        assert_eq!(stats.output_entries, 4);
+    }
+
+    #[test]
+    fn streaming_accumulates_collisions() {
+        let mut pp = PartialProducts::new(1, 8);
+        pp.push_chunk(0, chunk(&[(3, 1.0), (5, 1.0)]));
+        pp.push_chunk(0, chunk(&[(3, 2.0)]));
+        pp.push_chunk(0, chunk(&[(3, 4.0), (5, 8.0)]));
+        let (c, stats) = merge(pp, MergeKind::Streaming);
+        assert_eq!(c.row(0).0, &[3, 5]);
+        assert_eq!(c.row(0).1, &[7.0, 9.0]);
+        assert_eq!(stats.collisions, 3);
+        assert_eq!(stats.output_entries, 2);
+    }
+
+    #[test]
+    fn sort_based_agrees_with_streaming() {
+        let mut pp1 = PartialProducts::new(2, 16);
+        let mut pp2 = PartialProducts::new(2, 16);
+        for pp in [&mut pp1, &mut pp2] {
+            pp.push_chunk(0, chunk(&[(1, 1.0), (9, 2.0), (15, 3.0)]));
+            pp.push_chunk(0, chunk(&[(0, 4.0), (9, 5.0)]));
+            pp.push_chunk(1, chunk(&[(7, 6.0)]));
+        }
+        let (c1, s1) = merge(pp1, MergeKind::Streaming);
+        let (c2, s2) = merge(pp2, MergeKind::SortBased);
+        assert_eq!(c1, c2);
+        assert_eq!(s1.collisions, s2.collisions);
+        assert_eq!(s1.output_entries, s2.output_entries);
+    }
+
+    #[test]
+    fn empty_rows_produce_empty_result_rows() {
+        let pp = PartialProducts::new(3, 3);
+        let (c, stats) = merge(pp, MergeKind::Streaming);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.nrows(), 3);
+        assert_eq!(stats.output_entries, 0);
+    }
+
+    #[test]
+    fn parallel_merge_matches_sequential() {
+        let a = Dense::from_row_major(
+            4,
+            4,
+            vec![
+                1.0, 0.0, 2.0, 0.0, //
+                0.0, 3.0, 0.0, 1.0, //
+                4.0, 0.0, 0.0, 5.0, //
+                0.0, 6.0, 7.0, 0.0,
+            ],
+        )
+        .to_csr();
+        let a_cc: Csc = a.to_csc();
+        let (pp1, _) = multiply(&a_cc, &a).unwrap();
+        let (pp2, _) = multiply(&a_cc, &a).unwrap();
+        let (c_seq, s_seq) = merge(pp1, MergeKind::Streaming);
+        let (c_par, s_par) = merge_parallel(pp2, MergeKind::Streaming, 3);
+        assert_eq!(c_seq, c_par);
+        assert_eq!(s_seq.output_entries, s_par.output_entries);
+        let want = ops::spgemm_reference(&a, &a).unwrap();
+        assert!(c_seq.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn merge_stats_byte_accounting() {
+        let mut pp = PartialProducts::new(1, 4);
+        pp.push_chunk(0, chunk(&[(0, 1.0), (1, 2.0)]));
+        let (_, stats) = merge(pp, MergeKind::Streaming);
+        assert_eq!(stats.bytes_read, 24);
+        assert_eq!(stats.bytes_written, 24);
+    }
+}

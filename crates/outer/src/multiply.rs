@@ -1,0 +1,240 @@
+//! The multiply phase (§4.1): generate all outer-product partial products.
+//!
+//! For every index `k` with a non-empty column `k` of `A` *and* row `k` of
+//! `B`, each non-zero `a_ik` of the column scales the whole row-of-`B` into
+//! one chunk appended to result row `i`. There is no index matching and
+//! every fetched non-zero contributes to output — the two properties (§4)
+//! that distinguish the outer-product method from inner-product SpGEMM.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use outerspace_sparse::{Csc, Csr, Index, SparseError};
+
+use crate::chunks::{Chunk, MultiplyStats, PartialProducts};
+
+/// Runs the multiply phase sequentially in CR mode: `A` in CC format, `B`
+/// in CR format (§4's required layouts), producing row-major partial
+/// products.
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
+pub fn multiply(a: &Csc, b: &Csr) -> Result<(PartialProducts, MultiplyStats), SparseError> {
+    check_shapes(a, b)?;
+    let mut pp = PartialProducts::new(a.nrows(), b.ncols());
+    let mut stats = MultiplyStats::default();
+    for k in 0..a.ncols() {
+        outer_product(a, b, k, &mut stats, |i, chunk| pp.push_chunk(i, chunk));
+    }
+    Ok((pp, stats))
+}
+
+/// Runs the multiply phase with `n_threads` workers pulling outer products
+/// from a shared greedy work counter — the scheduling model the paper
+/// assumes for its PEs (§6).
+///
+/// Each worker buffers `(row, chunk)` pairs locally; a cheap single-threaded
+/// pass then groups chunks by result row. (On real OuterSPACE hardware the
+/// grouping is free: chunks land in per-row linked lists via atomic pointer
+/// bumps. The software grouping pass stands in for that and is O(#chunks).)
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0`.
+pub fn multiply_parallel(
+    a: &Csc,
+    b: &Csr,
+    n_threads: usize,
+) -> Result<(PartialProducts, MultiplyStats), SparseError> {
+    assert!(n_threads > 0, "need at least one thread");
+    check_shapes(a, b)?;
+    let next_k = AtomicU32::new(0);
+    let n = a.ncols();
+
+    let mut worker_outputs: Vec<(Vec<(Index, Chunk)>, MultiplyStats)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_threads)
+                .map(|_| {
+                    let next_k = &next_k;
+                    scope.spawn(move || {
+                        let mut local: Vec<(Index, Chunk)> = Vec::new();
+                        let mut stats = MultiplyStats::default();
+                        loop {
+                            let k = next_k.fetch_add(1, Ordering::Relaxed);
+                            if k >= n {
+                                break;
+                            }
+                            outer_product(a, b, k, &mut stats, |i, chunk| {
+                                local.push((i, chunk));
+                            });
+                        }
+                        (local, stats)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+    let mut pp = PartialProducts::new(a.nrows(), b.ncols());
+    let mut stats = MultiplyStats::default();
+    for (chunks, s) in worker_outputs.drain(..) {
+        stats.elementary_products += s.elementary_products;
+        stats.chunks += s.chunks;
+        stats.nonempty_outer_products += s.nonempty_outer_products;
+        stats.bytes_read += s.bytes_read;
+        stats.bytes_written += s.bytes_written;
+        for (i, chunk) in chunks {
+            pp.push_chunk(i, chunk);
+        }
+    }
+    Ok((pp, stats))
+}
+
+/// Computes outer product `k` (column-of-`A` × row-of-`B`), emitting one
+/// chunk per non-zero of the column through `emit`.
+fn outer_product<F: FnMut(Index, Chunk)>(
+    a: &Csc,
+    b: &Csr,
+    k: Index,
+    stats: &mut MultiplyStats,
+    mut emit: F,
+) {
+    let (a_rows, a_vals) = a.col(k);
+    let (b_cols, b_vals) = b.row(k);
+    if a_rows.is_empty() || b_cols.is_empty() {
+        // Fig. 2: an empty row-of-B (or column-of-A) produces no outer
+        // product at all — those inputs are never even fetched, because the
+        // pointer arrays reveal emptiness without touching element data.
+        return;
+    }
+    stats.nonempty_outer_products += 1;
+    // Column-of-A and row-of-B are each loaded exactly once per outer
+    // product (§4: minimized loads).
+    stats.bytes_read += 12 * (a_rows.len() + b_cols.len()) as u64;
+    for (&i, &a_ik) in a_rows.iter().zip(a_vals) {
+        let vals: Vec<f64> = b_vals.iter().map(|&b_kj| a_ik * b_kj).collect();
+        stats.elementary_products += vals.len() as u64;
+        stats.bytes_written += 12 * vals.len() as u64;
+        stats.chunks += 1;
+        emit(i, Chunk { cols: b_cols.to_vec(), vals });
+    }
+}
+
+fn check_shapes(a: &Csc, b: &Csr) -> Result<(), SparseError> {
+    if a.ncols() != b.nrows() {
+        return Err(SparseError::ShapeMismatch {
+            left: (a.nrows() as u64, a.ncols() as u64),
+            right: (b.nrows() as u64, b.ncols() as u64),
+            op: "spgemm",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outerspace_sparse::Dense;
+
+    fn fig2_like() -> (Csc, Csr) {
+        // B's third row is empty, as in Fig. 2 of the paper.
+        let a = Dense::from_row_major(
+            4,
+            4,
+            vec![
+                1.0, 0.0, 0.0, 2.0, //
+                0.0, 3.0, 0.0, 0.0, //
+                0.0, 0.0, 4.0, 0.0, //
+                5.0, 0.0, 0.0, 6.0,
+            ],
+        )
+        .to_csr();
+        let b = Dense::from_row_major(
+            4,
+            4,
+            vec![
+                0.0, 7.0, 0.0, 1.0, //
+                2.0, 0.0, 3.0, 0.0, //
+                0.0, 0.0, 0.0, 0.0, //
+                0.0, 4.0, 5.0, 0.0,
+            ],
+        )
+        .to_csr();
+        (a.to_csc(), b)
+    }
+
+    #[test]
+    fn fig2_empty_row_skips_outer_product() {
+        let (a, b) = fig2_like();
+        let (_, stats) = multiply(&a, &b).unwrap();
+        // Outer products exist for k = 0, 1, 3 only (row 2 of B is empty).
+        assert_eq!(stats.nonempty_outer_products, 3);
+    }
+
+    #[test]
+    fn chunk_count_equals_column_nnz_sum_over_active_k() {
+        let (a, b) = fig2_like();
+        let (pp, stats) = multiply(&a, &b).unwrap();
+        // k=0: col0 of A has 2 nnz; k=1: 1; k=3: 2 => 5 chunks.
+        assert_eq!(stats.chunks, 5);
+        assert_eq!(pp.total_chunks(), 5);
+    }
+
+    #[test]
+    fn elementary_products_match_flop_formula() {
+        let (a, b) = fig2_like();
+        let (_, stats) = multiply(&a, &b).unwrap();
+        let flops = outerspace_sparse::ops::spgemm_flops(&a.to_csr(), &b).unwrap();
+        assert_eq!(stats.elementary_products * 2, flops);
+    }
+
+    #[test]
+    fn chunks_carry_scaled_rows() {
+        let (a, b) = fig2_like();
+        let (pp, _) = multiply(&a, &b).unwrap();
+        // Row 1 of the result receives a single chunk from k=1:
+        // a[1,1]=3 times row 1 of B = [2,0,3,0] -> cols [0,2], vals [6,9].
+        let chunks = pp.row_chunks(1);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].cols, vec![0, 2]);
+        assert_eq!(chunks[0].vals, vec![6.0, 9.0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_up_to_chunk_order() {
+        let (a, b) = fig2_like();
+        let (pp_seq, s_seq) = multiply(&a, &b).unwrap();
+        let (pp_par, s_par) = multiply_parallel(&a, &b, 3).unwrap();
+        assert_eq!(s_seq.elementary_products, s_par.elementary_products);
+        assert_eq!(s_seq.chunks, s_par.chunks);
+        for i in 0..pp_seq.nrows() {
+            let mut seq: Vec<_> = pp_seq.row_chunks(i).to_vec();
+            let mut par: Vec<_> = pp_par.row_chunks(i).to_vec();
+            let key = |c: &Chunk| (c.cols.clone(), c.vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+            seq.sort_by_key(key);
+            par.sort_by_key(key);
+            assert_eq!(seq, par, "row {i}");
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let a = Csc::zero(2, 3);
+        let b = Csr::zero(2, 2);
+        assert!(multiply(&a, &b).is_err());
+        assert!(multiply_parallel(&a, &b, 2).is_err());
+    }
+
+    #[test]
+    fn empty_operands_yield_empty_products() {
+        let a = Csc::zero(4, 4);
+        let b = Csr::identity(4);
+        let (pp, stats) = multiply(&a, &b).unwrap();
+        assert_eq!(pp.total_chunks(), 0);
+        assert_eq!(stats.elementary_products, 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Top-level outer-product SpGEMM drivers.
+
+use outerspace_sparse::{Csc, Csr, SparseError};
+
+use crate::chunks::{MultiplyStats, PartialProducts};
+use crate::convert::{csr_to_csc_via_outer, ConversionStats};
+use crate::merge::{merge, merge_parallel, MergeKind, MergeStats};
+use crate::multiply::{multiply, multiply_parallel};
+
+/// Everything measured during one outer-product SpGEMM run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpGemmReport {
+    /// Format-conversion counters (zero when `A` was already CC).
+    pub conversion: ConversionStats,
+    /// Multiply-phase counters.
+    pub multiply: MultiplyStats,
+    /// Merge-phase counters.
+    pub merge: MergeStats,
+    /// Peak bytes held by the intermediate partial-product structure.
+    pub intermediate_bytes: usize,
+}
+
+/// Computes `C = A × B` with the outer-product algorithm, sequentially.
+///
+/// Inputs and output are CR (CSR); `A` is converted to CC internally via the
+/// paper's `I_CC × A_CR` scheme, and that cost is included in the returned
+/// report by [`spgemm_with_stats`]. This mirrors the paper's evaluation
+/// protocol, which charges format conversion to OuterSPACE "to model the
+/// worst-case scenario" (§7.1).
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
+///
+/// # Example
+///
+/// ```
+/// use outerspace_sparse::{ops, Csr};
+/// use outerspace_outer::spgemm;
+///
+/// # fn main() -> Result<(), outerspace_sparse::SparseError> {
+/// let a = Csr::new(2, 2, vec![0, 1, 2], vec![1, 0], vec![2.0, 3.0])?;
+/// let c = spgemm(&a, &a)?;
+/// assert!(c.approx_eq(&ops::spgemm_reference(&a, &a)?, 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+pub fn spgemm(a: &Csr, b: &Csr) -> Result<Csr, SparseError> {
+    Ok(spgemm_with_stats(a, b, MergeKind::Streaming)?.0)
+}
+
+/// [`spgemm`] with full phase statistics and a selectable merge algorithm.
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
+pub fn spgemm_with_stats(
+    a: &Csr,
+    b: &Csr,
+    kind: MergeKind,
+) -> Result<(Csr, SpGemmReport), SparseError> {
+    let (a_cc, conversion) = csr_to_csc_via_outer(a);
+    let (pp, mul) = multiply(&a_cc, b)?;
+    let intermediate_bytes = pp.memory_footprint_bytes();
+    let (c, mrg) = merge(pp, kind);
+    Ok((c, SpGemmReport { conversion, multiply: mul, merge: mrg, intermediate_bytes }))
+}
+
+/// Computes `C = A × B` with `n_threads` greedy workers in both phases.
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0`.
+pub fn spgemm_parallel(
+    a: &Csr,
+    b: &Csr,
+    n_threads: usize,
+) -> Result<(Csr, SpGemmReport), SparseError> {
+    let (a_cc, conversion) = csr_to_csc_via_outer(a);
+    let (pp, mul) = multiply_parallel(&a_cc, b, n_threads)?;
+    let intermediate_bytes = pp.memory_footprint_bytes();
+    let (c, mrg) = merge_parallel(pp, MergeKind::Streaming, n_threads);
+    Ok((c, SpGemmReport { conversion, multiply: mul, merge: mrg, intermediate_bytes }))
+}
+
+/// Computes `C = A × B` with the result in CC format (§4.2: "the hardware
+/// can be programmed to produce the resultant matrix in either the CR or the
+/// CC format").
+///
+/// CC mode merges per result *column*: it is the CR-mode pipeline applied to
+/// `Cᵀ = Bᵀ × Aᵀ` with the transposed operand roles, then relabelled — the
+/// partial-product structure is identical with `R_i` pointers replaced by
+/// `C_i` pointers (Fig. 2, bottom right).
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
+pub fn spgemm_cc(a: &Csr, b: &Csr) -> Result<Csc, SparseError> {
+    // Bᵀ in CC format is just B's arrays relabelled; same for Aᵀ in CR.
+    let bt_cc: Csc = b.clone().into_csc_transposed();
+    let at_cr: Csr = a.clone().to_csc().into_csr_transposed();
+    let (pp, _) = multiply(&bt_cc, &at_cr)?;
+    let (ct, _) = merge(pp, MergeKind::Streaming);
+    Ok(ct.into_csc_transposed())
+}
+
+/// Convenience: run the multiply phase only and return the intermediate
+/// structure (used by the simulator's trace generation and by benchmarks
+/// that time the phases separately, as Figs. 3 and 4 do).
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
+pub fn multiply_only(a: &Csc, b: &Csr) -> Result<PartialProducts, SparseError> {
+    Ok(multiply(a, b)?.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outerspace_sparse::ops;
+
+    fn random_pair(n: u32, nnz: usize, seed: u64) -> (Csr, Csr) {
+        (
+            outerspace_gen::uniform::matrix(n, n, nnz, seed),
+            outerspace_gen::uniform::matrix(n, n, nnz, seed + 1),
+        )
+    }
+
+    #[test]
+    fn matches_reference_on_random_matrices() {
+        for seed in 0..5 {
+            let (a, b) = random_pair(64, 400, seed);
+            let c = spgemm(&a, &b).unwrap();
+            let want = ops::spgemm_reference(&a, &b).unwrap();
+            assert!(c.approx_eq(&want, 1e-9), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_reference() {
+        let (a, b) = random_pair(128, 1500, 9);
+        let (c, report) = spgemm_parallel(&a, &b, 4).unwrap();
+        let want = ops::spgemm_reference(&a, &b).unwrap();
+        assert!(c.approx_eq(&want, 1e-9));
+        assert!(report.multiply.elementary_products > 0);
+        assert!(report.merge.output_entries as usize == c.nnz());
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = outerspace_gen::uniform::matrix(32, 64, 300, 1);
+        let b = outerspace_gen::uniform::matrix(64, 16, 300, 2);
+        let c = spgemm(&a, &b).unwrap();
+        assert_eq!(c.nrows(), 32);
+        assert_eq!(c.ncols(), 16);
+        let want = ops::spgemm_reference(&a, &b).unwrap();
+        assert!(c.approx_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn cc_mode_matches_cr_mode() {
+        let (a, b) = random_pair(48, 300, 21);
+        let cr = spgemm(&a, &b).unwrap();
+        let cc = spgemm_cc(&a, &b).unwrap();
+        assert!(cc.to_csr().approx_eq(&cr, 1e-9));
+    }
+
+    #[test]
+    fn report_flop_accounting_consistent() {
+        let (a, b) = random_pair(64, 500, 33);
+        let (_, report) = spgemm_with_stats(&a, &b, MergeKind::Streaming).unwrap();
+        let flops = ops::spgemm_flops(&a, &b).unwrap();
+        assert_eq!(report.multiply.elementary_products * 2, flops);
+        // Merge reads exactly what multiply wrote.
+        assert_eq!(report.merge.bytes_read, report.multiply.bytes_written);
+        // Output entries = products - collisions.
+        assert_eq!(
+            report.merge.output_entries,
+            report.multiply.elementary_products - report.merge.collisions
+        );
+    }
+
+    #[test]
+    fn sort_based_merge_gives_same_result() {
+        let (a, b) = random_pair(64, 500, 44);
+        let (c1, _) = spgemm_with_stats(&a, &b, MergeKind::Streaming).unwrap();
+        let (c2, _) = spgemm_with_stats(&a, &b, MergeKind::SortBased).unwrap();
+        assert!(c1.approx_eq(&c2, 1e-12));
+    }
+
+    #[test]
+    fn empty_times_anything_is_empty() {
+        let a = Csr::zero(8, 8);
+        let b = outerspace_gen::uniform::matrix(8, 8, 16, 5);
+        assert_eq!(spgemm(&a, &b).unwrap().nnz(), 0);
+        assert_eq!(spgemm(&b, &a).unwrap().nnz(), 0);
+    }
+}

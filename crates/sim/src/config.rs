@@ -1,0 +1,296 @@
+//! Simulation parameters — Table 2 of the paper, plus derived quantities.
+
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of the simulated OuterSPACE system.
+///
+/// [`OuterSpaceConfig::default`] reproduces Table 2 exactly: 16 tiles of 16
+/// PEs at 1.5 GHz, 16 kB shared L0 caches per tile (multiply phase), 2 kB
+/// private cache + 2 kB scratchpad per active PE-pair (merge phase), four
+/// 4 kB L1 victim caches, and HBM 2.0 with 16 pseudo-channels of 8000 MB/s.
+///
+/// # Example
+///
+/// ```
+/// use outerspace_sim::OuterSpaceConfig;
+///
+/// let cfg = OuterSpaceConfig::default();
+/// assert_eq!(cfg.total_pes(), 256);
+/// assert_eq!(cfg.hbm_total_bandwidth_bytes_per_sec(), 128_000_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OuterSpaceConfig {
+    /// PE clock in GHz (Table 2: 1.5 GHz).
+    pub clock_ghz: f64,
+    /// Number of processing tiles (16).
+    pub n_tiles: u32,
+    /// PEs per tile (16).
+    pub pes_per_tile: u32,
+    /// Outstanding-request queue entries per PE (64).
+    pub outstanding_requests: u32,
+    /// Private PE scratchpad in bytes (1 kB).
+    pub pe_scratchpad_bytes: u32,
+
+    /// Multiply-phase L0: shared per-tile cache size in bytes (16 kB).
+    pub l0_multiply_bytes: u32,
+    /// L0 associativity (4).
+    pub l0_ways: u32,
+    /// L0 MSHRs in multiply mode (32).
+    pub l0_mshrs_multiply: u32,
+
+    /// Merge-phase private cache per active PE-pair in bytes (2 kB).
+    pub l0_merge_bytes: u32,
+    /// Merge-phase scratchpad per active PE-pair in bytes (2 kB).
+    pub merge_scratchpad_bytes: u32,
+    /// L0 MSHRs in merge mode (8).
+    pub l0_mshrs_merge: u32,
+    /// Active PEs per tile during the merge phase (8; the rest are
+    /// power-gated, §6). They operate as loader/sorter pairs.
+    pub merge_active_pes_per_tile: u32,
+
+    /// L1 victim cache size in bytes (4 kB each).
+    pub l1_bytes: u32,
+    /// L1 associativity (2).
+    pub l1_ways: u32,
+    /// Number of L1 caches (4).
+    pub n_l1: u32,
+    /// L1 MSHRs (32).
+    pub l1_mshrs: u32,
+
+    /// Cache block size in bytes (64).
+    pub block_bytes: u32,
+
+    /// HBM pseudo-channels (16).
+    pub hbm_channels: u32,
+    /// Per-channel bandwidth in MB/s (8000).
+    pub hbm_channel_mb_per_sec: u32,
+    /// Minimum HBM access latency in nanoseconds (80).
+    pub hbm_latency_min_ns: f64,
+    /// Maximum HBM access latency in nanoseconds (150).
+    pub hbm_latency_max_ns: f64,
+
+    /// L0 hit latency in PE cycles.
+    pub l0_hit_cycles: u64,
+    /// Additional L1 hit latency in PE cycles (includes the 16×16 crossbar
+    /// traversal).
+    pub l1_hit_cycles: u64,
+    /// Crossbar traversal cycles charged on the L1→HBM path (4×4 swizzle
+    /// switch).
+    pub xbar_cycles: u64,
+}
+
+impl Default for OuterSpaceConfig {
+    fn default() -> Self {
+        OuterSpaceConfig {
+            clock_ghz: 1.5,
+            n_tiles: 16,
+            pes_per_tile: 16,
+            outstanding_requests: 64,
+            pe_scratchpad_bytes: 1024,
+            l0_multiply_bytes: 16 * 1024,
+            l0_ways: 4,
+            l0_mshrs_multiply: 32,
+            l0_merge_bytes: 2 * 1024,
+            merge_scratchpad_bytes: 2 * 1024,
+            l0_mshrs_merge: 8,
+            merge_active_pes_per_tile: 8,
+            l1_bytes: 4 * 1024,
+            l1_ways: 2,
+            n_l1: 4,
+            l1_mshrs: 32,
+            block_bytes: 64,
+            hbm_channels: 16,
+            hbm_channel_mb_per_sec: 8000,
+            hbm_latency_min_ns: 80.0,
+            hbm_latency_max_ns: 150.0,
+            l0_hit_cycles: 2,
+            l1_hit_cycles: 10,
+            xbar_cycles: 3,
+        }
+    }
+}
+
+impl OuterSpaceConfig {
+    /// Total PEs in the system (`n_tiles × pes_per_tile`; 256 by default).
+    pub fn total_pes(&self) -> u32 {
+        self.n_tiles * self.pes_per_tile
+    }
+
+    /// Merge-phase worker pairs per tile (half the active PEs: one loader +
+    /// one sorter per pair, §5.4.2).
+    pub fn merge_pairs_per_tile(&self) -> u32 {
+        (self.merge_active_pes_per_tile / 2).max(1)
+    }
+
+    /// Aggregate HBM bandwidth in bytes/second (128 GB/s by default).
+    pub fn hbm_total_bandwidth_bytes_per_sec(&self) -> u64 {
+        self.hbm_channels as u64 * self.hbm_channel_mb_per_sec as u64 * 1_000_000
+    }
+
+    /// PE cycles needed to transfer one cache block on one HBM channel.
+    pub fn hbm_cycles_per_block(&self) -> f64 {
+        let ns_per_block =
+            self.block_bytes as f64 / (self.hbm_channel_mb_per_sec as f64 * 1e6) * 1e9;
+        ns_per_block * self.clock_ghz
+    }
+
+    /// Mean HBM access latency in PE cycles.
+    pub fn hbm_latency_cycles(&self) -> f64 {
+        0.5 * (self.hbm_latency_min_ns + self.hbm_latency_max_ns) * self.clock_ghz
+    }
+
+    /// Seconds represented by `cycles` PE cycles.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// Capacity of a merge scratchpad in 12 B elements — the bound on how
+    /// many chunk heads a PE-pair can keep resident, which triggers the
+    /// recursive sub-merge of §5.4.2 when exceeded.
+    pub fn merge_head_capacity(&self) -> usize {
+        (self.merge_scratchpad_bytes as usize) / 12
+    }
+
+    /// The §8 scale-up configuration: "a silicon-interposed system with 4
+    /// HBMs and 4× the PEs on-chip could be realized" — 64 tiles, 64 HBM
+    /// pseudo-channels, proportionally more L1 slices.
+    pub fn interposed_4x(&self) -> Self {
+        let mut cfg = self.clone();
+        cfg.n_tiles *= 4;
+        cfg.hbm_channels *= 4;
+        cfg.n_l1 *= 4;
+        cfg
+    }
+
+    /// A multi-node system of `nodes` [`OuterSpaceConfig::interposed_4x`]
+    /// chips in a torus (§8), approximated for throughput studies as a
+    /// proportional widening with an inter-node latency penalty folded into
+    /// the crossbar hop count. Node counts must be powers of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or not a power of two.
+    pub fn torus(&self, nodes: u32) -> Self {
+        assert!(nodes > 0 && nodes.is_power_of_two(), "node count must be a power of two");
+        let mut cfg = self.interposed_4x();
+        cfg.n_tiles *= nodes;
+        cfg.hbm_channels *= nodes;
+        cfg.n_l1 *= nodes;
+        // Each torus hop adds SerDes latency; mean hop count grows with the
+        // ring dimension.
+        cfg.xbar_cycles += 8 * (nodes as f64).sqrt().round() as u64;
+        cfg
+    }
+
+    /// Validates internal consistency (non-zero structural parameters).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_tiles == 0 || self.pes_per_tile == 0 {
+            return Err("need at least one tile and one PE per tile".into());
+        }
+        if self.block_bytes == 0 || !self.block_bytes.is_power_of_two() {
+            return Err("block size must be a non-zero power of two".into());
+        }
+        if self.hbm_channels == 0 || !self.hbm_channels.is_power_of_two() {
+            return Err("channel count must be a non-zero power of two".into());
+        }
+        if self.l0_ways == 0 || self.l1_ways == 0 {
+            return Err("associativity must be non-zero".into());
+        }
+        if self.l0_multiply_bytes < self.block_bytes * self.l0_ways {
+            return Err("L0 must hold at least one set".into());
+        }
+        if self.clock_ghz <= 0.0 {
+            return Err("clock must be positive".into());
+        }
+        if self.merge_active_pes_per_tile > self.pes_per_tile {
+            return Err("cannot activate more merge PEs than exist".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table2() {
+        let c = OuterSpaceConfig::default();
+        assert_eq!(c.total_pes(), 256);
+        assert_eq!(c.l0_multiply_bytes, 16384);
+        assert_eq!(c.l0_merge_bytes, 2048);
+        assert_eq!(c.hbm_channels, 16);
+        assert_eq!(c.hbm_total_bandwidth_bytes_per_sec(), 128_000_000_000);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        let c = OuterSpaceConfig::default();
+        // 64 B at 8000 MB/s = 8 ns = 12 cycles at 1.5 GHz.
+        assert!((c.hbm_cycles_per_block() - 12.0).abs() < 1e-9);
+        // Mean latency (80+150)/2 = 115 ns = 172.5 cycles.
+        assert!((c.hbm_latency_cycles() - 172.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_head_capacity_matches_scratchpad() {
+        let c = OuterSpaceConfig::default();
+        assert_eq!(c.merge_head_capacity(), 170);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = OuterSpaceConfig::default();
+        c.block_bytes = 48;
+        assert!(c.validate().is_err());
+        let mut c = OuterSpaceConfig::default();
+        c.n_tiles = 0;
+        assert!(c.validate().is_err());
+        let mut c = OuterSpaceConfig::default();
+        c.merge_active_pes_per_tile = 99;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cycles_to_seconds() {
+        let c = OuterSpaceConfig::default();
+        assert!((c.cycles_to_seconds(1_500_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interposed_4x_scales_resources() {
+        let base = OuterSpaceConfig::default();
+        let big = base.interposed_4x();
+        assert_eq!(big.total_pes(), 1024);
+        assert_eq!(big.hbm_channels, 64);
+        assert_eq!(big.hbm_total_bandwidth_bytes_per_sec(), 512_000_000_000);
+        assert!(big.validate().is_ok());
+    }
+
+    #[test]
+    fn torus_adds_hop_latency() {
+        let base = OuterSpaceConfig::default();
+        let t4 = base.torus(4);
+        assert_eq!(t4.total_pes(), 4096);
+        assert!(t4.xbar_cycles > base.xbar_cycles);
+        assert!(t4.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn torus_rejects_non_power_of_two() {
+        let _ = OuterSpaceConfig::default().torus(3);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = OuterSpaceConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("\"n_tiles\":16"));
+    }
+}

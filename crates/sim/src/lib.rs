@@ -1,0 +1,268 @@
+//! Transaction-level timing simulator of the OuterSPACE accelerator.
+//!
+//! This crate reproduces the simulation methodology of the OuterSPACE paper
+//! (§6): the real outer-product algorithm executes functionally (via
+//! [`outerspace_outer`]) while its memory-access stream drives timing models
+//! of the paper's hardware — 16 tiles × 16 PEs with 64-entry
+//! outstanding-request queues, per-tile reconfigurable L0 caches (shared in
+//! the multiply phase, private cache + scratchpad pairs in the merge phase),
+//! four L1 victim caches, crossbars and a 16-pseudo-channel HBM (Table 2).
+//! Start-up and scheduling delays are ignored, matching the paper.
+//!
+//! The top-level entry point is [`Simulator`]:
+//!
+//! ```
+//! use outerspace_sim::{OuterSpaceConfig, Simulator};
+//! use outerspace_sparse::Csr;
+//!
+//! # fn main() -> Result<(), outerspace_sparse::SparseError> {
+//! let sim = Simulator::new(OuterSpaceConfig::default()).expect("valid config");
+//! let a = Csr::identity(64);
+//! let (c, report) = sim.spgemm(&a, &a)?;
+//! assert_eq!(c.nnz(), 64);
+//! assert!(report.seconds() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Analytic models of the paper's baseline hardware (Xeon + MKL, K40 +
+//! cuSPARSE/CUSP) live in [`xmodels`]; the dynamic-allocation analysis of
+//! §7.3 lives in [`alloc`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alloc;
+mod config;
+pub mod layout;
+pub mod machine;
+pub mod mem;
+pub mod phases;
+mod stats;
+pub mod trace;
+pub mod xmodels;
+
+pub use config::OuterSpaceConfig;
+pub use stats::{PhaseStats, SimReport};
+
+use outerspace_outer as outer;
+use outerspace_sparse::{Csc, Csr, SparseError, SparseVector};
+
+use phases::merge::RowMergeInfo;
+
+/// The OuterSPACE system simulator.
+///
+/// Construction validates the configuration once; every simulation both
+/// *executes* the kernel (returning real results, validated in tests against
+/// the reference implementations) and *times* it on the modeled hardware.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: OuterSpaceConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the human-readable constraint violation if `cfg` is invalid.
+    pub fn new(cfg: OuterSpaceConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(Simulator { cfg })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OuterSpaceConfig {
+        &self.cfg
+    }
+
+    /// Simulates `C = A × B` (both CR in, CR out), charging format
+    /// conversion for non-symmetric `A` as the paper's evaluation does
+    /// (§7.1: "we account for format conversion overheads for non-symmetric
+    /// matrices ... to model the worst-case scenario").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
+    pub fn spgemm(&self, a: &Csr, b: &Csr) -> Result<(Csr, SimReport), SparseError> {
+        let (a_cc, conv_soft) = outer::csr_to_csc_via_outer(a);
+        let convert = if conv_soft.skipped_symmetric {
+            None
+        } else {
+            Some(phases::convert::simulate_convert(&self.cfg, a))
+        };
+        self.spgemm_preconverted(&a_cc, b, convert)
+    }
+
+    /// Simulates `C = A × B` with `A` already in CC format (no conversion
+    /// charged) — the steady state of chained multiplications (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
+    pub fn spgemm_cc_operand(
+        &self,
+        a: &Csc,
+        b: &Csr,
+    ) -> Result<(Csr, SimReport), SparseError> {
+        self.spgemm_preconverted(a, b, None)
+    }
+
+    fn spgemm_preconverted(
+        &self,
+        a_cc: &Csc,
+        b: &Csr,
+        convert: Option<PhaseStats>,
+    ) -> Result<(Csr, SimReport), SparseError> {
+        // Functional execution (the result and per-row merge shapes).
+        let (pp, _) = outer::multiply(a_cc, b)?;
+        let (c, _) = outer::merge(pp, outer::MergeKind::Streaming);
+
+        // Timing.
+        let (multiply, intermediate) =
+            phases::multiply::simulate_multiply(&self.cfg, a_cc, b);
+        let rows: Vec<RowMergeInfo> = (0..intermediate.nrows())
+            .map(|i| {
+                let produced: u64 =
+                    intermediate.row(i).iter().map(|ch| ch.len as u64).sum();
+                let out = c.row_nnz(i) as u64;
+                RowMergeInfo {
+                    out_len: out as u32,
+                    collisions: produced.saturating_sub(out) as u32,
+                }
+            })
+            .collect();
+        let merge = phases::merge::simulate_merge(&self.cfg, &intermediate, &rows);
+
+        Ok((c, SimReport { convert, multiply, merge, config: self.cfg.clone() }))
+    }
+
+    /// Simulates an N-way element-wise sum `A₁ + A₂ + … + A_N` (§5.6's
+    /// element-wise routines reuse the merge-phase datapath). Returns the
+    /// functional result and a report whose merge phase carries the timing
+    /// (no multiply/convert phases run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] on inconsistent shapes or an
+    /// empty operand list.
+    pub fn elementwise_sum(&self, mats: &[&Csr]) -> Result<(Csr, SimReport), SparseError> {
+        let (out, _) = outer::sum_all(mats)?;
+        let merge = phases::elementwise::simulate_elementwise(&self.cfg, mats, &out);
+        Ok((
+            out,
+            SimReport {
+                convert: None,
+                multiply: PhaseStats::default(),
+                merge,
+                config: self.cfg.clone(),
+            },
+        ))
+    }
+
+    /// Simulates `y = A × x` with the outer-product SpMV (§5.6). `A` is
+    /// consumed column-wise (CC); no conversion is charged, matching the
+    /// paper's SpMV evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::ShapeMismatch`] if `x.len != a.ncols()`.
+    pub fn spmv(
+        &self,
+        a: &Csc,
+        x: &SparseVector,
+    ) -> Result<(SparseVector, SimReport), SparseError> {
+        let (y, _) = outer::spmv(a, x)?;
+        let report = phases::spmv::simulate_spmv(&self.cfg, a, x, y.nnz() as u64);
+        Ok((y, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outerspace_gen::{rmat, uniform, vector};
+    use outerspace_sparse::ops;
+
+    fn sim() -> Simulator {
+        Simulator::new(OuterSpaceConfig::default()).expect("default config valid")
+    }
+
+    #[test]
+    fn functional_result_matches_reference() {
+        let a = uniform::matrix(96, 96, 800, 1);
+        let b = uniform::matrix(96, 96, 800, 2);
+        let (c, _) = sim().spgemm(&a, &b).unwrap();
+        assert!(c.approx_eq(&ops::spgemm_reference(&a, &b).unwrap(), 1e-9));
+    }
+
+    #[test]
+    fn report_has_all_phases_for_asymmetric_input() {
+        let a = uniform::matrix(128, 128, 1000, 3);
+        let (_, rep) = sim().spgemm(&a, &a).unwrap();
+        assert!(rep.convert.is_some(), "asymmetric input must charge conversion");
+        assert!(rep.multiply.cycles > 0);
+        assert!(rep.merge.cycles > 0);
+        assert!(rep.seconds() > 0.0);
+        assert!(rep.gflops() > 0.0);
+    }
+
+    #[test]
+    fn symmetric_input_skips_conversion() {
+        let g = rmat::graph500(256, 2000, 4); // undirected = symmetric
+        let (_, rep) = sim().spgemm(&g, &g).unwrap();
+        assert!(rep.convert.is_none());
+    }
+
+    #[test]
+    fn preconverted_operand_skips_conversion() {
+        let a = uniform::matrix(64, 64, 400, 5);
+        let (c1, rep) = sim().spgemm_cc_operand(&a.to_csc(), &a).unwrap();
+        assert!(rep.convert.is_none());
+        let (c2, _) = sim().spgemm(&a, &a).unwrap();
+        assert!(c1.approx_eq(&c2, 0.0));
+    }
+
+    #[test]
+    fn denser_work_achieves_higher_gflops() {
+        // OuterSPACE's throughput grows with arithmetic intensity.
+        let sparse = uniform::matrix(2048, 2048, 8_000, 6);
+        let dense = uniform::matrix(512, 512, 8_000, 6);
+        let (_, r1) = sim().spgemm(&sparse, &sparse).unwrap();
+        let (_, r2) = sim().spgemm(&dense, &dense).unwrap();
+        assert!(r2.gflops() > r1.gflops());
+    }
+
+    #[test]
+    fn bandwidth_utilization_is_sane() {
+        let a = uniform::matrix(4096, 4096, 60_000, 7);
+        let (_, rep) = sim().spgemm(&a, &a).unwrap();
+        let mult_bw = rep.multiply.bandwidth_utilization(&rep.config);
+        let merge_bw = rep.merge.bandwidth_utilization(&rep.config);
+        assert!((0.05..=1.0).contains(&mult_bw), "multiply bw {mult_bw}");
+        assert!((0.05..=1.0).contains(&merge_bw), "merge bw {merge_bw}");
+    }
+
+    #[test]
+    fn spmv_functional_and_timed() {
+        let a = uniform::matrix(1024, 1024, 16_384, 8).to_csc();
+        let x = vector::sparse(1024, 0.1, 9);
+        let (y, rep) = sim().spmv(&a, &x).unwrap();
+        assert!(y.nnz() > 0);
+        assert!(rep.total_cycles() > 0);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = OuterSpaceConfig::default();
+        cfg.n_tiles = 0;
+        assert!(Simulator::new(cfg).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_propagates() {
+        let a = uniform::matrix(8, 9, 20, 1);
+        let b = uniform::matrix(8, 8, 20, 2);
+        assert!(sim().spgemm(&a, &b).is_err());
+    }
+}

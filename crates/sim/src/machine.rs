@@ -1,0 +1,220 @@
+//! PE timing: local clocks, outstanding-request queues, greedy dispatch.
+//!
+//! OuterSPACE's PEs are asynchronous SPMD engines that drift apart and only
+//! synchronize at phase boundaries (§5.3). Each PE is modeled as a local
+//! cycle counter plus a bounded queue of in-flight memory completions (the
+//! 64-entry outstanding-request queue of Table 2): issuing a request when
+//! the queue is full stalls the PE until the oldest completes — which is how
+//! MSHR/queue back-pressure limits memory-level parallelism in the model.
+
+use std::collections::VecDeque;
+
+/// One PE's timeline.
+#[derive(Debug, Clone)]
+pub struct PeTimeline {
+    /// The PE's local cycle counter.
+    pub time: u64,
+    /// Cycles spent issuing or computing (for utilization accounting).
+    pub busy: u64,
+    inflight: VecDeque<u64>,
+    cap: usize,
+}
+
+impl PeTimeline {
+    /// A PE starting at cycle 0 with an outstanding queue of `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        PeTimeline { time: 0, busy: 0, inflight: VecDeque::with_capacity(cap), cap: cap.max(1) }
+    }
+
+    /// Spends one issue cycle, stalling first if the outstanding queue is
+    /// full. Returns the cycle at which the request leaves the PE.
+    pub fn issue(&mut self) -> u64 {
+        if self.inflight.len() == self.cap {
+            let oldest = self.inflight.pop_front().expect("queue full implies non-empty");
+            if oldest > self.time {
+                self.time = oldest;
+            }
+        }
+        self.time += 1;
+        self.busy += 1;
+        self.time
+    }
+
+    /// Records an issued request's completion time in the queue.
+    pub fn track(&mut self, completion: u64) {
+        if self.inflight.len() == self.cap {
+            let oldest = self.inflight.pop_front().expect("non-empty");
+            if oldest > self.time {
+                self.time = oldest;
+            }
+        }
+        self.inflight.push_back(completion);
+    }
+
+    /// Spends `cycles` computing.
+    pub fn advance(&mut self, cycles: u64) {
+        self.time += cycles;
+        self.busy += cycles;
+    }
+
+    /// Stalls until cycle `t` (no-op if already past it).
+    pub fn wait_until(&mut self, t: u64) {
+        if t > self.time {
+            self.time = t;
+        }
+    }
+
+    /// Blocks until every in-flight request has completed (phase barrier).
+    pub fn drain(&mut self) {
+        while let Some(c) = self.inflight.pop_front() {
+            if c > self.time {
+                self.time = c;
+            }
+        }
+    }
+}
+
+/// The PE array with greedy work dispatch (§6 assumes greedy scheduling).
+#[derive(Debug, Clone)]
+pub struct PeArray {
+    pes: Vec<PeTimeline>,
+    pes_per_group: usize,
+}
+
+impl PeArray {
+    /// Builds `n_groups × pes_per_group` PEs (groups are tiles in the
+    /// multiply phase, worker pairs in the merge phase have one PE each).
+    pub fn new(n_groups: usize, pes_per_group: usize, queue_cap: usize) -> Self {
+        PeArray {
+            pes: (0..n_groups * pes_per_group).map(|_| PeTimeline::new(queue_cap)).collect(),
+            pes_per_group,
+        }
+    }
+
+    /// Number of PE groups.
+    pub fn n_groups(&self) -> usize {
+        self.pes.len() / self.pes_per_group
+    }
+
+    /// Total number of PEs.
+    pub fn len(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// True when the array has no PEs.
+    pub fn is_empty(&self) -> bool {
+        self.pes.is_empty()
+    }
+
+    /// The group whose earliest-available PE is earliest overall — where a
+    /// greedy scheduler sends the next work item.
+    pub fn earliest_group(&self) -> usize {
+        (0..self.n_groups())
+            .min_by_key(|&g| self.group_min_time(g))
+            .expect("at least one group")
+    }
+
+    /// The earliest-available PE index within group `g`.
+    pub fn earliest_pe_in_group(&self, g: usize) -> usize {
+        let base = g * self.pes_per_group;
+        (base..base + self.pes_per_group)
+            .min_by_key(|&p| self.pes[p].time)
+            .expect("group is non-empty")
+    }
+
+    /// The minimum local time within group `g`.
+    pub fn group_min_time(&self, g: usize) -> u64 {
+        let base = g * self.pes_per_group;
+        self.pes[base..base + self.pes_per_group]
+            .iter()
+            .map(|p| p.time)
+            .min()
+            .expect("group is non-empty")
+    }
+
+    /// Mutable access to PE `idx`.
+    pub fn pe_mut(&mut self, idx: usize) -> &mut PeTimeline {
+        &mut self.pes[idx]
+    }
+
+    /// Drains all queues and returns the phase makespan (max local time).
+    pub fn finish(&mut self) -> u64 {
+        for pe in &mut self.pes {
+            pe.drain();
+        }
+        self.pes.iter().map(|p| p.time).max().unwrap_or(0)
+    }
+
+    /// Number of PEs that did any work.
+    pub fn active_count(&self) -> u32 {
+        self.pes.iter().filter(|p| p.busy > 0).count() as u32
+    }
+
+    /// Total busy cycles over all PEs.
+    pub fn total_busy(&self) -> u64 {
+        self.pes.iter().map(|p| p.busy).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_costs_one_cycle() {
+        let mut pe = PeTimeline::new(4);
+        assert_eq!(pe.issue(), 1);
+        assert_eq!(pe.issue(), 2);
+        assert_eq!(pe.busy, 2);
+    }
+
+    #[test]
+    fn full_queue_stalls_on_oldest() {
+        let mut pe = PeTimeline::new(2);
+        pe.track(100);
+        pe.track(200);
+        // Queue full: next issue must wait for the completion at cycle 100.
+        assert_eq!(pe.issue(), 101);
+        pe.track(300);
+        assert_eq!(pe.issue(), 201);
+    }
+
+    #[test]
+    fn drain_reaches_last_completion() {
+        let mut pe = PeTimeline::new(8);
+        pe.track(50);
+        pe.track(40);
+        pe.drain();
+        assert_eq!(pe.time, 50);
+    }
+
+    #[test]
+    fn wait_until_never_rewinds() {
+        let mut pe = PeTimeline::new(2);
+        pe.advance(10);
+        pe.wait_until(5);
+        assert_eq!(pe.time, 10);
+        pe.wait_until(20);
+        assert_eq!(pe.time, 20);
+    }
+
+    #[test]
+    fn greedy_dispatch_prefers_idle_group() {
+        let mut arr = PeArray::new(2, 2, 4);
+        // Load up group 0.
+        for pe in 0..2 {
+            arr.pe_mut(pe).advance(100);
+        }
+        assert_eq!(arr.earliest_group(), 1);
+        assert_eq!(arr.earliest_pe_in_group(1), 2);
+    }
+
+    #[test]
+    fn finish_reports_makespan() {
+        let mut arr = PeArray::new(2, 2, 4);
+        arr.pe_mut(3).advance(77);
+        arr.pe_mut(0).track(99);
+        assert_eq!(arr.finish(), 99);
+        assert_eq!(arr.active_count(), 1); // only PE 3 was busy
+    }
+}

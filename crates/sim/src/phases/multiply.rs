@@ -1,0 +1,211 @@
+//! Timing model of the multiply phase (§5.4.1).
+//!
+//! Work is dispatched at the granularity the paper describes: one PE
+//! multiplies one non-zero of a column-of-`A` against the entire paired
+//! row-of-`B`. All chunks of one outer product go to PEs of the same tile
+//! (in groups of `pes_per_tile`), so the tile's shared L0 retains the
+//! row-of-`B` while the tile works through the column — the multiply-phase
+//! sharing pattern the reconfigurable cache exists for. Results are stored
+//! with write-no-allocate so they never evict `B` blocks.
+
+use outerspace_sparse::{Csc, Csr};
+
+use crate::config::OuterSpaceConfig;
+use crate::layout::{IntermediateLayout, A_BASE, A_PTR_BASE, B_BASE, B_PTR_BASE, ELEM_BYTES};
+use crate::machine::PeArray;
+use crate::mem::MemorySystem;
+use crate::phases::collect_stats;
+use crate::stats::PhaseStats;
+
+/// Simulates the multiply phase for `Cᵢ = aᵢ · bᵢ` over all outer products,
+/// returning timing statistics and the intermediate-structure layout the
+/// merge phase will consume.
+///
+/// `a` must be in CC and `b` in CR format (§4's operand layouts).
+///
+/// # Panics
+///
+/// Panics if `a.ncols() != b.nrows()` — the driver validates shapes first.
+pub fn simulate_multiply(
+    cfg: &OuterSpaceConfig,
+    a: &Csc,
+    b: &Csr,
+) -> (PhaseStats, IntermediateLayout) {
+    assert_eq!(a.ncols(), b.nrows(), "driver must validate shapes");
+    let mut mem = MemorySystem::for_multiply(cfg);
+    let mut pes = PeArray::new(
+        cfg.n_tiles as usize,
+        cfg.pes_per_tile as usize,
+        cfg.outstanding_requests as usize,
+    );
+    let mut layout = IntermediateLayout::new(a.nrows());
+
+    let group_size = cfg.pes_per_tile as usize;
+    let mut flops = 0u64;
+    let mut work_items = 0u64;
+
+    let a_ptr = a.col_ptr();
+    let b_ptr = b.row_ptr();
+    for k in 0..a.ncols() {
+        // The control processors stream both pointer arrays to discover
+        // non-empty pairs; charge those reads to the earliest tile.
+        let sched_tile = pes.earliest_group();
+        let t_sched = pes.group_min_time(sched_tile);
+        let _ = mem.read(sched_tile, A_PTR_BASE + k as u64 * 8, t_sched);
+        let _ = mem.read(sched_tile, B_PTR_BASE + k as u64 * 8, t_sched);
+
+        let ca = a.col_nnz(k);
+        let cb = b.row_nnz(k);
+        if ca == 0 || cb == 0 {
+            continue; // Fig. 2: no outer product is formed; no element data fetched.
+        }
+        let (a_rows, _) = a.col(k);
+        let a_col_base = A_BASE + a_ptr[k as usize] as u64 * ELEM_BYTES;
+        let b_row_base = B_BASE + b_ptr[k as usize] as u64 * ELEM_BYTES;
+        let b_row_bytes = cb as u64 * ELEM_BYTES;
+
+        // Distribute the column's chunks over tiles in tile-sized groups so
+        // one tile shares one row-of-B at a time.
+        let mut idx = 0usize;
+        while idx < ca {
+            let tile = pes.earliest_group();
+            let end = (idx + group_size).min(ca);
+            for e in idx..end {
+                let pe_idx = pes.earliest_pe_in_group(tile);
+                work_items += 1;
+                let a_addr = a_col_base + e as u64 * ELEM_BYTES;
+                let row = a_rows[e];
+                let chunk_addr = layout.alloc_chunk(row, cb as u32);
+                flops += cb as u64;
+                execute_chunk(
+                    cfg, &mut mem, &mut pes, pe_idx, tile, a_addr, b_row_base, b_row_bytes,
+                    cb as u64, chunk_addr,
+                );
+            }
+            idx = end;
+        }
+    }
+
+    let mut stats = collect_stats(cfg, &mut mem, &mut pes, flops);
+    stats.work_items = work_items;
+    (stats, layout)
+}
+
+/// One chunk's execution: load the column-of-A element, stream the
+/// row-of-B, multiply, post the chunk store. The PE does not block on the
+/// loads — with its 64-entry outstanding queue it computes the current
+/// chunk while prefetching the next; the data dependency rides in the queue
+/// as a token, so a PE only runs ahead of memory until the queue fills.
+/// Shared with the trace recorder/replayer (`crate::trace`) so trace replay
+/// is cycle-exact by construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_chunk(
+    cfg: &OuterSpaceConfig,
+    mem: &mut MemorySystem,
+    pes: &mut PeArray,
+    pe_idx: usize,
+    tile: usize,
+    a_addr: u64,
+    b_addr: u64,
+    b_bytes: u64,
+    macs: u64,
+    store_addr: u64,
+) {
+
+    let block = cfg.block_bytes as u64;
+    let pe = pes.pe_mut(pe_idx);
+    let t = pe.issue();
+    let (c_a, _) = mem.read(tile, a_addr, t);
+    pe.track(c_a);
+    let mut last_data = c_a;
+    if b_bytes > 0 {
+        let first = b_addr / block;
+        let last = (b_addr + b_bytes - 1) / block;
+        for blk in first..=last {
+            let t = pe.issue();
+            let (c, _) = mem.read(tile, blk * block, t);
+            pe.track(c);
+            last_data = last_data.max(c);
+        }
+    }
+    pe.advance(macs);
+    // Write-no-allocate, posted: the store stream cannot start before its
+    // operands arrived.
+    mem.write_stream(store_addr, b_bytes, pe.time.max(last_data));
+    pe.advance((b_bytes + block - 1) / block);
+    pe.track(last_data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outerspace_gen::uniform;
+
+    fn sim(n: u32, nnz: usize, seed: u64) -> (PhaseStats, IntermediateLayout) {
+        let a = uniform::matrix(n, n, nnz, seed);
+        let cfg = OuterSpaceConfig::default();
+        simulate_multiply(&cfg, &a.to_csc(), &a)
+    }
+
+    #[test]
+    fn layout_matches_algorithm_structure() {
+        let a = uniform::matrix(64, 64, 400, 1);
+        let cfg = OuterSpaceConfig::default();
+        let (stats, layout) = simulate_multiply(&cfg, &a.to_csc(), &a);
+        // Total intermediate elements = elementary products = flops.
+        let (_, soft) = outerspace_outer::multiply(&a.to_csc(), &a).unwrap();
+        assert_eq!(layout.total_elements(), soft.elementary_products);
+        assert_eq!(stats.flops, soft.elementary_products);
+        assert_eq!(stats.work_items, soft.chunks);
+    }
+
+    #[test]
+    fn intermediate_is_written_to_hbm() {
+        let (stats, layout) = sim(128, 1000, 2);
+        // Written bytes at block granularity must cover the arena.
+        assert!(stats.hbm_write_bytes >= layout.total_elements() * 12 / 2);
+        assert!(stats.hbm_write_bytes > 0);
+    }
+
+    #[test]
+    fn shared_rows_give_l0_hits() {
+        // A dense column of A means every PE in a tile re-reads the same
+        // row of B: hits after the first fetch.
+        let mut coo = outerspace_sparse::Coo::new(64, 64);
+        for i in 0..64 {
+            coo.push(i, 0, 1.0);
+            coo.push(0, i, 1.0);
+        }
+        let a = coo.to_csr();
+        let cfg = OuterSpaceConfig::default();
+        let (stats, _) = simulate_multiply(&cfg, &a.to_csc(), &a);
+        assert!(
+            stats.l0_hit_rate() > 0.5,
+            "expected heavy B-row sharing, hit rate {}",
+            stats.l0_hit_rate()
+        );
+    }
+
+    #[test]
+    fn cycles_scale_with_work() {
+        let (small, _) = sim(256, 2_000, 3);
+        let (big, _) = sim(256, 8_000, 3);
+        assert!(big.cycles > small.cycles);
+        assert!(big.flops > 10 * small.flops); // quadratic in density
+    }
+
+    #[test]
+    fn all_tiles_participate_on_balanced_input() {
+        let (stats, _) = sim(512, 8_000, 4);
+        assert!(stats.active_pes > 200, "only {} PEs active", stats.active_pes);
+    }
+
+    #[test]
+    fn empty_matrix_is_cheap() {
+        let a = outerspace_sparse::Csr::zero(32, 32);
+        let cfg = OuterSpaceConfig::default();
+        let (stats, layout) = simulate_multiply(&cfg, &a.to_csc(), &a);
+        assert_eq!(layout.total_elements(), 0);
+        assert_eq!(stats.flops, 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Simulation outputs: per-phase counters and derived metrics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::OuterSpaceConfig;
+
+/// Counters for one simulated phase (multiply, merge, conversion, …).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Phase length in PE cycles (makespan over all PEs).
+    pub cycles: u64,
+    /// Useful floating-point operations (multiplies + additions; the paper's
+    /// GFLOPS basis excludes bookkeeping).
+    pub flops: u64,
+    /// Bytes read from HBM.
+    pub hbm_read_bytes: u64,
+    /// Bytes written to HBM.
+    pub hbm_write_bytes: u64,
+    /// L0 lookups that hit.
+    pub l0_hits: u64,
+    /// L0 lookups that missed.
+    pub l0_misses: u64,
+    /// L1 lookups that hit.
+    pub l1_hits: u64,
+    /// L1 lookups that missed.
+    pub l1_misses: u64,
+    /// Work items executed (chunks in multiply, rows in merge).
+    pub work_items: u64,
+    /// PEs that did any work.
+    pub active_pes: u32,
+    /// Busy cycles summed over PEs (for utilization).
+    pub busy_pe_cycles: u64,
+}
+
+impl PhaseStats {
+    /// L0 hit rate in [0, 1]; 0 when there were no lookups.
+    pub fn l0_hit_rate(&self) -> f64 {
+        ratio(self.l0_hits, self.l0_hits + self.l0_misses)
+    }
+
+    /// L1 hit rate in [0, 1]; 0 when there were no lookups.
+    pub fn l1_hit_rate(&self) -> f64 {
+        ratio(self.l1_hits, self.l1_hits + self.l1_misses)
+    }
+
+    /// Total HBM traffic in bytes.
+    pub fn hbm_bytes(&self) -> u64 {
+        self.hbm_read_bytes + self.hbm_write_bytes
+    }
+
+    /// Achieved HBM bandwidth as a fraction of peak, given `cfg`.
+    pub fn bandwidth_utilization(&self, cfg: &OuterSpaceConfig) -> f64 {
+        let secs = cfg.cycles_to_seconds(self.cycles);
+        if secs == 0.0 {
+            return 0.0;
+        }
+        (self.hbm_bytes() as f64 / secs) / cfg.hbm_total_bandwidth_bytes_per_sec() as f64
+    }
+
+    /// Accumulates another phase's counters (cycles take the max: phases on
+    /// disjoint PEs overlap; same-phase shards are summed by the caller).
+    pub fn absorb_parallel(&mut self, o: &PhaseStats) {
+        self.cycles = self.cycles.max(o.cycles);
+        self.flops += o.flops;
+        self.hbm_read_bytes += o.hbm_read_bytes;
+        self.hbm_write_bytes += o.hbm_write_bytes;
+        self.l0_hits += o.l0_hits;
+        self.l0_misses += o.l0_misses;
+        self.l1_hits += o.l1_hits;
+        self.l1_misses += o.l1_misses;
+        self.work_items += o.work_items;
+        self.active_pes = self.active_pes.max(o.active_pes);
+        self.busy_pe_cycles += o.busy_pe_cycles;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Complete report for one simulated kernel invocation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Format-conversion phase, when one ran (§4.3).
+    pub convert: Option<PhaseStats>,
+    /// Multiply phase.
+    pub multiply: PhaseStats,
+    /// Merge phase.
+    pub merge: PhaseStats,
+    /// The configuration the run used (embedded so reports are
+    /// self-describing when serialized).
+    pub config: OuterSpaceConfig,
+}
+
+impl SimReport {
+    /// Total simulated cycles across phases (phases are sequential: the
+    /// merge cannot start before every partial product exists).
+    pub fn total_cycles(&self) -> u64 {
+        self.convert.map_or(0, |c| c.cycles) + self.multiply.cycles + self.merge.cycles
+    }
+
+    /// Total simulated wall-clock seconds.
+    pub fn seconds(&self) -> f64 {
+        self.config.cycles_to_seconds(self.total_cycles())
+    }
+
+    /// Useful flops across phases.
+    pub fn flops(&self) -> u64 {
+        self.convert.map_or(0, |c| c.flops) + self.multiply.flops + self.merge.flops
+    }
+
+    /// Achieved throughput in GFLOPS (the paper reports 2.9 GFLOPS mean on
+    /// the Table 4 suite).
+    pub fn gflops(&self) -> f64 {
+        let s = self.seconds();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.flops() as f64 / s / 1e9
+        }
+    }
+
+    /// Total HBM traffic in bytes.
+    pub fn hbm_bytes(&self) -> u64 {
+        self.convert.map_or(0, |c| c.hbm_bytes())
+            + self.multiply.hbm_bytes()
+            + self.merge.hbm_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(cycles: u64, read: u64, write: u64) -> PhaseStats {
+        PhaseStats { cycles, hbm_read_bytes: read, hbm_write_bytes: write, ..Default::default() }
+    }
+
+    #[test]
+    fn hit_rates_guard_division() {
+        let p = PhaseStats::default();
+        assert_eq!(p.l0_hit_rate(), 0.0);
+        let p = PhaseStats { l0_hits: 3, l0_misses: 1, ..Default::default() };
+        assert_eq!(p.l0_hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn bandwidth_utilization_math() {
+        let cfg = OuterSpaceConfig::default();
+        // 1.5e9 cycles = 1 s; 64 GB moved over 128 GB/s peak = 50%.
+        let p = phase(1_500_000_000, 32_000_000_000, 32_000_000_000);
+        assert!((p.bandwidth_utilization(&cfg) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_totals_are_sequential() {
+        let mut r = SimReport::default();
+        r.multiply = phase(100, 0, 0);
+        r.merge = phase(50, 0, 0);
+        r.convert = Some(phase(25, 0, 0));
+        assert_eq!(r.total_cycles(), 175);
+    }
+
+    #[test]
+    fn gflops_computation() {
+        let mut r = SimReport::default();
+        r.multiply = PhaseStats { cycles: 1_500_000_000, flops: 3_000_000_000, ..Default::default() };
+        assert!((r.gflops() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_parallel_maxes_cycles() {
+        let mut a = phase(10, 5, 5);
+        a.absorb_parallel(&phase(20, 1, 1));
+        assert_eq!(a.cycles, 20);
+        assert_eq!(a.hbm_read_bytes, 6);
+    }
+}

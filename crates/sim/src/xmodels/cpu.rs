@@ -1,0 +1,213 @@
+//! Analytic model of the Xeon E5-1650V4 + MKL baseline (Table 3).
+
+use outerspace_baselines::TrafficStats;
+
+/// Roofline-style CPU model: compute rate, DRAM bandwidth with an
+/// efficiency factor, LLC residency discounting, and per-row overhead.
+///
+/// # Example
+///
+/// ```
+/// use outerspace_sim::xmodels::CpuModel;
+///
+/// let xeon = CpuModel::xeon_e5_1650_v4();
+/// assert_eq!(xeon.cores, 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Physical cores used.
+    pub cores: u32,
+    /// Sustained useful flops per cycle per core on sparse kernels. MKL's
+    /// SpGEMM gathers/scatters defeat most of AVX, so this is far below the
+    /// peak 16 DP flops/cycle.
+    pub flops_per_cycle: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Fraction of peak bandwidth sparse streams sustain.
+    pub mem_efficiency: f64,
+    /// Last-level cache in bytes (reused rows of `B` may live here).
+    pub llc_bytes: u64,
+    /// Per-output-row bookkeeping overhead in nanoseconds (row pointer
+    /// chasing, accumulator reset).
+    pub row_overhead_ns: f64,
+}
+
+impl CpuModel {
+    /// The paper's CPU: Xeon E5-1650V4, 3.6 GHz, 6 cores, ~60 GB/s DDR4,
+    /// 15 MB LLC (Table 3).
+    pub fn xeon_e5_1650_v4() -> Self {
+        CpuModel {
+            freq_ghz: 3.6,
+            cores: 6,
+            flops_per_cycle: 1.0,
+            mem_bw_gbps: 60.0,
+            mem_efficiency: 0.62, // Table 1's measured average utilization
+            llc_bytes: 15 * 1024 * 1024,
+            row_overhead_ns: 30.0,
+        }
+    }
+
+    /// Predicted MKL SpGEMM time in seconds, from the traffic counters of
+    /// the Gustavson analog plus the structure of the operands.
+    ///
+    /// Beyond the roofline terms, the model charges each elementary product
+    /// one accumulator access: Gustavson's scatter into an `ncols`-wide
+    /// dense accumulator hits L2 / LLC / DRAM depending on the output-row
+    /// width, and this gather-scatter latency — not raw bandwidth — is what
+    /// keeps MKL's measured bandwidth utilization at 44–62 % (Table 1).
+    ///
+    /// `b_bytes` is the size of `B`'s data (reused rows may be LLC
+    /// resident); `out_cols` the result's column count (accumulator width);
+    /// `n_rows` the number of output rows; `regularity` in [0, 1] expresses
+    /// how diagonal/banded the matrix is (regular matrices keep both their
+    /// reused rows and their accumulator working set cache-resident; the
+    /// paper's filter3D/roadNet cases).
+    pub fn spgemm_seconds(
+        &self,
+        traffic: &TrafficStats,
+        b_bytes: u64,
+        out_cols: u64,
+        n_rows: u64,
+        regularity: f64,
+    ) -> f64 {
+        let reg = regularity.clamp(0.0, 1.0);
+        // Fraction of B the LLC can retain; regular access patterns make the
+        // retained fraction effective, irregular ones thrash (§4.4.3's
+        // explanation of why large CPU caches matter for MKL).
+        let resident = (self.llc_bytes as f64 / b_bytes.max(1) as f64).min(1.0);
+        let hit_discount = 0.95 * resident.max(reg * 0.8);
+        let dram_bytes = traffic.bytes_touched as f64 * (1.0 - hit_discount.min(0.95));
+        let t_mem = dram_bytes / (self.mem_bw_gbps * 1e9 * self.mem_efficiency);
+        let t_compute = traffic.flops() as f64
+            / (self.cores as f64 * self.flops_per_cycle * self.freq_ghz * 1e9);
+        // Accumulator scatter: per-product access latency tiered by where
+        // the accumulator lives, discounted when regularity clusters the
+        // touched columns.
+        let acc_bytes = out_cols as f64 * 8.0;
+        let acc_ns = if acc_bytes <= 256.0 * 1024.0 {
+            8.0 // L2-resident
+        } else if acc_bytes <= self.llc_bytes as f64 {
+            25.0 // LLC-resident
+        } else {
+            100.0 // DRAM
+        };
+        let t_acc = traffic.multiplies as f64 * acc_ns * (1.0 - 0.5 * reg) * 1e-9
+            / self.cores as f64;
+        let t_rows = n_rows as f64 * self.row_overhead_ns * 1e-9 / self.cores as f64;
+        // Cache-thrash penalty: §4.4.1 measures mean L2 hit rates of 0.14
+        // for irregular sparse workloads — redundant re-reads whose working
+        // set exceeds the LLC evict each other, degrading accesses toward
+        // DRAM latency. Modeled as LLC pressure (touched bytes vs capacity)
+        // gated by irregularity; regular banded patterns (`reg` -> 1)
+        // prefetch cleanly and escape it.
+        let pressure = (traffic.bytes_touched as f64 / self.llc_bytes as f64).min(3.0);
+        let thrash = 1.0 + 1.2 * (1.0 - reg) * pressure;
+        // Compute and memory overlap imperfectly on an OoO core; the
+        // latency-bound accumulator term does not overlap.
+        (t_mem.max(t_compute) + 0.3 * t_mem.min(t_compute) + t_acc) * thrash + t_rows
+    }
+
+    /// Predicted DRAM bandwidth utilization (achieved/peak) for the same
+    /// SpGEMM the model times — the quantity Table 1 reports from VTune.
+    /// Utilization is below 1 exactly because the latency-bound accumulator
+    /// and thrash terms do not move bytes.
+    pub fn spgemm_bandwidth_utilization(
+        &self,
+        traffic: &TrafficStats,
+        b_bytes: u64,
+        out_cols: u64,
+        n_rows: u64,
+        regularity: f64,
+    ) -> f64 {
+        let total = self.spgemm_seconds(traffic, b_bytes, out_cols, n_rows, regularity);
+        let reg = regularity.clamp(0.0, 1.0);
+        // Every miss moves a whole 64 B line for ~12 B of payload, so DRAM
+        // traffic is line-amplified. Miss fractions follow residency: B rows
+        // by LLC share, the accumulator by its own footprint.
+        let resident_b = (self.llc_bytes as f64 / b_bytes.max(1) as f64).min(1.0);
+        let miss_b = (1.0 - 0.95 * resident_b.max(reg * 0.8)).max(0.02);
+        let acc_bytes = out_cols as f64 * 8.0;
+        let miss_acc = if acc_bytes > self.llc_bytes as f64 {
+            0.9
+        } else if acc_bytes > 1.5 * 1024.0 * 1024.0 {
+            0.25
+        } else {
+            0.02
+        };
+        let pressure = (traffic.bytes_touched as f64 / self.llc_bytes as f64).min(3.0);
+        let thrash_amplification = 1.0 + 1.2 * (1.0 - reg) * pressure;
+        let elems = traffic.bytes_touched as f64 / 12.0;
+        let moved = 64.0
+            * (traffic.multiplies as f64 * miss_acc + elems * miss_b)
+            * thrash_amplification;
+        ((moved / total) / (self.mem_bw_gbps * 1e9)).min(0.9)
+    }
+
+    /// Predicted MKL SpMV time in seconds. MKL treats the vector as dense
+    /// (§7.2), so the whole matrix is streamed regardless of `x`'s density —
+    /// a pure unit-stride stream, which sustains ~85 % of peak (unlike the
+    /// gather-heavy SpGEMM).
+    pub fn spmv_seconds(&self, matrix_bytes: u64, n_rows: u64) -> f64 {
+        let t_mem = matrix_bytes as f64 / (self.mem_bw_gbps * 1e9 * 0.85);
+        let t_rows = n_rows as f64 * self.row_overhead_ns * 1e-9 / self.cores as f64;
+        t_mem + t_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traffic(bytes: u64, flops: u64) -> TrafficStats {
+        TrafficStats {
+            bytes_touched: bytes,
+            bytes_written: 0,
+            multiplies: flops / 2,
+            additions: flops / 2,
+        }
+    }
+
+    #[test]
+    fn memory_bound_when_traffic_dominates() {
+        let m = CpuModel::xeon_e5_1650_v4();
+        let slow = m.spgemm_seconds(&traffic(10_000_000_000, 1_000_000), 1 << 30, 4096, 1000, 0.0);
+        let fast = m.spgemm_seconds(&traffic(100_000_000, 1_000_000), 1 << 30, 4096, 1000, 0.0);
+        assert!(slow > 10.0 * fast);
+    }
+
+    #[test]
+    fn cache_resident_b_is_faster() {
+        let m = CpuModel::xeon_e5_1650_v4();
+        let big_b = m.spgemm_seconds(&traffic(1_000_000_000, 1_000_000), 1 << 30, 4096, 1000, 0.0);
+        let small_b = m.spgemm_seconds(&traffic(1_000_000_000, 1_000_000), 1 << 20, 4096, 1000, 0.0);
+        assert!(small_b < big_b);
+    }
+
+    #[test]
+    fn regular_matrices_run_faster() {
+        let m = CpuModel::xeon_e5_1650_v4();
+        let irregular = m.spgemm_seconds(&traffic(1_000_000_000, 1_000_000), 1 << 30, 4096, 1000, 0.0);
+        let regular = m.spgemm_seconds(&traffic(1_000_000_000, 1_000_000), 1 << 30, 4096, 1000, 1.0);
+        assert!(regular < irregular * 0.5);
+    }
+
+    #[test]
+    fn spmv_flat_in_vector_density() {
+        // The model has no vector-density input at all: Table 5's constant
+        // MKL performance is structural.
+        let m = CpuModel::xeon_e5_1650_v4();
+        let t = m.spmv_seconds(12_000_000, 65_536);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn row_overhead_matters_for_hypersparse() {
+        let m = CpuModel::xeon_e5_1650_v4();
+        let few_rows = m.spgemm_seconds(&traffic(1_000_000, 100_000), 1 << 20, 4096, 1_000, 0.0);
+        let many_rows =
+            m.spgemm_seconds(&traffic(1_000_000, 100_000), 1 << 20, 4096, 8_000_000, 0.0);
+        assert!(many_rows > 5.0 * few_rows);
+    }
+}

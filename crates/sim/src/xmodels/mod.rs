@@ -1,0 +1,16 @@
+//! Analytic machine models of the paper's baseline hardware (Table 3).
+//!
+//! The paper measures real machines: a Xeon E5-1650V4 running Intel MKL and
+//! an NVIDIA K40 running cuSPARSE/CUSP. Neither is available here, so these
+//! first-order roofline models — compute rate, memory bandwidth with an
+//! efficiency factor, per-row scheduling overhead, and (for the GPU) SIMT
+//! divergence serialization — stand in for them. They consume the *measured
+//! operation counts* of the re-implemented baseline algorithms
+//! (`outerspace-baselines`), so the algorithmic term is exact and only the
+//! hardware mapping is modeled. DESIGN.md §3 documents the substitution.
+
+pub mod cpu;
+pub mod gpu;
+
+pub use cpu::CpuModel;
+pub use gpu::GpuModel;

@@ -1,0 +1,131 @@
+//! Property-based tests over the simulator's primitives: cache behaviour,
+//! timeline monotonicity, channel bandwidth conservation, and end-to-end
+//! determinism.
+
+use proptest::prelude::*;
+
+use outerspace_sim::machine::PeTimeline;
+use outerspace_sim::mem::{CacheModel, MemorySystem};
+use outerspace_sim::{OuterSpaceConfig, Simulator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A block accessed twice in a row always hits the second time.
+    #[test]
+    fn cache_immediate_rereference_hits(blocks in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut c = CacheModel::new(16 * 1024, 4, 64);
+        for b in blocks {
+            let _ = c.access(b);
+            prop_assert!(c.access(b), "block {b} must hit immediately after access");
+        }
+    }
+
+    /// LRU with W ways retains the last W distinct blocks of a set.
+    #[test]
+    fn cache_retains_ways_most_recent(set_blocks in proptest::collection::vec(0u64..4, 1..50)) {
+        // One-set cache (4 blocks, 4 ways): any 4 distinct blocks all fit.
+        let mut c = CacheModel::new(256, 4, 64);
+        let mut seen = Vec::new();
+        for &b in &set_blocks {
+            let _ = c.access(b);
+            seen.retain(|&x| x != b);
+            seen.push(b);
+        }
+        // Everything in the (<=4-entry) recency window must still hit.
+        for &b in seen.iter().rev().take(4) {
+            prop_assert!(c.access(b), "recent block {b} evicted too early");
+        }
+    }
+
+    /// PE timelines never move backwards, and busy time never exceeds
+    /// elapsed time.
+    #[test]
+    fn pe_timeline_is_monotone(ops in proptest::collection::vec((0u8..4, 0u64..1000), 1..300)) {
+        let mut pe = PeTimeline::new(8);
+        let mut prev = 0u64;
+        for (kind, arg) in ops {
+            match kind {
+                0 => { let _ = pe.issue(); }
+                1 => pe.track(arg),
+                2 => pe.advance(arg % 64),
+                _ => pe.wait_until(arg),
+            }
+            prop_assert!(pe.time >= prev, "time went backwards");
+            prop_assert!(pe.busy <= pe.time, "busy {} > time {}", pe.busy, pe.time);
+            prev = pe.time;
+        }
+        pe.drain();
+        prop_assert!(pe.time >= prev);
+    }
+
+    /// Reads complete no earlier than their issue time plus the L0 hit
+    /// latency, and counters account for every access.
+    #[test]
+    fn memory_reads_respect_causality(addrs in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let cfg = OuterSpaceConfig::default();
+        let mut mem = MemorySystem::for_multiply(&cfg);
+        let mut now = 0u64;
+        let mut n = 0u64;
+        for addr in addrs {
+            let (done, _) = mem.read((addr % 16) as usize, addr, now);
+            prop_assert!(done >= now + cfg.l0_hit_cycles, "completion before issue");
+            now += 1;
+            n += 1;
+        }
+        let c = mem.take_counters();
+        prop_assert_eq!(c.l0_hits + c.l0_misses, n);
+        prop_assert_eq!(c.l1_hits + c.l1_misses, c.l0_misses);
+        prop_assert_eq!(c.hbm_read_bytes, c.l1_misses * 64);
+    }
+
+    /// End-to-end bandwidth conservation: a simulated phase can never move
+    /// meaningfully more bytes than the HBM's peak rate times its makespan
+    /// (small overshoot allowed for the bounded backfill window).
+    #[test]
+    fn simulated_runs_conserve_bandwidth(seed in 0u64..40, nnz in 200usize..3000) {
+        let a = outerspace_gen::uniform::matrix(256, 256, nnz, seed);
+        let sim = Simulator::new(OuterSpaceConfig::default()).unwrap();
+        let (_, rep) = sim.spgemm(&a, &a).unwrap();
+        for phase in [&rep.multiply, &rep.merge] {
+            let util = phase.bandwidth_utilization(&rep.config);
+            prop_assert!(util <= 1.15, "utilization {util} breaks conservation");
+        }
+    }
+
+    /// The simulator is a pure function of (config, inputs).
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..40) {
+        let a = outerspace_gen::uniform::matrix(128, 128, 900, seed);
+        let sim = Simulator::new(OuterSpaceConfig::default()).unwrap();
+        let (c1, r1) = sim.spgemm(&a, &a).unwrap();
+        let (c2, r2) = sim.spgemm(&a, &a).unwrap();
+        prop_assert_eq!(c1, c2);
+        prop_assert_eq!(r1, r2);
+    }
+
+    /// Channel bookings under random arrival jitter stay work-conserving:
+    /// total completions spread at least as wide as the per-channel service.
+    #[test]
+    fn channel_bookings_serialize_per_channel(arrivals in proptest::collection::vec(0u64..200, 2..100)) {
+        let cfg = OuterSpaceConfig::default();
+        let mut mem = MemorySystem::for_multiply(&cfg);
+        // All to one channel (stride 16 blocks), distinct L0 domains so
+        // every read misses to HBM.
+        let mut completions: Vec<u64> = Vec::new();
+        for (i, &t) in arrivals.iter().enumerate() {
+            let addr = (i as u64) * 64 * 16 + 64 * 1024 * 1024;
+            let (done, _) = mem.read(i % 16, addr, t);
+            completions.push(done);
+        }
+        completions.sort_unstable();
+        // n blocks on one channel need at least (n - window) * service time.
+        let n = completions.len() as u64;
+        let service = cfg.hbm_cycles_per_block() as u64;
+        let span = completions.last().unwrap() - completions.first().unwrap();
+        let window = 96; // BACKFILL_WINDOW_SLOTS
+        if n > window + 1 {
+            prop_assert!(span >= (n - window - 1) * service, "span {span} too tight for {n} blocks");
+        }
+    }
+}

@@ -1,0 +1,293 @@
+use crate::{Csc, Csr, Dense, Index, SparseError, Value};
+
+/// A sparse matrix in coordinate (triplet) format.
+///
+/// `Coo` is the construction format: entries may be pushed in any order and
+/// duplicates are permitted (they are summed on conversion to a compressed
+/// format, matching Matrix Market semantics). All algorithm and simulator
+/// code in this workspace operates on [`Csr`] ("CR" in the paper) or
+/// [`Csc`] ("CC"); `Coo` exists to build those.
+///
+/// # Example
+///
+/// ```
+/// use outerspace_sparse::Coo;
+///
+/// let mut m = Coo::new(2, 2);
+/// m.push(0, 1, 2.5);
+/// m.push(0, 1, 0.5); // duplicate: summed on compression
+/// let csr = m.to_csr();
+/// assert_eq!(csr.nnz(), 1);
+/// assert_eq!(csr.get(0, 1), 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Coo {
+    nrows: Index,
+    ncols: Index,
+    rows: Vec<Index>,
+    cols: Vec<Index>,
+    vals: Vec<Value>,
+}
+
+impl Coo {
+    /// Creates an empty `nrows` × `ncols` matrix.
+    pub fn new(nrows: Index, ncols: Index) -> Self {
+        Coo { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Creates an empty matrix with room for `cap` entries.
+    pub fn with_capacity(nrows: Index, ncols: Index, cap: usize) -> Self {
+        Coo {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Builds a `Coo` from parallel triplet arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if any coordinate is outside
+    /// the matrix, and [`SparseError::ShapeMismatch`] if the arrays disagree
+    /// in length.
+    pub fn from_triplets(
+        nrows: Index,
+        ncols: Index,
+        rows: Vec<Index>,
+        cols: Vec<Index>,
+        vals: Vec<Value>,
+    ) -> Result<Self, SparseError> {
+        if rows.len() != cols.len() || rows.len() != vals.len() {
+            return Err(SparseError::ShapeMismatch {
+                left: (rows.len() as u64, cols.len() as u64),
+                right: (vals.len() as u64, 0),
+                op: "from_triplets",
+            });
+        }
+        if let Some(&r) = rows.iter().find(|&&r| r >= nrows) {
+            return Err(SparseError::IndexOutOfBounds {
+                index: r as u64,
+                bound: nrows as u64,
+                axis: "row",
+            });
+        }
+        if let Some(&c) = cols.iter().find(|&&c| c >= ncols) {
+            return Err(SparseError::IndexOutOfBounds {
+                index: c as u64,
+                bound: ncols as u64,
+                axis: "col",
+            });
+        }
+        Ok(Coo { nrows, ncols, rows, cols, vals })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of stored entries, *including* duplicates not yet merged.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Appends an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds — pushing is a hot
+    /// construction path, so errors here are programming bugs rather than
+    /// recoverable conditions.
+    pub fn push(&mut self, row: Index, col: Index, val: Value) {
+        assert!(row < self.nrows, "row {row} out of bounds ({} rows)", self.nrows);
+        assert!(col < self.ncols, "col {col} out of bounds ({} cols)", self.ncols);
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+    }
+
+    /// Iterates over the stored `(row, col, value)` triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, Value)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Converts to CSR, summing duplicate coordinates and dropping entries
+    /// whose accumulated value is exactly zero is *not* performed (explicit
+    /// zeros are preserved, as in Matrix Market).
+    pub fn to_csr(&self) -> Csr {
+        // Counting sort by row, then sort each row segment by column and
+        // merge duplicates. O(nnz + nrows) + per-row sort.
+        let n = self.nrows as usize;
+        let mut counts = vec![0usize; n + 1];
+        for &r in &self.rows {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut cols = vec![0 as Index; self.nnz()];
+        let mut vals = vec![0.0 as Value; self.nnz()];
+        let mut cursor = counts.clone();
+        for ((&r, &c), &v) in self.rows.iter().zip(&self.cols).zip(&self.vals) {
+            let slot = cursor[r as usize];
+            cols[slot] = c;
+            vals[slot] = v;
+            cursor[r as usize] += 1;
+        }
+        // Sort each row segment by column index and merge duplicates.
+        let mut out_ptr = vec![0usize; n + 1];
+        let mut out_cols = Vec::with_capacity(self.nnz());
+        let mut out_vals = Vec::with_capacity(self.nnz());
+        let mut scratch: Vec<(Index, Value)> = Vec::new();
+        for row in 0..n {
+            let (lo, hi) = (counts[row], counts[row + 1]);
+            scratch.clear();
+            scratch.extend(cols[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()));
+            // Stable sort: duplicates keep insertion order, so their values
+            // are summed in a deterministic order (floating-point addition
+            // is order-sensitive; this keeps mirrored entries bitwise equal).
+            scratch.sort_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let (c, mut v) = scratch[i];
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                out_cols.push(c);
+                out_vals.push(v);
+                i = j;
+            }
+            out_ptr[row + 1] = out_cols.len();
+        }
+        // Invariants guaranteed by construction.
+        Csr::new(self.nrows, self.ncols, out_ptr, out_cols, out_vals)
+            .expect("coo-to-csr construction preserves invariants")
+    }
+
+    /// Converts to CSC (via the transpose of the CSR conversion).
+    pub fn to_csc(&self) -> Csc {
+        let t = Coo {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rows: self.cols.clone(),
+            cols: self.rows.clone(),
+            vals: self.vals.clone(),
+        };
+        t.to_csr().into_csc_transposed()
+    }
+
+    /// Converts to a dense matrix (duplicates summed). Intended for tests.
+    pub fn to_dense(&self) -> Dense {
+        let mut d = Dense::zeros(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            *d.get_mut(r, c) += v;
+        }
+        d
+    }
+}
+
+impl Extend<(Index, Index, Value)> for Coo {
+    fn extend<T: IntoIterator<Item = (Index, Index, Value)>>(&mut self, iter: T) {
+        for (r, c, v) in iter {
+            self.push(r, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_compresses() {
+        let m = Coo::new(4, 5);
+        let csr = m.to_csr();
+        assert_eq!(csr.nrows(), 4);
+        assert_eq!(csr.ncols(), 5);
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut m = Coo::new(3, 3);
+        m.push(1, 1, 1.0);
+        m.push(1, 1, 2.0);
+        m.push(1, 0, 5.0);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(1, 1), 3.0);
+        assert_eq!(csr.get(1, 0), 5.0);
+    }
+
+    #[test]
+    fn rows_sorted_after_compression() {
+        let mut m = Coo::new(2, 8);
+        for c in [7u32, 3, 5, 0, 2] {
+            m.push(0, c, c as f64);
+        }
+        let csr = m.to_csr();
+        let (cols, _) = csr.row(0);
+        assert_eq!(cols, &[0, 2, 3, 5, 7]);
+    }
+
+    #[test]
+    fn push_out_of_bounds_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut m = Coo::new(2, 2);
+            m.push(2, 0, 1.0);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn from_triplets_validates() {
+        let err = Coo::from_triplets(2, 2, vec![0], vec![5], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::IndexOutOfBounds { axis: "col", .. }));
+        let err = Coo::from_triplets(2, 2, vec![0, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn csc_matches_dense_oracle() {
+        let mut m = Coo::new(3, 4);
+        m.push(0, 3, 1.0);
+        m.push(2, 0, -2.0);
+        m.push(1, 1, 4.0);
+        m.push(2, 3, 7.0);
+        let d = m.to_dense();
+        let csc = m.to_csc();
+        for r in 0..3 {
+            for c in 0..4 {
+                assert_eq!(csc.get(r, c), d.get(r, c), "mismatch at ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn extend_works() {
+        let mut m = Coo::new(2, 2);
+        m.extend(vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn explicit_zero_is_preserved() {
+        let mut m = Coo::new(1, 1);
+        m.push(0, 0, 0.0);
+        assert_eq!(m.to_csr().nnz(), 1);
+    }
+}

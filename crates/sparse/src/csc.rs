@@ -1,0 +1,229 @@
+use crate::{Csr, Index, SparseError, Value};
+
+/// A sparse matrix in Compressed Sparse Column format — the paper's
+/// *Compressed Column (CC)* format.
+///
+/// The dual of [`Csr`]: `col_ptr` delimits, for each column, a contiguous
+/// slice of row-index/value pairs in strictly increasing row order.
+///
+/// In the outer-product algorithm the *first* operand (`A`) is consumed in
+/// this format, one column per outer product (§4.1 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use outerspace_sparse::{Csc, Csr};
+///
+/// let a = Csr::identity(2).to_csc();
+/// assert_eq!(a.col(1).0, &[1]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc {
+    nrows: Index,
+    ncols: Index,
+    col_ptr: Vec<usize>,
+    rows: Vec<Index>,
+    vals: Vec<Value>,
+}
+
+impl Csc {
+    /// Builds a CSC matrix from raw arrays, validating all invariants.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`Csr::new`]: malformed pointers, out-of-bounds row indices,
+    /// or unsorted rows within a column.
+    pub fn new(
+        nrows: Index,
+        ncols: Index,
+        col_ptr: Vec<usize>,
+        rows: Vec<Index>,
+        vals: Vec<Value>,
+    ) -> Result<Self, SparseError> {
+        // Validate by borrowing the CSR checker on the transposed labelling.
+        let as_csr = Csr::new(ncols, nrows, col_ptr, rows, vals)?;
+        Ok(as_csr.into_csc_transposed())
+    }
+
+    /// Builds a CSC matrix without validating invariants.
+    ///
+    /// # Safety
+    ///
+    /// Not memory-unsafe, but all operations assume [`Csc::new`] invariants;
+    /// violating them yields wrong results or panics later.
+    pub fn from_raw_parts_unchecked(
+        nrows: Index,
+        ncols: Index,
+        col_ptr: Vec<usize>,
+        rows: Vec<Index>,
+        vals: Vec<Value>,
+    ) -> Self {
+        Csc { nrows, ncols, col_ptr, rows, vals }
+    }
+
+    /// An empty (all-zero) matrix.
+    pub fn zero(nrows: Index, ncols: Index) -> Self {
+        Csc {
+            nrows,
+            ncols,
+            col_ptr: vec![0; ncols as usize + 1],
+            rows: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// The `n` × `n` identity matrix.
+    pub fn identity(n: Index) -> Self {
+        Csr::identity(n).into_csc_transposed()
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Fraction of entries that are stored.
+    pub fn density(&self) -> f64 {
+        if self.nrows == 0 || self.ncols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.nrows as f64 * self.ncols as f64)
+    }
+
+    /// The column-pointer array (`ncols + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// All row indices, column-major.
+    pub fn row_indices(&self) -> &[Index] {
+        &self.rows
+    }
+
+    /// All values, column-major.
+    pub fn values(&self) -> &[Value] {
+        &self.vals
+    }
+
+    /// The row indices and values of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= ncols`.
+    pub fn col(&self, j: Index) -> (&[Index], &[Value]) {
+        let lo = self.col_ptr[j as usize];
+        let hi = self.col_ptr[j as usize + 1];
+        (&self.rows[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Number of stored entries in column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= ncols`.
+    pub fn col_nnz(&self, j: Index) -> usize {
+        self.col_ptr[j as usize + 1] - self.col_ptr[j as usize]
+    }
+
+    /// The value at `(row, col)`, or `0.0` when not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= nrows` or `col >= ncols`.
+    pub fn get(&self, row: Index, col: Index) -> Value {
+        assert!(row < self.nrows, "row {row} out of bounds ({} rows)", self.nrows);
+        let (rows, vals) = self.col(col);
+        match rows.binary_search(&row) {
+            Ok(pos) => vals[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over stored entries as `(row, col, value)`, column-major.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, Value)> + '_ {
+        (0..self.ncols).flat_map(move |c| {
+            let (rows, vals) = self.col(c);
+            rows.iter().zip(vals).map(move |(&r, &v)| (r, c, v))
+        })
+    }
+
+    /// Converts to CSR — the inverse of [`Csr::to_csc`].
+    pub fn to_csr(&self) -> Csr {
+        self.clone().into_csr_transposed().transpose()
+    }
+
+    /// Reinterprets `self` as the CSR representation of `selfᵀ` (zero-cost).
+    pub fn into_csr_transposed(self) -> Csr {
+        Csr::from_raw_parts_unchecked(self.ncols, self.nrows, self.col_ptr, self.rows, self.vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csr() -> Csr {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 0 3 4 ]
+        Csr::new(3, 3, vec![0, 2, 2, 4], vec![0, 2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn csc_validates_like_csr() {
+        let err = Csc::new(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, SparseError::UnsortedIndices { .. }));
+    }
+
+    #[test]
+    fn column_access() {
+        let m = sample_csr().to_csc();
+        assert_eq!(m.col_nnz(0), 1);
+        assert_eq!(m.col_nnz(2), 2);
+        let (rows, vals) = m.col(2);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn round_trip_csr_csc_csr() {
+        let m = sample_csr();
+        assert_eq!(m.to_csc().to_csr(), m);
+    }
+
+    #[test]
+    fn iter_is_column_major() {
+        let m = sample_csr().to_csc();
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(entries[0], (0, 0, 1.0));
+        assert_eq!(entries[1], (2, 1, 3.0));
+        assert_eq!(entries[2], (0, 2, 2.0));
+        assert_eq!(entries[3], (2, 2, 4.0));
+    }
+
+    #[test]
+    fn identity_diag() {
+        let eye = Csc::identity(4);
+        for i in 0..4 {
+            assert_eq!(eye.get(i, i), 1.0);
+        }
+        assert_eq!(eye.nnz(), 4);
+    }
+
+    #[test]
+    fn zero_has_no_entries() {
+        let z = Csc::zero(3, 2);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.col_ptr().len(), 3);
+    }
+}

@@ -1,0 +1,448 @@
+use crate::{Csc, Dense, Index, SparseError, Value};
+
+/// A sparse matrix in Compressed Sparse Row format — the paper's
+/// *Compressed Row (CR)* format.
+///
+/// Three arrays: `row_ptr` (length `nrows + 1`) delimits, for each row, a
+/// contiguous slice of the `cols`/`vals` arrays holding that row's
+/// column-index/value pairs in strictly increasing column order.
+///
+/// In the outer-product algorithm the *second* operand (`B`) is consumed in
+/// this format, one row per outer product (§4.1 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use outerspace_sparse::Csr;
+///
+/// let eye = Csr::identity(3);
+/// assert_eq!(eye.nnz(), 3);
+/// assert_eq!(eye.get(1, 1), 1.0);
+/// assert_eq!(eye.get(0, 1), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    nrows: Index,
+    ncols: Index,
+    row_ptr: Vec<usize>,
+    cols: Vec<Index>,
+    vals: Vec<Value>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from its raw arrays, validating every invariant:
+    /// pointer monotonicity, bounds, and strictly increasing column indices
+    /// within each row.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparseError::MalformedPointers`] — `row_ptr` has the wrong length,
+    ///   does not start at 0, is non-monotone, or does not end at
+    ///   `cols.len()`; or `cols` and `vals` disagree in length.
+    /// * [`SparseError::IndexOutOfBounds`] — a column index ≥ `ncols`.
+    /// * [`SparseError::UnsortedIndices`] — a row's columns are not strictly
+    ///   increasing.
+    pub fn new(
+        nrows: Index,
+        ncols: Index,
+        row_ptr: Vec<usize>,
+        cols: Vec<Index>,
+        vals: Vec<Value>,
+    ) -> Result<Self, SparseError> {
+        if row_ptr.len() != nrows as usize + 1 {
+            return Err(SparseError::MalformedPointers(format!(
+                "row_ptr length {} != nrows + 1 = {}",
+                row_ptr.len(),
+                nrows + 1
+            )));
+        }
+        if cols.len() != vals.len() {
+            return Err(SparseError::MalformedPointers(format!(
+                "cols length {} != vals length {}",
+                cols.len(),
+                vals.len()
+            )));
+        }
+        if row_ptr[0] != 0 || *row_ptr.last().expect("non-empty") != cols.len() {
+            return Err(SparseError::MalformedPointers(format!(
+                "row_ptr must span [0, {}], got [{}, {}]",
+                cols.len(),
+                row_ptr[0],
+                row_ptr.last().expect("non-empty")
+            )));
+        }
+        for (i, w) in row_ptr.windows(2).enumerate() {
+            if w[0] > w[1] {
+                return Err(SparseError::MalformedPointers(format!(
+                    "row_ptr not monotone at row {i}"
+                )));
+            }
+            let row = &cols[w[0]..w[1]];
+            for pair in row.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(SparseError::UnsortedIndices { lane: i as u64 });
+                }
+            }
+        }
+        if let Some(&c) = cols.iter().find(|&&c| c >= ncols) {
+            return Err(SparseError::IndexOutOfBounds {
+                index: c as u64,
+                bound: ncols as u64,
+                axis: "col",
+            });
+        }
+        Ok(Csr { nrows, ncols, row_ptr, cols, vals })
+    }
+
+    /// Builds a CSR matrix without validating invariants.
+    ///
+    /// # Safety
+    ///
+    /// This function is not memory-unsafe, but every public operation assumes
+    /// the [`Csr::new`] invariants; violating them yields wrong results or
+    /// panics later. Callers must guarantee: `row_ptr.len() == nrows + 1`,
+    /// `row_ptr` monotone from 0 to `cols.len()`, `cols.len() == vals.len()`,
+    /// all column indices `< ncols` and strictly increasing within each row.
+    pub fn from_raw_parts_unchecked(
+        nrows: Index,
+        ncols: Index,
+        row_ptr: Vec<usize>,
+        cols: Vec<Index>,
+        vals: Vec<Value>,
+    ) -> Self {
+        debug_assert!(
+            Csr::new(nrows, ncols, row_ptr.clone(), cols.clone(), vals.clone()).is_ok(),
+            "from_raw_parts_unchecked invariant violation"
+        );
+        Csr { nrows, ncols, row_ptr, cols, vals }
+    }
+
+    /// An empty (all-zero) matrix.
+    pub fn zero(nrows: Index, ncols: Index) -> Self {
+        Csr {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows as usize + 1],
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// The `n` × `n` identity matrix.
+    pub fn identity(n: Index) -> Self {
+        Csr {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n as usize).collect(),
+            cols: (0..n).collect(),
+            vals: vec![1.0; n as usize],
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Fraction of entries that are stored: `nnz / (nrows * ncols)`.
+    pub fn density(&self) -> f64 {
+        if self.nrows == 0 || self.ncols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.nrows as f64 * self.ncols as f64)
+    }
+
+    /// Average number of stored entries per row (the paper's `nnzav`).
+    pub fn nnz_per_row(&self) -> f64 {
+        if self.nrows == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / self.nrows as f64
+    }
+
+    /// The row-pointer array (`nrows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// All column indices, row-major.
+    pub fn col_indices(&self) -> &[Index] {
+        &self.cols
+    }
+
+    /// All values, row-major.
+    pub fn values(&self) -> &[Value] {
+        &self.vals
+    }
+
+    /// The column indices and values of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nrows`.
+    pub fn row(&self, i: Index) -> (&[Index], &[Value]) {
+        let lo = self.row_ptr[i as usize];
+        let hi = self.row_ptr[i as usize + 1];
+        (&self.cols[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Number of stored entries in row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nrows`.
+    pub fn row_nnz(&self, i: Index) -> usize {
+        self.row_ptr[i as usize + 1] - self.row_ptr[i as usize]
+    }
+
+    /// The value at `(row, col)`, or `0.0` when the entry is not stored.
+    ///
+    /// Binary-searches within the row: O(log nnz(row)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= nrows` or `col >= ncols`.
+    pub fn get(&self, row: Index, col: Index) -> Value {
+        assert!(col < self.ncols, "col {col} out of bounds ({} cols)", self.ncols);
+        let (cols, vals) = self.row(row);
+        match cols.binary_search(&col) {
+            Ok(pos) => vals[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over stored entries as `(row, col, value)`, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, Value)> + '_ {
+        (0..self.nrows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// The transpose, as CSR. O(nnz + nrows + ncols).
+    pub fn transpose(&self) -> Csr {
+        let n = self.ncols as usize;
+        let mut ptr = vec![0usize; n + 1];
+        for &c in &self.cols {
+            ptr[c as usize + 1] += 1;
+        }
+        for i in 0..n {
+            ptr[i + 1] += ptr[i];
+        }
+        let mut cols = vec![0 as Index; self.nnz()];
+        let mut vals = vec![0.0 as Value; self.nnz()];
+        let mut cursor = ptr.clone();
+        for (r, c, v) in self.iter() {
+            let slot = cursor[c as usize];
+            cols[slot] = r;
+            vals[slot] = v;
+            cursor[c as usize] += 1;
+        }
+        // Row-major traversal writes each transposed lane in increasing
+        // original-row order, so indices are already strictly increasing.
+        Csr { nrows: self.ncols, ncols: self.nrows, row_ptr: ptr, cols, vals }
+    }
+
+    /// Converts to CSC — the paper's *format conversion* (§4.3) that the
+    /// accelerator performs as `I_CC × A_CR`. This is the direct
+    /// (software-oracle) version.
+    pub fn to_csc(&self) -> Csc {
+        self.transpose().into_csc_transposed()
+    }
+
+    /// Reinterprets `self` as the CSC representation of `selfᵀ` — a zero-cost
+    /// relabelling of the arrays (row pointers become column pointers).
+    pub fn into_csc_transposed(self) -> Csc {
+        Csc::from_raw_parts_unchecked(self.ncols, self.nrows, self.row_ptr, self.cols, self.vals)
+    }
+
+    /// Converts to a dense matrix. Intended for tests and tiny examples.
+    pub fn to_dense(&self) -> Dense {
+        let mut d = Dense::zeros(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            *d.get_mut(r, c) = v;
+        }
+        d
+    }
+
+    /// True when the matrix equals its transpose (pattern *and* values).
+    pub fn is_symmetric(&self) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        *self == self.transpose()
+    }
+
+    /// Returns a copy with entries of magnitude `<= eps` removed.
+    pub fn pruned(&self, eps: Value) -> Csr {
+        let mut row_ptr = Vec::with_capacity(self.row_ptr.len());
+        row_ptr.push(0usize);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for r in 0..self.nrows {
+            let (rc, rv) = self.row(r);
+            for (&c, &v) in rc.iter().zip(rv) {
+                if v.abs() > eps {
+                    cols.push(c);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(cols.len());
+        }
+        Csr { nrows: self.nrows, ncols: self.ncols, row_ptr, cols, vals }
+    }
+
+    /// True when every stored value of `self` and `other` agrees within
+    /// `tol`, and the patterns match after pruning exact zeros.
+    pub fn approx_eq(&self, other: &Csr, tol: Value) -> bool {
+        if self.nrows != other.nrows || self.ncols != other.ncols {
+            return false;
+        }
+        let a = self.pruned(0.0);
+        let b = other.pruned(0.0);
+        if a.nnz() != b.nnz() {
+            return false;
+        }
+        let equal = a
+            .iter()
+            .zip(b.iter())
+            .all(|((r1, c1, v1), (r2, c2, v2))| r1 == r2 && c1 == c2 && (v1 - v2).abs() <= tol);
+        equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 0 3 4 ]
+        Csr::new(3, 3, vec![0, 2, 2, 4], vec![0, 2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_pointer_length() {
+        let err = Csr::new(2, 2, vec![0, 0], vec![], vec![]).unwrap_err();
+        assert!(matches!(err, SparseError::MalformedPointers(_)));
+    }
+
+    #[test]
+    fn construction_validates_monotonicity() {
+        let err = Csr::new(2, 2, vec![0, 1, 0], vec![0], vec![1.0]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn construction_validates_terminal_pointer() {
+        let err = Csr::new(1, 4, vec![0, 3], vec![0, 1], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, SparseError::MalformedPointers(_)));
+    }
+
+    #[test]
+    fn construction_rejects_unsorted_rows() {
+        let err = Csr::new(1, 4, vec![0, 2], vec![2, 1], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, SparseError::UnsortedIndices { lane: 0 }));
+    }
+
+    #[test]
+    fn construction_rejects_duplicate_columns() {
+        let err = Csr::new(1, 4, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, SparseError::UnsortedIndices { .. }));
+    }
+
+    #[test]
+    fn construction_rejects_out_of_bounds_column() {
+        let err = Csr::new(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::IndexOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn get_and_row_access() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(2, 2), 4.0);
+        assert_eq!(m.row_nnz(1), 0);
+        let (cols, vals) = m.row(2);
+        assert_eq!(cols, &[1, 2]);
+        assert_eq!(vals, &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let m = sample();
+        let t = m.transpose();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(t.get(r, c), m.get(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_symmetric() {
+        assert!(Csr::identity(5).is_symmetric());
+        assert!(!sample().is_symmetric());
+    }
+
+    #[test]
+    fn csc_round_trip_preserves_entries() {
+        let m = sample();
+        let csc = m.to_csc();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(csc.get(r, c), m.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn density_and_nnz_per_row() {
+        let m = sample();
+        assert!((m.density() - 4.0 / 9.0).abs() < 1e-12);
+        assert!((m.nnz_per_row() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(Csr::zero(0, 0).density(), 0.0);
+    }
+
+    #[test]
+    fn pruned_removes_small_entries() {
+        let m =
+            Csr::new(1, 3, vec![0, 3], vec![0, 1, 2], vec![1e-12, 5.0, -1e-12]).unwrap();
+        let p = m.pruned(1e-9);
+        assert_eq!(p.nnz(), 1);
+        assert_eq!(p.get(0, 1), 5.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_jitter() {
+        let a = sample();
+        let mut vals = a.values().to_vec();
+        vals[0] += 1e-13;
+        let b = Csr::new(3, 3, a.row_ptr().to_vec(), a.col_indices().to_vec(), vals).unwrap();
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-15));
+    }
+
+    #[test]
+    fn zero_matrix_iterates_nothing() {
+        assert_eq!(Csr::zero(4, 4).iter().count(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or operating on sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// An index array refers to a row or column outside the matrix bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: u64,
+        /// The bound it must be strictly below.
+        bound: u64,
+        /// Human-readable name of the axis ("row" or "col").
+        axis: &'static str,
+    },
+    /// A pointer array (row-ptrs / col-ptrs) is malformed: wrong length,
+    /// non-monotone, or does not end at `nnz`.
+    MalformedPointers(String),
+    /// Column indices within a row (or row indices within a column) are not
+    /// strictly increasing.
+    UnsortedIndices {
+        /// The row (for CSR) or column (for CSC) where order is violated.
+        lane: u64,
+    },
+    /// The operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (u64, u64),
+        /// Shape of the right operand.
+        right: (u64, u64),
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// A parsing problem in Matrix Market input.
+    Parse {
+        /// 1-based line number where the problem occurred, if known.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying I/O error (message only, so the error stays `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { index, bound, axis } => {
+                write!(f, "{axis} index {index} out of bounds (must be < {bound})")
+            }
+            SparseError::MalformedPointers(msg) => {
+                write!(f, "malformed pointer array: {msg}")
+            }
+            SparseError::UnsortedIndices { lane } => {
+                write!(f, "indices within lane {lane} are not strictly increasing")
+            }
+            SparseError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch for {op}: ({} x {}) vs ({} x {})",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(err: std::io::Error) -> Self {
+        SparseError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = SparseError::IndexOutOfBounds { index: 9, bound: 4, axis: "row" };
+        let s = e.to_string();
+        assert!(s.contains("row index 9"));
+        assert!(s.contains("< 4"));
+        assert_eq!(s, s.trim_end_matches('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SparseError = io.into();
+        assert!(matches!(e, SparseError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn shape_mismatch_display() {
+        let e = SparseError::ShapeMismatch { left: (2, 3), right: (4, 5), op: "spgemm" };
+        assert!(e.to_string().contains("spgemm"));
+        assert!(e.to_string().contains("(2 x 3)"));
+    }
+}

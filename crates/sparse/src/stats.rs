@@ -1,0 +1,195 @@
+//! Structural statistics of sparse matrices.
+//!
+//! These drive workload characterization in the experiment harness (Table 4
+//! reports dimension, `nnz`, and `nnz/row`; Fig. 7's analysis ties speedups
+//! to regularity and to power-law row distributions) and let the synthetic
+//! stand-in generator verify that generated matrices match their targets.
+
+use crate::{Csr, Index};
+
+/// Summary statistics of a matrix's non-zero structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Number of rows.
+    pub nrows: Index,
+    /// Number of columns.
+    pub ncols: Index,
+    /// Stored entries.
+    pub nnz: usize,
+    /// `nnz / (nrows · ncols)`.
+    pub density: f64,
+    /// Mean entries per row (the paper's `nnzav`).
+    pub nnz_per_row_mean: f64,
+    /// Maximum entries in any row.
+    pub nnz_per_row_max: usize,
+    /// Standard deviation of entries per row.
+    pub nnz_per_row_std: f64,
+    /// Gini coefficient of the per-row nnz distribution — 0 for perfectly
+    /// uniform rows, → 1 for extreme skew. Power-law graphs score high.
+    pub row_gini: f64,
+    /// Fraction of nnz within `bandwidth` of the diagonal (see
+    /// [`diagonal_fraction`]); near 1.0 for the "regular" matrices the paper
+    /// singles out (filter3D, roadNet-CA).
+    pub diagonal_fraction: f64,
+    /// Fraction of rows with no entries at all.
+    pub empty_row_fraction: f64,
+}
+
+/// Computes the [`Profile`] of `m`, using a diagonal band of
+/// `max(1, ncols/64)` for [`Profile::diagonal_fraction`].
+pub fn profile(m: &Csr) -> Profile {
+    let band = ((m.ncols() / 64).max(1)) as i64;
+    let row_nnz: Vec<usize> = (0..m.nrows()).map(|r| m.row_nnz(r)).collect();
+    let mean = m.nnz_per_row();
+    let var = if m.nrows() == 0 {
+        0.0
+    } else {
+        row_nnz.iter().map(|&n| (n as f64 - mean).powi(2)).sum::<f64>() / m.nrows() as f64
+    };
+    Profile {
+        nrows: m.nrows(),
+        ncols: m.ncols(),
+        nnz: m.nnz(),
+        density: m.density(),
+        nnz_per_row_mean: mean,
+        nnz_per_row_max: row_nnz.iter().copied().max().unwrap_or(0),
+        nnz_per_row_std: var.sqrt(),
+        row_gini: gini(&row_nnz),
+        diagonal_fraction: diagonal_fraction(m, band),
+        empty_row_fraction: if m.nrows() == 0 {
+            0.0
+        } else {
+            row_nnz.iter().filter(|&&n| n == 0).count() as f64 / m.nrows() as f64
+        },
+    }
+}
+
+/// Gini coefficient of a distribution of non-negative counts.
+///
+/// Returns 0.0 for an empty or all-zero distribution.
+pub fn gini(counts: &[usize]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = counts.iter().map(|&c| c as f64).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
+    let n = sorted.len() as f64;
+    let weighted: f64 =
+        sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+/// Fraction of stored entries `(r, c)` with `|r - c| <= band`.
+///
+/// "Regular" matrices in the paper's sense (most non-zeros along the
+/// diagonal) have a fraction near 1.
+pub fn diagonal_fraction(m: &Csr, band: i64) -> f64 {
+    if m.nnz() == 0 {
+        return 0.0;
+    }
+    let near = m
+        .iter()
+        .filter(|&(r, c, _)| (r as i64 - c as i64).abs() <= band)
+        .count();
+    near as f64 / m.nnz() as f64
+}
+
+/// Histogram of per-row nnz in power-of-two buckets:
+/// bucket `k` counts rows with `2^(k-1) < nnz <= 2^k` (bucket 0 = empty rows,
+/// bucket 1 = exactly 1).
+pub fn row_nnz_histogram(m: &Csr) -> Vec<usize> {
+    let mut hist = vec![0usize; 2];
+    for r in 0..m.nrows() {
+        let n = m.row_nnz(r);
+        let bucket = if n == 0 {
+            0
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as usize + 1
+        };
+        if bucket >= hist.len() {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Coo, Csr};
+
+    #[test]
+    fn gini_of_uniform_is_zero() {
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_of_concentrated_is_high() {
+        let g = gini(&[0, 0, 0, 100]);
+        assert!(g > 0.7, "got {g}");
+    }
+
+    #[test]
+    fn gini_edge_cases() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+        assert!(gini(&[7]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_fraction_of_identity_is_one() {
+        let eye = Csr::identity(32);
+        assert_eq!(diagonal_fraction(&eye, 0), 1.0);
+    }
+
+    #[test]
+    fn diagonal_fraction_of_antidiagonal_is_low() {
+        let mut coo = Coo::new(32, 32);
+        for i in 0..32 {
+            coo.push(i, 31 - i, 1.0);
+        }
+        let m = coo.to_csr();
+        assert!(diagonal_fraction(&m, 1) < 0.2);
+    }
+
+    #[test]
+    fn profile_counts_empty_rows() {
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 1.0);
+        let p = profile(&coo.to_csr());
+        assert_eq!(p.empty_row_fraction, 0.75);
+        assert_eq!(p.nnz_per_row_max, 2);
+        assert_eq!(p.nnz, 2);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut coo = Coo::new(4, 16);
+        // Row 0: empty; row 1: 1 entry; row 2: 2 entries; row 3: 5 entries.
+        coo.push(1, 0, 1.0);
+        coo.push(2, 0, 1.0);
+        coo.push(2, 1, 1.0);
+        for c in 0..5 {
+            coo.push(3, c, 1.0);
+        }
+        let h = row_nnz_histogram(&coo.to_csr());
+        assert_eq!(h[0], 1); // empty
+        assert_eq!(h[1], 1); // ==1
+        assert_eq!(h[2], 1); // ==2
+        assert_eq!(h[4], 1); // 5..=8
+    }
+
+    #[test]
+    fn profile_of_empty_matrix() {
+        let p = profile(&Csr::zero(0, 0));
+        assert_eq!(p.nnz, 0);
+        assert_eq!(p.density, 0.0);
+        assert_eq!(p.nnz_per_row_mean, 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! PageRank by repeated SpMV — the paper's flagship SpMV application (§2).
+//!
+//! The rank vector starts dense, but with a *personalized* restart set it
+//! stays sparse for many iterations, which is exactly the regime where the
+//! outer-product SpMV's traffic scales with `nnz(x)` (Table 5). This example
+//! runs personalized PageRank on a web-graph stand-in and reports how the
+//! simulated accelerator's per-iteration time tracks the rank vector's
+//! density.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example pagerank
+//! ```
+
+use outerspace::prelude::*;
+
+const DAMPING: f64 = 0.85;
+const ITERATIONS: usize = 12;
+const EPS: f64 = 1e-10;
+
+fn main() -> Result<(), SparseError> {
+    // Web-graph stand-in: power-law, 16k pages, ~90k links, column-stochastic.
+    let n: u32 = 16_384;
+    let raw = outerspace::gen::powerlaw::graph(n, 90_000, 3);
+    let a = column_stochastic(&raw)?.to_csc();
+
+    // Personalized restart: all mass on a handful of seed pages.
+    let seeds = [3u32, 999, 7777];
+    let mut x = SparseVector {
+        len: n,
+        indices: seeds.to_vec(),
+        values: vec![1.0 / seeds.len() as f64; seeds.len()],
+    };
+
+    let sim = Simulator::new(OuterSpaceConfig::default()).expect("valid config");
+    println!("iter  nnz(x)   density     simulated-us   accel-GFLOPS");
+    for it in 0..ITERATIONS {
+        let (ax, rep) = sim.spmv(&a, &x)?;
+        // x' = (1-d) * restart + d * A x, pruning negligible mass to keep
+        // the vector sparse (standard push-style personalized PageRank).
+        let mut next = std::collections::BTreeMap::new();
+        for (&i, &v) in ax.indices.iter().zip(&ax.values) {
+            let m = DAMPING * v;
+            if m > EPS {
+                next.insert(i, m);
+            }
+        }
+        for &s in &seeds {
+            *next.entry(s).or_insert(0.0) += (1.0 - DAMPING) / seeds.len() as f64;
+        }
+        x = SparseVector {
+            len: n,
+            indices: next.keys().copied().collect(),
+            values: next.values().copied().collect(),
+        };
+        println!(
+            "{it:>4}  {:>6}   {:.5}    {:>10.1}     {:.3}",
+            x.nnz(),
+            x.density(),
+            rep.seconds() * 1e6,
+            rep.gflops(),
+        );
+    }
+
+    let mut ranked: Vec<(u32, f64)> =
+        x.indices.iter().copied().zip(x.values.iter().copied()).collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite ranks"));
+    println!("top pages: {:?}", &ranked[..ranked.len().min(5)]);
+    Ok(())
+}
+
+/// Normalizes each column of `g` to sum to 1 (dangling columns left empty).
+fn column_stochastic(g: &Csr) -> Result<Csr, SparseError> {
+    let gt = g.transpose(); // rows of gt = columns of g
+    let mut sums = vec![0.0; g.ncols() as usize];
+    for (r, _, v) in gt.iter() {
+        sums[r as usize] += v;
+    }
+    let vals: Vec<f64> = g
+        .iter()
+        .map(|(_, c, v)| if sums[c as usize] > 0.0 { v / sums[c as usize] } else { 0.0 })
+        .collect();
+    Csr::new(
+        g.nrows(),
+        g.ncols(),
+        g.row_ptr().to_vec(),
+        g.col_indices().to_vec(),
+        vals,
+    )
+}

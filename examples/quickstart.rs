@@ -1,0 +1,73 @@
+//! Quickstart: multiply two sparse matrices with the outer-product
+//! algorithm, in software and on the simulated OuterSPACE accelerator.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use outerspace::energy::AreaPowerModel;
+use outerspace::prelude::*;
+
+fn main() -> Result<(), SparseError> {
+    // --- 1. Build inputs: a uniformly random 4096 x 4096 matrix with
+    //        65 536 non-zeros (density 0.39 %). ---
+    let n = 4096;
+    let nnz = 65_536;
+    let a = outerspace::gen::uniform::matrix(n, n, nnz, 7);
+    let b = outerspace::gen::uniform::matrix(n, n, nnz, 8);
+    println!("A, B: {n} x {n}, {nnz} non-zeros ({:.4} % dense)", a.density() * 100.0);
+
+    // --- 2. Software outer-product SpGEMM (multiply phase + merge phase). ---
+    let t0 = std::time::Instant::now();
+    let (c, report) = outerspace::outer::spgemm_with_stats(
+        &a,
+        &b,
+        outerspace::outer::MergeKind::Streaming,
+    )?;
+    println!(
+        "software:  C has {} non-zeros; {} elementary products, {} merge collisions ({:?})",
+        c.nnz(),
+        report.multiply.elementary_products,
+        report.merge.collisions,
+        t0.elapsed(),
+    );
+
+    // --- 3. Same product on the simulated accelerator (Table 2 config). ---
+    let sim = Simulator::new(OuterSpaceConfig::default()).expect("default config is valid");
+    let (c_hw, hw) = sim.spgemm(&a, &b)?;
+    assert!(c.approx_eq(&c_hw, 1e-9), "hardware model must compute the same product");
+    println!(
+        "simulated: {:.3} ms total ({:.3} ms multiply, {:.3} ms merge{}) at {:.2} GFLOPS",
+        hw.seconds() * 1e3,
+        hw.config.cycles_to_seconds(hw.multiply.cycles) * 1e3,
+        hw.config.cycles_to_seconds(hw.merge.cycles) * 1e3,
+        hw.convert
+            .map(|c| format!(", {:.3} ms conversion", hw.config.cycles_to_seconds(c.cycles) * 1e3))
+            .unwrap_or_default(),
+        hw.gflops(),
+    );
+    println!(
+        "           multiply-phase bandwidth {:.1} % of peak, merge-phase {:.1} %",
+        hw.multiply.bandwidth_utilization(&hw.config) * 100.0,
+        hw.merge.bandwidth_utilization(&hw.config) * 100.0,
+    );
+
+    // --- 4. Compare against the baselines the paper measures. ---
+    let t1 = std::time::Instant::now();
+    let (c_mkl, _) = outerspace::baselines::gustavson::spgemm(&a, &b)?;
+    let mkl_host = t1.elapsed();
+    assert!(c.approx_eq(&c_mkl, 1e-9));
+    println!("baseline:  Gustavson (MKL analog) on this host: {mkl_host:?}");
+
+    // --- 5. Power and area of the accelerator doing this work. ---
+    let table6 = AreaPowerModel::tsmc32nm().table6(sim.config(), Some(&hw));
+    println!(
+        "power:     {:.2} W total in {:.2} mm^2 -> {:.3} GFLOPS/W",
+        table6.total_power_w(),
+        table6.total_area_mm2(),
+        hw.gflops() / table6.total_power_w(),
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Trace-driven what-if studies — the paper's own methodology (§6: "we
+//! built an instruction trace generator for the PEs and ran the generated
+//! traces through our gem5 model").
+//!
+//! This example records the multiply-phase PE trace of one workload once,
+//! then *replays* it under modified hardware configurations (cache sizes,
+//! queue depths, HBM speeds) without re-running the algorithm — the cheap
+//! design-space exploration loop an architect would actually use.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example trace_whatif
+//! ```
+
+use outerspace::prelude::*;
+use outerspace::sim::trace::{record_multiply, replay_multiply};
+
+fn main() {
+    // One workload, one recording.
+    let a = outerspace::gen::powerlaw::graph(8192, 90_000, 7);
+    let base_cfg = OuterSpaceConfig::default();
+    let t0 = std::time::Instant::now();
+    let (direct, _, trace) = record_multiply(&base_cfg, &a.to_csc(), &a);
+    println!(
+        "recorded {} chunk items / {} MACs in {:?} (direct multiply phase: {} cycles)",
+        trace.chunk_count(),
+        trace.total_macs(),
+        t0.elapsed(),
+        direct.cycles,
+    );
+
+    // Sanity: replay on the recording configuration is cycle-exact.
+    let replayed = replay_multiply(&base_cfg, &trace);
+    assert_eq!(replayed.cycles, direct.cycles);
+
+    // What-if sweep: replay the frozen schedule under hardware variants.
+    println!(
+        "\n{:<34} {:>12} {:>9} {:>8}",
+        "configuration", "cycles", "vs base", "L0 hit"
+    );
+    let mut variants: Vec<(String, OuterSpaceConfig)> = Vec::new();
+    for kb in [4u32, 16, 64] {
+        let mut cfg = base_cfg.clone();
+        cfg.l0_multiply_bytes = kb * 1024;
+        variants.push((format!("L0 = {kb} kB"), cfg));
+    }
+    for q in [8u32, 64, 512] {
+        let mut cfg = base_cfg.clone();
+        cfg.outstanding_requests = q;
+        variants.push((format!("outstanding queue = {q}"), cfg));
+    }
+    for mb in [4000u32, 8000, 16000] {
+        let mut cfg = base_cfg.clone();
+        cfg.hbm_channel_mb_per_sec = mb;
+        variants.push((format!("HBM channel = {mb} MB/s"), cfg));
+    }
+    for ns in [60.0f64, 115.0, 300.0] {
+        let mut cfg = base_cfg.clone();
+        cfg.hbm_latency_min_ns = ns - 20.0;
+        cfg.hbm_latency_max_ns = ns + 20.0;
+        variants.push((format!("HBM latency ~{ns} ns"), cfg));
+    }
+
+    for (name, cfg) in variants {
+        let t = std::time::Instant::now();
+        let stats = replay_multiply(&cfg, &trace);
+        println!(
+            "{:<34} {:>12} {:>8.2}x {:>8.3}   (replayed in {:?})",
+            name,
+            stats.cycles,
+            direct.cycles as f64 / stats.cycles as f64,
+            stats.l0_hit_rate(),
+            t.elapsed(),
+        );
+    }
+    println!("\n(schedule frozen at record time: PE-count changes need a fresh recording)");
+}

@@ -1,0 +1,145 @@
+//! Cross-crate validation: every SpGEMM/SpMV implementation in the
+//! workspace must agree on every workload family, and the simulator's
+//! functional output must match the software pipeline.
+
+use outerspace::prelude::*;
+use outerspace::sparse::ops;
+
+/// All SpGEMM implementations, invoked uniformly.
+fn all_spgemm(a: &Csr, b: &Csr) -> Vec<(&'static str, Csr)> {
+    vec![
+        ("reference", ops::spgemm_reference(a, b).unwrap()),
+        ("outer-seq", outerspace::outer::spgemm(a, b).unwrap()),
+        ("outer-par", outerspace::outer::spgemm_parallel(a, b, 4).unwrap().0),
+        (
+            "outer-sort-merge",
+            outerspace::outer::spgemm_with_stats(a, b, outerspace::outer::MergeKind::SortBased)
+                .unwrap()
+                .0,
+        ),
+        ("gustavson", outerspace::baselines::gustavson::spgemm(a, b).unwrap().0),
+        ("gustavson-par", outerspace::baselines::gustavson::spgemm_parallel(a, b, 3).unwrap().0),
+        ("hash", outerspace::baselines::hash::spgemm(a, b).unwrap().0),
+        ("esc", outerspace::baselines::esc::spgemm(a, b).unwrap().0),
+        ("inner", outerspace::baselines::inner::spgemm(a, &b.to_csc()).unwrap().0),
+    ]
+}
+
+fn assert_all_agree(a: &Csr, b: &Csr, label: &str) {
+    let results = all_spgemm(a, b);
+    let (ref_name, reference) = &results[0];
+    for (name, c) in &results[1..] {
+        assert!(
+            c.approx_eq(reference, 1e-9),
+            "{label}: {name} disagrees with {ref_name} \
+             ({} vs {} non-zeros)",
+            c.nnz(),
+            reference.nnz()
+        );
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_uniform_random() {
+    for seed in 0..3 {
+        let a = outerspace::gen::uniform::matrix(128, 128, 1200, seed);
+        let b = outerspace::gen::uniform::matrix(128, 128, 1200, seed + 50);
+        assert_all_agree(&a, &b, "uniform");
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_rmat() {
+    let g = outerspace::gen::rmat::graph500(256, 2500, 5);
+    assert_all_agree(&g, &g, "rmat");
+}
+
+#[test]
+fn all_algorithms_agree_on_power_law() {
+    let g = outerspace::gen::powerlaw::graph(256, 3000, 6);
+    assert_all_agree(&g, &g, "powerlaw");
+}
+
+#[test]
+fn all_algorithms_agree_on_banded() {
+    let m = outerspace::gen::banded::matrix(200, &[-3, -1, 0, 1, 3], 0.9, 7);
+    assert_all_agree(&m, &m, "banded");
+}
+
+#[test]
+fn all_algorithms_agree_on_stencil() {
+    let m = outerspace::gen::stencil::grid3d(6, 6, 6, 1.0, 8);
+    assert_all_agree(&m, &m, "grid3d");
+}
+
+#[test]
+fn all_algorithms_agree_on_road_network() {
+    let m = outerspace::gen::road::network(400, 1100, 9);
+    assert_all_agree(&m, &m, "road");
+}
+
+#[test]
+fn all_algorithms_agree_on_rectangular_chain() {
+    let a = outerspace::gen::uniform::matrix(64, 96, 600, 10);
+    let b = outerspace::gen::uniform::matrix(96, 48, 500, 11);
+    assert_all_agree(&a, &b, "rectangular");
+}
+
+#[test]
+fn simulator_is_functionally_exact() {
+    let sim = Simulator::new(OuterSpaceConfig::default()).unwrap();
+    for seed in 0..3 {
+        let a = outerspace::gen::uniform::matrix(96, 96, 700, seed + 20);
+        let (c_hw, _) = sim.spgemm(&a, &a).unwrap();
+        let c_sw = outerspace::outer::spgemm(&a, &a).unwrap();
+        assert!(c_hw.approx_eq(&c_sw, 0.0), "seed {seed}: simulator output differs");
+    }
+}
+
+#[test]
+fn spmv_implementations_agree() {
+    let a = outerspace::gen::uniform::matrix(256, 256, 2500, 30);
+    let a_cc = a.to_csc();
+    for (i, r) in [0.01, 0.1, 0.5, 1.0].iter().enumerate() {
+        let x = outerspace::gen::vector::sparse(256, *r, 40 + i as u64);
+        let want = ops::spmv_reference(&a, &x.to_dense()).unwrap();
+
+        let (y_outer, _) = outerspace::outer::spmv(&a_cc, &x).unwrap();
+        let (y_mkl, _) = outerspace::baselines::spmv::spmv_dense_vector(&a, &x).unwrap();
+        let (y_gpu, _) = outerspace::baselines::spmv::spmv_index_match(&a, &x).unwrap();
+
+        let sim = Simulator::new(OuterSpaceConfig::default()).unwrap();
+        let (y_hw, _) = sim.spmv(&a_cc, &x).unwrap();
+
+        let dense_outer = y_outer.to_dense();
+        let dense_gpu = y_gpu.to_dense();
+        let dense_hw = y_hw.to_dense();
+        for row in 0..256 {
+            let w = want[row];
+            assert!((dense_outer[row] - w).abs() < 1e-9, "outer r={r} row={row}");
+            assert!((y_mkl[row] - w).abs() < 1e-9, "mkl r={r} row={row}");
+            assert!((dense_gpu[row] - w).abs() < 1e-9, "gpu r={r} row={row}");
+            assert!((dense_hw[row] - w).abs() < 1e-9, "sim r={r} row={row}");
+        }
+    }
+}
+
+#[test]
+fn cc_mode_output_agrees_across_formats() {
+    let a = outerspace::gen::uniform::matrix(80, 80, 640, 60);
+    let cr = outerspace::outer::spgemm(&a, &a).unwrap();
+    let cc = outerspace::outer::spgemm_cc(&a, &a).unwrap();
+    assert!(cc.to_csr().approx_eq(&cr, 1e-9));
+}
+
+#[test]
+fn matrix_market_round_trip_preserves_products() {
+    let a = outerspace::gen::powerlaw::graph(100, 900, 70);
+    let mut buf = Vec::new();
+    outerspace::sparse::io::write_csr(&mut buf, &a).unwrap();
+    let back = outerspace::sparse::io::read_coo(buf.as_slice()).unwrap().to_csr();
+    assert!(a.approx_eq(&back, 1e-12));
+    let c1 = outerspace::outer::spgemm(&a, &a).unwrap();
+    let c2 = outerspace::outer::spgemm(&back, &back).unwrap();
+    assert!(c1.approx_eq(&c2, 1e-9));
+}

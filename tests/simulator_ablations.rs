@@ -1,0 +1,151 @@
+//! Ablations over the simulator's design parameters — the knobs DESIGN.md
+//! calls out (§5/§6 of the paper): merge-phase PE count, scratchpad
+//! capacity, outstanding-queue depth, cache sizing, and tile count.
+
+use outerspace::prelude::*;
+
+fn workload(seed: u64) -> Csr {
+    outerspace::gen::uniform::matrix(4096, 4096, 50_000, seed)
+}
+
+fn run(cfg: OuterSpaceConfig, a: &Csr) -> SimReport {
+    let sim = Simulator::new(cfg).unwrap();
+    sim.spgemm(a, a).unwrap().1
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let a = workload(1);
+    let r1 = run(OuterSpaceConfig::default(), &a);
+    let r2 = run(OuterSpaceConfig::default(), &a);
+    assert_eq!(r1, r2);
+}
+
+/// §6: "enabling a greater number of PEs results in slight performance
+/// degradation due to thrashing in the L1 cache" — at minimum, 16 active
+/// merge PEs must not be dramatically better than 8, while halving to 4
+/// costs real time.
+#[test]
+fn merge_pe_count_ablation() {
+    let a = workload(2);
+    let cycles_with = |active: u32| {
+        let mut cfg = OuterSpaceConfig::default();
+        cfg.merge_active_pes_per_tile = active;
+        run(cfg, &a).merge.cycles
+    };
+    let m4 = cycles_with(4);
+    let m8 = cycles_with(8);
+    let m16 = cycles_with(16);
+    assert!(m4 > m8, "4 merge PEs ({m4}) should be slower than 8 ({m8})");
+    // The paper picked 8: 16 must not bring a large win.
+    assert!(
+        (m16 as f64) > 0.6 * m8 as f64,
+        "16 merge PEs ({m16}) should not crush 8 ({m8})"
+    );
+}
+
+/// §5.4.2: an undersized scratchpad forces recursive sub-merges and extra
+/// HBM round trips.
+#[test]
+fn scratchpad_capacity_ablation() {
+    // Power-law input creates deep fan-in rows that stress the working set.
+    let a = outerspace::gen::powerlaw::graph(4096, 60_000, 3);
+    let traffic_with = |bytes: u32| {
+        let mut cfg = OuterSpaceConfig::default();
+        cfg.merge_scratchpad_bytes = bytes;
+        let r = run(cfg, &a);
+        r.merge.hbm_read_bytes
+    };
+    let tiny = traffic_with(128); // ~10 heads
+    let table2 = traffic_with(2048); // 170 heads
+    assert!(
+        tiny > table2,
+        "tiny scratchpad ({tiny} B read) must re-read more than Table 2's ({table2} B)"
+    );
+}
+
+/// Outstanding-request queue depth gates memory-level parallelism.
+#[test]
+fn outstanding_queue_ablation() {
+    let a = workload(4);
+    let cycles_with = |q: u32| {
+        let mut cfg = OuterSpaceConfig::default();
+        cfg.outstanding_requests = q;
+        run(cfg, &a).multiply.cycles
+    };
+    let shallow = cycles_with(2);
+    let table2 = cycles_with(64);
+    assert!(
+        shallow > table2,
+        "2-entry queues ({shallow}) must be slower than 64 ({table2})"
+    );
+}
+
+/// Fewer tiles = less compute and less L0 capacity: must cost time.
+#[test]
+fn tile_count_ablation() {
+    let a = workload(5);
+    let cycles_with = |tiles: u32| {
+        let mut cfg = OuterSpaceConfig::default();
+        cfg.n_tiles = tiles;
+        run(cfg, &a).total_cycles()
+    };
+    let quarter = cycles_with(4);
+    let full = cycles_with(16);
+    assert!(
+        quarter > full,
+        "4 tiles ({quarter}) must be slower than 16 ({full})"
+    );
+}
+
+/// Larger L0s capture more B-row reuse in the multiply phase.
+#[test]
+fn l0_size_ablation() {
+    // Dense columns force heavy row sharing.
+    let a = outerspace::gen::powerlaw::graph(2048, 40_000, 6);
+    let hit_rate_with = |bytes: u32| {
+        let mut cfg = OuterSpaceConfig::default();
+        cfg.l0_multiply_bytes = bytes;
+        let r = run(cfg, &a);
+        r.multiply.l0_hit_rate()
+    };
+    let small = hit_rate_with(1024);
+    let table2 = hit_rate_with(16 * 1024);
+    assert!(
+        table2 > small,
+        "16 kB L0 hit rate ({table2:.3}) must beat 1 kB ({small:.3})"
+    );
+}
+
+/// Streaming merge vs sort-based merge: the paper's streaming choice moves
+/// less data through local memory; in software stats, its sort-step count
+/// is lower than the full sort's.
+#[test]
+fn merge_kind_ablation() {
+    let a = workload(7);
+    let (_, s_stream) = outerspace::outer::spgemm_with_stats(
+        &a,
+        &a,
+        outerspace::outer::MergeKind::Streaming,
+    )
+    .unwrap();
+    let (_, s_sort) =
+        outerspace::outer::spgemm_with_stats(&a, &a, outerspace::outer::MergeKind::SortBased)
+            .unwrap();
+    assert!(s_stream.merge.sort_steps <= s_sort.merge.sort_steps);
+    assert_eq!(s_stream.merge.output_entries, s_sort.merge.output_entries);
+}
+
+/// Halving HBM bandwidth must slow the (memory-bound) phases down.
+#[test]
+fn hbm_bandwidth_ablation() {
+    let a = workload(8);
+    let seconds_with = |mb: u32| {
+        let mut cfg = OuterSpaceConfig::default();
+        cfg.hbm_channel_mb_per_sec = mb;
+        run(cfg, &a).seconds()
+    };
+    let half = seconds_with(4000);
+    let full = seconds_with(8000);
+    assert!(half > 1.2 * full, "half bandwidth {half} vs full {full}");
+}

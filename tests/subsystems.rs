@@ -1,0 +1,121 @@
+//! Integration coverage for the extension subsystems: element-wise
+//! simulation (§5.6), trace record/replay (§6 methodology), §8 scaling
+//! configurations, and the energy reporting pipeline.
+
+use outerspace::energy::AreaPowerModel;
+use outerspace::prelude::*;
+use outerspace::sim::trace::{record_multiply, replay_multiply};
+use outerspace::sparse::ops;
+
+#[test]
+fn elementwise_sum_on_simulator_matches_reference() {
+    let sim = Simulator::new(OuterSpaceConfig::default()).unwrap();
+    let mats: Vec<Csr> =
+        (0..3).map(|s| outerspace::gen::uniform::matrix(256, 256, 3000, s)).collect();
+    let refs: Vec<&Csr> = mats.iter().collect();
+    let (c, rep) = sim.elementwise_sum(&refs).unwrap();
+    let mut want = mats[0].clone();
+    for m in &mats[1..] {
+        want = ops::add(&want, m).unwrap();
+    }
+    assert!(c.approx_eq(&want, 1e-12));
+    assert!(rep.merge.cycles > 0, "element-wise ops run on the merge datapath");
+    assert_eq!(rep.multiply.cycles, 0);
+    // §5.6: "close to a one-to-one correspondence" with the merge phase —
+    // flops equal the pattern overlap.
+    let overlap: usize = mats.iter().map(|m| m.nnz()).sum::<usize>() - c.nnz();
+    assert_eq!(rep.merge.flops, overlap as u64);
+}
+
+#[test]
+fn elementwise_sum_rejects_bad_input() {
+    let sim = Simulator::new(OuterSpaceConfig::default()).unwrap();
+    assert!(sim.elementwise_sum(&[]).is_err());
+    let a = Csr::identity(4);
+    let b = Csr::identity(5);
+    assert!(sim.elementwise_sum(&[&a, &b]).is_err());
+}
+
+#[test]
+fn trace_replay_is_cycle_exact_through_public_api() {
+    let cfg = OuterSpaceConfig::default();
+    let a = outerspace::gen::rmat::graph500(512, 5000, 11);
+    let (direct, _, trace) = record_multiply(&cfg, &a.to_csc(), &a);
+    let replayed = replay_multiply(&cfg, &trace);
+    assert_eq!(direct.cycles, replayed.cycles);
+    assert_eq!(direct.hbm_read_bytes, replayed.hbm_read_bytes);
+    assert_eq!(direct.l0_hits, replayed.l0_hits);
+}
+
+#[test]
+fn interposed_system_is_faster_on_big_workloads() {
+    let a = outerspace::gen::uniform::matrix(8192, 8192, 120_000, 12);
+    let base = Simulator::new(OuterSpaceConfig::default()).unwrap();
+    let big = Simulator::new(OuterSpaceConfig::default().interposed_4x()).unwrap();
+    let (c1, r1) = base.spgemm(&a, &a).unwrap();
+    let (c2, r2) = big.spgemm(&a, &a).unwrap();
+    assert!(c1.approx_eq(&c2, 0.0), "scaling must not change results");
+    assert!(
+        r2.total_cycles() < r1.total_cycles(),
+        "4x resources must help: {} vs {}",
+        r2.total_cycles(),
+        r1.total_cycles()
+    );
+}
+
+#[test]
+fn torus_configs_stay_functionally_exact() {
+    let a = outerspace::gen::powerlaw::graph(2048, 20_000, 13);
+    let want = ops::spgemm_reference(&a, &a).unwrap();
+    for nodes in [4u32, 16] {
+        let sim = Simulator::new(OuterSpaceConfig::default().torus(nodes)).unwrap();
+        let (c, rep) = sim.spgemm(&a, &a).unwrap();
+        assert!(c.approx_eq(&want, 1e-9), "{nodes}-node torus result");
+        assert!(rep.seconds() > 0.0);
+    }
+}
+
+#[test]
+fn energy_report_tracks_phase_split() {
+    let cfg = OuterSpaceConfig::default();
+    let sim = Simulator::new(cfg.clone()).unwrap();
+    let model = AreaPowerModel::tsmc32nm();
+    let a = outerspace::gen::uniform::matrix(4096, 4096, 50_000, 14);
+    let (_, rep) = sim.spgemm(&a, &a).unwrap();
+    let e = model.energy_report(&cfg, &rep);
+    assert!(e.convert_j > 0.0, "asymmetric input charges conversion energy");
+    assert!(e.multiply_j > 0.0 && e.merge_j > 0.0);
+    // HBM idle power alone bounds average power from below.
+    assert!(e.average_power_w > 5.0);
+    // Energy-delay product consistency.
+    let edp = e.total_j * rep.seconds();
+    assert!((e.energy_delay_js - edp).abs() / edp < 1e-9);
+}
+
+#[test]
+fn edge_list_to_simulation_pipeline() {
+    // SNAP-format text -> matrix -> simulated SpGEMM, end to end.
+    let text = "# tiny graph\n0 1\n1 2\n2 0\n2 3\n3 0\n";
+    let g = outerspace::sparse::io::read_edge_list(text.as_bytes(), true)
+        .unwrap()
+        .to_csr();
+    assert_eq!(g.nrows(), 4);
+    let sim = Simulator::new(OuterSpaceConfig::default()).unwrap();
+    let (c, rep) = sim.spgemm(&g, &g).unwrap();
+    assert!(c.approx_eq(&ops::spgemm_reference(&g, &g).unwrap(), 1e-12));
+    assert!(rep.convert.is_none(), "symmetric edge list skips conversion");
+}
+
+#[test]
+fn matrix_power_runs_on_simulated_chain() {
+    // A^4 via two simulated squarings with a CC-format intermediate —
+    // the chained-multiplication amortization of §4.3.
+    let a = outerspace::gen::uniform::matrix(128, 128, 500, 15);
+    let sim = Simulator::new(OuterSpaceConfig::default()).unwrap();
+    let (a2, r1) = sim.spgemm(&a, &a).unwrap();
+    let (a4, r2) = sim.spgemm_cc_operand(&a2.to_csc(), &a2).unwrap();
+    assert!(r1.convert.is_some());
+    assert!(r2.convert.is_none(), "pre-converted operand skips conversion");
+    let want = outerspace::matrix_power(&a, 4).unwrap();
+    assert!(a4.approx_eq(&want, 1e-6));
+}
