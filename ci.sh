@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Continuous-integration gate. Everything runs offline: the workspace has no
+# crates.io dependencies (see DESIGN.md §4), and pointing CARGO_HOME at an
+# empty directory proves nothing sneaks in through a warm registry cache.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+HERMETIC_CARGO_HOME="$(mktemp -d)"
+trap 'rm -rf "$HERMETIC_CARGO_HOME"' EXIT
+export CARGO_HOME="$HERMETIC_CARGO_HOME"
+export CARGO_NET_OFFLINE=true
+
+echo "==> offline release build"
+cargo build --release --offline
+
+echo "==> test suite"
+cargo test -q --offline
+
+echo "==> clippy (warnings are errors)"
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "==> ci.sh: all gates passed"

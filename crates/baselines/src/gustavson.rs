@@ -74,7 +74,7 @@ pub fn spgemm_parallel(
     check_shapes(a, b)?;
     const BLOCK: u32 = 128;
     let next_block = AtomicU32::new(0);
-    let n_blocks = (a.nrows() + BLOCK - 1) / BLOCK;
+    let n_blocks = a.nrows().div_ceil(BLOCK);
 
     type BlockOut = (u32, Vec<usize>, Vec<Index>, Vec<Value>);
     let results: Mutex<Vec<BlockOut>> = Mutex::new(Vec::new());

@@ -30,9 +30,11 @@ pub fn spmv_dense_vector(
         });
     }
     let dense = x.to_dense();
-    let mut stats = TrafficStats::default();
     // Whole matrix + whole dense vector are touched, always.
-    stats.bytes_touched = 12 * a.nnz() as u64 + 8 * dense.len() as u64;
+    let mut stats = TrafficStats {
+        bytes_touched: 12 * a.nnz() as u64 + 8 * dense.len() as u64,
+        ..Default::default()
+    };
     let mut y = vec![0.0 as Value; a.nrows() as usize];
     for (i, yi) in y.iter_mut().enumerate() {
         let (cols, vals) = a.row(i as u32);
@@ -66,8 +68,10 @@ pub fn spmv_index_match(
             op: "spmv",
         });
     }
-    let mut stats = TrafficStats::default();
-    stats.bytes_touched = 12 * a.nnz() as u64 + 12 * x.nnz() as u64;
+    let mut stats = TrafficStats {
+        bytes_touched: 12 * a.nnz() as u64 + 12 * x.nnz() as u64,
+        ..Default::default()
+    };
     let mut indices = Vec::new();
     let mut values = Vec::new();
     for i in 0..a.nrows() {

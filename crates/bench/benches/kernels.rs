@@ -1,14 +1,53 @@
-//! Criterion micro-benchmarks of the software kernels: the outer-product
-//! phases, the baseline SpGEMMs, SpMV variants, and format conversion.
+//! Micro-benchmarks of the software kernels: the outer-product phases, the
+//! baseline SpGEMMs, SpMV variants, and format conversion.
 //!
 //! These complement the per-figure binaries (which print the paper's
-//! tables): criterion gives statistically robust relative numbers for the
-//! software implementations themselves.
+//! tables). The harness is self-contained (`harness = false`, no criterion)
+//! so the workspace builds offline: each kernel is timed over a fixed wall
+//! clock budget with a warm-up pass, reporting the median and spread of the
+//! per-iteration times. Run with `cargo bench -p outerspace-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
 
 use outerspace::outer::{self, MergeKind};
 use outerspace::prelude::*;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const BUDGET: Duration = Duration::from_secs(1);
+
+/// Times `f` repeatedly inside the budget and prints median / min / max.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let warm_end = Instant::now() + WARMUP;
+    while Instant::now() < warm_end {
+        std::hint::black_box(f());
+    }
+    let mut samples = Vec::new();
+    let end = Instant::now() + BUDGET;
+    while Instant::now() < end && samples.len() < 1000 {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<45} {:>12} median  {:>12} min  {:>12} max  ({} iters)",
+        fmt_time(median),
+        fmt_time(samples[0]),
+        fmt_time(*samples.last().expect("non-empty")),
+        samples.len()
+    );
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
 
 fn fixture(n: u32, nnz: usize, seed: u64) -> (Csr, Csr) {
     (
@@ -17,121 +56,85 @@ fn fixture(n: u32, nnz: usize, seed: u64) -> (Csr, Csr) {
     )
 }
 
-fn bench_spgemm_algorithms(c: &mut Criterion) {
+fn bench_spgemm_algorithms() {
     let (a, b) = fixture(1024, 16_000, 1);
     let a_csc = a.to_csc();
-    let mut g = c.benchmark_group("spgemm");
-    g.bench_function("outer_sequential", |bench| {
-        bench.iter(|| outer::spgemm(&a, &b).unwrap())
-    });
-    g.bench_function("outer_parallel_4", |bench| {
-        bench.iter(|| outer::spgemm_parallel(&a, &b, 4).unwrap())
-    });
-    g.bench_function("gustavson", |bench| {
-        bench.iter(|| outerspace::baselines::gustavson::spgemm(&a, &b).unwrap())
-    });
-    g.bench_function("hash", |bench| {
-        bench.iter(|| outerspace::baselines::hash::spgemm(&a, &b).unwrap())
-    });
-    g.bench_function("esc", |bench| {
-        bench.iter(|| outerspace::baselines::esc::spgemm(&a, &b).unwrap())
-    });
-    g.bench_function("reference", |bench| {
-        bench.iter(|| outerspace::sparse::ops::spgemm_reference(&a, &b).unwrap())
-    });
-    drop(g);
+    println!("\n# spgemm");
+    bench("spgemm/outer_sequential", || outer::spgemm(&a, &b).unwrap());
+    bench("spgemm/outer_parallel_4", || outer::spgemm_parallel(&a, &b, 4).unwrap());
+    bench("spgemm/gustavson", || outerspace::baselines::gustavson::spgemm(&a, &b).unwrap());
+    bench("spgemm/hash", || outerspace::baselines::hash::spgemm(&a, &b).unwrap());
+    bench("spgemm/esc", || outerspace::baselines::esc::spgemm(&a, &b).unwrap());
+    bench("spgemm/reference", || outerspace::sparse::ops::spgemm_reference(&a, &b).unwrap());
 
-    // Phases in isolation.
-    let mut g = c.benchmark_group("outer_phases");
-    g.bench_function("multiply", |bench| {
-        bench.iter(|| outer::multiply(&a_csc, &b).unwrap())
+    println!("\n# outer_phases");
+    bench("outer_phases/multiply", || outer::multiply(&a_csc, &b).unwrap());
+    // Merge consumes its input, so the setup multiply is inside the timed
+    // closure for the merge kinds; subtract the multiply-only row to compare.
+    bench("outer_phases/multiply_plus_merge_streaming", || {
+        let pp = outer::multiply(&a_csc, &b).unwrap().0;
+        outer::merge(pp, MergeKind::Streaming)
     });
-    g.bench_function("merge_streaming", |bench| {
-        bench.iter_batched(
-            || outer::multiply(&a_csc, &b).unwrap().0,
-            |pp| outer::merge(pp, MergeKind::Streaming),
-            criterion::BatchSize::LargeInput,
-        )
+    bench("outer_phases/multiply_plus_merge_sort_based", || {
+        let pp = outer::multiply(&a_csc, &b).unwrap().0;
+        outer::merge(pp, MergeKind::SortBased)
     });
-    g.bench_function("merge_sort_based", |bench| {
-        bench.iter_batched(
-            || outer::multiply(&a_csc, &b).unwrap().0,
-            |pp| outer::merge(pp, MergeKind::SortBased),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    g.finish();
 }
 
-fn bench_density_sweep(c: &mut Criterion) {
-    // Fig. 3's regime: fixed nnz, growing dimension.
-    let mut g = c.benchmark_group("density_sweep_outer");
+fn bench_density_sweep() {
+    println!("\n# density_sweep_outer (Fig. 3 regime: fixed nnz, growing dimension)");
     for n in [1024u32, 4096] {
         let (a, b) = fixture(n, 16_000, 2);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| outer::spgemm(&a, &b).unwrap())
-        });
+        bench(&format!("density_sweep_outer/{n}"), || outer::spgemm(&a, &b).unwrap());
     }
-    g.finish();
 }
 
-fn bench_spmv(c: &mut Criterion) {
+fn bench_spmv() {
     let a = outerspace::gen::uniform::matrix(8_192, 8_192, 80_000, 3);
     let a_cc = a.to_csc();
-    let mut g = c.benchmark_group("spmv");
+    println!("\n# spmv");
     for r in [0.01f64, 0.1, 1.0] {
         let x = outerspace::gen::vector::sparse(8_192, r, 4);
-        g.bench_with_input(BenchmarkId::new("outer", r), &x, |bench, x| {
-            bench.iter(|| outer::spmv(&a_cc, x).unwrap())
-        });
-        g.bench_with_input(BenchmarkId::new("mkl_analog", r), &x, |bench, x| {
-            bench.iter(|| outerspace::baselines::spmv::spmv_dense_vector(&a, x).unwrap())
+        bench(&format!("spmv/outer/{r}"), || outer::spmv(&a_cc, &x).unwrap());
+        bench(&format!("spmv/mkl_analog/{r}"), || {
+            outerspace::baselines::spmv::spmv_dense_vector(&a, &x).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_conversion(c: &mut Criterion) {
+fn bench_conversion() {
     let a = outerspace::gen::uniform::matrix(4096, 4096, 80_000, 5);
-    let mut g = c.benchmark_group("format_conversion");
-    g.bench_function("csr_to_csc_via_outer", |bench| {
-        bench.iter(|| outer::csr_to_csc_via_outer(&a))
-    });
-    g.bench_function("csr_to_csc_direct", |bench| bench.iter(|| a.to_csc()));
-    g.finish();
+    println!("\n# format_conversion");
+    bench("format_conversion/csr_to_csc_via_outer", || outer::csr_to_csc_via_outer(&a));
+    bench("format_conversion/csr_to_csc_direct", || a.to_csc());
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator() {
     // Simulator throughput itself (not simulated time): how fast the model
     // processes a small workload.
     let a = outerspace::gen::uniform::matrix(1024, 1024, 12_000, 6);
     let sim = Simulator::new(OuterSpaceConfig::default()).unwrap();
-    c.bench_function("simulator_spgemm_1k", |bench| {
-        bench.iter(|| sim.spgemm(&a, &a).unwrap())
+    println!("\n# simulator");
+    bench("simulator_spgemm_1k", || sim.spgemm(&a, &a).unwrap());
+}
+
+fn bench_generators() {
+    println!("\n# generators");
+    bench("generators/uniform_50k", || {
+        outerspace::gen::uniform::matrix(32_768, 32_768, 50_000, 7)
+    });
+    bench("generators/rmat_25k", || outerspace::gen::rmat::graph500(32_768, 25_000, 7));
+    bench("generators/powerlaw_50k", || {
+        outerspace::gen::powerlaw::graph(32_768, 50_000, 7)
     });
 }
 
-fn bench_generators(c: &mut Criterion) {
-    let mut g = c.benchmark_group("generators");
-    g.bench_function("uniform_50k", |bench| {
-        bench.iter(|| outerspace::gen::uniform::matrix(32_768, 32_768, 50_000, 7))
-    });
-    g.bench_function("rmat_25k", |bench| {
-        bench.iter(|| outerspace::gen::rmat::graph500(32_768, 25_000, 7))
-    });
-    g.bench_function("powerlaw_50k", |bench| {
-        bench.iter(|| outerspace::gen::powerlaw::graph(32_768, 50_000, 7))
-    });
-    g.finish();
+fn main() {
+    // `cargo bench` passes harness flags such as `--bench`; ignore them.
+    bench_spgemm_algorithms();
+    bench_density_sweep();
+    bench_spmv();
+    bench_conversion();
+    bench_simulator();
+    bench_generators();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(1))
-        .warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_spgemm_algorithms, bench_density_sweep, bench_spmv,
-              bench_conversion, bench_simulator, bench_generators
-}
-criterion_main!(benches);

@@ -7,7 +7,6 @@ use outerspace::outer::MergeKind;
 use outerspace::prelude::*;
 use outerspace_bench::{fmt_secs, HarnessOpts};
 
-#[derive(serde::Serialize)]
 struct Point {
     study: &'static str,
     setting: String,
@@ -16,6 +15,8 @@ struct Point {
     hbm_gb: f64,
     l0_hit_rate: f64,
 }
+
+outerspace_json::impl_to_json!(Point { study, setting, seconds, merge_seconds, hbm_gb, l0_hit_rate });
 
 fn run(cfg: OuterSpaceConfig, a: &Csr, study: &'static str, setting: String) -> Point {
     let sim = Simulator::new(cfg).expect("config valid");

@@ -17,7 +17,6 @@ use outerspace::outer::MergeKind;
 use outerspace::sim::xmodels::CpuModel;
 use outerspace_bench::{fmt_secs, HarnessOpts};
 
-#[derive(serde::Serialize)]
 struct Row {
     n: u32,
     density: f64,
@@ -27,6 +26,8 @@ struct Row {
     mkl_host_s: f64,
     mkl_model_s: f64,
 }
+
+outerspace_json::impl_to_json!(Row { n, density, outer_multiply_s, outer_merge_s, outer_total_s, mkl_host_s, mkl_model_s });
 
 fn main() {
     let opts = HarnessOpts::from_args(8);

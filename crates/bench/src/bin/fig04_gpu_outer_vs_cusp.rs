@@ -16,7 +16,6 @@ use outerspace::outer::MergeKind;
 use outerspace::sim::xmodels::GpuModel;
 use outerspace_bench::{fmt_secs, HarnessOpts};
 
-#[derive(serde::Serialize)]
 struct Row {
     n: u32,
     density: f64,
@@ -27,6 +26,8 @@ struct Row {
     cusp_merge_s: f64,
     cusp_total_s: f64,
 }
+
+outerspace_json::impl_to_json!(Row { n, density, gpu_outer_multiply_s, gpu_outer_merge_s, gpu_outer_total_s, cusp_expand_s, cusp_merge_s, cusp_total_s });
 
 fn main() {
     let opts = HarnessOpts::from_args(8);

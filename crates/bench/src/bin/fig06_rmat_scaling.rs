@@ -12,7 +12,6 @@
 
 use outerspace_bench::{fmt_secs, run_baselines, run_outerspace, HarnessOpts};
 
-#[derive(serde::Serialize)]
 struct Row {
     family: &'static str,
     n_vertices: u32,
@@ -25,6 +24,8 @@ struct Row {
     speedup_cusparse: f64,
     speedup_cusp: f64,
 }
+
+outerspace_json::impl_to_json!(Row { family, n_vertices, nnz, outerspace_s, mkl_model_s, cusparse_model_s, cusp_model_s, speedup_mkl, speedup_cusparse, speedup_cusp });
 
 fn main() {
     let opts = HarnessOpts::from_args(4);

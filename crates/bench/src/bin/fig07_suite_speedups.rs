@@ -12,7 +12,6 @@
 use outerspace::gen::suite::TABLE4;
 use outerspace_bench::{fmt_secs, geomean, run_baselines, run_outerspace, HarnessOpts};
 
-#[derive(serde::Serialize)]
 struct Row {
     name: &'static str,
     scale: u32,
@@ -26,6 +25,8 @@ struct Row {
     speedup_cusparse: f64,
     speedup_cusp: f64,
 }
+
+outerspace_json::impl_to_json!(Row { name, scale, dim, nnz, gflops, mult_bw_pct, merge_bw_pct, outerspace_s, speedup_mkl, speedup_cusparse, speedup_cusp });
 
 
 /// Picks a workload scale for a suite entry: dimension capped near 100 k rows

@@ -13,13 +13,14 @@
 use outerspace::prelude::*;
 use outerspace_bench::{fmt_secs, HarnessOpts};
 
-#[derive(serde::Serialize)]
 struct Row {
     chain_length: u32,
     total_s: f64,
     conversion_s: f64,
     conversion_pct: f64,
 }
+
+outerspace_json::impl_to_json!(Row { chain_length, total_s, conversion_s, conversion_pct });
 
 /// Keeps the `k` largest-magnitude entries of each row.
 fn sparsify_top_k(m: &Csr, k: usize) -> Csr {

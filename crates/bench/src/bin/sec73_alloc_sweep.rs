@@ -8,13 +8,14 @@
 use outerspace::gen::suite::TABLE4;
 use outerspace_bench::HarnessOpts;
 
-#[derive(serde::Serialize)]
 struct Row {
     name: &'static str,
     scale: u32,
     requests_by_alpha: Vec<(f64, u64)>,
     wasted_at_alpha2: u64,
 }
+
+outerspace_json::impl_to_json!(Row { name, scale, requests_by_alpha, wasted_at_alpha2 });
 
 
 /// Picks a workload scale for a suite entry: dimension capped near 100 k rows

@@ -14,7 +14,6 @@
 use outerspace::prelude::*;
 use outerspace_bench::{fmt_secs, HarnessOpts};
 
-#[derive(serde::Serialize)]
 struct Row {
     system: String,
     pes: u32,
@@ -24,6 +23,8 @@ struct Row {
     gflops: f64,
     speedup_vs_base: f64,
 }
+
+outerspace_json::impl_to_json!(Row { system, pes, bandwidth_gbps, workload_nnz, seconds, gflops, speedup_vs_base });
 
 fn main() {
     let opts = HarnessOpts::from_args(1);

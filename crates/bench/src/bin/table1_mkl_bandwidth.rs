@@ -15,7 +15,6 @@ use std::time::Instant;
 
 use outerspace_bench::HarnessOpts;
 
-#[derive(serde::Serialize)]
 struct Row {
     dimension: u32,
     avg_utilization_pct: f64,
@@ -24,6 +23,8 @@ struct Row {
     paper_avg_pct: f64,
     paper_peak_pct: f64,
 }
+
+outerspace_json::impl_to_json!(Row { dimension, avg_utilization_pct, peak_utilization_pct, model_utilization_pct, paper_avg_pct, paper_peak_pct });
 
 fn main() {
     let opts = HarnessOpts::from_args(16);

@@ -14,12 +14,13 @@ use outerspace::prelude::*;
 use outerspace::sim::xmodels::{CpuModel, GpuModel};
 use outerspace_bench::HarnessOpts;
 
-#[derive(serde::Serialize)]
 struct Row {
     dim: u32,
     speedup_cpu: [f64; 3],
     speedup_gpu: [f64; 3],
 }
+
+outerspace_json::impl_to_json!(Row { dim, speedup_cpu, speedup_gpu });
 
 fn main() {
     let opts = HarnessOpts::from_args(4);

@@ -74,27 +74,23 @@ impl HarnessOpts {
 
     /// Writes `value` as pretty JSON to `<out>/<name>.json` (best effort:
     /// failures are reported to stderr, not fatal).
-    pub fn dump_json<T: serde::Serialize>(&self, name: &str, value: &T) {
+    pub fn dump_json<T: outerspace_json::ToJson>(&self, name: &str, value: &T) {
         if let Err(e) = std::fs::create_dir_all(&self.out_dir) {
             eprintln!("warning: cannot create {}: {e}", self.out_dir.display());
             return;
         }
         let path = self.out_dir.join(format!("{name}.json"));
-        match serde_json::to_string_pretty(value) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("warning: cannot write {}: {e}", path.display());
-                } else {
-                    eprintln!("(results written to {})", path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+        let json = value.to_json().to_string_pretty();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("(results written to {})", path.display());
         }
     }
 }
 
 /// All baseline timings for one SpGEMM workload (`C = A × A`).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct BaselineTimes {
     /// Host wall-clock of the Gustavson (MKL-analog) kernel, seconds.
     pub mkl_host_s: f64,
@@ -107,6 +103,14 @@ pub struct BaselineTimes {
     /// Useful flops of the product (2 × elementary products).
     pub flops: u64,
 }
+
+outerspace_json::impl_to_json!(BaselineTimes {
+    mkl_host_s,
+    mkl_model_s,
+    cusparse_model_s,
+    cusp_model_s,
+    flops,
+});
 
 /// Runs every baseline for `C = A × A` and returns their timings.
 ///

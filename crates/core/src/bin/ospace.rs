@@ -9,6 +9,11 @@
 //! ospace suite                                   list the Table 4 matrices
 //! ```
 //!
+//! `simulate` and `spmv` accept fault-injection knobs (all default off):
+//! `--fault-seed N` (RNG seed), `--hbm-ber R` (per-bit HBM error rate),
+//! `--drop-rate R` (per-read response-drop probability), and
+//! `--pe-kill N[@CYCLE]` (hard-fail N PEs at CYCLE, default cycle 0).
+//!
 //! Matrix files: `.mtx` (Matrix Market) or anything else is parsed as a
 //! SNAP-style edge list (`src dst` per line, `#` comments).
 
@@ -77,6 +82,45 @@ fn positional(args: &[String]) -> Vec<&str> {
     out
 }
 
+/// Parses the fault-injection flags into a [`FaultModel`] (all off when no
+/// flag is given, which keeps the simulation cycle-identical to baseline).
+fn fault_model(args: &[String]) -> Result<FaultModel, String> {
+    let mut m = FaultModel::default();
+    if let Some(s) = flag_value(args, "--fault-seed") {
+        m.seed = s.parse().map_err(|_| "--fault-seed needs an integer")?;
+    }
+    if let Some(s) = flag_value(args, "--hbm-ber") {
+        m.hbm_ber = s.parse().map_err(|_| "--hbm-ber needs a number")?;
+    }
+    if let Some(s) = flag_value(args, "--drop-rate") {
+        m.drop_rate = s.parse().map_err(|_| "--drop-rate needs a number")?;
+    }
+    if let Some(s) = flag_value(args, "--pe-kill") {
+        let (count, cycle) = match s.split_once('@') {
+            Some((c, at)) => (c, at.parse().map_err(|_| "--pe-kill cycle must be an integer")?),
+            None => (s, 0),
+        };
+        m.pe_kill_count = count.parse().map_err(|_| "--pe-kill needs N or N@CYCLE")?;
+        m.pe_kill_cycle = cycle;
+    }
+    Ok(m)
+}
+
+/// Prints the fault/recovery counters of a report when fault injection ran.
+fn print_fault_summary(rep: &SimReport) {
+    if !rep.config.faults.is_active() {
+        return;
+    }
+    let phases = [("convert", rep.convert.as_ref()), ("multiply", Some(&rep.multiply)), ("merge", Some(&rep.merge))];
+    println!("fault injection (seed {}):", rep.config.faults.seed);
+    for (name, p) in phases.into_iter().filter_map(|(n, p)| p.map(|p| (n, p))) {
+        println!(
+            "  {name:<8}: {} ECC retries, {} dropped responses, {} penalty cycles, {} PEs killed, {} work items requeued",
+            p.ecc_retries, p.dropped_responses, p.fault_penalty_cycles, p.killed_pes, p.requeued_work_items
+        );
+    }
+}
+
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let pos = positional(args);
     let path = pos.first().ok_or("info needs a matrix file")?;
@@ -126,7 +170,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         Some(p) => load(p)?,
         None => a.clone(),
     };
-    let sim = Simulator::new(OuterSpaceConfig::default())?;
+    let cfg = OuterSpaceConfig { faults: fault_model(args)?, ..Default::default() };
+    let sim = Simulator::new(cfg).map_err(|e| e.to_string())?;
     let (c, rep) = sim.spgemm(&a, &b).map_err(|e| e.to_string())?;
     println!("result: {} non-zeros", c.nnz());
     println!(
@@ -148,6 +193,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             p.l0_hit_rate()
         );
     }
+    print_fault_summary(&rep);
     let t6 = outerspace::energy::AreaPowerModel::tsmc32nm().table6(&rep.config, Some(&rep));
     println!(
         "energy: {:.2} W -> {:.3} GFLOPS/W",
@@ -162,7 +208,8 @@ fn cmd_spmv(args: &[String]) -> Result<(), String> {
     let a = load(pos.first().ok_or("spmv needs a matrix file")?)?;
     let r: f64 = flag_value(args, "--density").unwrap_or("0.1").parse().map_err(|_| "--density needs a number")?;
     let x = outerspace::gen::vector::sparse(a.ncols(), r, 1);
-    let sim = Simulator::new(OuterSpaceConfig::default())?;
+    let cfg = OuterSpaceConfig { faults: fault_model(args)?, ..Default::default() };
+    let sim = Simulator::new(cfg).map_err(|e| e.to_string())?;
     let (y, rep) = sim.spmv(&a.to_csc(), &x).map_err(|e| e.to_string())?;
     println!(
         "y = A x (r = {r}): {} non-zeros in, {} out; simulated {:.3} us",
@@ -170,6 +217,7 @@ fn cmd_spmv(args: &[String]) -> Result<(), String> {
         y.nnz(),
         rep.seconds() * 1e6
     );
+    print_fault_summary(&rep);
     Ok(())
 }
 

@@ -16,13 +16,13 @@
 //! ```
 //! use outerspace::prelude::*;
 //!
-//! # fn main() -> Result<(), outerspace::sparse::SparseError> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Generate a power-law graph and square its adjacency matrix, both in
 //! // portable software and on the simulated accelerator.
 //! let a = outerspace::gen::rmat::graph500(512, 4_000, 42);
 //! let c_soft = outerspace::outer::spgemm(&a, &a)?;
 //!
-//! let sim = Simulator::new(OuterSpaceConfig::default()).expect("valid config");
+//! let sim = Simulator::new(OuterSpaceConfig::default())?;
 //! let (c_hw, report) = sim.spgemm(&a, &a)?;
 //! assert!(c_soft.approx_eq(&c_hw, 1e-9));
 //! println!("simulated time: {:.3} ms", report.seconds() * 1e3);
@@ -47,6 +47,7 @@
 pub use outerspace_baselines as baselines;
 pub use outerspace_energy as energy;
 pub use outerspace_gen as gen;
+pub use outerspace_json as json;
 pub use outerspace_outer as outer;
 pub use outerspace_sim as sim;
 pub use outerspace_sparse as sparse;
@@ -60,7 +61,7 @@ pub mod prelude {
     pub use crate::energy::AreaPowerModel;
     pub use crate::gen::suite::TABLE4;
     pub use crate::outer::{spgemm, spgemm_parallel, spmv};
-    pub use crate::sim::{OuterSpaceConfig, SimReport, Simulator};
+    pub use crate::sim::{ConfigError, FaultModel, OuterSpaceConfig, SimError, SimReport, Simulator};
     pub use crate::sparse::{Coo, Csc, Csr, Dense, SparseError, SparseVector};
     pub use crate::{chain_multiply, matrix_power};
 }

@@ -24,13 +24,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use outerspace_json::impl_to_json;
 use outerspace_sim::{OuterSpaceConfig, SimReport};
 #[cfg(doc)]
 use outerspace_sim::PhaseStats;
-use serde::{Deserialize, Serialize};
 
 /// One row of Table 6.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComponentEstimate {
     /// Component name, matching Table 6's rows.
     pub name: String,
@@ -41,7 +41,7 @@ pub struct ComponentEstimate {
 }
 
 /// The complete Table 6 estimate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table6 {
     /// Per-component rows, in the paper's order.
     pub components: Vec<ComponentEstimate>,
@@ -61,7 +61,7 @@ impl Table6 {
 
 /// Technology constants, calibrated against Table 6 at the paper's 32 nm
 /// node and default configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AreaPowerModel {
     /// Area of one PE (ARM Cortex-A5-class core + FPU + queues + 1 kB
     /// scratchpad), mm².
@@ -257,7 +257,7 @@ impl AreaPowerModel {
 }
 
 /// Per-phase energy of one simulated run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyReport {
     /// Conversion-phase energy (0 when skipped), J.
     pub convert_j: f64,
@@ -274,6 +274,18 @@ pub struct EnergyReport {
     /// Energy per useful flop, nJ.
     pub nj_per_flop: f64,
 }
+
+impl_to_json!(ComponentEstimate { name, area_mm2, power_w });
+impl_to_json!(Table6 { components });
+impl_to_json!(EnergyReport {
+    convert_j,
+    multiply_j,
+    merge_j,
+    total_j,
+    average_power_w,
+    energy_delay_js,
+    nj_per_flop,
+});
 
 #[cfg(test)]
 mod tests {
@@ -381,7 +393,7 @@ mod tests {
     fn table_serializes() {
         let m = AreaPowerModel::tsmc32nm();
         let t = m.table6(&OuterSpaceConfig::default(), None);
-        let json = serde_json::to_string(&t).unwrap();
+        let json = outerspace_json::ToJson::to_json(&t).to_string_compact();
         assert!(json.contains("Main memory"));
     }
 }

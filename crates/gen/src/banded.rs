@@ -6,7 +6,7 @@
 //! therefore bounds OuterSPACE's speedup from below in Fig. 7.
 
 use outerspace_sparse::{Coo, Csr, Index};
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::{draw_value, rng_from_seed};
 

@@ -31,21 +31,23 @@
 pub mod banded;
 pub mod powerlaw;
 pub mod rmat;
+pub mod rng;
 pub mod road;
 pub mod stencil;
 pub mod suite;
 pub mod uniform;
 pub mod vector;
 
-pub(crate) fn rng_from_seed(seed: u64) -> rand::rngs::SmallRng {
-    use rand::SeedableRng;
-    rand::rngs::SmallRng::seed_from_u64(seed)
+pub use rng::{Rng, SmallRng};
+
+pub(crate) fn rng_from_seed(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
 }
 
 /// Draws a non-zero value for a generated entry: uniform in `[0.5, 1.5)`.
 ///
 /// Keeping magnitudes near 1 avoids cancellation to exact zero in products
 /// and keeps accumulated values well-conditioned for comparison tests.
-pub(crate) fn draw_value<R: rand::Rng>(rng: &mut R) -> f64 {
+pub(crate) fn draw_value<R: Rng>(rng: &mut R) -> f64 {
     0.5 + rng.gen::<f64>()
 }

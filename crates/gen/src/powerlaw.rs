@@ -7,7 +7,7 @@
 //! speedups are largest on "smeared" irregular structures.
 
 use outerspace_sparse::{Coo, Csr, Index};
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::{draw_value, rng_from_seed};
 
@@ -65,12 +65,31 @@ impl PowerLawConfig {
             perm.swap(i, j);
         }
         // Draw raw power-law degrees, then rescale to hit the edge budget.
+        // Zero-degree vertices are kept (dangling pages and isolated users
+        // are a real feature of these graphs, and the empty rows keep the
+        // realized distribution heavy-tailed).
         let edge_budget =
             if self.symmetric { self.nnz_target / 2 } else { self.nnz_target };
-        let mut degrees: Vec<f64> =
-            (0..n).map(|_| (self.zipf(&mut rng) + 1) as f64).collect();
-        let total: f64 = degrees.iter().sum();
-        let scale = edge_budget as f64 / total;
+        let mut degrees: Vec<f64> = (0..n).map(|_| self.zipf(&mut rng) as f64).collect();
+        let total: f64 = degrees.iter().sum::<f64>().max(1.0);
+        let cap = (n as usize - 1).min((n as usize / 8).max(4)) as f64;
+        // Water-fill the scale: hub degrees saturate at the cap, so a plain
+        // budget/total ratio under-realizes the target whenever one vertex
+        // draws a huge degree. Redistribute the truncated mass onto the
+        // uncapped bulk until the expected total meets the budget.
+        let mut scale = edge_budget as f64 / total;
+        for _ in 0..8 {
+            let realized: f64 = degrees.iter().map(|d| (d * scale).min(cap)).sum();
+            if realized >= edge_budget as f64 * 0.995 {
+                break;
+            }
+            let uncapped: f64 =
+                degrees.iter().filter(|&&d| d * scale < cap).sum();
+            if uncapped * scale <= 0.0 {
+                break;
+            }
+            scale *= 1.0 + (edge_budget as f64 - realized) / (uncapped * scale);
+        }
         let mut coo = Coo::with_capacity(n, n, self.nnz_target + self.nnz_target / 8);
         let mut picked: std::collections::HashSet<Index> = std::collections::HashSet::new();
         for (src_rank, d) in degrees.iter_mut().enumerate() {
@@ -81,7 +100,7 @@ impl PowerLawConfig {
             }
             // Cap hubs at n/8 neighbours: even the densest suite rows
             // (facebook) stay far below full fan-out.
-            let deg = deg.min(n as usize - 1).min((n as usize / 8).max(4));
+            let deg = deg.min(cap as usize);
             let src = perm[src_rank];
             picked.clear();
             let mut attempts = 0usize;

@@ -8,7 +8,7 @@
 //! ranges instead of bit positions.
 
 use outerspace_sparse::{Coo, Csr, Index};
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::{draw_value, rng_from_seed};
 
@@ -134,8 +134,8 @@ impl RmatConfig {
             } else {
                 (false, false)
             };
-            let rm = r0 + (r1 - r0 + 1) / 2;
-            let cm = c0 + (c1 - c0 + 1) / 2;
+            let rm = r0 + (r1 - r0).div_ceil(2);
+            let cm = c0 + (c1 - c0).div_ceil(2);
             if r1 - r0 > 1 {
                 if top {
                     r1 = rm;

@@ -7,7 +7,7 @@
 //! paper reports one of the smaller (but still >5×) Fig. 7 speedups.
 
 use outerspace_sparse::{Coo, Csr, Index};
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::{draw_value, rng_from_seed};
 

@@ -6,7 +6,7 @@
 //! which the paper reports MKL/cuSPARSE performing comparatively well.
 
 use outerspace_sparse::{Coo, Csr, Index};
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::{draw_value, rng_from_seed};
 
@@ -29,7 +29,7 @@ pub fn grid2d(nx: Index, ny: Index, fill: f64, seed: u64) -> Csr {
         for x in 0..nx {
             let me = idx(x, y);
             coo.push(me, me, draw_value(&mut rng) + 4.0); // diagonally dominant
-            let mut neighbour = |other: Index, rng: &mut rand::rngs::SmallRng| {
+            let mut neighbour = |other: Index, rng: &mut crate::rng::SmallRng| {
                 if fill >= 1.0 || rng.gen::<f64>() < fill {
                     coo.push(me, other, -draw_value(rng));
                 }
@@ -68,7 +68,7 @@ pub fn grid3d(nx: Index, ny: Index, nz: Index, fill: f64, seed: u64) -> Csr {
             for x in 0..nx {
                 let me = idx(x, y, z);
                 coo.push(me, me, draw_value(&mut rng) + 6.0);
-                let mut neighbour = |other: Index, rng: &mut rand::rngs::SmallRng| {
+                let mut neighbour = |other: Index, rng: &mut crate::rng::SmallRng| {
                     if fill >= 1.0 || rng.gen::<f64>() < fill {
                         coo.push(me, other, -draw_value(rng));
                     }
@@ -103,7 +103,7 @@ pub fn near_cubic_dims(n: usize) -> (Index, Index, Index) {
     let side = (n as f64).cbrt().round().max(1.0) as usize;
     let nx = side;
     let ny = side;
-    let nz = (n + nx * ny - 1) / (nx * ny);
+    let nz = n.div_ceil(nx * ny);
     (nx as Index, ny as Index, nz.max(1) as Index)
 }
 

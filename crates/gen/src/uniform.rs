@@ -7,7 +7,7 @@
 use std::collections::HashSet;
 
 use outerspace_sparse::{Coo, Csr, Index};
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::{draw_value, rng_from_seed};
 

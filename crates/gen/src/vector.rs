@@ -1,7 +1,7 @@
 //! Sparse and dense vector generators for the SpMV experiments (Table 5).
 
 use outerspace_sparse::{Index, SparseVector, Value};
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::{draw_value, rng_from_seed};
 

@@ -92,7 +92,7 @@ pub fn merge_parallel(
     const BLOCK: u32 = 256;
     let nrows = pp.nrows();
     let ncols = pp.ncols();
-    let n_blocks = (nrows + BLOCK - 1) / BLOCK;
+    let n_blocks = nrows.div_ceil(BLOCK);
     // Pre-split the rows so each worker owns its slice without locking.
     let mut row_lists: Vec<Vec<Chunk>> =
         (0..nrows).map(|i| pp.take_row(i)).collect();

@@ -1,6 +1,213 @@
-//! Simulation parameters — Table 2 of the paper, plus derived quantities.
+//! Simulation parameters — Table 2 of the paper, plus derived quantities,
+//! the fault-injection knobs, and the typed [`ConfigError`] validation.
 
-use serde::{Deserialize, Serialize};
+use outerspace_json::{impl_to_json, Json};
+
+/// A violated configuration invariant, returned by
+/// [`OuterSpaceConfig::validate`] and [`crate::Simulator::new`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `n_tiles` or `pes_per_tile` is zero.
+    NoProcessingElements,
+    /// Cache block size is zero or not a power of two.
+    BadBlockSize {
+        /// The offending value.
+        got: u32,
+    },
+    /// HBM channel count is zero or not a power of two.
+    BadChannelCount {
+        /// The offending value.
+        got: u32,
+    },
+    /// L0 or L1 associativity is zero.
+    ZeroAssociativity,
+    /// The multiply-phase L0 cannot hold even one set.
+    CacheTooSmall {
+        /// Configured L0 size in bytes.
+        l0_bytes: u32,
+        /// Minimum size implied by `block_bytes * l0_ways`.
+        required: u32,
+    },
+    /// The PE clock is zero, negative, or non-finite.
+    NonPositiveClock {
+        /// The offending value in GHz.
+        got: f64,
+    },
+    /// More merge-phase PEs activated than exist in a tile.
+    TooManyMergePes {
+        /// Requested active merge PEs per tile.
+        active: u32,
+        /// PEs physically present per tile.
+        per_tile: u32,
+    },
+    /// The per-PE outstanding-request queue has no entries.
+    ZeroQueueCapacity,
+    /// A fault-model probability knob is outside `[0, 1]` or non-finite.
+    BadFaultProbability {
+        /// Which knob (`"hbm_ber"` or `"drop_rate"`).
+        knob: &'static str,
+        /// The offending value.
+        got: f64,
+    },
+    /// Response drops are enabled but the retry budget or timeout is zero,
+    /// so a dropped response could never be recovered.
+    BadRetryPolicy,
+    /// More PEs killed than exist in the system.
+    TooManyKilledPes {
+        /// Requested kill count.
+        kills: u32,
+        /// Total PEs in the system.
+        total: u32,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ConfigError::NoProcessingElements => {
+                write!(f, "need at least one tile and one PE per tile")
+            }
+            ConfigError::BadBlockSize { got } => {
+                write!(f, "block size must be a non-zero power of two, got {got}")
+            }
+            ConfigError::BadChannelCount { got } => {
+                write!(f, "channel count must be a non-zero power of two, got {got}")
+            }
+            ConfigError::ZeroAssociativity => write!(f, "associativity must be non-zero"),
+            ConfigError::CacheTooSmall { l0_bytes, required } => {
+                write!(f, "L0 must hold at least one set: {l0_bytes} B < {required} B")
+            }
+            ConfigError::NonPositiveClock { got } => {
+                write!(f, "clock must be positive, got {got} GHz")
+            }
+            ConfigError::TooManyMergePes { active, per_tile } => {
+                write!(f, "cannot activate {active} merge PEs in a {per_tile}-PE tile")
+            }
+            ConfigError::ZeroQueueCapacity => {
+                write!(f, "outstanding-request queue needs at least one entry")
+            }
+            ConfigError::BadFaultProbability { knob, got } => {
+                write!(f, "fault probability {knob} must be in [0, 1], got {got}")
+            }
+            ConfigError::BadRetryPolicy => {
+                write!(f, "response drops enabled but max_retries or timeout_cycles is zero")
+            }
+            ConfigError::TooManyKilledPes { kills, total } => {
+                write!(f, "cannot kill {kills} of {total} PEs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fault-injection knobs. The default model is **inert**: every probability
+/// and kill count is zero, and a zero-fault run is cycle-identical to a
+/// simulator without the fault layer compiled in (asserted in
+/// `tests/fault_injection.rs`).
+///
+/// All injection is a deterministic function of `seed` and the position of
+/// the access in the run, never of host entropy, so degradation curves are
+/// reproducible artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultModel {
+    /// Seed for the injector's counter-based generator.
+    pub seed: u64,
+    /// HBM bit-error rate: probability that any given *bit* of a block read
+    /// from HBM arrives flipped. ECC detects the error; the access is
+    /// retried ([`FaultModel::ecc_retry_cycles`] plus a re-transfer).
+    pub hbm_ber: f64,
+    /// Probability that one attempt of an HBM read response is dropped in
+    /// the network and must be recovered by timeout + retry.
+    pub drop_rate: f64,
+    /// Number of PEs that fail hard during the run (0 = none).
+    pub pe_kill_count: u32,
+    /// Cycle at which the killed PEs die.
+    pub pe_kill_cycle: u64,
+    /// Bounded retry budget for dropped responses; exceeding it aborts the
+    /// phase with [`crate::SimError::MemoryFailure`].
+    pub max_retries: u32,
+    /// Latency penalty per ECC detect-and-retry event, in PE cycles
+    /// (default ≈ one extra mean-latency HBM round trip).
+    pub ecc_retry_cycles: u64,
+    /// Base timeout before a dropped response is re-requested; retry `k`
+    /// waits `timeout_cycles << k` (exponential backoff).
+    pub timeout_cycles: u64,
+    /// Per-phase watchdog: abort with [`crate::SimError::WatchdogTimeout`]
+    /// if a phase's makespan exceeds this many cycles. 0 disables it.
+    pub watchdog_cycles: u64,
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel {
+            seed: 0,
+            hbm_ber: 0.0,
+            drop_rate: 0.0,
+            pe_kill_count: 0,
+            pe_kill_cycle: 0,
+            max_retries: 4,
+            // ~ mean HBM latency (172.5 cycles at Table 2 defaults): an ECC
+            // retry costs about one extra round trip.
+            ecc_retry_cycles: 173,
+            timeout_cycles: 512,
+            watchdog_cycles: 0,
+        }
+    }
+}
+
+impl FaultModel {
+    /// True when any injection mechanism can fire.
+    pub fn is_active(&self) -> bool {
+        self.hbm_ber > 0.0 || self.drop_rate > 0.0 || self.pe_kill_count > 0
+    }
+
+    fn get_or_default(j: &Json, key: &str, default: f64) -> f64 {
+        j.get(key).and_then(Json::as_f64).unwrap_or(default)
+    }
+
+    /// Decodes from JSON, tolerating missing keys (older serialized configs
+    /// predate the fault model) by falling back to the inert default.
+    pub fn from_json(j: &Json) -> FaultModel {
+        let d = FaultModel::default();
+        FaultModel {
+            seed: j.get("seed").and_then(Json::as_u64).unwrap_or(d.seed),
+            hbm_ber: Self::get_or_default(j, "hbm_ber", d.hbm_ber),
+            drop_rate: Self::get_or_default(j, "drop_rate", d.drop_rate),
+            pe_kill_count: j.get("pe_kill_count").and_then(Json::as_u64).unwrap_or(0) as u32,
+            pe_kill_cycle: j.get("pe_kill_cycle").and_then(Json::as_u64).unwrap_or(0),
+            max_retries: j
+                .get("max_retries")
+                .and_then(Json::as_u64)
+                .unwrap_or(d.max_retries as u64) as u32,
+            ecc_retry_cycles: j
+                .get("ecc_retry_cycles")
+                .and_then(Json::as_u64)
+                .unwrap_or(d.ecc_retry_cycles),
+            timeout_cycles: j
+                .get("timeout_cycles")
+                .and_then(Json::as_u64)
+                .unwrap_or(d.timeout_cycles),
+            watchdog_cycles: j
+                .get("watchdog_cycles")
+                .and_then(Json::as_u64)
+                .unwrap_or(d.watchdog_cycles),
+        }
+    }
+}
+
+impl_to_json!(FaultModel {
+    seed,
+    hbm_ber,
+    drop_rate,
+    pe_kill_count,
+    pe_kill_cycle,
+    max_retries,
+    ecc_retry_cycles,
+    timeout_cycles,
+    watchdog_cycles,
+});
 
 /// Full configuration of the simulated OuterSPACE system.
 ///
@@ -18,7 +225,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cfg.total_pes(), 256);
 /// assert_eq!(cfg.hbm_total_bandwidth_bytes_per_sec(), 128_000_000_000);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OuterSpaceConfig {
     /// PE clock in GHz (Table 2: 1.5 GHz).
     pub clock_ghz: f64,
@@ -77,6 +284,9 @@ pub struct OuterSpaceConfig {
     /// Crossbar traversal cycles charged on the L1→HBM path (4×4 swizzle
     /// switch).
     pub xbar_cycles: u64,
+
+    /// Fault-injection knobs (inert by default).
+    pub faults: FaultModel,
 }
 
 impl Default for OuterSpaceConfig {
@@ -106,9 +316,38 @@ impl Default for OuterSpaceConfig {
             l0_hit_cycles: 2,
             l1_hit_cycles: 10,
             xbar_cycles: 3,
+            faults: FaultModel::default(),
         }
     }
 }
+
+impl_to_json!(OuterSpaceConfig {
+    clock_ghz,
+    n_tiles,
+    pes_per_tile,
+    outstanding_requests,
+    pe_scratchpad_bytes,
+    l0_multiply_bytes,
+    l0_ways,
+    l0_mshrs_multiply,
+    l0_merge_bytes,
+    merge_scratchpad_bytes,
+    l0_mshrs_merge,
+    merge_active_pes_per_tile,
+    l1_bytes,
+    l1_ways,
+    n_l1,
+    l1_mshrs,
+    block_bytes,
+    hbm_channels,
+    hbm_channel_mb_per_sec,
+    hbm_latency_min_ns,
+    hbm_latency_max_ns,
+    l0_hit_cycles,
+    l1_hit_cycles,
+    xbar_cycles,
+    faults,
+});
 
 impl OuterSpaceConfig {
     /// Total PEs in the system (`n_tiles × pes_per_tile`; 256 by default).
@@ -182,40 +421,103 @@ impl OuterSpaceConfig {
         cfg
     }
 
-    /// Validates internal consistency (non-zero structural parameters).
+    /// Validates internal consistency.
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.n_tiles == 0 || self.pes_per_tile == 0 {
-            return Err("need at least one tile and one PE per tile".into());
+            return Err(ConfigError::NoProcessingElements);
         }
         if self.block_bytes == 0 || !self.block_bytes.is_power_of_two() {
-            return Err("block size must be a non-zero power of two".into());
+            return Err(ConfigError::BadBlockSize { got: self.block_bytes });
         }
         if self.hbm_channels == 0 || !self.hbm_channels.is_power_of_two() {
-            return Err("channel count must be a non-zero power of two".into());
+            return Err(ConfigError::BadChannelCount { got: self.hbm_channels });
         }
         if self.l0_ways == 0 || self.l1_ways == 0 {
-            return Err("associativity must be non-zero".into());
+            return Err(ConfigError::ZeroAssociativity);
         }
         if self.l0_multiply_bytes < self.block_bytes * self.l0_ways {
-            return Err("L0 must hold at least one set".into());
+            return Err(ConfigError::CacheTooSmall {
+                l0_bytes: self.l0_multiply_bytes,
+                required: self.block_bytes * self.l0_ways,
+            });
         }
-        if self.clock_ghz <= 0.0 {
-            return Err("clock must be positive".into());
+        if self.clock_ghz <= 0.0 || self.clock_ghz.is_nan() || !self.clock_ghz.is_finite() {
+            return Err(ConfigError::NonPositiveClock { got: self.clock_ghz });
         }
         if self.merge_active_pes_per_tile > self.pes_per_tile {
-            return Err("cannot activate more merge PEs than exist".into());
+            return Err(ConfigError::TooManyMergePes {
+                active: self.merge_active_pes_per_tile,
+                per_tile: self.pes_per_tile,
+            });
+        }
+        if self.outstanding_requests == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        for (knob, p) in [("hbm_ber", self.faults.hbm_ber), ("drop_rate", self.faults.drop_rate)]
+        {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(ConfigError::BadFaultProbability { knob, got: p });
+            }
+        }
+        if self.faults.drop_rate > 0.0
+            && (self.faults.max_retries == 0 || self.faults.timeout_cycles == 0)
+        {
+            return Err(ConfigError::BadRetryPolicy);
+        }
+        if self.faults.pe_kill_count > self.total_pes() {
+            return Err(ConfigError::TooManyKilledPes {
+                kills: self.faults.pe_kill_count,
+                total: self.total_pes(),
+            });
         }
         Ok(())
+    }
+
+    /// Decodes a configuration previously emitted through [`ToJson`].
+    /// Returns `None` if any Table 2 field is missing or mistyped; the
+    /// `faults` object is optional (older artifacts predate it).
+    pub fn from_json(j: &Json) -> Option<OuterSpaceConfig> {
+        let u32_of = |key: &str| j.get(key).and_then(Json::as_u64).map(|v| v as u32);
+        let u64_of = |key: &str| j.get(key).and_then(Json::as_u64);
+        let f64_of = |key: &str| j.get(key).and_then(Json::as_f64);
+        Some(OuterSpaceConfig {
+            clock_ghz: f64_of("clock_ghz")?,
+            n_tiles: u32_of("n_tiles")?,
+            pes_per_tile: u32_of("pes_per_tile")?,
+            outstanding_requests: u32_of("outstanding_requests")?,
+            pe_scratchpad_bytes: u32_of("pe_scratchpad_bytes")?,
+            l0_multiply_bytes: u32_of("l0_multiply_bytes")?,
+            l0_ways: u32_of("l0_ways")?,
+            l0_mshrs_multiply: u32_of("l0_mshrs_multiply")?,
+            l0_merge_bytes: u32_of("l0_merge_bytes")?,
+            merge_scratchpad_bytes: u32_of("merge_scratchpad_bytes")?,
+            l0_mshrs_merge: u32_of("l0_mshrs_merge")?,
+            merge_active_pes_per_tile: u32_of("merge_active_pes_per_tile")?,
+            l1_bytes: u32_of("l1_bytes")?,
+            l1_ways: u32_of("l1_ways")?,
+            n_l1: u32_of("n_l1")?,
+            l1_mshrs: u32_of("l1_mshrs")?,
+            block_bytes: u32_of("block_bytes")?,
+            hbm_channels: u32_of("hbm_channels")?,
+            hbm_channel_mb_per_sec: u32_of("hbm_channel_mb_per_sec")?,
+            hbm_latency_min_ns: f64_of("hbm_latency_min_ns")?,
+            hbm_latency_max_ns: f64_of("hbm_latency_max_ns")?,
+            l0_hit_cycles: u64_of("l0_hit_cycles")?,
+            l1_hit_cycles: u64_of("l1_hit_cycles")?,
+            xbar_cycles: u64_of("xbar_cycles")?,
+            faults: j.get("faults").map(FaultModel::from_json).unwrap_or_default(),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use outerspace_json::ToJson;
 
     #[test]
     fn default_matches_table2() {
@@ -226,6 +528,7 @@ mod tests {
         assert_eq!(c.hbm_channels, 16);
         assert_eq!(c.hbm_total_bandwidth_bytes_per_sec(), 128_000_000_000);
         assert!(c.validate().is_ok());
+        assert!(!c.faults.is_active());
     }
 
     #[test]
@@ -245,15 +548,73 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
+        let c = OuterSpaceConfig { block_bytes: 48, ..Default::default() };
+        assert_eq!(c.validate(), Err(ConfigError::BadBlockSize { got: 48 }));
+        let c = OuterSpaceConfig { n_tiles: 0, ..Default::default() };
+        assert_eq!(c.validate(), Err(ConfigError::NoProcessingElements));
+        let c = OuterSpaceConfig { merge_active_pes_per_tile: 99, ..Default::default() };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::TooManyMergePes { active: 99, per_tile: 16 })
+        );
+    }
+
+    #[test]
+    fn validation_catches_degenerate_memory_system() {
+        let c = OuterSpaceConfig { hbm_channels: 12, ..Default::default() };
+        assert_eq!(c.validate(), Err(ConfigError::BadChannelCount { got: 12 }));
+        let c = OuterSpaceConfig { l0_ways: 0, ..Default::default() };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroAssociativity));
+        let c = OuterSpaceConfig { l0_multiply_bytes: 128, ..Default::default() };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::CacheTooSmall { l0_bytes: 128, required: 256 })
+        );
+        let c = OuterSpaceConfig { clock_ghz: 0.0, ..Default::default() };
+        assert!(matches!(c.validate(), Err(ConfigError::NonPositiveClock { .. })));
+        let c = OuterSpaceConfig { clock_ghz: f64::NAN, ..Default::default() };
+        assert!(matches!(c.validate(), Err(ConfigError::NonPositiveClock { .. })));
+        let c = OuterSpaceConfig { outstanding_requests: 0, ..Default::default() };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroQueueCapacity));
+    }
+
+    #[test]
+    fn validation_catches_bad_fault_models() {
         let mut c = OuterSpaceConfig::default();
-        c.block_bytes = 48;
-        assert!(c.validate().is_err());
+        c.faults.hbm_ber = 1.5;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::BadFaultProbability { knob: "hbm_ber", got: 1.5 })
+        );
         let mut c = OuterSpaceConfig::default();
-        c.n_tiles = 0;
-        assert!(c.validate().is_err());
+        c.faults.drop_rate = -0.1;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadFaultProbability { knob: "drop_rate", .. })
+        ));
         let mut c = OuterSpaceConfig::default();
-        c.merge_active_pes_per_tile = 99;
-        assert!(c.validate().is_err());
+        c.faults.drop_rate = 0.01;
+        c.faults.max_retries = 0;
+        assert_eq!(c.validate(), Err(ConfigError::BadRetryPolicy));
+        let mut c = OuterSpaceConfig::default();
+        c.faults.pe_kill_count = 10_000;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::TooManyKilledPes { kills: 10_000, total: 256 })
+        );
+        let mut c = OuterSpaceConfig::default();
+        c.faults.hbm_ber = 1e-6;
+        c.faults.pe_kill_count = 3;
+        assert!(c.validate().is_ok());
+        assert!(c.faults.is_active());
+    }
+
+    #[test]
+    fn config_errors_render_messages() {
+        let e = ConfigError::CacheTooSmall { l0_bytes: 128, required: 256 };
+        assert!(e.to_string().contains("128"));
+        let e = ConfigError::BadFaultProbability { knob: "hbm_ber", got: 2.0 };
+        assert!(e.to_string().contains("hbm_ber"));
     }
 
     #[test]
@@ -290,7 +651,29 @@ mod tests {
     #[test]
     fn config_serializes() {
         let c = OuterSpaceConfig::default();
-        let json = serde_json::to_string(&c).unwrap();
+        let json = c.to_json().to_string_compact();
         assert!(json.contains("\"n_tiles\":16"));
+        assert!(json.contains("\"faults\""));
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let mut c = OuterSpaceConfig::default();
+        c.faults.hbm_ber = 1e-9;
+        c.faults.seed = 42;
+        let parsed = outerspace_json::parse(&c.to_json().to_string_compact()).unwrap();
+        assert_eq!(OuterSpaceConfig::from_json(&parsed), Some(c));
+    }
+
+    #[test]
+    fn config_decode_tolerates_missing_fault_block() {
+        let c = OuterSpaceConfig::default();
+        let mut j = match c.to_json() {
+            Json::Obj(pairs) => pairs,
+            _ => unreachable!(),
+        };
+        j.retain(|(k, _)| k != "faults");
+        let back = OuterSpaceConfig::from_json(&Json::Obj(j)).unwrap();
+        assert_eq!(back, c);
     }
 }

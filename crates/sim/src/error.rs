@@ -1,0 +1,103 @@
+//! The simulator's typed error, covering configuration, functional, and
+//! injected-fault failure modes.
+
+use outerspace_sparse::SparseError;
+
+use crate::config::ConfigError;
+
+/// Everything that can abort a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The configuration violated a hardware invariant.
+    Config(ConfigError),
+    /// The functional kernel rejected the operands (shape mismatch, …).
+    Sparse(SparseError),
+    /// Fault injection killed every PE: no survivor can absorb the
+    /// requeued work, so the phase cannot complete.
+    AllPesFailed {
+        /// Phase that ran out of processing elements.
+        phase: &'static str,
+    },
+    /// An HBM access exhausted its retry budget (every delivery attempt of
+    /// a read response was dropped).
+    MemoryFailure {
+        /// Phase in which the access failed.
+        phase: &'static str,
+        /// Byte address of the failed read.
+        addr: u64,
+        /// Delivery attempts made before giving up.
+        attempts: u32,
+    },
+    /// A phase's dispatch frontier passed the configured watchdog limit
+    /// without completing (runaway degradation guard).
+    WatchdogTimeout {
+        /// Phase the watchdog aborted.
+        phase: &'static str,
+        /// Earliest live-PE time when the watchdog fired.
+        frontier: u64,
+        /// The configured `watchdog_cycles` limit.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SimError::Sparse(e) => write!(f, "functional kernel failed: {e}"),
+            SimError::AllPesFailed { phase } => {
+                write!(f, "{phase} phase: every PE has failed; no survivor to requeue onto")
+            }
+            SimError::MemoryFailure { phase, addr, attempts } => write!(
+                f,
+                "{phase} phase: HBM read of {addr:#x} failed after {attempts} delivery attempts"
+            ),
+            SimError::WatchdogTimeout { phase, frontier, limit } => write!(
+                f,
+                "{phase} phase: watchdog fired at cycle {frontier} (limit {limit})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::Sparse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<SparseError> for SimError {
+    fn from(e: SparseError) -> Self {
+        SimError::Sparse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_and_convert() {
+        let e: SimError = ConfigError::NoProcessingElements.into();
+        assert!(e.to_string().contains("invalid configuration"));
+        let e: SimError =
+            SparseError::ShapeMismatch { op: "spgemm", left: (2, 3), right: (4, 5) }.into();
+        assert!(e.to_string().contains("functional kernel"));
+        let e = SimError::MemoryFailure { phase: "multiply", addr: 0x40, attempts: 5 };
+        assert!(e.to_string().contains("0x40"), "{e}");
+        let e = SimError::WatchdogTimeout { phase: "merge", frontier: 10, limit: 5 };
+        assert!(e.to_string().contains("watchdog"));
+        assert!(SimError::AllPesFailed { phase: "multiply" }.to_string().contains("every PE"));
+    }
+}

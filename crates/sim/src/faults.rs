@@ -1,0 +1,213 @@
+//! Deterministic fault injection (transient HBM faults, PE hard failures).
+//!
+//! The paper's reliability story is implicit — OuterSPACE inherits HBM's ECC
+//! and the tiles are independent SPMD islands — so this module makes the
+//! failure modes explicit and measurable:
+//!
+//! * **Transient read corruption**: each HBM block transfer is corrupted
+//!   with probability `hbm_ber × block_bits`; ECC detects the error and the
+//!   controller re-reads the block, charging `ecc_retry_cycles` plus a fresh
+//!   channel booking.
+//! * **Dropped responses**: a read response vanishes with probability
+//!   `drop_rate`; the PE times out after `timeout_cycles` (doubling per
+//!   attempt, exponential backoff) and re-issues. After `max_retries`
+//!   consecutive drops the access is declared failed and the phase aborts
+//!   with [`crate::SimError::MemoryFailure`].
+//! * **PE hard failures**: `pe_kill_count` PEs (chosen deterministically
+//!   from `seed`) die once their local clock passes `pe_kill_cycle`; the
+//!   greedy scheduler detects the death at the next dispatch, requeues the
+//!   in-flight work onto the earliest surviving PE of the same group
+//!   (extending the §6 load-balancing argument to partial arrays) and
+//!   excludes the corpse from further scheduling.
+//!
+//! All randomness is *counter-based*: an event is a pure hash of
+//! `(seed, stream, access index, attempt)` compared against the configured
+//! probability. Two consequences the tests rely on: a run with all fault
+//! knobs at zero consumes no entropy and is cycle-identical to a build
+//! without this module, and raising a probability only grows the event set
+//! (the underlying uniform draws are unchanged), so degradation is monotone.
+
+use crate::config::FaultModel;
+
+/// Stream tags decorrelate the per-purpose hash sequences.
+const STREAM_ECC: u64 = 0x45cc_0000_0000_0001;
+const STREAM_DROP: u64 = 0xd809_0000_0000_0002;
+const STREAM_KILL: u64 = 0x1c11_0000_0000_0003;
+
+/// Cap on the exponential-backoff shift so `timeout << attempt` cannot
+/// overflow with adversarial retry counts.
+const MAX_BACKOFF_SHIFT: u32 = 16;
+
+/// An HBM access that exhausted its retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFault {
+    /// Byte address of the failed read.
+    pub addr: u64,
+    /// Delivery attempts made (initial + retries) before giving up.
+    pub attempts: u32,
+}
+
+/// splitmix64 finalizer: a high-quality 64-bit mixing function.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Stateless fault-event source for the memory system.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    seed: u64,
+    /// Per-block corruption probability (`hbm_ber × block_bits`, clamped).
+    ecc_p: f64,
+    /// Per-delivery drop probability.
+    drop_p: f64,
+    /// Retries allowed after the initial delivery attempt.
+    pub max_retries: u32,
+    /// Latency of one ECC detect-and-correct re-read.
+    pub ecc_retry_cycles: u64,
+    /// Base response timeout before a re-issue (doubles per attempt).
+    pub timeout_cycles: u64,
+}
+
+impl FaultInjector {
+    /// Builds the memory-fault source for `model`, or `None` when both
+    /// memory-fault knobs are zero (the hot path then skips injection
+    /// entirely, keeping fault-free runs cycle-identical to the baseline).
+    pub fn for_memory(model: &FaultModel, block_bytes: u32) -> Option<Self> {
+        if model.hbm_ber <= 0.0 && model.drop_rate <= 0.0 {
+            return None;
+        }
+        let block_bits = f64::from(block_bytes) * 8.0;
+        Some(FaultInjector {
+            seed: model.seed,
+            ecc_p: (model.hbm_ber * block_bits).clamp(0.0, 1.0),
+            drop_p: model.drop_rate.clamp(0.0, 1.0),
+            max_retries: model.max_retries,
+            ecc_retry_cycles: model.ecc_retry_cycles,
+            timeout_cycles: model.timeout_cycles,
+        })
+    }
+
+    /// Uniform draw in [0, 1) for `(stream, a, b)` — pure in all arguments.
+    fn unit(&self, stream: u64, a: u64, b: u64) -> f64 {
+        let h = mix(self.seed ^ mix(stream ^ mix(a ^ mix(b))));
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Whether HBM read number `read_idx` arrives corrupted (ECC detects it).
+    pub fn ecc_corrupted(&self, read_idx: u64) -> bool {
+        self.ecc_p > 0.0 && self.unit(STREAM_ECC, read_idx, 0) < self.ecc_p
+    }
+
+    /// Whether delivery `attempt` of HBM read `read_idx` is dropped.
+    pub fn response_dropped(&self, read_idx: u64, attempt: u32) -> bool {
+        self.drop_p > 0.0 && self.unit(STREAM_DROP, read_idx, u64::from(attempt)) < self.drop_p
+    }
+
+    /// Backoff delay before re-issuing after `attempt` consecutive drops.
+    pub fn backoff_cycles(&self, attempt: u32) -> u64 {
+        self.timeout_cycles << attempt.min(MAX_BACKOFF_SHIFT)
+    }
+}
+
+/// The deterministic set of PEs (indices into a `total`-sized array) that
+/// `model` condemns to hard failure: a seeded partial Fisher–Yates draw of
+/// `pe_kill_count` distinct indices.
+pub fn kill_set(model: &FaultModel, total: usize) -> Vec<usize> {
+    let count = (model.pe_kill_count as usize).min(total);
+    if count == 0 {
+        return Vec::new();
+    }
+    let mut pool: Vec<usize> = (0..total).collect();
+    let mut picked = Vec::with_capacity(count);
+    for i in 0..count {
+        let h = mix(model.seed ^ mix(STREAM_KILL ^ mix(i as u64)));
+        let j = (h % pool.len() as u64) as usize;
+        picked.push(pool.swap_remove(j));
+    }
+    picked.sort_unstable();
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(ber: f64, drop: f64) -> FaultModel {
+        FaultModel { seed: 7, hbm_ber: ber, drop_rate: drop, ..FaultModel::default() }
+    }
+
+    #[test]
+    fn inactive_model_builds_no_injector() {
+        assert!(FaultInjector::for_memory(&model(0.0, 0.0), 64).is_none());
+        assert!(FaultInjector::for_memory(&model(1e-6, 0.0), 64).is_some());
+        assert!(FaultInjector::for_memory(&model(0.0, 0.1), 64).is_some());
+    }
+
+    #[test]
+    fn events_are_deterministic_and_seed_sensitive() {
+        let a = FaultInjector::for_memory(&model(1e-3, 0.2), 64).unwrap();
+        let b = FaultInjector::for_memory(&model(1e-3, 0.2), 64).unwrap();
+        let mut c_model = model(1e-3, 0.2);
+        c_model.seed = 8;
+        let c = FaultInjector::for_memory(&c_model, 64).unwrap();
+        let pat =
+            |inj: &FaultInjector| (0..512).map(|i| inj.ecc_corrupted(i)).collect::<Vec<_>>();
+        assert_eq!(pat(&a), pat(&b));
+        assert_ne!(pat(&a), pat(&c));
+    }
+
+    #[test]
+    fn event_sets_grow_monotonically_with_probability() {
+        // The same uniform draw underlies every probability, so any event
+        // fired at a low rate also fires at every higher rate.
+        let lo = FaultInjector::for_memory(&model(1e-4, 0.05), 64).unwrap();
+        let hi = FaultInjector::for_memory(&model(1e-2, 0.40), 64).unwrap();
+        for i in 0..4096 {
+            if lo.ecc_corrupted(i) {
+                assert!(hi.ecc_corrupted(i));
+            }
+            if lo.response_dropped(i, 0) {
+                assert!(hi.response_dropped(i, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn event_rate_tracks_probability() {
+        let inj = FaultInjector::for_memory(&model(0.0, 0.25), 64).unwrap();
+        let n = 20_000;
+        let hits = (0..n).filter(|&i| inj.response_dropped(i, 0)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((0.22..0.28).contains(&rate), "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_overflow_safe() {
+        let inj = FaultInjector::for_memory(&model(0.0, 0.1), 64).unwrap();
+        assert_eq!(inj.backoff_cycles(0), inj.timeout_cycles);
+        assert_eq!(inj.backoff_cycles(3), inj.timeout_cycles << 3);
+        // Saturates instead of overflowing for absurd attempt counts.
+        assert_eq!(inj.backoff_cycles(200), inj.timeout_cycles << 16);
+    }
+
+    #[test]
+    fn kill_set_is_deterministic_distinct_and_bounded() {
+        let mut m = FaultModel { pe_kill_count: 5, ..FaultModel::default() };
+        m.seed = 3;
+        let a = kill_set(&m, 256);
+        let b = kill_set(&m, 256);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        let mut uniq = a.clone();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 5, "indices must be distinct: {a:?}");
+        assert!(a.iter().all(|&p| p < 256));
+        // Requesting more kills than PEs exist clamps to the array size.
+        m.pe_kill_count = 9999;
+        assert_eq!(kill_set(&m, 16).len(), 16);
+        m.pe_kill_count = 0;
+        assert!(kill_set(&m, 16).is_empty());
+    }
+}

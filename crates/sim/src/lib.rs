@@ -12,11 +12,11 @@
 //! The top-level entry point is [`Simulator`]:
 //!
 //! ```
-//! use outerspace_sim::{OuterSpaceConfig, Simulator};
+//! use outerspace_sim::{OuterSpaceConfig, SimError, Simulator};
 //! use outerspace_sparse::Csr;
 //!
-//! # fn main() -> Result<(), outerspace_sparse::SparseError> {
-//! let sim = Simulator::new(OuterSpaceConfig::default()).expect("valid config");
+//! # fn main() -> Result<(), SimError> {
+//! let sim = Simulator::new(OuterSpaceConfig::default())?;
 //! let a = Csr::identity(64);
 //! let (c, report) = sim.spgemm(&a, &a)?;
 //! assert_eq!(c.nnz(), 64);
@@ -34,6 +34,8 @@
 
 pub mod alloc;
 mod config;
+mod error;
+pub mod faults;
 pub mod layout;
 pub mod machine;
 pub mod mem;
@@ -42,11 +44,12 @@ mod stats;
 pub mod trace;
 pub mod xmodels;
 
-pub use config::OuterSpaceConfig;
+pub use config::{ConfigError, FaultModel, OuterSpaceConfig};
+pub use error::SimError;
 pub use stats::{PhaseStats, SimReport};
 
 use outerspace_outer as outer;
-use outerspace_sparse::{Csc, Csr, SparseError, SparseVector};
+use outerspace_sparse::{Csc, Csr, SparseVector};
 
 use phases::merge::RowMergeInfo;
 
@@ -65,8 +68,9 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns the human-readable constraint violation if `cfg` is invalid.
-    pub fn new(cfg: OuterSpaceConfig) -> Result<Self, String> {
+    /// Returns the [`ConfigError`] describing the violated hardware
+    /// invariant if `cfg` is inconsistent.
+    pub fn new(cfg: OuterSpaceConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
         Ok(Simulator { cfg })
     }
@@ -83,13 +87,16 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
-    pub fn spgemm(&self, a: &Csr, b: &Csr) -> Result<(Csr, SimReport), SparseError> {
+    /// Returns [`SimError::Sparse`] if `a.ncols() != b.nrows()`, or a
+    /// fault-injection failure ([`SimError::AllPesFailed`],
+    /// [`SimError::MemoryFailure`], [`SimError::WatchdogTimeout`]) when the
+    /// configured [`FaultModel`] overwhelms the machine.
+    pub fn spgemm(&self, a: &Csr, b: &Csr) -> Result<(Csr, SimReport), SimError> {
         let (a_cc, conv_soft) = outer::csr_to_csc_via_outer(a);
         let convert = if conv_soft.skipped_symmetric {
             None
         } else {
-            Some(phases::convert::simulate_convert(&self.cfg, a))
+            Some(phases::convert::simulate_convert(&self.cfg, a)?)
         };
         self.spgemm_preconverted(&a_cc, b, convert)
     }
@@ -99,12 +106,13 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
+    /// Returns [`SimError::Sparse`] if `a.ncols() != b.nrows()`, or a
+    /// fault-injection failure under an overwhelming [`FaultModel`].
     pub fn spgemm_cc_operand(
         &self,
         a: &Csc,
         b: &Csr,
-    ) -> Result<(Csr, SimReport), SparseError> {
+    ) -> Result<(Csr, SimReport), SimError> {
         self.spgemm_preconverted(a, b, None)
     }
 
@@ -113,14 +121,14 @@ impl Simulator {
         a_cc: &Csc,
         b: &Csr,
         convert: Option<PhaseStats>,
-    ) -> Result<(Csr, SimReport), SparseError> {
+    ) -> Result<(Csr, SimReport), SimError> {
         // Functional execution (the result and per-row merge shapes).
         let (pp, _) = outer::multiply(a_cc, b)?;
         let (c, _) = outer::merge(pp, outer::MergeKind::Streaming);
 
         // Timing.
         let (multiply, intermediate) =
-            phases::multiply::simulate_multiply(&self.cfg, a_cc, b);
+            phases::multiply::simulate_multiply(&self.cfg, a_cc, b)?;
         let rows: Vec<RowMergeInfo> = (0..intermediate.nrows())
             .map(|i| {
                 let produced: u64 =
@@ -132,7 +140,7 @@ impl Simulator {
                 }
             })
             .collect();
-        let merge = phases::merge::simulate_merge(&self.cfg, &intermediate, &rows);
+        let merge = phases::merge::simulate_merge(&self.cfg, &intermediate, &rows)?;
 
         Ok((c, SimReport { convert, multiply, merge, config: self.cfg.clone() }))
     }
@@ -144,11 +152,12 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns [`SparseError::ShapeMismatch`] on inconsistent shapes or an
-    /// empty operand list.
-    pub fn elementwise_sum(&self, mats: &[&Csr]) -> Result<(Csr, SimReport), SparseError> {
+    /// Returns [`SimError::Sparse`] on inconsistent shapes or an empty
+    /// operand list, or a fault-injection failure under an overwhelming
+    /// [`FaultModel`].
+    pub fn elementwise_sum(&self, mats: &[&Csr]) -> Result<(Csr, SimReport), SimError> {
         let (out, _) = outer::sum_all(mats)?;
-        let merge = phases::elementwise::simulate_elementwise(&self.cfg, mats, &out);
+        let merge = phases::elementwise::simulate_elementwise(&self.cfg, mats, &out)?;
         Ok((
             out,
             SimReport {
@@ -166,14 +175,15 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns [`SparseError::ShapeMismatch`] if `x.len != a.ncols()`.
+    /// Returns [`SimError::Sparse`] if `x.len != a.ncols()`, or a
+    /// fault-injection failure under an overwhelming [`FaultModel`].
     pub fn spmv(
         &self,
         a: &Csc,
         x: &SparseVector,
-    ) -> Result<(SparseVector, SimReport), SparseError> {
+    ) -> Result<(SparseVector, SimReport), SimError> {
         let (y, _) = outer::spmv(a, x)?;
-        let report = phases::spmv::simulate_spmv(&self.cfg, a, x, y.nnz() as u64);
+        let report = phases::spmv::simulate_spmv(&self.cfg, a, x, y.nnz() as u64)?;
         Ok((y, report))
     }
 }
@@ -254,8 +264,7 @@ mod tests {
 
     #[test]
     fn invalid_config_rejected() {
-        let mut cfg = OuterSpaceConfig::default();
-        cfg.n_tiles = 0;
+        let cfg = OuterSpaceConfig { n_tiles: 0, ..Default::default() };
         assert!(Simulator::new(cfg).is_err());
     }
 

@@ -75,19 +75,41 @@ impl PeTimeline {
 }
 
 /// The PE array with greedy work dispatch (§6 assumes greedy scheduling).
+///
+/// Hard PE failures (fault injection) are modeled lazily: a PE condemned by
+/// [`schedule_kill`](PeArray::schedule_kill) keeps executing until its local
+/// clock passes the kill cycle; the next dispatch *reaps* it — the overshoot
+/// (work issued past the point of death, which a real array would lose) is
+/// re-executed by the earliest surviving PE of the same group, extending the
+/// paper's §6 greedy load-balancing argument to partial arrays. Fault-free
+/// arrays take none of these paths and schedule exactly as before.
 #[derive(Debug, Clone)]
 pub struct PeArray {
     pes: Vec<PeTimeline>,
     pes_per_group: usize,
+    /// Per-PE hard-failure cycle (`u64::MAX` = never fails).
+    kill_at: Vec<u64>,
+    dead: Vec<bool>,
+    any_kills: bool,
+    /// Work items requeued from dead PEs onto survivors.
+    pub requeued: u64,
+    /// PEs reaped so far.
+    pub killed: u32,
 }
 
 impl PeArray {
     /// Builds `n_groups × pes_per_group` PEs (groups are tiles in the
     /// multiply phase, worker pairs in the merge phase have one PE each).
     pub fn new(n_groups: usize, pes_per_group: usize, queue_cap: usize) -> Self {
+        let n = n_groups * pes_per_group;
         PeArray {
-            pes: (0..n_groups * pes_per_group).map(|_| PeTimeline::new(queue_cap)).collect(),
+            pes: (0..n).map(|_| PeTimeline::new(queue_cap)).collect(),
             pes_per_group,
+            kill_at: vec![u64::MAX; n],
+            dead: vec![false; n],
+            any_kills: false,
+            requeued: 0,
+            killed: 0,
         }
     }
 
@@ -106,30 +128,137 @@ impl PeArray {
         self.pes.is_empty()
     }
 
-    /// The group whose earliest-available PE is earliest overall — where a
-    /// greedy scheduler sends the next work item.
-    pub fn earliest_group(&self) -> usize {
-        (0..self.n_groups())
-            .min_by_key(|&g| self.group_min_time(g))
-            .expect("at least one group")
+    /// Condemns PE `idx` to die once its local clock reaches `cycle`.
+    pub fn schedule_kill(&mut self, idx: usize, cycle: u64) {
+        self.kill_at[idx] = cycle;
+        self.any_kills = true;
     }
 
-    /// The earliest-available PE index within group `g`.
-    pub fn earliest_pe_in_group(&self, g: usize) -> usize {
+    /// Number of PEs still alive.
+    pub fn live_count(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// Detects PEs whose clocks have crossed their kill cycle and requeues
+    /// their lost work onto survivors. No-op when no kills are scheduled.
+    fn reap(&mut self) {
+        if !self.any_kills {
+            return;
+        }
+        for p in 0..self.pes.len() {
+            if self.dead[p] || self.pes[p].time < self.kill_at[p] {
+                continue;
+            }
+            self.dead[p] = true;
+            self.killed += 1;
+            let at = self.kill_at[p];
+            // Roll the corpse back to its moment of death: issue/compute
+            // cycles past `at` never happened, and in-flight responses go
+            // undelivered.
+            let overshoot = self.pes[p].time - at;
+            let abandoned = self.pes[p].inflight.len() as u64;
+            self.pes[p].time = at;
+            self.pes[p].busy = self.pes[p].busy.saturating_sub(overshoot);
+            self.pes[p].inflight.clear();
+            if overshoot == 0 && abandoned == 0 {
+                continue; // died idle: nothing to recover
+            }
+            // The lost item re-executes on the earliest survivor of the same
+            // group (the paper's load balancer is per-tile); if the whole
+            // group is gone, any survivor takes it.
+            let g = p / self.pes_per_group;
+            let survivor = self
+                .live_in_group(g)
+                .or_else(|| self.earliest_live(0..self.pes.len()));
+            if let Some(s) = survivor {
+                self.requeued += 1;
+                // Re-issue of the abandoned requests plus redone compute;
+                // recovery cannot begin before the death is observable.
+                self.pes[s].wait_until(at);
+                self.pes[s].advance(overshoot + abandoned);
+            }
+        }
+    }
+
+    /// Earliest live PE among `range`, if any.
+    fn earliest_live(&self, range: std::ops::Range<usize>) -> Option<usize> {
+        range.filter(|&p| !self.dead[p]).min_by_key(|&p| self.pes[p].time)
+    }
+
+    /// Earliest live PE within group `g`, if any.
+    fn live_in_group(&self, g: usize) -> Option<usize> {
         let base = g * self.pes_per_group;
-        (base..base + self.pes_per_group)
-            .min_by_key(|&p| self.pes[p].time)
-            .expect("group is non-empty")
+        self.earliest_live(base..base + self.pes_per_group)
     }
 
-    /// The minimum local time within group `g`.
+    /// The group whose earliest-available live PE is earliest overall —
+    /// where a greedy scheduler sends the next work item. `None` when every
+    /// PE has failed.
+    pub fn try_earliest_group(&mut self) -> Option<usize> {
+        self.reap();
+        (0..self.n_groups())
+            .filter(|&g| self.live_in_group(g).is_some())
+            .min_by_key(|&g| self.group_min_time(g))
+    }
+
+    /// Infallible [`try_earliest_group`](Self::try_earliest_group) for
+    /// callers that do not inject PE failures.
+    pub fn earliest_group(&mut self) -> usize {
+        self.try_earliest_group().expect("at least one live group")
+    }
+
+    /// Reaps once, then selects the earliest live group *and* its earliest
+    /// live PE from the same post-reap snapshot. `None` only when every PE
+    /// has failed.
+    ///
+    /// Two-step selection ([`try_earliest_group`](Self::try_earliest_group)
+    /// then [`try_earliest_pe_in_group`](Self::try_earliest_pe_in_group)) is
+    /// not equivalent under fault injection: each call reaps, and the first
+    /// reap's requeue can push a *condemned* survivor past its own kill
+    /// cycle, so the second reap may empty the group the first call chose —
+    /// misreporting total failure while most of the array is still alive.
+    pub fn try_dispatch(&mut self) -> Option<(usize, usize)> {
+        self.reap();
+        let g = (0..self.n_groups())
+            .filter(|&g| self.live_in_group(g).is_some())
+            .min_by_key(|&g| self.group_min_time(g))?;
+        let pe = self.live_in_group(g).expect("selected group has a live PE");
+        Some((g, pe))
+    }
+
+    /// The earliest-available live PE index within group `g`, or `None` if
+    /// the whole group has failed.
+    pub fn try_earliest_pe_in_group(&mut self, g: usize) -> Option<usize> {
+        self.reap();
+        self.live_in_group(g)
+    }
+
+    /// Infallible [`try_earliest_pe_in_group`](Self::try_earliest_pe_in_group).
+    pub fn earliest_pe_in_group(&mut self, g: usize) -> usize {
+        self.try_earliest_pe_in_group(g).expect("group has a live PE")
+    }
+
+    /// The minimum local time over live PEs in group `g` (`u64::MAX` when
+    /// the group has fully failed, so greedy selection skips it).
     pub fn group_min_time(&self, g: usize) -> u64 {
         let base = g * self.pes_per_group;
-        self.pes[base..base + self.pes_per_group]
-            .iter()
-            .map(|p| p.time)
+        (base..base + self.pes_per_group)
+            .filter(|&p| !self.dead[p])
+            .map(|p| self.pes[p].time)
             .min()
-            .expect("group is non-empty")
+            .unwrap_or(u64::MAX)
+    }
+
+    /// The minimum local time over all live PEs — the dispatch frontier the
+    /// phase watchdog compares against (`u64::MAX` when all have failed).
+    pub fn min_live_time(&self) -> u64 {
+        self.pes
+            .iter()
+            .zip(&self.dead)
+            .filter(|(_, &d)| !d)
+            .map(|(p, _)| p.time)
+            .min()
+            .unwrap_or(u64::MAX)
     }
 
     /// Mutable access to PE `idx`.
@@ -139,8 +268,11 @@ impl PeArray {
 
     /// Drains all queues and returns the phase makespan (max local time).
     pub fn finish(&mut self) -> u64 {
-        for pe in &mut self.pes {
-            pe.drain();
+        self.reap();
+        for (pe, &dead) in self.pes.iter_mut().zip(&self.dead) {
+            if !dead {
+                pe.drain();
+            }
         }
         self.pes.iter().map(|p| p.time).max().unwrap_or(0)
     }
@@ -216,5 +348,83 @@ mod tests {
         arr.pe_mut(0).track(99);
         assert_eq!(arr.finish(), 99);
         assert_eq!(arr.active_count(), 1); // only PE 3 was busy
+    }
+
+    #[test]
+    fn killed_pe_is_reaped_and_work_requeued_onto_group_survivor() {
+        let mut arr = PeArray::new(2, 2, 4);
+        arr.schedule_kill(0, 50);
+        // PE 0 runs past its death: 30 cycles of overshoot are lost.
+        arr.pe_mut(0).advance(80);
+        arr.pe_mut(0).track(90);
+        let g = arr.try_earliest_group().expect("survivors exist");
+        assert_eq!(arr.killed, 1);
+        assert_eq!(arr.requeued, 1);
+        assert_eq!(arr.live_count(), 3);
+        // Group 1 is untouched, so greedy dispatch prefers it; PE 1 (the
+        // group-0 survivor) carries the redone work: 30 overshoot cycles
+        // plus one abandoned request, starting no earlier than the death.
+        assert_eq!(g, 1);
+        assert_eq!(arr.pe_mut(1).time, 50 + 30 + 1);
+        // The corpse is frozen at its kill cycle and never selected again.
+        assert_eq!(arr.pe_mut(0).time, 50);
+        assert_eq!(arr.try_earliest_pe_in_group(0), Some(1));
+    }
+
+    #[test]
+    fn fully_dead_group_is_skipped_and_empty_array_yields_none() {
+        let mut arr = PeArray::new(2, 2, 4);
+        arr.schedule_kill(0, 0);
+        arr.schedule_kill(1, 0);
+        // Group 0 is gone; dispatch must route everything to group 1.
+        assert_eq!(arr.try_earliest_group(), Some(1));
+        assert_eq!(arr.try_earliest_pe_in_group(0), None);
+        assert_eq!(arr.group_min_time(0), u64::MAX);
+        arr.schedule_kill(2, 0);
+        arr.schedule_kill(3, 0);
+        assert_eq!(arr.try_earliest_group(), None);
+        assert_eq!(arr.min_live_time(), u64::MAX);
+        // Dying idle (at cycle 0, nothing issued) requeues nothing.
+        assert_eq!(arr.requeued, 0);
+        assert_eq!(arr.killed, 4);
+    }
+
+    #[test]
+    fn dispatch_survives_requeue_cascade_onto_condemned_pe() {
+        // PE 2 dies with overshoot and its work is requeued onto PE 0 —
+        // itself condemned, and pushed past its own kill cycle by the
+        // requeue. Because the reap loop has already passed index 0, PE 0
+        // stays unreaped-but-doomed, and two-step selection (group, then
+        // re-reap, then PE) would observe its group emptying between the
+        // calls and misreport total failure. Atomic dispatch must keep
+        // returning live PEs until the array is genuinely dead.
+        let mut arr = PeArray::new(3, 1, 4);
+        arr.schedule_kill(0, 10);
+        arr.schedule_kill(2, 10);
+        arr.pe_mut(1).advance(100);
+        arr.pe_mut(2).advance(15);
+        // Reap kills PE 2; its 5 overshoot cycles land on PE 0 (earliest
+        // live), pushing it to cycle 15 ≥ its own kill cycle of 10.
+        let (g, p) = arr.try_dispatch().expect("two PEs still live");
+        assert_eq!((g, p), (0, 0), "doomed-but-unreaped PE is dispatchable");
+        // The next dispatch reaps PE 0 and falls through to the survivor.
+        let (g, p) = arr.try_dispatch().expect("PE 1 still alive");
+        assert_eq!((g, p), (1, 1));
+        assert_eq!(arr.killed, 2);
+        assert_eq!(arr.live_count(), 1);
+        assert_eq!(arr.requeued, 2);
+    }
+
+    #[test]
+    fn kill_free_array_matches_legacy_selection() {
+        let mut arr = PeArray::new(2, 2, 4);
+        for pe in 0..2 {
+            arr.pe_mut(pe).advance(100);
+        }
+        assert_eq!(arr.try_earliest_group(), Some(1));
+        assert_eq!(arr.earliest_group(), 1);
+        assert_eq!(arr.earliest_pe_in_group(1), 2);
+        assert_eq!(arr.min_live_time(), 0);
+        assert_eq!(arr.live_count(), 4);
     }
 }

@@ -9,6 +9,7 @@
 //! (`Machine`), which limit memory-level parallelism the same way.
 
 use crate::config::OuterSpaceConfig;
+use crate::faults::{FaultInjector, MemoryFault};
 
 /// Hit/miss classification of one read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +63,7 @@ impl CacheModel {
     /// Inserts `block` without counting an access (used for victim fills).
     pub fn fill(&mut self, block: u64) {
         let set = &mut self.sets[(block % self.n_sets) as usize];
-        if set.iter().any(|&b| b == block) {
+        if set.contains(&block) {
             return;
         }
         if set.len() == self.ways {
@@ -94,6 +95,12 @@ pub struct MemCounters {
     pub hbm_read_bytes: u64,
     /// Bytes written to HBM (block granular).
     pub hbm_write_bytes: u64,
+    /// ECC detect-and-retry events (fault injection).
+    pub ecc_retries: u64,
+    /// Read responses dropped and re-issued (fault injection).
+    pub dropped_responses: u64,
+    /// Extra completion-latency cycles charged by fault recovery.
+    pub fault_penalty_cycles: u64,
 }
 
 /// One HBM pseudo-channel's booking state.
@@ -160,6 +167,13 @@ pub struct MemorySystem {
     l1_hit_cycles: u64,
     xbar_cycles: u64,
     n_l1: u64,
+    /// Fault source for transient HBM faults; `None` keeps the read path
+    /// byte-for-byte identical to the fault-free model.
+    injector: Option<FaultInjector>,
+    /// Monotone index of HBM reads (the fault hash's access counter).
+    read_index: u64,
+    /// First access that exhausted its retry budget, if any.
+    failure: Option<MemoryFault>,
 }
 
 impl MemorySystem {
@@ -192,6 +206,9 @@ impl MemorySystem {
             l1_hit_cycles: cfg.l1_hit_cycles,
             xbar_cycles: cfg.xbar_cycles,
             n_l1: cfg.n_l1 as u64,
+            injector: FaultInjector::for_memory(&cfg.faults, cfg.block_bytes),
+            read_index: 0,
+            failure: None,
         }
     }
 
@@ -225,8 +242,49 @@ impl MemorySystem {
         self.counters.hbm_read_bytes += self.block_bytes;
         let arrival = now + self.l0_hit_cycles + self.l1_hit_cycles + self.xbar_cycles;
         let ch = (block % self.chan.len() as u64) as usize;
-        let done = self.chan[ch].book(arrival, self.hbm_cycles_per_block);
+        let mut done = self.chan[ch].book(arrival, self.hbm_cycles_per_block);
+        if let Some(inj) = self.injector.clone() {
+            done = self.inject_read_faults(&inj, ch, addr, done);
+        }
         (done + self.hbm_latency, AccessOutcome::Hbm)
+    }
+
+    /// Applies transient-fault recovery to an HBM read completing at `done`;
+    /// returns the (possibly delayed) delivery cycle.
+    fn inject_read_faults(&mut self, inj: &FaultInjector, ch: usize, addr: u64, done: u64) -> u64 {
+        let idx = self.read_index;
+        self.read_index += 1;
+        let base = done;
+        let mut done = done;
+        // Dropped responses: the PE times out (exponential backoff) and
+        // re-issues; each retry is a fresh block transfer on the channel.
+        let mut attempt = 0u32;
+        while inj.response_dropped(idx, attempt) {
+            self.counters.dropped_responses += 1;
+            if attempt >= inj.max_retries {
+                self.failure.get_or_insert(MemoryFault { addr, attempts: attempt + 1 });
+                break;
+            }
+            let wait = inj.backoff_cycles(attempt);
+            self.counters.hbm_read_bytes += self.block_bytes;
+            done = self.chan[ch].book(done + wait, self.hbm_cycles_per_block);
+            attempt += 1;
+        }
+        // ECC: corruption is detected on delivery and corrected by a
+        // re-read, costing the detect latency plus another transfer.
+        if inj.ecc_corrupted(idx) {
+            self.counters.ecc_retries += 1;
+            self.counters.hbm_read_bytes += self.block_bytes;
+            done = self.chan[ch].book(done + inj.ecc_retry_cycles, self.hbm_cycles_per_block);
+        }
+        self.counters.fault_penalty_cycles += done - base;
+        done
+    }
+
+    /// First access that exhausted its retry budget, if any (the phase
+    /// driver turns this into [`crate::SimError::MemoryFailure`]).
+    pub fn failure(&self) -> Option<MemoryFault> {
+        self.failure
     }
 
     /// Reads `bytes` of *streaming* data starting at `addr` (touches every
@@ -388,5 +446,71 @@ mod tests {
         assert_eq!(m.read_stream(0, 64, 0, 7), 7);
         m.write_stream(64, 0, 7);
         assert_eq!(m.counters.hbm_write_bytes, 0);
+    }
+
+    fn faulty_cfg(ber: f64, drop: f64) -> OuterSpaceConfig {
+        let mut c = cfg();
+        c.faults.seed = 11;
+        c.faults.hbm_ber = ber;
+        c.faults.drop_rate = drop;
+        c
+    }
+
+    /// Distinct blocks, so every read goes to HBM and rolls the fault dice.
+    fn sweep(m: &mut MemorySystem, n: u64) -> u64 {
+        (0..n).map(|i| m.read(0, i * 64 * 1024, i).0).max().unwrap_or(0)
+    }
+
+    #[test]
+    fn zero_fault_config_is_byte_identical_to_baseline() {
+        let mut plain = MemorySystem::for_multiply(&cfg());
+        let mut zeroed = MemorySystem::for_multiply(&faulty_cfg(0.0, 0.0));
+        for i in 0..200u64 {
+            assert_eq!(plain.read(0, i * 4096, i * 3), zeroed.read(0, i * 4096, i * 3));
+        }
+        assert_eq!(plain.counters.fault_penalty_cycles, 0);
+        assert_eq!(zeroed.counters.fault_penalty_cycles, 0);
+    }
+
+    #[test]
+    fn ecc_retries_charge_latency_and_traffic() {
+        let mut m = MemorySystem::for_multiply(&faulty_cfg(1e-3, 0.0));
+        let last = sweep(&mut m, 2000);
+        assert!(m.counters.ecc_retries > 0, "1e-3 BER must corrupt some of 2000 blocks");
+        assert_eq!(m.counters.dropped_responses, 0);
+        assert!(m.counters.fault_penalty_cycles >= m.counters.ecc_retries * 173);
+        // Each retry re-reads the block.
+        assert_eq!(
+            m.counters.hbm_read_bytes,
+            (2000 + m.counters.ecc_retries) * 64
+        );
+        let mut clean = MemorySystem::for_multiply(&cfg());
+        assert!(last > sweep(&mut clean, 2000), "faults must not speed reads up");
+        assert!(m.failure().is_none());
+    }
+
+    #[test]
+    fn dropped_responses_back_off_and_eventually_fail() {
+        let mut m = MemorySystem::for_multiply(&faulty_cfg(0.0, 0.3));
+        sweep(&mut m, 400);
+        assert!(m.counters.dropped_responses > 0);
+        assert!(m.counters.fault_penalty_cycles > 512 * m.counters.dropped_responses / 2);
+        // With drop rate 1.0 every attempt dies; the retry budget exhausts
+        // on the very first read and the failure is latched.
+        let mut dead = MemorySystem::for_multiply(&faulty_cfg(0.0, 1.0));
+        dead.read(0, 0xabc0, 0);
+        let f = dead.failure().expect("retry budget must exhaust");
+        assert_eq!(f.addr, 0xabc0);
+        assert_eq!(f.attempts, cfg().faults.max_retries + 1);
+    }
+
+    #[test]
+    fn fault_penalty_is_monotone_in_rate() {
+        let mut spans = Vec::new();
+        for ber in [0.0, 1e-4, 1e-2] {
+            let mut m = MemorySystem::for_multiply(&faulty_cfg(ber, 0.0));
+            spans.push(sweep(&mut m, 1500));
+        }
+        assert!(spans[0] <= spans[1] && spans[1] <= spans[2], "spans {spans:?}");
     }
 }

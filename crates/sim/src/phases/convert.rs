@@ -11,6 +11,7 @@
 use outerspace_sparse::Csr;
 
 use crate::config::OuterSpaceConfig;
+use crate::error::SimError;
 use crate::layout::{A_BASE, ELEM_BYTES, SCRATCH_BASE};
 use crate::machine::PeArray;
 use crate::mem::MemorySystem;
@@ -19,7 +20,12 @@ use crate::stats::PhaseStats;
 
 /// Simulates converting `a` (CR) to CC, returning the combined statistics of
 /// the conversion-load and conversion-merge passes.
-pub fn simulate_convert(cfg: &OuterSpaceConfig, a: &Csr) -> PhaseStats {
+///
+/// # Errors
+///
+/// Fault injection only: every PE dead, an access out of retries, or a
+/// watchdog timeout ([`SimError`]). Fault-free configurations cannot fail.
+pub fn simulate_convert(cfg: &OuterSpaceConfig, a: &Csr) -> Result<PhaseStats, SimError> {
     // --- Conversion-load: stream rows, scatter to column lists. ---
     let mut mem = MemorySystem::for_multiply(cfg);
     let mut pes = PeArray::new(
@@ -41,7 +47,7 @@ pub fn simulate_convert(cfg: &OuterSpaceConfig, a: &Csr) -> PhaseStats {
             compute_cycles: len, // one list-append per entry
         })
     });
-    let load = run_stream_phase(cfg, &mut mem, &mut pes, load_items);
+    let load = run_stream_phase("convert", cfg, &mut mem, &mut pes, load_items)?;
 
     // --- Conversion-merge: gather each column list into the CC arrays. ---
     // Column lengths come from the transposed pointer structure; the
@@ -65,7 +71,7 @@ pub fn simulate_convert(cfg: &OuterSpaceConfig, a: &Csr) -> PhaseStats {
             compute_cycles: len,
         })
     });
-    let merge = run_stream_phase(cfg, &mut mem2, &mut workers, merge_items);
+    let merge = run_stream_phase("convert", cfg, &mut mem2, &mut workers, merge_items)?;
 
     let mut total = load;
     total.cycles += merge.cycles; // the passes are sequential
@@ -78,7 +84,12 @@ pub fn simulate_convert(cfg: &OuterSpaceConfig, a: &Csr) -> PhaseStats {
     total.l1_misses += merge.l1_misses;
     total.work_items = a.nnz() as u64;
     total.busy_pe_cycles += merge.busy_pe_cycles;
-    total
+    total.ecc_retries += merge.ecc_retries;
+    total.dropped_responses += merge.dropped_responses;
+    total.fault_penalty_cycles += merge.fault_penalty_cycles;
+    total.requeued_work_items += merge.requeued_work_items;
+    total.killed_pes += merge.killed_pes;
+    Ok(total)
 }
 
 #[cfg(test)]
@@ -91,8 +102,8 @@ mod tests {
         let cfg = OuterSpaceConfig::default();
         let a1 = uniform::matrix(256, 256, 2000, 1);
         let a2 = uniform::matrix(256, 256, 8000, 1);
-        let s1 = simulate_convert(&cfg, &a1);
-        let s2 = simulate_convert(&cfg, &a2);
+        let s1 = simulate_convert(&cfg, &a1).unwrap();
+        let s2 = simulate_convert(&cfg, &a2).unwrap();
         let ratio = s2.hbm_bytes() as f64 / s1.hbm_bytes() as f64;
         assert!((2.0..8.0).contains(&ratio), "traffic ratio {ratio}");
         assert!(s2.cycles > s1.cycles);
@@ -102,7 +113,7 @@ mod tests {
     fn no_flops_charged() {
         let cfg = OuterSpaceConfig::default();
         let a = uniform::matrix(64, 64, 500, 2);
-        let s = simulate_convert(&cfg, &a);
+        let s = simulate_convert(&cfg, &a).unwrap();
         assert_eq!(s.flops, 0);
         assert_eq!(s.work_items, 500);
     }
@@ -110,7 +121,7 @@ mod tests {
     #[test]
     fn empty_matrix_costs_nothing() {
         let cfg = OuterSpaceConfig::default();
-        let s = simulate_convert(&cfg, &outerspace_sparse::Csr::zero(64, 64));
+        let s = simulate_convert(&cfg, &outerspace_sparse::Csr::zero(64, 64)).unwrap();
         assert_eq!(s.hbm_bytes(), 0);
     }
 
@@ -120,8 +131,8 @@ mod tests {
         // far cheaper than the multiply phase (O(nnz^2/N)).
         let cfg = OuterSpaceConfig::default();
         let a = uniform::matrix(256, 256, 8000, 3);
-        let conv = simulate_convert(&cfg, &a);
-        let (mul, _) = crate::phases::multiply::simulate_multiply(&cfg, &a.to_csc(), &a);
+        let conv = simulate_convert(&cfg, &a).unwrap();
+        let (mul, _) = crate::phases::multiply::simulate_multiply(&cfg, &a.to_csc(), &a).unwrap();
         assert!(conv.cycles < mul.cycles);
     }
 }

@@ -15,12 +15,18 @@
 use outerspace_sparse::Csr;
 
 use crate::config::OuterSpaceConfig;
+use crate::error::SimError;
 use crate::layout::IntermediateLayout;
 use crate::phases::merge::{simulate_merge, RowMergeInfo};
 use crate::stats::PhaseStats;
 
 /// Simulates an N-way element-wise combination of `mats` (all equal shape),
 /// given the functional result `out` (for per-row output sizes).
+///
+/// # Errors
+///
+/// Fault injection only: every PE dead, an access out of retries, or a
+/// watchdog timeout ([`SimError`]). Fault-free configurations cannot fail.
 ///
 /// # Panics
 ///
@@ -30,7 +36,7 @@ pub fn simulate_elementwise(
     cfg: &OuterSpaceConfig,
     mats: &[&Csr],
     out: &Csr,
-) -> PhaseStats {
+) -> Result<PhaseStats, SimError> {
     let first = mats.first().expect("driver validates non-empty input");
     assert!(
         mats.iter().all(|m| m.nrows() == first.nrows() && m.ncols() == first.ncols()),
@@ -74,7 +80,7 @@ mod tests {
         let a = uniform::matrix(512, 512, 8000, 1);
         let b = uniform::matrix(512, 512, 8000, 2);
         let sum = ops::add(&a, &b).unwrap();
-        let stats = simulate_elementwise(&cfg, &[&a, &b], &sum);
+        let stats = simulate_elementwise(&cfg, &[&a, &b], &sum).unwrap();
         assert!(stats.cycles > 0);
         // Reads cover both operands at block granularity.
         assert!(stats.hbm_read_bytes >= 12 * (a.nnz() + b.nnz()) as u64 / 2);
@@ -94,8 +100,8 @@ mod tests {
         for m in &mats[2..] {
             out6 = ops::add(&out6, m).unwrap();
         }
-        let s2 = simulate_elementwise(&cfg, &two, &out2);
-        let s6 = simulate_elementwise(&cfg, &six, &out6);
+        let s2 = simulate_elementwise(&cfg, &two, &out2).unwrap();
+        let s6 = simulate_elementwise(&cfg, &six, &out6).unwrap();
         assert!(s6.cycles > s2.cycles);
         assert!(s6.hbm_read_bytes > 2 * s2.hbm_read_bytes);
     }
@@ -114,7 +120,7 @@ mod tests {
         )
         .unwrap();
         let sum = ops::add(&a, &b).unwrap();
-        let stats = simulate_elementwise(&cfg, &[&a, &b], &sum);
+        let stats = simulate_elementwise(&cfg, &[&a, &b], &sum).unwrap();
         assert_eq!(stats.flops, 0);
     }
 }

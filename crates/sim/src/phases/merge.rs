@@ -13,11 +13,14 @@
 //! fits.
 
 use crate::config::OuterSpaceConfig;
+use crate::error::SimError;
 use crate::layout::{ChunkRef, IntermediateLayout, ELEM_BYTES, OUT_BASE, SCRATCH_BASE};
 use crate::machine::PeArray;
 use crate::mem::MemorySystem;
-use crate::phases::collect_stats;
+use crate::phases::{apply_fault_model, check_phase_health, collect_stats};
 use crate::stats::PhaseStats;
+
+const PHASE: &str = "merge";
 
 /// Per-row merge work description: what the multiply phase produced and
 /// what the merged row looks like (from the functional execution).
@@ -32,6 +35,11 @@ pub struct RowMergeInfo {
 /// Simulates the merge phase over the intermediate `layout`, with per-row
 /// output shapes in `rows` (index-aligned with the layout's rows).
 ///
+/// # Errors
+///
+/// Fault injection only: every PE dead, an access out of retries, or a
+/// watchdog timeout ([`SimError`]). Fault-free configurations cannot fail.
+///
 /// # Panics
 ///
 /// Panics if `rows.len() != layout.nrows()`.
@@ -39,12 +47,13 @@ pub fn simulate_merge(
     cfg: &OuterSpaceConfig,
     layout: &IntermediateLayout,
     rows: &[RowMergeInfo],
-) -> PhaseStats {
+) -> Result<PhaseStats, SimError> {
     assert_eq!(rows.len(), layout.nrows() as usize, "row info must align with layout");
     let mut mem = MemorySystem::for_merge(cfg);
     let n_workers = (cfg.n_tiles * cfg.merge_pairs_per_tile()) as usize;
     // Each worker pair acts as one dispatchable unit.
     let mut pes = PeArray::new(n_workers, 1, cfg.outstanding_requests as usize);
+    apply_fault_model(cfg, &mut pes);
     let head_cap = cfg.merge_head_capacity().max(2);
     let mut scratch_bump = SCRATCH_BASE;
     let mut out_cursor = OUT_BASE;
@@ -56,6 +65,7 @@ pub fn simulate_merge(
         if chunks.is_empty() {
             continue;
         }
+        check_phase_health(PHASE, cfg, &mem, &pes)?;
         work_items += 1;
         flops += info.collisions as u64;
 
@@ -69,7 +79,8 @@ pub fn simulate_merge(
             let mut pass_done: u64 = 0;
             for group in current.chunks(head_cap) {
                 let total: u64 = group.iter().map(|c| c.len as u64).sum();
-                let w = pes.earliest_group();
+                let w =
+                    pes.try_earliest_group().ok_or(SimError::AllPesFailed { phase: PHASE })?;
                 pes.pe_mut(w).wait_until(row_ready);
                 merge_pass(cfg, &mut mem, &mut pes, w, group, scratch_bump, total);
                 pass_done = pass_done.max(pes.pe_mut(w).time);
@@ -81,16 +92,17 @@ pub fn simulate_merge(
         }
 
         // Final pass writes the merged result row.
-        let worker = pes.earliest_group();
+        let worker = pes.try_earliest_group().ok_or(SimError::AllPesFailed { phase: PHASE })?;
         pes.pe_mut(worker).wait_until(row_ready);
         merge_pass(cfg, &mut mem, &mut pes, worker, &current, out_cursor, info.out_len as u64);
         out_cursor += info.out_len as u64 * ELEM_BYTES;
     }
 
+    check_phase_health(PHASE, cfg, &mem, &pes)?;
     let mut stats = collect_stats(cfg, &mut mem, &mut pes, flops);
     stats.work_items = work_items;
     stats.active_pes = stats.active_pes.min(n_workers as u32);
-    stats
+    Ok(stats)
 }
 
 /// One merge pass on one worker pair: stream `group` in, sort, write
@@ -142,7 +154,7 @@ fn merge_pass(
     let out_bytes = out_elems * ELEM_BYTES;
     if out_bytes > 0 {
         mem.write_stream(out_addr, out_bytes, pe.time.max(last_data));
-        pe.advance((out_bytes + block - 1) / block);
+        pe.advance(out_bytes.div_ceil(block));
     }
     pe.track(last_data);
 }
@@ -158,7 +170,7 @@ mod tests {
     fn setup(n: u32, nnz: usize, seed: u64) -> (IntermediateLayout, Vec<RowMergeInfo>) {
         let a = uniform::matrix(n, n, nnz, seed);
         let cfg = OuterSpaceConfig::default();
-        let (_, layout) = simulate_multiply(&cfg, &a.to_csc(), &a);
+        let (_, layout) = simulate_multiply(&cfg, &a.to_csc(), &a).unwrap();
         let (pp, _) = multiply(&a.to_csc(), &a).unwrap();
         let (c, _) = merge(pp, MergeKind::Streaming);
         let rows = row_infos(&layout, &c);
@@ -182,7 +194,7 @@ mod tests {
     fn merge_reads_what_multiply_wrote() {
         let (layout, rows) = setup(128, 1000, 1);
         let cfg = OuterSpaceConfig::default();
-        let stats = simulate_merge(&cfg, &layout, &rows);
+        let stats = simulate_merge(&cfg, &layout, &rows).unwrap();
         // Block-granular reads must cover the intermediate arena.
         assert!(stats.hbm_read_bytes >= layout.total_elements() * ELEM_BYTES / 2);
         assert!(stats.cycles > 0);
@@ -192,7 +204,7 @@ mod tests {
     fn collisions_become_merge_flops() {
         let (layout, rows) = setup(64, 800, 2);
         let cfg = OuterSpaceConfig::default();
-        let stats = simulate_merge(&cfg, &layout, &rows);
+        let stats = simulate_merge(&cfg, &layout, &rows).unwrap();
         let want: u64 = rows.iter().map(|r| r.collisions as u64).sum();
         assert_eq!(stats.flops, want);
     }
@@ -209,12 +221,12 @@ mod tests {
         }
         let a = coo.to_csr();
         let cfg = OuterSpaceConfig::default();
-        let (_, layout) = simulate_multiply(&cfg, &a.to_csc(), &a);
+        let (_, layout) = simulate_multiply(&cfg, &a.to_csc(), &a).unwrap();
         assert!(layout.row(0).len() > cfg.merge_head_capacity());
         let (pp, _) = multiply(&a.to_csc(), &a).unwrap();
         let (c, _) = merge(pp, MergeKind::Streaming);
         let rows = row_infos(&layout, &c);
-        let stats = simulate_merge(&cfg, &layout, &rows);
+        let stats = simulate_merge(&cfg, &layout, &rows).unwrap();
         // Sub-merge passes re-read intermediate data: traffic must exceed a
         // single pass over the arena.
         assert!(stats.hbm_read_bytes > layout.total_elements() * ELEM_BYTES);
@@ -225,7 +237,7 @@ mod tests {
         let layout = IntermediateLayout::new(16);
         let rows = vec![RowMergeInfo::default(); 16];
         let cfg = OuterSpaceConfig::default();
-        let stats = simulate_merge(&cfg, &layout, &rows);
+        let stats = simulate_merge(&cfg, &layout, &rows).unwrap();
         assert_eq!(stats.cycles, 0);
         assert_eq!(stats.work_items, 0);
     }
@@ -234,7 +246,7 @@ mod tests {
     fn worker_count_respects_power_gating() {
         let (layout, rows) = setup(256, 4000, 3);
         let cfg = OuterSpaceConfig::default();
-        let stats = simulate_merge(&cfg, &layout, &rows);
+        let stats = simulate_merge(&cfg, &layout, &rows).unwrap();
         // 16 tiles x 4 pairs = 64 workers maximum.
         assert!(stats.active_pes <= 64);
         assert!(stats.active_pes > 16);

@@ -7,6 +7,7 @@ pub mod multiply;
 pub mod spmv;
 
 use crate::config::OuterSpaceConfig;
+use crate::error::SimError;
 use crate::machine::PeArray;
 use crate::mem::MemorySystem;
 use crate::stats::PhaseStats;
@@ -27,20 +28,57 @@ pub struct StreamItem {
     pub compute_cycles: u64,
 }
 
+/// Condemns the configuration's kill set before a phase starts: every phase
+/// rebuilds its PE array, and a hard failure persists across phases, so the
+/// same deterministic indices die in each.
+pub(crate) fn apply_fault_model(cfg: &OuterSpaceConfig, pes: &mut PeArray) {
+    for p in crate::faults::kill_set(&cfg.faults, pes.len()) {
+        pes.schedule_kill(p, cfg.faults.pe_kill_cycle);
+    }
+}
+
+/// Aborts a phase when fault recovery has already failed (retry budget
+/// exhausted) or the dispatch frontier passed the watchdog limit.
+pub(crate) fn check_phase_health(
+    phase: &'static str,
+    cfg: &OuterSpaceConfig,
+    mem: &MemorySystem,
+    pes: &PeArray,
+) -> Result<(), SimError> {
+    if let Some(fault) = mem.failure() {
+        return Err(SimError::MemoryFailure { phase, addr: fault.addr, attempts: fault.attempts });
+    }
+    let limit = cfg.faults.watchdog_cycles;
+    if limit > 0 {
+        let frontier = pes.min_live_time();
+        if frontier != u64::MAX && frontier > limit {
+            return Err(SimError::WatchdogTimeout { phase, frontier, limit });
+        }
+    }
+    Ok(())
+}
+
 /// Executes a set of independent streaming work items over `pes` with greedy
 /// dispatch, charging reads/writes through `mem`. Used by the conversion and
 /// SpMV models, whose phases are pure streams (§4.3, §5.6).
+///
+/// # Errors
+///
+/// Fault injection only: every PE dead, an access out of retries, or a
+/// watchdog timeout.
 pub fn run_stream_phase(
+    phase: &'static str,
     cfg: &OuterSpaceConfig,
     mem: &mut MemorySystem,
     pes: &mut PeArray,
     items: impl IntoIterator<Item = StreamItem>,
-) -> PhaseStats {
+) -> Result<PhaseStats, SimError> {
     let block = cfg.block_bytes as u64;
+    apply_fault_model(cfg, pes);
     for item in items {
-        let g = pes.earliest_group();
+        check_phase_health(phase, cfg, mem, pes)?;
+        let (g, pe_idx) = pes.try_dispatch().ok_or(SimError::AllPesFailed { phase })?;
         let l0 = g.min(mem.n_l0() - 1);
-        let pe_idx = pes.earliest_pe_in_group(g);
         let pe = pes.pe_mut(pe_idx);
 
         let mut last_data = pe.time;
@@ -58,10 +96,11 @@ pub fn run_stream_phase(
         pe.advance(item.compute_cycles);
         if item.write_bytes > 0 {
             mem.write_stream(item.write_addr, item.write_bytes, pe.time);
-            pe.advance((item.write_bytes + block - 1) / block);
+            pe.advance(item.write_bytes.div_ceil(block));
         }
     }
-    collect_stats(cfg, mem, pes, 0)
+    check_phase_health(phase, cfg, mem, pes)?;
+    Ok(collect_stats(cfg, mem, pes, 0))
 }
 
 /// Finalizes a phase: drains PEs and channels, snapshots counters.
@@ -85,6 +124,11 @@ pub(crate) fn collect_stats(
         work_items: 0,
         active_pes: pes.active_count(),
         busy_pe_cycles: pes.total_busy(),
+        ecc_retries: c.ecc_retries,
+        dropped_responses: c.dropped_responses,
+        fault_penalty_cycles: c.fault_penalty_cycles,
+        requeued_work_items: pes.requeued,
+        killed_pes: pes.killed,
     }
 }
 
@@ -104,7 +148,7 @@ mod tests {
             write_bytes: 640,
             compute_cycles: 10,
         });
-        let stats = run_stream_phase(&cfg, &mut mem, &mut pes, items);
+        let stats = run_stream_phase("test", &cfg, &mut mem, &mut pes, items).unwrap();
         assert_eq!(stats.hbm_read_bytes, 100 * 640);
         assert_eq!(stats.hbm_write_bytes, 100 * 640);
         assert!(stats.cycles > 0);
@@ -124,10 +168,10 @@ mod tests {
         };
         let mut mem1 = MemorySystem::for_multiply(&cfg);
         let mut few = PeArray::new(1, 2, 64);
-        let s1 = run_stream_phase(&cfg, &mut mem1, &mut few, items(64));
+        let s1 = run_stream_phase("test", &cfg, &mut mem1, &mut few, items(64)).unwrap();
         let mut mem2 = MemorySystem::for_multiply(&cfg);
         let mut many = PeArray::new(16, 16, 64);
-        let s2 = run_stream_phase(&cfg, &mut mem2, &mut many, items(64));
+        let s2 = run_stream_phase("test", &cfg, &mut mem2, &mut many, items(64)).unwrap();
         assert!(
             s2.cycles * 4 < s1.cycles,
             "256 PEs ({}) should be >4x faster than 2 ({})",

@@ -11,17 +11,25 @@
 use outerspace_sparse::{Csc, Csr};
 
 use crate::config::OuterSpaceConfig;
+use crate::error::SimError;
 use crate::layout::{IntermediateLayout, A_BASE, A_PTR_BASE, B_BASE, B_PTR_BASE, ELEM_BYTES};
 use crate::machine::PeArray;
 use crate::mem::MemorySystem;
-use crate::phases::collect_stats;
+use crate::phases::{apply_fault_model, check_phase_health, collect_stats};
 use crate::stats::PhaseStats;
+
+const PHASE: &str = "multiply";
 
 /// Simulates the multiply phase for `Cᵢ = aᵢ · bᵢ` over all outer products,
 /// returning timing statistics and the intermediate-structure layout the
 /// merge phase will consume.
 ///
 /// `a` must be in CC and `b` in CR format (§4's operand layouts).
+///
+/// # Errors
+///
+/// Fault injection only: every PE dead, an access out of retries, or a
+/// watchdog timeout ([`SimError`]). Fault-free configurations cannot fail.
 ///
 /// # Panics
 ///
@@ -30,7 +38,7 @@ pub fn simulate_multiply(
     cfg: &OuterSpaceConfig,
     a: &Csc,
     b: &Csr,
-) -> (PhaseStats, IntermediateLayout) {
+) -> Result<(PhaseStats, IntermediateLayout), SimError> {
     assert_eq!(a.ncols(), b.nrows(), "driver must validate shapes");
     let mut mem = MemorySystem::for_multiply(cfg);
     let mut pes = PeArray::new(
@@ -38,6 +46,7 @@ pub fn simulate_multiply(
         cfg.pes_per_tile as usize,
         cfg.outstanding_requests as usize,
     );
+    apply_fault_model(cfg, &mut pes);
     let mut layout = IntermediateLayout::new(a.nrows());
 
     let group_size = cfg.pes_per_tile as usize;
@@ -47,9 +56,11 @@ pub fn simulate_multiply(
     let a_ptr = a.col_ptr();
     let b_ptr = b.row_ptr();
     for k in 0..a.ncols() {
+        check_phase_health(PHASE, cfg, &mem, &pes)?;
         // The control processors stream both pointer arrays to discover
         // non-empty pairs; charge those reads to the earliest tile.
-        let sched_tile = pes.earliest_group();
+        let sched_tile =
+            pes.try_earliest_group().ok_or(SimError::AllPesFailed { phase: PHASE })?;
         let t_sched = pes.group_min_time(sched_tile);
         let _ = mem.read(sched_tile, A_PTR_BASE + k as u64 * 8, t_sched);
         let _ = mem.read(sched_tile, B_PTR_BASE + k as u64 * 8, t_sched);
@@ -68,27 +79,34 @@ pub fn simulate_multiply(
         // one tile shares one row-of-B at a time.
         let mut idx = 0usize;
         while idx < ca {
-            let tile = pes.earliest_group();
+            check_phase_health(PHASE, cfg, &mem, &pes)?;
+            let tile =
+                pes.try_earliest_group().ok_or(SimError::AllPesFailed { phase: PHASE })?;
             let end = (idx + group_size).min(ca);
-            for e in idx..end {
-                let pe_idx = pes.earliest_pe_in_group(tile);
+            while idx < end {
+                // The tile can lose its last PE mid-column; fall back to the
+                // outer loop to re-select a live tile for the rest.
+                let Some(pe_idx) = pes.try_earliest_pe_in_group(tile) else {
+                    break;
+                };
                 work_items += 1;
-                let a_addr = a_col_base + e as u64 * ELEM_BYTES;
-                let row = a_rows[e];
+                let a_addr = a_col_base + idx as u64 * ELEM_BYTES;
+                let row = a_rows[idx];
                 let chunk_addr = layout.alloc_chunk(row, cb as u32);
                 flops += cb as u64;
                 execute_chunk(
                     cfg, &mut mem, &mut pes, pe_idx, tile, a_addr, b_row_base, b_row_bytes,
                     cb as u64, chunk_addr,
                 );
+                idx += 1;
             }
-            idx = end;
         }
     }
 
+    check_phase_health(PHASE, cfg, &mem, &pes)?;
     let mut stats = collect_stats(cfg, &mut mem, &mut pes, flops);
     stats.work_items = work_items;
-    (stats, layout)
+    Ok((stats, layout))
 }
 
 /// One chunk's execution: load the column-of-A element, stream the
@@ -132,7 +150,7 @@ pub(crate) fn execute_chunk(
     // Write-no-allocate, posted: the store stream cannot start before its
     // operands arrived.
     mem.write_stream(store_addr, b_bytes, pe.time.max(last_data));
-    pe.advance((b_bytes + block - 1) / block);
+    pe.advance(b_bytes.div_ceil(block));
     pe.track(last_data);
 }
 
@@ -144,14 +162,14 @@ mod tests {
     fn sim(n: u32, nnz: usize, seed: u64) -> (PhaseStats, IntermediateLayout) {
         let a = uniform::matrix(n, n, nnz, seed);
         let cfg = OuterSpaceConfig::default();
-        simulate_multiply(&cfg, &a.to_csc(), &a)
+        simulate_multiply(&cfg, &a.to_csc(), &a).unwrap()
     }
 
     #[test]
     fn layout_matches_algorithm_structure() {
         let a = uniform::matrix(64, 64, 400, 1);
         let cfg = OuterSpaceConfig::default();
-        let (stats, layout) = simulate_multiply(&cfg, &a.to_csc(), &a);
+        let (stats, layout) = simulate_multiply(&cfg, &a.to_csc(), &a).unwrap();
         // Total intermediate elements = elementary products = flops.
         let (_, soft) = outerspace_outer::multiply(&a.to_csc(), &a).unwrap();
         assert_eq!(layout.total_elements(), soft.elementary_products);
@@ -178,7 +196,7 @@ mod tests {
         }
         let a = coo.to_csr();
         let cfg = OuterSpaceConfig::default();
-        let (stats, _) = simulate_multiply(&cfg, &a.to_csc(), &a);
+        let (stats, _) = simulate_multiply(&cfg, &a.to_csc(), &a).unwrap();
         assert!(
             stats.l0_hit_rate() > 0.5,
             "expected heavy B-row sharing, hit rate {}",
@@ -204,7 +222,7 @@ mod tests {
     fn empty_matrix_is_cheap() {
         let a = outerspace_sparse::Csr::zero(32, 32);
         let cfg = OuterSpaceConfig::default();
-        let (stats, layout) = simulate_multiply(&cfg, &a.to_csc(), &a);
+        let (stats, layout) = simulate_multiply(&cfg, &a.to_csc(), &a).unwrap();
         assert_eq!(layout.total_elements(), 0);
         assert_eq!(stats.flops, 0);
     }

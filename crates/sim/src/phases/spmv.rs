@@ -9,6 +9,7 @@
 use outerspace_sparse::{Csc, SparseVector};
 
 use crate::config::OuterSpaceConfig;
+use crate::error::SimError;
 use crate::layout::{A_BASE, ELEM_BYTES, INTER_BASE, OUT_BASE, X_BASE};
 use crate::machine::PeArray;
 use crate::mem::MemorySystem;
@@ -22,6 +23,11 @@ use crate::stats::SimReport;
 /// `out_nnz` is the number of non-zeros in the result (from the functional
 /// execution), which sizes the merge phase's output traffic.
 ///
+/// # Errors
+///
+/// Fault injection only: every PE dead, an access out of retries, or a
+/// watchdog timeout ([`SimError`]). Fault-free configurations cannot fail.
+///
 /// # Panics
 ///
 /// Panics if `x.len != a.ncols()` — the driver validates shapes first.
@@ -30,7 +36,7 @@ pub fn simulate_spmv(
     a: &Csc,
     x: &SparseVector,
     out_nnz: u64,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
     assert_eq!(x.len, a.ncols(), "driver must validate shapes");
     let col_ptr = a.col_ptr();
 
@@ -72,7 +78,7 @@ pub fn simulate_spmv(
     for (i, _) in x.indices.iter().enumerate() {
         let _ = mem.read(0, X_BASE + i as u64 * ELEM_BYTES, 0);
     }
-    let mut multiply = run_stream_phase(cfg, &mut mem, &mut pes, items);
+    let mut multiply = run_stream_phase("spmv", cfg, &mut mem, &mut pes, items)?;
     multiply.flops = flops;
     multiply.work_items = x.nnz() as u64;
 
@@ -98,11 +104,11 @@ pub fn simulate_spmv(
             compute_cycles: hi - lo, // one accumulate per element
         })
     });
-    let mut merge = run_stream_phase(cfg, &mut mem2, &mut workers, merge_items);
+    let mut merge = run_stream_phase("spmv", cfg, &mut mem2, &mut workers, merge_items)?;
     merge.flops = partial_elems.saturating_sub(out_nnz); // additions
     merge.work_items = out_nnz;
 
-    SimReport { convert: None, multiply, merge, config: cfg.clone() }
+    Ok(SimReport { convert: None, multiply, merge, config: cfg.clone() })
 }
 
 #[cfg(test)]
@@ -114,7 +120,7 @@ mod tests {
         let a = uniform::matrix(n, n, nnz, 1).to_csc();
         let x = vector::sparse(n, r, 2);
         let (y, _) = outerspace_outer::spmv(&a, &x).unwrap();
-        simulate_spmv(&OuterSpaceConfig::default(), &a, &x, y.nnz() as u64)
+        simulate_spmv(&OuterSpaceConfig::default(), &a, &x, y.nnz() as u64).unwrap()
     }
 
     #[test]
@@ -145,7 +151,7 @@ mod tests {
         let a = uniform::matrix(512, 512, 4096, 1).to_csc();
         let x = vector::sparse(512, 0.25, 2);
         let (y, stats) = outerspace_outer::spmv(&a, &x).unwrap();
-        let rep = simulate_spmv(&OuterSpaceConfig::default(), &a, &x, y.nnz() as u64);
+        let rep = simulate_spmv(&OuterSpaceConfig::default(), &a, &x, y.nnz() as u64).unwrap();
         assert_eq!(rep.multiply.flops, stats.macs);
     }
 }

@@ -1,11 +1,11 @@
 //! Simulation outputs: per-phase counters and derived metrics.
 
-use serde::{Deserialize, Serialize};
+use outerspace_json::impl_to_json;
 
 use crate::config::OuterSpaceConfig;
 
 /// Counters for one simulated phase (multiply, merge, conversion, …).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseStats {
     /// Phase length in PE cycles (makespan over all PEs).
     pub cycles: u64,
@@ -30,6 +30,17 @@ pub struct PhaseStats {
     pub active_pes: u32,
     /// Busy cycles summed over PEs (for utilization).
     pub busy_pe_cycles: u64,
+    /// ECC detect-and-retry events on HBM reads (fault injection).
+    pub ecc_retries: u64,
+    /// HBM read responses dropped and recovered by timeout + retry.
+    pub dropped_responses: u64,
+    /// Extra latency cycles charged by fault recovery (ECC retries plus
+    /// backoff timeouts), summed over all faulted accesses.
+    pub fault_penalty_cycles: u64,
+    /// Work items requeued from a failed PE onto survivors in its group.
+    pub requeued_work_items: u64,
+    /// PEs that failed hard during this phase.
+    pub killed_pes: u32,
 }
 
 impl PhaseStats {
@@ -46,6 +57,12 @@ impl PhaseStats {
     /// Total HBM traffic in bytes.
     pub fn hbm_bytes(&self) -> u64 {
         self.hbm_read_bytes + self.hbm_write_bytes
+    }
+
+    /// Total fault-recovery events (ECC retries + dropped responses +
+    /// requeued work items) in this phase.
+    pub fn fault_events(&self) -> u64 {
+        self.ecc_retries + self.dropped_responses + self.requeued_work_items
     }
 
     /// Achieved HBM bandwidth as a fraction of peak, given `cfg`.
@@ -71,6 +88,11 @@ impl PhaseStats {
         self.work_items += o.work_items;
         self.active_pes = self.active_pes.max(o.active_pes);
         self.busy_pe_cycles += o.busy_pe_cycles;
+        self.ecc_retries += o.ecc_retries;
+        self.dropped_responses += o.dropped_responses;
+        self.fault_penalty_cycles += o.fault_penalty_cycles;
+        self.requeued_work_items += o.requeued_work_items;
+        self.killed_pes += o.killed_pes;
     }
 }
 
@@ -82,8 +104,27 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
+impl_to_json!(PhaseStats {
+    cycles,
+    flops,
+    hbm_read_bytes,
+    hbm_write_bytes,
+    l0_hits,
+    l0_misses,
+    l1_hits,
+    l1_misses,
+    work_items,
+    active_pes,
+    busy_pe_cycles,
+    ecc_retries,
+    dropped_responses,
+    fault_penalty_cycles,
+    requeued_work_items,
+    killed_pes,
+});
+
 /// Complete report for one simulated kernel invocation.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimReport {
     /// Format-conversion phase, when one ran (§4.3).
     pub convert: Option<PhaseStats>,
@@ -95,6 +136,13 @@ pub struct SimReport {
     /// self-describing when serialized).
     pub config: OuterSpaceConfig,
 }
+
+impl_to_json!(SimReport {
+    convert,
+    multiply,
+    merge,
+    config,
+});
 
 impl SimReport {
     /// Total simulated cycles across phases (phases are sequential: the
@@ -130,11 +178,26 @@ impl SimReport {
             + self.multiply.hbm_bytes()
             + self.merge.hbm_bytes()
     }
+
+    /// Total fault-recovery events across phases.
+    pub fn fault_events(&self) -> u64 {
+        self.convert.map_or(0, |c| c.fault_events())
+            + self.multiply.fault_events()
+            + self.merge.fault_events()
+    }
+
+    /// Total extra cycles charged by fault recovery across phases.
+    pub fn fault_penalty_cycles(&self) -> u64 {
+        self.convert.map_or(0, |c| c.fault_penalty_cycles)
+            + self.multiply.fault_penalty_cycles
+            + self.merge.fault_penalty_cycles
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use outerspace_json::ToJson;
 
     fn phase(cycles: u64, read: u64, write: u64) -> PhaseStats {
         PhaseStats { cycles, hbm_read_bytes: read, hbm_write_bytes: write, ..Default::default() }
@@ -158,17 +221,25 @@ mod tests {
 
     #[test]
     fn report_totals_are_sequential() {
-        let mut r = SimReport::default();
-        r.multiply = phase(100, 0, 0);
-        r.merge = phase(50, 0, 0);
-        r.convert = Some(phase(25, 0, 0));
+        let r = SimReport {
+            multiply: phase(100, 0, 0),
+            merge: phase(50, 0, 0),
+            convert: Some(phase(25, 0, 0)),
+            ..Default::default()
+        };
         assert_eq!(r.total_cycles(), 175);
     }
 
     #[test]
     fn gflops_computation() {
-        let mut r = SimReport::default();
-        r.multiply = PhaseStats { cycles: 1_500_000_000, flops: 3_000_000_000, ..Default::default() };
+        let r = SimReport {
+            multiply: PhaseStats {
+                cycles: 1_500_000_000,
+                flops: 3_000_000_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
         assert!((r.gflops() - 3.0).abs() < 1e-9);
     }
 
@@ -178,5 +249,33 @@ mod tests {
         a.absorb_parallel(&phase(20, 1, 1));
         assert_eq!(a.cycles, 20);
         assert_eq!(a.hbm_read_bytes, 6);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_report() {
+        let mut a = PhaseStats { ecc_retries: 2, dropped_responses: 1, ..Default::default() };
+        let b = PhaseStats {
+            ecc_retries: 3,
+            requeued_work_items: 4,
+            fault_penalty_cycles: 100,
+            killed_pes: 1,
+            ..Default::default()
+        };
+        a.absorb_parallel(&b);
+        assert_eq!(a.ecc_retries, 5);
+        assert_eq!(a.fault_events(), 5 + 1 + 4);
+        assert_eq!(a.fault_penalty_cycles, 100);
+        assert_eq!(a.killed_pes, 1);
+        let r = SimReport { multiply: a, ..Default::default() };
+        assert_eq!(r.fault_events(), 10);
+        assert_eq!(r.fault_penalty_cycles(), 100);
+    }
+
+    #[test]
+    fn report_serializes_with_fault_counters() {
+        let r = SimReport::default();
+        let json = r.to_json().to_string_compact();
+        assert!(json.contains("\"ecc_retries\":0"));
+        assert!(json.contains("\"convert\":null"));
     }
 }

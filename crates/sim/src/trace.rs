@@ -17,11 +17,12 @@
 //! at recording time, so PE-count changes are not meaningful in replay;
 //! cache, queue, latency and bandwidth changes are.
 //!
-//! Traces serialize with serde, so they can be exported for external
-//! analysis (`serde_json`, or any compact serde format).
+//! Traces serialize to JSON through [`MultiplyTrace::to_json`] /
+//! [`MultiplyTrace::from_json`], so they can be exported for external
+//! analysis without any serialization dependency.
 
+use outerspace_json::Json;
 use outerspace_sparse::{Csc, Csr};
-use serde::{Deserialize, Serialize};
 
 use crate::config::OuterSpaceConfig;
 use crate::layout::IntermediateLayout;
@@ -32,7 +33,7 @@ use crate::phases::multiply::execute_chunk;
 use crate::stats::PhaseStats;
 
 /// One entry of a multiply-phase trace, in global dispatch order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceRecord {
     /// A control-processor pointer-array read (scheduling stream).
     PtrRead {
@@ -62,7 +63,7 @@ pub enum TraceRecord {
 }
 
 /// A recorded multiply phase: the dispatch-ordered record stream.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiplyTrace {
     /// Records in global dispatch order.
     pub records: Vec<TraceRecord>,
@@ -70,7 +71,71 @@ pub struct MultiplyTrace {
     pub recorded_on: OuterSpaceConfig,
 }
 
+impl TraceRecord {
+    fn to_json(&self) -> Json {
+        match *self {
+            TraceRecord::PtrRead { tile, addr } => Json::Obj(vec![
+                ("kind".to_string(), Json::Str("ptr_read".to_string())),
+                ("tile".to_string(), Json::UInt(tile as u64)),
+                ("addr".to_string(), Json::UInt(addr)),
+            ]),
+            TraceRecord::Chunk { pe, tile, a_addr, b_addr, b_bytes, macs, store_addr } => {
+                Json::Obj(vec![
+                    ("kind".to_string(), Json::Str("chunk".to_string())),
+                    ("pe".to_string(), Json::UInt(pe as u64)),
+                    ("tile".to_string(), Json::UInt(tile as u64)),
+                    ("a_addr".to_string(), Json::UInt(a_addr)),
+                    ("b_addr".to_string(), Json::UInt(b_addr)),
+                    ("b_bytes".to_string(), Json::UInt(b_bytes)),
+                    ("macs".to_string(), Json::UInt(macs as u64)),
+                    ("store_addr".to_string(), Json::UInt(store_addr)),
+                ])
+            }
+        }
+    }
+
+    fn from_json(j: &Json) -> Option<TraceRecord> {
+        let u = |key: &str| j.get(key).and_then(Json::as_u64);
+        match j.get("kind")?.as_str()? {
+            "ptr_read" => Some(TraceRecord::PtrRead { tile: u("tile")? as u32, addr: u("addr")? }),
+            "chunk" => Some(TraceRecord::Chunk {
+                pe: u("pe")? as u32,
+                tile: u("tile")? as u32,
+                a_addr: u("a_addr")?,
+                b_addr: u("b_addr")?,
+                b_bytes: u("b_bytes")?,
+                macs: u("macs")? as u32,
+                store_addr: u("store_addr")?,
+            }),
+            _ => None,
+        }
+    }
+}
+
 impl MultiplyTrace {
+    /// Serializes the trace to a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "records".to_string(),
+                Json::Arr(self.records.iter().map(TraceRecord::to_json).collect()),
+            ),
+            ("recorded_on".to_string(), outerspace_json::ToJson::to_json(&self.recorded_on)),
+        ])
+    }
+
+    /// Decodes a trace previously produced by [`MultiplyTrace::to_json`].
+    /// Returns `None` on any missing or mistyped field.
+    pub fn from_json(j: &Json) -> Option<MultiplyTrace> {
+        let records = j
+            .get("records")?
+            .as_array()?
+            .iter()
+            .map(TraceRecord::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        let recorded_on = OuterSpaceConfig::from_json(j.get("recorded_on")?)?;
+        Some(MultiplyTrace { records, recorded_on })
+    }
     /// Number of chunk work items in the trace.
     pub fn chunk_count(&self) -> usize {
         self.records.iter().filter(|r| matches!(r, TraceRecord::Chunk { .. })).count()
@@ -136,10 +201,10 @@ pub fn record_multiply(
         while idx < ca {
             let tile = pes.earliest_group();
             let end = (idx + group_size).min(ca);
-            for e in idx..end {
+            for (e, &a_row) in a_rows.iter().enumerate().take(end).skip(idx) {
                 let pe_idx = pes.earliest_pe_in_group(tile);
                 let a_addr = a_col_base + e as u64 * ELEM_BYTES;
-                let chunk_addr = layout.alloc_chunk(a_rows[e], cb as u32);
+                let chunk_addr = layout.alloc_chunk(a_row, cb as u32);
                 records.push(TraceRecord::Chunk {
                     pe: pe_idx as u32,
                     tile: tile as u32,
@@ -210,7 +275,7 @@ mod tests {
         let cfg = OuterSpaceConfig::default();
         for seed in [1u64, 2] {
             let a = uniform::matrix(256, 256, 3000, seed);
-            let (direct, _) = simulate_multiply(&cfg, &a.to_csc(), &a);
+            let (direct, _) = simulate_multiply(&cfg, &a.to_csc(), &a).unwrap();
             let (recorded, _, trace) = record_multiply(&cfg, &a.to_csc(), &a);
             assert_eq!(direct.cycles, recorded.cycles, "recording must not perturb timing");
             let replayed = replay_multiply(&cfg, &trace);
@@ -259,8 +324,8 @@ mod tests {
         let cfg = OuterSpaceConfig::default();
         let a = uniform::matrix(64, 64, 400, 6);
         let (_, _, trace) = record_multiply(&cfg, &a.to_csc(), &a);
-        let json = serde_json::to_string(&trace).unwrap();
-        let back: MultiplyTrace = serde_json::from_str(&json).unwrap();
+        let json = trace.to_json().to_string_compact();
+        let back = MultiplyTrace::from_json(&outerspace_json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, trace);
         let s1 = replay_multiply(&cfg, &trace);
         let s2 = replay_multiply(&cfg, &back);

@@ -1,0 +1,171 @@
+//! Merge-phase timing model under adversarial intermediate layouts.
+//!
+//! The in-tree merge tests drive the model through `simulate_multiply`, so
+//! the chunk layouts they exercise are always "reasonable". Here the
+//! [`IntermediateLayout`] is constructed directly, which lets the tests pin
+//! down degenerate shapes the multiply phase rarely produces: rows with no
+//! chunks at all, fan-in made of single-element chunks, every chunk of a row
+//! colliding on the same output entries, zero-length chunks, and seeded
+//! random layouts far outside the generator envelope.
+
+use outerspace_gen::{Rng, SmallRng};
+use outerspace_sim::layout::{IntermediateLayout, ELEM_BYTES};
+use outerspace_sim::phases::merge::{simulate_merge, RowMergeInfo};
+use outerspace_sim::OuterSpaceConfig;
+
+/// Row info for a row whose chunks hold `elems` total entries merging down
+/// to `out` output entries (the rest are index collisions).
+fn info(elems: u64, out: u32) -> RowMergeInfo {
+    RowMergeInfo { out_len: out, collisions: (elems as u32).saturating_sub(out) }
+}
+
+#[test]
+fn sparse_row_population_skips_empty_rows() {
+    // 1 row in 16 has work; empty rows must cost nothing and not confuse
+    // dispatch accounting.
+    let mut layout = IntermediateLayout::new(256);
+    let mut rows = vec![RowMergeInfo::default(); 256];
+    for i in (0..256u32).step_by(16) {
+        layout.alloc_chunk(i, 8);
+        layout.alloc_chunk(i, 8);
+        rows[i as usize] = info(16, 12);
+    }
+    let cfg = OuterSpaceConfig::default();
+    let stats = simulate_merge(&cfg, &layout, &rows).unwrap();
+    assert_eq!(stats.work_items, 16, "only populated rows are dispatched");
+    assert_eq!(stats.flops, 16 * 4);
+    assert!(stats.cycles > 0);
+}
+
+#[test]
+fn single_element_chunk_fanin_beyond_head_capacity() {
+    // One row made of 400 one-element chunks: fan-in far beyond the 170-head
+    // scratchpad, with the pathological chunk-to-data ratio (every head
+    // element is also the whole chunk). Must trigger the recursive sub-merge
+    // and re-read intermediate runs.
+    let cfg = OuterSpaceConfig::default();
+    let fanin = 400u32;
+    assert!(fanin as usize > cfg.merge_head_capacity());
+    let mut layout = IntermediateLayout::new(1);
+    for _ in 0..fanin {
+        layout.alloc_chunk(0, 1);
+    }
+    let rows = vec![info(fanin as u64, fanin)]; // all-distinct indices
+    let stats = simulate_merge(&cfg, &layout, &rows).unwrap();
+    assert_eq!(stats.flops, 0, "distinct indices collide nowhere");
+    // Sub-merge traffic: the 400 elements are read, written as runs, and
+    // read again, so traffic exceeds one pass over the arena.
+    assert!(
+        stats.hbm_read_bytes > layout.total_elements() * ELEM_BYTES,
+        "recursive sub-merge must re-read intermediate runs (read {} bytes)",
+        stats.hbm_read_bytes
+    );
+}
+
+#[test]
+fn all_rows_collide_to_single_entry() {
+    // Every chunk of every row lands on the same output index: maximum
+    // collision count, minimum output. Exercises the flops accounting at
+    // its upper extreme.
+    let mut layout = IntermediateLayout::new(32);
+    let mut rows = Vec::new();
+    for i in 0..32u32 {
+        for _ in 0..8 {
+            layout.alloc_chunk(i, 4);
+        }
+        rows.push(info(32, 1)); // 32 entries merge into 1
+    }
+    let cfg = OuterSpaceConfig::default();
+    let stats = simulate_merge(&cfg, &layout, &rows).unwrap();
+    assert_eq!(stats.flops, 32 * 31);
+    assert_eq!(stats.work_items, 32);
+    // Output writes shrink to one entry per row; reads still cover the arena.
+    assert!(stats.hbm_read_bytes >= layout.total_elements() * ELEM_BYTES / 2);
+}
+
+#[test]
+fn zero_length_chunks_are_tolerated() {
+    // The multiply model never allocates empty chunks, but the layout type
+    // permits them; the merge loader must skip them without issuing reads
+    // for zero bytes or panicking on address arithmetic.
+    let mut layout = IntermediateLayout::new(4);
+    layout.alloc_chunk(0, 0);
+    layout.alloc_chunk(0, 5);
+    layout.alloc_chunk(0, 0);
+    layout.alloc_chunk(2, 0);
+    let rows =
+        vec![info(5, 5), RowMergeInfo::default(), info(0, 0), RowMergeInfo::default()];
+    let cfg = OuterSpaceConfig::default();
+    let stats = simulate_merge(&cfg, &layout, &rows).unwrap();
+    // Row 0 has data; row 2 is all-empty chunks but still dispatches.
+    assert_eq!(stats.work_items, 2);
+    assert!(stats.cycles > 0);
+}
+
+#[test]
+fn seeded_random_layouts_uphold_invariants() {
+    // Random layouts across three orders of magnitude of fan-in and chunk
+    // size: the model must stay panic-free and keep its accounting
+    // identities regardless of shape.
+    let cfg = OuterSpaceConfig::default();
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0x3e5a_11f0 ^ case);
+        let nrows = rng.gen_range(1u32..64);
+        let mut layout = IntermediateLayout::new(nrows);
+        let mut rows = Vec::with_capacity(nrows as usize);
+        let mut want_flops = 0u64;
+        for i in 0..nrows {
+            let nchunks = rng.gen_range(0u32..40);
+            let mut elems = 0u64;
+            for _ in 0..nchunks {
+                let len = rng.gen_range(0u32..30);
+                layout.alloc_chunk(i, len);
+                elems += len as u64;
+            }
+            let out = if elems == 0 { 0 } else { rng.gen_range(1u64..=elems) as u32 };
+            rows.push(info(elems, out));
+            if nchunks > 0 {
+                want_flops += elems - out as u64;
+            }
+        }
+        let stats = simulate_merge(&cfg, &layout, &rows).unwrap();
+        assert_eq!(stats.flops, want_flops, "case {case}");
+        let populated = (0..nrows).filter(|&i| !layout.row(i).is_empty()).count() as u64;
+        assert_eq!(stats.work_items, populated, "case {case}");
+        assert!(stats.active_pes <= 64, "case {case}: merge uses worker pairs only");
+        // Determinism: the same layout simulates to the same cycle count.
+        let again = simulate_merge(&cfg, &layout, &rows).unwrap();
+        assert_eq!(stats.cycles, again.cycles, "case {case}");
+    }
+}
+
+#[test]
+fn submerge_layouts_survive_pe_kills() {
+    // Deep fan-in plus PE kills: the recursive sub-merge path must also
+    // requeue dead workers' rows instead of hanging or failing spuriously.
+    let cfg_base = OuterSpaceConfig::default();
+    let mut layout = IntermediateLayout::new(8);
+    let mut rows = Vec::new();
+    for i in 0..8u32 {
+        for _ in 0..256 {
+            layout.alloc_chunk(i, 2);
+        }
+        rows.push(info(512, 300));
+    }
+    let clean = simulate_merge(&cfg_base, &layout, &rows).unwrap();
+    let mut cfg = OuterSpaceConfig::default();
+    cfg.faults.seed = 5;
+    cfg.faults.pe_kill_count = 16; // a quarter of the 64 worker pairs
+    cfg.faults.pe_kill_cycle = 100;
+    let faulty = simulate_merge(&cfg, &layout, &rows).unwrap();
+    // Kills are reaped lazily: only condemned workers whose clocks actually
+    // crossed the kill cycle die observably, and with 8 rows over 64 workers
+    // many condemned workers stay idle at cycle 0 forever.
+    assert!(
+        faulty.killed_pes > 0 && faulty.killed_pes <= 16,
+        "expected 1..=16 observed deaths, got {}",
+        faulty.killed_pes
+    );
+    assert_eq!(faulty.flops, clean.flops, "kills must not change the work");
+    assert!(faulty.cycles >= clean.cycles, "fewer workers cannot be faster");
+}

@@ -1,29 +1,47 @@
-//! Property-based tests over the simulator's primitives: cache behaviour,
+//! Property tests over the simulator's primitives: cache behaviour,
 //! timeline monotonicity, channel bandwidth conservation, and end-to-end
 //! determinism.
+//!
+//! Randomized inputs come from the in-repo [`SmallRng`] over a fixed seed
+//! range (no external property-testing framework), so every case is
+//! reproducible from its loop index.
 
-use proptest::prelude::*;
-
+use outerspace_gen::{Rng, SmallRng};
 use outerspace_sim::machine::PeTimeline;
 use outerspace_sim::mem::{CacheModel, MemorySystem};
 use outerspace_sim::{OuterSpaceConfig, Simulator};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// A block accessed twice in a row always hits the second time.
-    #[test]
-    fn cache_immediate_rereference_hits(blocks in proptest::collection::vec(0u64..10_000, 1..200)) {
+fn rng_for(case: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0x51b3_7a11 ^ case)
+}
+
+fn random_vec(rng: &mut SmallRng, len_range: std::ops::Range<usize>, max: u64) -> Vec<u64> {
+    let n = rng.gen_range(len_range.start..len_range.end);
+    (0..n).map(|_| rng.gen_range(0u64..max)).collect()
+}
+
+/// A block accessed twice in a row always hits the second time.
+#[test]
+fn cache_immediate_rereference_hits() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case);
+        let blocks = random_vec(&mut rng, 1..200, 10_000);
         let mut c = CacheModel::new(16 * 1024, 4, 64);
         for b in blocks {
             let _ = c.access(b);
-            prop_assert!(c.access(b), "block {b} must hit immediately after access");
+            assert!(c.access(b), "block {b} must hit immediately after access");
         }
     }
+}
 
-    /// LRU with W ways retains the last W distinct blocks of a set.
-    #[test]
-    fn cache_retains_ways_most_recent(set_blocks in proptest::collection::vec(0u64..4, 1..50)) {
+/// LRU with W ways retains the last W distinct blocks of a set.
+#[test]
+fn cache_retains_ways_most_recent() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case);
+        let set_blocks = random_vec(&mut rng, 1..50, 4);
         // One-set cache (4 blocks, 4 ways): any 4 distinct blocks all fit.
         let mut c = CacheModel::new(256, 4, 64);
         let mut seen = Vec::new();
@@ -34,80 +52,102 @@ proptest! {
         }
         // Everything in the (<=4-entry) recency window must still hit.
         for &b in seen.iter().rev().take(4) {
-            prop_assert!(c.access(b), "recent block {b} evicted too early");
+            assert!(c.access(b), "recent block {b} evicted too early");
         }
     }
+}
 
-    /// PE timelines never move backwards, and busy time never exceeds
-    /// elapsed time.
-    #[test]
-    fn pe_timeline_is_monotone(ops in proptest::collection::vec((0u8..4, 0u64..1000), 1..300)) {
+/// PE timelines never move backwards, and busy time never exceeds elapsed
+/// time.
+#[test]
+fn pe_timeline_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case);
+        let n_ops = rng.gen_range(1usize..300);
         let mut pe = PeTimeline::new(8);
         let mut prev = 0u64;
-        for (kind, arg) in ops {
+        for _ in 0..n_ops {
+            let kind = rng.gen_range(0u32..4);
+            let arg = rng.gen_range(0u64..1000);
             match kind {
-                0 => { let _ = pe.issue(); }
+                0 => {
+                    let _ = pe.issue();
+                }
                 1 => pe.track(arg),
                 2 => pe.advance(arg % 64),
                 _ => pe.wait_until(arg),
             }
-            prop_assert!(pe.time >= prev, "time went backwards");
-            prop_assert!(pe.busy <= pe.time, "busy {} > time {}", pe.busy, pe.time);
+            assert!(pe.time >= prev, "time went backwards");
+            assert!(pe.busy <= pe.time, "busy {} > time {}", pe.busy, pe.time);
             prev = pe.time;
         }
         pe.drain();
-        prop_assert!(pe.time >= prev);
+        assert!(pe.time >= prev);
     }
+}
 
-    /// Reads complete no earlier than their issue time plus the L0 hit
-    /// latency, and counters account for every access.
-    #[test]
-    fn memory_reads_respect_causality(addrs in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+/// Reads complete no earlier than their issue time plus the L0 hit latency,
+/// and counters account for every access.
+#[test]
+fn memory_reads_respect_causality() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case);
+        let addrs = random_vec(&mut rng, 1..300, 1_000_000);
         let cfg = OuterSpaceConfig::default();
         let mut mem = MemorySystem::for_multiply(&cfg);
-        let mut now = 0u64;
         let mut n = 0u64;
-        for addr in addrs {
+        for (now, addr) in addrs.into_iter().enumerate() {
+            let now = now as u64;
             let (done, _) = mem.read((addr % 16) as usize, addr, now);
-            prop_assert!(done >= now + cfg.l0_hit_cycles, "completion before issue");
-            now += 1;
+            assert!(done >= now + cfg.l0_hit_cycles, "completion before issue");
             n += 1;
         }
         let c = mem.take_counters();
-        prop_assert_eq!(c.l0_hits + c.l0_misses, n);
-        prop_assert_eq!(c.l1_hits + c.l1_misses, c.l0_misses);
-        prop_assert_eq!(c.hbm_read_bytes, c.l1_misses * 64);
+        assert_eq!(c.l0_hits + c.l0_misses, n);
+        assert_eq!(c.l1_hits + c.l1_misses, c.l0_misses);
+        assert_eq!(c.hbm_read_bytes, c.l1_misses * 64);
     }
+}
 
-    /// End-to-end bandwidth conservation: a simulated phase can never move
-    /// meaningfully more bytes than the HBM's peak rate times its makespan
-    /// (small overshoot allowed for the bounded backfill window).
-    #[test]
-    fn simulated_runs_conserve_bandwidth(seed in 0u64..40, nnz in 200usize..3000) {
+/// End-to-end bandwidth conservation: a simulated phase can never move
+/// meaningfully more bytes than the HBM's peak rate times its makespan
+/// (small overshoot allowed for the bounded backfill window).
+#[test]
+fn simulated_runs_conserve_bandwidth() {
+    for seed in 0..40u64 {
+        let mut rng = rng_for(seed);
+        let nnz = rng.gen_range(200usize..3000);
         let a = outerspace_gen::uniform::matrix(256, 256, nnz, seed);
         let sim = Simulator::new(OuterSpaceConfig::default()).unwrap();
         let (_, rep) = sim.spgemm(&a, &a).unwrap();
         for phase in [&rep.multiply, &rep.merge] {
             let util = phase.bandwidth_utilization(&rep.config);
-            prop_assert!(util <= 1.15, "utilization {util} breaks conservation");
+            assert!(util <= 1.15, "utilization {util} breaks conservation");
         }
     }
+}
 
-    /// The simulator is a pure function of (config, inputs).
-    #[test]
-    fn simulation_is_deterministic(seed in 0u64..40) {
+/// The simulator is a pure function of (config, inputs).
+#[test]
+fn simulation_is_deterministic() {
+    for seed in 0..40u64 {
         let a = outerspace_gen::uniform::matrix(128, 128, 900, seed);
         let sim = Simulator::new(OuterSpaceConfig::default()).unwrap();
         let (c1, r1) = sim.spgemm(&a, &a).unwrap();
         let (c2, r2) = sim.spgemm(&a, &a).unwrap();
-        prop_assert_eq!(c1, c2);
-        prop_assert_eq!(r1, r2);
+        assert_eq!(c1, c2);
+        assert_eq!(r1, r2);
     }
+}
 
-    /// Channel bookings under random arrival jitter stay work-conserving:
-    /// total completions spread at least as wide as the per-channel service.
-    #[test]
-    fn channel_bookings_serialize_per_channel(arrivals in proptest::collection::vec(0u64..200, 2..100)) {
+/// Channel bookings under random arrival jitter stay work-conserving:
+/// total completions spread at least as wide as the per-channel service.
+#[test]
+fn channel_bookings_serialize_per_channel() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case);
+        let n_arrivals = rng.gen_range(2usize..100);
+        let arrivals: Vec<u64> = (0..n_arrivals).map(|_| rng.gen_range(0u64..200)).collect();
         let cfg = OuterSpaceConfig::default();
         let mut mem = MemorySystem::for_multiply(&cfg);
         // All to one channel (stride 16 blocks), distinct L0 domains so
@@ -125,7 +165,7 @@ proptest! {
         let span = completions.last().unwrap() - completions.first().unwrap();
         let window = 96; // BACKFILL_WINDOW_SLOTS
         if n > window + 1 {
-            prop_assert!(span >= (n - window - 1) * service, "span {span} too tight for {n} blocks");
+            assert!(span >= (n - window - 1) * service, "span {span} too tight for {n} blocks");
         }
     }
 }

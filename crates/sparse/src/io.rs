@@ -119,7 +119,12 @@ pub fn read_coo<R: Read>(reader: R) -> Result<Coo, SparseError> {
     };
     let nrows = parse_dim(dims[0], "row count")?;
     let ncols = parse_dim(dims[1], "column count")?;
-    let nnz = parse_dim(dims[2], "entry count")? as usize;
+    let nnz = usize::try_from(parse_dim(dims[2], "entry count")?).map_err(|_| {
+        SparseError::Parse {
+            line: size_line_no,
+            message: "entry count exceeds addressable memory".into(),
+        }
+    })?;
     if nrows > Index::MAX as u64 || ncols > Index::MAX as u64 {
         return Err(SparseError::Parse {
             line: size_line_no,
@@ -129,9 +134,18 @@ pub fn read_coo<R: Read>(reader: R) -> Result<Coo, SparseError> {
 
     let cap = match symmetry {
         Symmetry::General => nnz,
-        _ => nnz * 2,
+        _ => nnz.checked_mul(2).ok_or_else(|| SparseError::Parse {
+            line: size_line_no,
+            message: format!("entry count {nnz} overflows mirrored capacity"),
+        })?,
     };
-    let mut coo = Coo::with_capacity(nrows as Index, ncols as Index, cap);
+    // The header is untrusted input: a file declaring the whole address
+    // space as its entry count must not abort the process in the allocator.
+    // Pre-allocate a bounded amount and let `Vec` growth absorb honest
+    // large files.
+    const MAX_PREALLOC_ENTRIES: usize = 1 << 24;
+    let mut coo =
+        Coo::with_capacity(nrows as Index, ncols as Index, cap.min(MAX_PREALLOC_ENTRIES));
     let mut seen = 0usize;
     for (i, line) in lines {
         let line = line?;
@@ -271,7 +285,8 @@ pub fn read_edge_list<R: Read>(reader: R, symmetric: bool) -> Result<Coo, Sparse
         });
     }
     let n = if edges.is_empty() { 0 } else { max_id as Index + 1 };
-    let mut coo = Coo::with_capacity(n, n, edges.len() * if symmetric { 2 } else { 1 });
+    let cap = if symmetric { edges.len().saturating_mul(2) } else { edges.len() };
+    let mut coo = Coo::with_capacity(n, n, cap);
     for (u, v) in edges {
         coo.push(u as Index, v as Index, 1.0);
         if symmetric && u != v {
@@ -412,6 +427,34 @@ mod tests {
         let m = read_edge_list("# nothing\n".as_bytes(), false).unwrap();
         assert_eq!(m.nnz(), 0);
         assert_eq!(m.nrows(), 0);
+    }
+
+    #[test]
+    fn adversarial_entry_count_does_not_abort_allocation() {
+        // A header may declare the entire 64-bit space as its entry count;
+        // the reader must fail with a parse error, not abort inside the
+        // allocator trying to pre-reserve it.
+        let src = format!(
+            "%%MatrixMarket matrix coordinate real general\n2 2 {}\n1 1 1.0\n",
+            u64::MAX
+        );
+        let err = read_coo(src.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("declared"), "got: {err}");
+    }
+
+    #[test]
+    fn symmetric_mirror_capacity_overflow_is_rejected() {
+        // Mirroring doubles the capacity; nnz values near usize::MAX must be
+        // rejected by the checked multiply instead of wrapping.
+        let src = format!(
+            "%%MatrixMarket matrix coordinate real symmetric\n2 2 {}\n1 1 1.0\n",
+            u64::MAX
+        );
+        let err = read_coo(src.as_bytes()).unwrap_err();
+        assert!(
+            err.to_string().contains("overflow") || err.to_string().contains("addressable"),
+            "got: {err}"
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@ fn triangles(a: &Csr, a_squared: &Csr) -> (u64, usize) {
     ((total / 6.0).round() as u64, a_squared.nnz())
 }
 
-fn main() -> Result<(), SparseError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An undirected scale-free graph: 8192 vertices, ~60k edges. Pattern
     // values are 1.0 so A² counts paths of length two.
     let mut g = outerspace::gen::rmat::RmatConfig::new(8192, 60_000).generate(11);

@@ -19,7 +19,7 @@ const DAMPING: f64 = 0.85;
 const ITERATIONS: usize = 12;
 const EPS: f64 = 1e-10;
 
-fn main() -> Result<(), SparseError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Web-graph stand-in: power-law, 16k pages, ~90k links, column-stochastic.
     let n: u32 = 16_384;
     let raw = outerspace::gen::powerlaw::graph(n, 90_000, 3);

@@ -10,7 +10,7 @@
 use outerspace::energy::AreaPowerModel;
 use outerspace::prelude::*;
 
-fn main() -> Result<(), SparseError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. Build inputs: a uniformly random 4096 x 4096 matrix with
     //        65 536 non-zeros (density 0.39 %). ---
     let n = 4096;

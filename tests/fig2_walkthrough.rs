@@ -89,10 +89,12 @@ fn simulator_runs_fig2_with_three_pe_system() {
     // (1 tile, 3 PEs... keep 4 for the pair structure) and check the
     // result is still exact.
     let (a, b) = fig2_matrices();
-    let mut cfg = OuterSpaceConfig::default();
-    cfg.n_tiles = 1;
-    cfg.pes_per_tile = 4;
-    cfg.merge_active_pes_per_tile = 2;
+    let cfg = OuterSpaceConfig {
+        n_tiles: 1,
+        pes_per_tile: 4,
+        merge_active_pes_per_tile: 2,
+        ..Default::default()
+    };
     let sim = Simulator::new(cfg).unwrap();
     let (c, rep) = sim.spgemm(&a, &b).unwrap();
     let want = a.to_dense().matmul(&b.to_dense());

@@ -1,157 +1,204 @@
-//! Property-based tests (proptest) over the core data structures and
-//! algorithms: algebraic identities, format round trips, and invariant
-//! preservation under arbitrary sparse inputs.
+//! Property tests over the core data structures and algorithms: algebraic
+//! identities, format round trips, and invariant preservation under
+//! randomized sparse inputs.
+//!
+//! Each property runs over a fixed number of seeded random cases (the
+//! in-repo [`SmallRng`], no external property-testing framework), so
+//! failures reproduce exactly from the printed seed.
 
-use proptest::prelude::*;
-
+use outerspace::gen::{Rng, SmallRng};
 use outerspace::outer;
 use outerspace::prelude::*;
 use outerspace::sparse::{ops, Coo};
 
-/// Strategy: an arbitrary sparse matrix with dimensions in [1, 24] and up to
-/// 60 entries (duplicates allowed — they exercise COO summation).
-fn arb_matrix() -> impl Strategy<Value = Csr> {
-    (1u32..24, 1u32..24).prop_flat_map(|(r, c)| {
-        let entry = (0..r, 0..c, -4.0f64..4.0);
-        proptest::collection::vec(entry, 0..60).prop_map(move |entries| {
-            let mut coo = Coo::new(r, c);
-            for (i, j, v) in entries {
-                coo.push(i, j, v);
-            }
-            coo.to_csr()
-        })
-    })
+const CASES: u64 = 64;
+
+/// An arbitrary sparse matrix with dimensions in `[1, 24]` and up to 60
+/// entries (duplicates allowed — they exercise COO summation).
+fn arb_matrix(rng: &mut SmallRng) -> Csr {
+    let r = rng.gen_range(1u32..24);
+    let c = rng.gen_range(1u32..24);
+    random_matrix(rng, r, c, 60)
 }
 
-/// Strategy: a pair of multiplicable matrices.
-fn arb_mul_pair() -> impl Strategy<Value = (Csr, Csr)> {
-    (1u32..20, 1u32..20, 1u32..20).prop_flat_map(|(m, k, n)| {
-        let a = proptest::collection::vec((0..m, 0..k, -4.0f64..4.0), 0..50).prop_map(
-            move |entries| {
-                let mut coo = Coo::new(m, k);
-                for (i, j, v) in entries {
-                    coo.push(i, j, v);
-                }
-                coo.to_csr()
-            },
-        );
-        let b = proptest::collection::vec((0..k, 0..n, -4.0f64..4.0), 0..50).prop_map(
-            move |entries| {
-                let mut coo = Coo::new(k, n);
-                for (i, j, v) in entries {
-                    coo.push(i, j, v);
-                }
-                coo.to_csr()
-            },
-        );
-        (a, b)
-    })
+/// A pair of multiplicable matrices with inner dimension `k`.
+fn arb_mul_pair(rng: &mut SmallRng) -> (Csr, Csr) {
+    let m = rng.gen_range(1u32..20);
+    let k = rng.gen_range(1u32..20);
+    let n = rng.gen_range(1u32..20);
+    (random_matrix(rng, m, k, 50), random_matrix(rng, k, n, 50))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_matrix(rng: &mut SmallRng, r: u32, c: u32, max_entries: usize) -> Csr {
+    let n = rng.gen_range(0usize..max_entries);
+    let mut coo = Coo::new(r, c);
+    for _ in 0..n {
+        let i = rng.gen_range(0u32..r);
+        let j = rng.gen_range(0u32..c);
+        let v = rng.gen::<f64>() * 8.0 - 4.0;
+        coo.push(i, j, v);
+    }
+    coo.to_csr()
+}
 
-    #[test]
-    fn outer_product_matches_dense_oracle((a, b) in arb_mul_pair()) {
+/// Runs `f` over `CASES` seeded cases, labeling failures with the seed.
+fn for_each_case(f: impl Fn(&mut SmallRng)) {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x70f2_99aa ^ seed);
+        f(&mut rng);
+    }
+}
+
+#[test]
+fn outer_product_matches_dense_oracle() {
+    for_each_case(|rng| {
+        let (a, b) = arb_mul_pair(rng);
         let c = outer::spgemm(&a, &b).unwrap();
         let want = a.to_dense().matmul(&b.to_dense());
-        prop_assert!(c.to_dense().approx_eq(&want, 1e-9));
-    }
+        assert!(c.to_dense().approx_eq(&want, 1e-9));
+    });
+}
 
-    #[test]
-    fn transpose_is_involutive(m in arb_matrix()) {
-        prop_assert_eq!(m.transpose().transpose(), m);
-    }
+#[test]
+fn transpose_is_involutive() {
+    for_each_case(|rng| {
+        let m = arb_matrix(rng);
+        assert_eq!(m.transpose().transpose(), m);
+    });
+}
 
-    #[test]
-    fn csr_csc_round_trip(m in arb_matrix()) {
-        prop_assert_eq!(m.to_csc().to_csr(), m);
-    }
+#[test]
+fn csr_csc_round_trip() {
+    for_each_case(|rng| {
+        let m = arb_matrix(rng);
+        assert_eq!(m.to_csc().to_csr(), m);
+    });
+}
 
-    #[test]
-    fn conversion_via_identity_equals_transpose_path(m in arb_matrix()) {
+#[test]
+fn conversion_via_identity_equals_transpose_path() {
+    for_each_case(|rng| {
+        let m = arb_matrix(rng);
         let (cc, _) = outer::csr_to_csc_via_outer(&m);
-        prop_assert_eq!(cc, m.to_csc());
-    }
+        assert_eq!(cc, m.to_csc());
+    });
+}
 
-    #[test]
-    fn add_is_commutative(m in arb_matrix(), seed in 0u64..100) {
+#[test]
+fn add_is_commutative() {
+    for_each_case(|rng| {
+        let m = arb_matrix(rng);
+        let seed = rng.gen_range(0u64..100);
         let other = outerspace::gen::uniform::matrix(
-            m.nrows(), m.ncols(),
-            (m.nrows() as usize * m.ncols() as usize).min(16), seed);
+            m.nrows(),
+            m.ncols(),
+            (m.nrows() as usize * m.ncols() as usize).min(16),
+            seed,
+        );
         let ab = ops::add(&m, &other).unwrap();
         let ba = ops::add(&other, &m).unwrap();
-        prop_assert!(ab.approx_eq(&ba, 1e-12));
-    }
+        assert!(ab.approx_eq(&ba, 1e-12));
+    });
+}
 
-    #[test]
-    fn identity_is_multiplicative_unit(m in arb_matrix()) {
+#[test]
+fn identity_is_multiplicative_unit() {
+    for_each_case(|rng| {
+        let m = arb_matrix(rng);
         let left = outer::spgemm(&Csr::identity(m.nrows()), &m).unwrap();
         let right = outer::spgemm(&m, &Csr::identity(m.ncols())).unwrap();
-        prop_assert!(left.approx_eq(&m, 1e-12));
-        prop_assert!(right.approx_eq(&m, 1e-12));
-    }
+        assert!(left.approx_eq(&m, 1e-12));
+        assert!(right.approx_eq(&m, 1e-12));
+    });
+}
 
-    #[test]
-    fn distributive_over_addition((a, b) in arb_mul_pair(), seed in 0u64..100) {
+#[test]
+fn distributive_over_addition() {
+    for_each_case(|rng| {
         // A(B + C) = AB + AC, with C random of B's shape.
+        let (a, b) = arb_mul_pair(rng);
+        let seed = rng.gen_range(0u64..100);
         let c = outerspace::gen::uniform::matrix(
-            b.nrows(), b.ncols(),
-            (b.nrows() as usize * b.ncols() as usize / 4).max(1), seed);
+            b.nrows(),
+            b.ncols(),
+            (b.nrows() as usize * b.ncols() as usize / 4).max(1),
+            seed,
+        );
         let lhs = outer::spgemm(&a, &ops::add(&b, &c).unwrap()).unwrap();
         let rhs = ops::add(
             &outer::spgemm(&a, &b).unwrap(),
             &outer::spgemm(&a, &c).unwrap(),
-        ).unwrap();
-        prop_assert!(lhs.approx_eq(&rhs.pruned(0.0), 1e-9) || lhs.pruned(1e-12).approx_eq(&rhs.pruned(1e-12), 1e-9));
-    }
+        )
+        .unwrap();
+        assert!(
+            lhs.approx_eq(&rhs.pruned(0.0), 1e-9)
+                || lhs.pruned(1e-12).approx_eq(&rhs.pruned(1e-12), 1e-9)
+        );
+    });
+}
 
-    #[test]
-    fn spmv_matches_spgemm_with_single_column((a, _b) in arb_mul_pair(), r in 0.0f64..1.0) {
+#[test]
+fn spmv_matches_spgemm_with_single_column() {
+    for_each_case(|rng| {
+        let (a, _b) = arb_mul_pair(rng);
+        let r = rng.gen::<f64>();
         let x = outerspace::gen::vector::sparse(a.ncols(), r, 17);
         let (y, _) = outer::spmv(&a.to_csc(), &x).unwrap();
         let want = ops::spmv_reference(&a, &x.to_dense()).unwrap();
         let dense = y.to_dense();
         for i in 0..a.nrows() as usize {
-            prop_assert!((dense[i] - want[i]).abs() < 1e-9);
+            assert!((dense[i] - want[i]).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn merge_kinds_agree((a, b) in arb_mul_pair()) {
+#[test]
+fn merge_kinds_agree() {
+    for_each_case(|rng| {
+        let (a, b) = arb_mul_pair(rng);
         let (c1, _) = outer::spgemm_with_stats(&a, &b, outer::MergeKind::Streaming).unwrap();
         let (c2, _) = outer::spgemm_with_stats(&a, &b, outer::MergeKind::SortBased).unwrap();
-        prop_assert!(c1.approx_eq(&c2, 1e-12));
-    }
+        assert!(c1.approx_eq(&c2, 1e-12));
+    });
+}
 
-    #[test]
-    fn parallel_agrees_with_sequential((a, b) in arb_mul_pair()) {
+#[test]
+fn parallel_agrees_with_sequential() {
+    for_each_case(|rng| {
+        let (a, b) = arb_mul_pair(rng);
         let c1 = outer::spgemm(&a, &b).unwrap();
         let (c2, _) = outer::spgemm_parallel(&a, &b, 3).unwrap();
-        prop_assert!(c1.approx_eq(&c2, 1e-9));
-    }
+        assert!(c1.approx_eq(&c2, 1e-9));
+    });
+}
 
-    #[test]
-    fn matrix_market_round_trip(m in arb_matrix()) {
+#[test]
+fn matrix_market_round_trip() {
+    for_each_case(|rng| {
+        let m = arb_matrix(rng);
         let mut buf = Vec::new();
         outerspace::sparse::io::write_csr(&mut buf, &m).unwrap();
         let back = outerspace::sparse::io::read_coo(buf.as_slice()).unwrap().to_csr();
-        prop_assert!(m.approx_eq(&back, 1e-12));
-    }
+        assert!(m.approx_eq(&back, 1e-12));
+    });
+}
 
-    #[test]
-    fn simulator_report_is_consistent(seed in 0u64..50) {
+#[test]
+fn simulator_report_is_consistent() {
+    for seed in 0..50u64 {
         let a = outerspace::gen::uniform::matrix(48, 48, 200, seed);
         let sim = Simulator::new(OuterSpaceConfig::default()).unwrap();
         let (c, rep) = sim.spgemm(&a, &a).unwrap();
         // Output entries equal the functional result's nnz.
-        prop_assert_eq!(rep.merge.work_items as usize,
-            (0..c.nrows()).filter(|&i| c.row_nnz(i) > 0).count());
+        assert_eq!(
+            rep.merge.work_items as usize,
+            (0..c.nrows()).filter(|&i| c.row_nnz(i) > 0).count()
+        );
         // Flops: multiply counts products, merge counts collisions.
-        prop_assert_eq!(rep.multiply.flops - rep.merge.flops, c.nnz() as u64);
+        assert_eq!(rep.multiply.flops - rep.merge.flops, c.nnz() as u64);
         // Phase cycles are positive when work exists.
         if c.nnz() > 0 {
-            prop_assert!(rep.multiply.cycles > 0 && rep.merge.cycles > 0);
+            assert!(rep.multiply.cycles > 0 && rep.merge.cycles > 0);
         }
     }
 }

@@ -27,10 +27,12 @@ fn simulation_is_deterministic() {
 /// costs real time.
 #[test]
 fn merge_pe_count_ablation() {
-    let a = workload(2);
+    // R-MAT's hub rows have deep merge fan-in, so the phase is PE-bound and
+    // the knob actually binds (a uniform workload is bandwidth-bound here
+    // and insensitive to the PE count).
+    let a = outerspace::gen::rmat::graph500(2048, 40_000, 2);
     let cycles_with = |active: u32| {
-        let mut cfg = OuterSpaceConfig::default();
-        cfg.merge_active_pes_per_tile = active;
+        let cfg = OuterSpaceConfig { merge_active_pes_per_tile: active, ..Default::default() };
         run(cfg, &a).merge.cycles
     };
     let m4 = cycles_with(4);
@@ -51,8 +53,7 @@ fn scratchpad_capacity_ablation() {
     // Power-law input creates deep fan-in rows that stress the working set.
     let a = outerspace::gen::powerlaw::graph(4096, 60_000, 3);
     let traffic_with = |bytes: u32| {
-        let mut cfg = OuterSpaceConfig::default();
-        cfg.merge_scratchpad_bytes = bytes;
+        let cfg = OuterSpaceConfig { merge_scratchpad_bytes: bytes, ..Default::default() };
         let r = run(cfg, &a);
         r.merge.hbm_read_bytes
     };
@@ -69,8 +70,7 @@ fn scratchpad_capacity_ablation() {
 fn outstanding_queue_ablation() {
     let a = workload(4);
     let cycles_with = |q: u32| {
-        let mut cfg = OuterSpaceConfig::default();
-        cfg.outstanding_requests = q;
+        let cfg = OuterSpaceConfig { outstanding_requests: q, ..Default::default() };
         run(cfg, &a).multiply.cycles
     };
     let shallow = cycles_with(2);
@@ -86,8 +86,7 @@ fn outstanding_queue_ablation() {
 fn tile_count_ablation() {
     let a = workload(5);
     let cycles_with = |tiles: u32| {
-        let mut cfg = OuterSpaceConfig::default();
-        cfg.n_tiles = tiles;
+        let cfg = OuterSpaceConfig { n_tiles: tiles, ..Default::default() };
         run(cfg, &a).total_cycles()
     };
     let quarter = cycles_with(4);
@@ -104,8 +103,7 @@ fn l0_size_ablation() {
     // Dense columns force heavy row sharing.
     let a = outerspace::gen::powerlaw::graph(2048, 40_000, 6);
     let hit_rate_with = |bytes: u32| {
-        let mut cfg = OuterSpaceConfig::default();
-        cfg.l0_multiply_bytes = bytes;
+        let cfg = OuterSpaceConfig { l0_multiply_bytes: bytes, ..Default::default() };
         let r = run(cfg, &a);
         r.multiply.l0_hit_rate()
     };
@@ -141,8 +139,7 @@ fn merge_kind_ablation() {
 fn hbm_bandwidth_ablation() {
     let a = workload(8);
     let seconds_with = |mb: u32| {
-        let mut cfg = OuterSpaceConfig::default();
-        cfg.hbm_channel_mb_per_sec = mb;
+        let cfg = OuterSpaceConfig { hbm_channel_mb_per_sec: mb, ..Default::default() };
         run(cfg, &a).seconds()
     };
     let half = seconds_with(4000);
