@@ -19,4 +19,17 @@ cargo test -q --offline
 echo "==> clippy (warnings are errors)"
 cargo clippy --offline --all-targets -- -D warnings
 
+echo "==> runall --smoke (tiny-scale sweep + injected-fault isolation gate)"
+SMOKE_OUT="$(mktemp -d)"
+trap 'rm -rf "$HERMETIC_CARGO_HOME" "$SMOKE_OUT"' EXIT
+# --smoke appends a harness with one deliberately panicking case. The driver
+# must still exit 0 (set -e enforces this) with the failure *recorded* in the
+# consolidated report rather than aborting the sweep.
+./target/release/runall --smoke --out "$SMOKE_OUT"
+grep -q '"harness": "smoke_fault"' "$SMOKE_OUT/runall.json"
+grep -A6 '"harness": "smoke_fault"' "$SMOKE_OUT/runall.json" | grep -q '"panicked": 1'
+for artifact in fig03 fig07 ablations runall; do
+    test -s "$SMOKE_OUT/$artifact.json"
+done
+
 echo "==> ci.sh: all gates passed"

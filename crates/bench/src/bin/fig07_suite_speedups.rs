@@ -1,139 +1,11 @@
-//! Fig. 7 + Table 4 + §7.1.2: speedups over MKL, cuSPARSE and CUSP on the
-//! real-world matrix suite (synthetic stand-ins; see DESIGN.md §3), with
-//! the throughput and bandwidth-utilization summary the section reports.
-//!
-//! Paper results: mean speedups 7.9× (MKL), 13.0× (cuSPARSE), 14.0× (CUSP);
-//! average throughput 2.9 GFLOPS; multiply-phase bandwidth utilization
-//! 59.5–68.9 %, merge-phase 46.5–64.8 %. Regular matrices (filter3D,
-//! roadNet-CA) and m133-b3 show the smallest speedups.
-//!
-//! Pass `--table4` to print the suite inventory instead of running.
+//! Thin CLI wrapper; the study body lives in
+//! [`outerspace_bench::harnesses::fig07`] so `runall` can drive the same
+//! code in-process with crash isolation and `--resume` checkpointing.
 
-use outerspace::gen::suite::TABLE4;
-use outerspace_bench::{fmt_secs, geomean, run_baselines, run_outerspace, HarnessOpts};
-
-struct Row {
-    name: &'static str,
-    scale: u32,
-    dim: u32,
-    nnz: usize,
-    gflops: f64,
-    mult_bw_pct: f64,
-    merge_bw_pct: f64,
-    outerspace_s: f64,
-    speedup_mkl: f64,
-    speedup_cusparse: f64,
-    speedup_cusp: f64,
-}
-
-outerspace_json::impl_to_json!(Row { name, scale, dim, nnz, gflops, mult_bw_pct, merge_bw_pct, outerspace_s, speedup_mkl, speedup_cusparse, speedup_cusp });
-
-
-/// Picks a workload scale for a suite entry: dimension capped near 100 k rows
-/// and intermediate products capped so a full 20-matrix sweep finishes in
-/// minutes. `--full` disables both caps; `--scale` multiplies the result.
-fn pick_scale(e: &outerspace::gen::suite::SuiteEntry, opts: &outerspace_bench::HarnessOpts) -> u32 {
-    if std::env::args().any(|a| a == "--full") {
-        return 1;
-    }
-    const PRODUCT_CAP: u64 = 50_000_000;
-    let mut scale = (e.dim / 100_000).max(1) * opts.scale;
-    for _ in 0..6 {
-        let probe = e.generate_scaled(scale.min(e.dim / 2).max(1), opts.seed);
-        let products =
-            outerspace::sparse::ops::spgemm_flops(&probe, &probe).expect("square") / 2;
-        if products <= PRODUCT_CAP {
-            break;
-        }
-        let grow = (products as f64 / PRODUCT_CAP as f64).ceil() as u32;
-        scale = (scale * grow.clamp(2, 16)).min(e.dim / 2).max(1);
-    }
-    scale.min(e.dim / 2).max(1)
-}
+use outerspace_bench::harnesses::fig07;
+use outerspace_bench::HarnessOpts;
 
 fn main() {
-    if std::env::args().any(|a| a == "--table4") {
-        println!("{:<16} {:>9} {:>10} {:>7}  kind", "matrix", "dim", "nnz", "nnz/row");
-        for e in TABLE4 {
-            println!(
-                "{:<16} {:>9} {:>10} {:>7.1}  {}",
-                e.name,
-                e.dim,
-                e.nnz,
-                e.nnz_per_row(),
-                e.kind
-            );
-        }
-        return;
-    }
-
-    let opts = HarnessOpts::from_args(1);
-    println!("# Fig. 7 reproduction: speedups on the Table 4 suite (synthetic stand-ins)");
-    println!(
-        "{:<16} {:>5} {:>8} {:>9} | {:>7} {:>6} {:>6} | {:>10} | {:>6} {:>6} {:>6}",
-        "matrix", "scale", "dim", "nnz", "GFLOPS", "mult%", "mrg%", "OuterSPACE", "xMKL",
-        "xCUSPARSE", "xCUSP"
-    );
-
-    let mut rows = Vec::new();
-    for e in TABLE4 {
-        let scale = pick_scale(e, &opts);
-        let a = e.generate_scaled(scale, opts.seed);
-        let rep = run_outerspace(&a);
-        let base = run_baselines(&a);
-        let ours = rep.seconds();
-        let row = Row {
-            name: e.name,
-            scale,
-            dim: a.nrows(),
-            nnz: a.nnz(),
-            gflops: rep.gflops(),
-            mult_bw_pct: rep.multiply.bandwidth_utilization(&rep.config) * 100.0,
-            merge_bw_pct: rep.merge.bandwidth_utilization(&rep.config) * 100.0,
-            outerspace_s: ours,
-            speedup_mkl: base.mkl_model_s / ours,
-            speedup_cusparse: base.cusparse_model_s / ours,
-            speedup_cusp: base.cusp_model_s / ours,
-        };
-        println!(
-            "{:<16} {:>5} {:>8} {:>9} | {:>7.2} {:>6.1} {:>6.1} | {:>10} | {:>6.1} {:>6.1} {:>6.1}",
-            row.name,
-            row.scale,
-            row.dim,
-            row.nnz,
-            row.gflops,
-            row.mult_bw_pct,
-            row.merge_bw_pct,
-            fmt_secs(row.outerspace_s),
-            row.speedup_mkl,
-            row.speedup_cusparse,
-            row.speedup_cusp,
-        );
-        rows.push(row);
-    }
-
-    let mkl: Vec<f64> = rows.iter().map(|r| r.speedup_mkl).collect();
-    let cus: Vec<f64> = rows.iter().map(|r| r.speedup_cusparse).collect();
-    let cusp: Vec<f64> = rows.iter().map(|r| r.speedup_cusp).collect();
-    let gflops: Vec<f64> = rows.iter().map(|r| r.gflops).collect();
-    let mult_bw: Vec<f64> = rows.iter().map(|r| r.mult_bw_pct).collect();
-    let merge_bw: Vec<f64> = rows.iter().map(|r| r.merge_bw_pct).collect();
-    let min_max =
-        |v: &[f64]| (v.iter().cloned().fold(f64::MAX, f64::min), v.iter().cloned().fold(0.0, f64::max));
-    println!("#");
-    println!(
-        "# geomean speedups: MKL {:.1}x (paper 7.9x), cuSPARSE {:.1}x (paper 13.0x), CUSP {:.1}x (paper 14.0x)",
-        geomean(&mkl),
-        geomean(&cus),
-        geomean(&cusp)
-    );
-    println!(
-        "# mean throughput: {:.2} GFLOPS (paper 2.9); mult BW {:.1}-{:.1}% (paper 59.5-68.9), merge BW {:.1}-{:.1}% (paper 46.5-64.8)",
-        gflops.iter().sum::<f64>() / gflops.len() as f64,
-        min_max(&mult_bw).0,
-        min_max(&mult_bw).1,
-        min_max(&merge_bw).0,
-        min_max(&merge_bw).1,
-    );
-    opts.dump_json("fig07", &rows);
+    let opts = HarnessOpts::from_args(fig07::DEFAULTS);
+    fig07::run(&opts);
 }

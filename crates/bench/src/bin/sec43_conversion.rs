@@ -1,113 +1,11 @@
-//! §4.3: format-conversion amortization over chained multiplications.
-//!
-//! "When matrices A and B are not available in the CC and CR formats ...
-//! This is a one-time requirement for chained multiplication operations of
-//! the type A×B×C..., since OuterSPACE can output the result in either CR
-//! or CC formats. ... The requirement of conversion is obviated for
-//! symmetric matrices."
-//!
-//! This study measures the conversion phase's share of total simulated time
-//! as the chain grows (conversion paid once, at the head), and confirms the
-//! symmetric-input exemption.
+//! Thin CLI wrapper; the study body lives in
+//! [`outerspace_bench::harnesses::sec43`] so `runall` can drive the same
+//! code in-process with crash isolation and `--resume` checkpointing.
 
-use outerspace::prelude::*;
-use outerspace_bench::{fmt_secs, HarnessOpts};
-
-struct Row {
-    chain_length: u32,
-    total_s: f64,
-    conversion_s: f64,
-    conversion_pct: f64,
-}
-
-outerspace_json::impl_to_json!(Row { chain_length, total_s, conversion_s, conversion_pct });
-
-/// Keeps the `k` largest-magnitude entries of each row.
-fn sparsify_top_k(m: &Csr, k: usize) -> Csr {
-    let mut row_ptr = vec![0usize];
-    let mut cols = Vec::new();
-    let mut vals = Vec::new();
-    for i in 0..m.nrows() {
-        let (rc, rv) = m.row(i);
-        let mut entries: Vec<(u32, f64)> =
-            rc.iter().copied().zip(rv.iter().copied()).collect();
-        entries.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite"));
-        entries.truncate(k);
-        entries.sort_by_key(|&(c, _)| c);
-        for (c, v) in entries {
-            cols.push(c);
-            vals.push(v);
-        }
-        row_ptr.push(cols.len());
-    }
-    Csr::new(m.nrows(), m.ncols(), row_ptr, cols, vals).expect("valid by construction")
-}
+use outerspace_bench::harnesses::sec43;
+use outerspace_bench::HarnessOpts;
 
 fn main() {
-    let opts = HarnessOpts::from_args(1);
-    let n = 4096 / opts.scale;
-    let sim = Simulator::new(OuterSpaceConfig::default()).expect("valid config");
-
-    // Chain head: an asymmetric matrix that must be converted once. Each
-    // subsequent factor multiplies on the right; the running product is
-    // consumed in CC form (spgemm_cc_operand), so no further conversions.
-    let factors: Vec<Csr> = (0..8)
-        .map(|i| outerspace::gen::uniform::matrix(n, n, 8 * n as usize, opts.seed + i))
-        .collect();
-
-    println!("# Section 4.3 reproduction: conversion amortization over chains");
-    println!("# n = {n}, ~{} nnz per factor", 8 * n);
-    println!("{:>6} {:>12} {:>12} {:>8}", "chain", "total", "conversion", "conv %");
-
-    let mut rows = Vec::new();
-    for len in 1..=8u32 {
-        let mut conversion_cycles = 0u64;
-        let mut total_cycles = 0u64;
-        // First product charges the conversion of the head factor.
-        let (mut acc, rep) = sim.spgemm(&factors[0], &factors[1.min(len as usize - 1)])
-            .expect("square");
-        conversion_cycles += rep.convert.map(|c| c.cycles).unwrap_or(0);
-        total_cycles += rep.total_cycles();
-        // Remaining factors consume the CC-format running product directly.
-        for f in factors.iter().take(len as usize).skip(2) {
-            // Sparsify the running product (keep the strongest entries per
-            // row) so the chain stays sparse, as iterative applications like
-            // Markov clustering do between multiplications.
-            acc = sparsify_top_k(&acc, 8);
-            let (next, rep) = sim.spgemm_cc_operand(&acc.to_csc(), f).expect("square");
-            assert!(rep.convert.is_none());
-            total_cycles += rep.total_cycles();
-            acc = next;
-        }
-        let cfg = OuterSpaceConfig::default();
-        let row = Row {
-            chain_length: len,
-            total_s: cfg.cycles_to_seconds(total_cycles),
-            conversion_s: cfg.cycles_to_seconds(conversion_cycles),
-            conversion_pct: 100.0 * conversion_cycles as f64 / total_cycles.max(1) as f64,
-        };
-        println!(
-            "{:>6} {:>12} {:>12} {:>7.1}%",
-            row.chain_length,
-            fmt_secs(row.total_s),
-            fmt_secs(row.conversion_s),
-            row.conversion_pct
-        );
-        rows.push(row);
-    }
-
-    assert!(
-        rows.last().expect("non-empty").conversion_pct
-            < rows.first().expect("non-empty").conversion_pct,
-        "conversion share must shrink with chain length"
-    );
-
-    // Symmetric exemption.
-    let sym = outerspace::gen::rmat::graph500(n, 6 * n as usize, opts.seed);
-    let (_, rep) = sim.spgemm(&sym, &sym).expect("square");
-    println!(
-        "# symmetric input: conversion phase {} (paper: obviated entirely)",
-        if rep.convert.is_none() { "skipped" } else { "charged!" }
-    );
-    opts.dump_json("sec43", &rows);
+    let opts = HarnessOpts::from_args(sec43::DEFAULTS);
+    sec43::run(&opts);
 }

@@ -1,95 +1,11 @@
-//! §7.3: dynamic memory-allocation requests vs the static multiplier α.
-//!
-//! "Our analysis of the total number of dynamic requests to increment the
-//! spill-over pointer, while sweeping (α), shows that the count of these
-//! requests drops to less than 10,000 for α >= 2 for almost all the
-//! matrices in Table 4. m133-b3 is an outlier, with zero dynamic requests."
+//! Thin CLI wrapper; the study body lives in
+//! [`outerspace_bench::harnesses::sec73`] so `runall` can drive the same
+//! code in-process with crash isolation and `--resume` checkpointing.
 
-use outerspace::gen::suite::TABLE4;
+use outerspace_bench::harnesses::sec73;
 use outerspace_bench::HarnessOpts;
 
-struct Row {
-    name: &'static str,
-    scale: u32,
-    requests_by_alpha: Vec<(f64, u64)>,
-    wasted_at_alpha2: u64,
-}
-
-outerspace_json::impl_to_json!(Row { name, scale, requests_by_alpha, wasted_at_alpha2 });
-
-
-/// Picks a workload scale for a suite entry: dimension capped near 100 k rows
-/// and intermediate products capped so a full 20-matrix sweep finishes in
-/// minutes. `--full` disables both caps; `--scale` multiplies the result.
-fn pick_scale(e: &outerspace::gen::suite::SuiteEntry, opts: &outerspace_bench::HarnessOpts) -> u32 {
-    if std::env::args().any(|a| a == "--full") {
-        return 1;
-    }
-    const PRODUCT_CAP: u64 = 50_000_000;
-    let mut scale = (e.dim / 100_000).max(1) * opts.scale;
-    for _ in 0..6 {
-        let probe = e.generate_scaled(scale.min(e.dim / 2).max(1), opts.seed);
-        let products =
-            outerspace::sparse::ops::spgemm_flops(&probe, &probe).expect("square") / 2;
-        if products <= PRODUCT_CAP {
-            break;
-        }
-        let grow = (products as f64 / PRODUCT_CAP as f64).ceil() as u32;
-        scale = (scale * grow.clamp(2, 16)).min(e.dim / 2).max(1);
-    }
-    scale.min(e.dim / 2).max(1)
-}
-
 fn main() {
-    let opts = HarnessOpts::from_args(1);
-    let alphas = [1.0, 1.5, 2.0, 3.0, 4.0];
-    println!("# Section 7.3 reproduction: spill-over requests vs alpha (C = A x A)");
-    println!(
-        "{:<16} {:>5} | {:>9} {:>9} {:>9} {:>9} {:>9} | {:>12}",
-        "matrix", "scale", "a=1", "a=1.5", "a=2", "a=3", "a=4", "wasted@a=2"
-    );
-
-    let mut rows = Vec::new();
-    for e in TABLE4 {
-        let scale = pick_scale(e, &opts);
-        let a = e.generate_scaled(scale, opts.seed);
-        let reports = outerspace::sim::alloc::analyze(&a.to_csc(), &a, &alphas);
-        let row = Row {
-            name: e.name,
-            scale,
-            requests_by_alpha: reports.iter().map(|r| (r.alpha, r.dynamic_requests)).collect(),
-            wasted_at_alpha2: reports[2].wasted_elements,
-        };
-        println!(
-            "{:<16} {:>5} | {:>9} {:>9} {:>9} {:>9} {:>9} | {:>12}",
-            row.name,
-            row.scale,
-            row.requests_by_alpha[0].1,
-            row.requests_by_alpha[1].1,
-            row.requests_by_alpha[2].1,
-            row.requests_by_alpha[3].1,
-            row.requests_by_alpha[4].1,
-            row.wasted_at_alpha2,
-        );
-        rows.push(row);
-    }
-
-    let m133 = rows.iter().find(|r| r.name == "m133-b3").expect("in suite");
-    println!(
-        "# shape: m133-b3 issues {} requests at alpha=1 (paper: 0, its rows are exactly 4-wide)",
-        m133.requests_by_alpha[0].1
-    );
-    let settled = rows
-        .iter()
-        .filter(|r| {
-            let a2 = r.requests_by_alpha[2].1;
-            let a1 = r.requests_by_alpha[0].1;
-            a1 == 0 || (a2 as f64) < 0.2 * a1 as f64 || a2 < 10_000
-        })
-        .count();
-    println!(
-        "# shape: {settled}/{} matrices settle below the paper's 10k-request threshold by alpha=2",
-        rows.len()
-    );
-    opts.dump_json("sec73", &rows);
+    let opts = HarnessOpts::from_args(sec73::DEFAULTS);
+    sec73::run(&opts);
 }

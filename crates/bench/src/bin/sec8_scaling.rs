@@ -1,121 +1,11 @@
-//! §8: OuterSPACE scaling — the silicon-interposed 4× system and multi-node
-//! torus configurations.
-//!
-//! "In order to handle matrix sizes larger than a few million, a
-//! silicon-interposed system with 4 HBMs and 4× the PEs on-chip could be
-//! realized ... we conceive equipping our architecture with node-to-node
-//! SerDes channels to allow multiple OuterSPACE nodes connected in a torus."
-//!
-//! This study runs the same workload on the Table 2 baseline, the
-//! interposed 4× chip, and 4-/16-node tori, reporting how throughput scales
-//! with resources (strong scaling) and how a proportionally grown workload
-//! fares (weak scaling).
+//! Thin CLI wrapper; the study body lives in
+//! [`outerspace_bench::harnesses::sec8`] so `runall` can drive the same
+//! code in-process with crash isolation and `--resume` checkpointing.
 
-use outerspace::prelude::*;
-use outerspace_bench::{fmt_secs, HarnessOpts};
-
-struct Row {
-    system: String,
-    pes: u32,
-    bandwidth_gbps: u64,
-    workload_nnz: usize,
-    seconds: f64,
-    gflops: f64,
-    speedup_vs_base: f64,
-}
-
-outerspace_json::impl_to_json!(Row { system, pes, bandwidth_gbps, workload_nnz, seconds, gflops, speedup_vs_base });
+use outerspace_bench::harnesses::sec8;
+use outerspace_bench::HarnessOpts;
 
 fn main() {
-    let opts = HarnessOpts::from_args(1);
-    let base_cfg = OuterSpaceConfig::default();
-    let systems: Vec<(String, OuterSpaceConfig)> = vec![
-        ("baseline (Table 2)".into(), base_cfg.clone()),
-        ("interposed 4x".into(), base_cfg.interposed_4x()),
-        ("torus x4".into(), base_cfg.torus(4)),
-        ("torus x16".into(), base_cfg.torus(16)),
-    ];
-
-    println!("# Section 8 scaling study");
-    println!(
-        "{:<20} {:>6} {:>8} {:>10} | {:>10} {:>8} {:>8}",
-        "system", "PEs", "GB/s", "nnz", "time", "GFLOPS", "speedup"
-    );
-
-    let mut rows = Vec::new();
-
-    // --- Strong scaling: fixed workload, growing machine. ---
-    let a = outerspace::gen::rmat::graph500(
-        32_768 / opts.scale,
-        400_000 / opts.scale as usize,
-        opts.seed,
-    );
-    let mut base_secs = 0.0;
-    for (name, cfg) in &systems {
-        let sim = Simulator::new(cfg.clone()).expect("valid scaled config");
-        let (_, rep) = sim.spgemm(&a, &a).expect("square");
-        if base_secs == 0.0 {
-            base_secs = rep.seconds();
-        }
-        let row = Row {
-            system: format!("{name} [strong]"),
-            pes: cfg.total_pes(),
-            bandwidth_gbps: cfg.hbm_total_bandwidth_bytes_per_sec() / 1_000_000_000,
-            workload_nnz: a.nnz(),
-            seconds: rep.seconds(),
-            gflops: rep.gflops(),
-            speedup_vs_base: base_secs / rep.seconds(),
-        };
-        println!(
-            "{:<20} {:>6} {:>8} {:>10} | {:>10} {:>8.2} {:>8.2}",
-            row.system,
-            row.pes,
-            row.bandwidth_gbps,
-            row.workload_nnz,
-            fmt_secs(row.seconds),
-            row.gflops,
-            row.speedup_vs_base
-        );
-        rows.push(row);
-    }
-
-    // --- Weak scaling: workload grows with the machine. ---
-    println!();
-    let mut base_gflops = 0.0;
-    for (i, (name, cfg)) in systems.iter().enumerate() {
-        let grow = [1u32, 2, 4, 8][i];
-        let a = outerspace::gen::rmat::graph500(
-            (12_288 / opts.scale) * grow,
-            (100_000 / opts.scale as usize) * grow as usize,
-            opts.seed,
-        );
-        let sim = Simulator::new(cfg.clone()).expect("valid scaled config");
-        let (_, rep) = sim.spgemm(&a, &a).expect("square");
-        if base_gflops == 0.0 {
-            base_gflops = rep.gflops();
-        }
-        let row = Row {
-            system: format!("{name} [weak]"),
-            pes: cfg.total_pes(),
-            bandwidth_gbps: cfg.hbm_total_bandwidth_bytes_per_sec() / 1_000_000_000,
-            workload_nnz: a.nnz(),
-            seconds: rep.seconds(),
-            gflops: rep.gflops(),
-            speedup_vs_base: rep.gflops() / base_gflops,
-        };
-        println!(
-            "{:<20} {:>6} {:>8} {:>10} | {:>10} {:>8.2} {:>8.2}",
-            row.system,
-            row.pes,
-            row.bandwidth_gbps,
-            row.workload_nnz,
-            fmt_secs(row.seconds),
-            row.gflops,
-            row.speedup_vs_base
-        );
-        rows.push(row);
-    }
-    println!("# shape: throughput scales with node count under weak scaling; strong scaling");
-    println!("# saturates once the fixed workload no longer fills the PE array (Amdahl).");
-    opts.dump_json("sec8_scaling", &rows);
+    let opts = HarnessOpts::from_args(sec8::DEFAULTS);
+    sec8::run(&opts);
 }

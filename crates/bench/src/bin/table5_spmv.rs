@@ -1,76 +1,11 @@
-//! Table 5: sparse matrix-vector multiplication speedups.
-//!
-//! "Speedups of OuterSPACE over CPU (MKL) and GPU (cuSPARSE) for sparse
-//! matrix-vector multiplication. The density of the vector (r) is varied
-//! from 0.01 to 1.0. The sparse matrices contain uniformly random
-//! distribution of one million non-zeros."
-//!
-//! Paper values: vs CPU 93.2→196.3× at r=0.01 falling to 0.8→1.7× at r=1.0;
-//! vs GPU 92.5→154.4× falling to 2.2→3.8×. The headline shape: a 10×
-//! reduction in vector density buys ≈10× speedup, and even dense vectors
-//! stay within ~80 % of MKL.
+//! Thin CLI wrapper; the study body lives in
+//! [`outerspace_bench::harnesses::table5`] so `runall` can drive the same
+//! code in-process with crash isolation and `--resume` checkpointing.
 
-use outerspace::prelude::*;
-use outerspace::sim::xmodels::{CpuModel, GpuModel};
+use outerspace_bench::harnesses::table5;
 use outerspace_bench::HarnessOpts;
 
-struct Row {
-    dim: u32,
-    speedup_cpu: [f64; 3],
-    speedup_gpu: [f64; 3],
-}
-
-outerspace_json::impl_to_json!(Row { dim, speedup_cpu, speedup_gpu });
-
 fn main() {
-    let opts = HarnessOpts::from_args(4);
-    let nnz = 1_000_000 / opts.scale as usize;
-    let dims: Vec<u32> =
-        [65_536u32, 131_072, 262_144, 524_287].iter().map(|d| d / opts.scale).collect();
-    let densities = [0.01f64, 0.1, 1.0];
-
-    let sim = Simulator::new(OuterSpaceConfig::default()).expect("default config");
-    let cpu = CpuModel::xeon_e5_1650_v4();
-    let k40 = GpuModel::tesla_k40();
-
-    println!("# Table 5 reproduction: SpMV speedups, nnz = {nnz} (scale {}x)", opts.scale);
-    println!(
-        "{:>9} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
-        "dim", "cpu r=.01", "r=.1", "r=1", "gpu r=.01", "r=.1", "r=1"
-    );
-
-    let mut rows = Vec::new();
-    for n in dims {
-        let a = outerspace::gen::uniform::matrix(n, n, nnz, opts.seed);
-        let a_cc = a.to_csc();
-        let matrix_bytes = 12 * a.nnz() as u64;
-        let mut cpu_s = [0.0f64; 3];
-        let mut gpu_s = [0.0f64; 3];
-        for (i, &r) in densities.iter().enumerate() {
-            let x = outerspace::gen::vector::sparse(n, r, opts.seed + i as u64);
-            let (_, rep) = sim.spmv(&a_cc, &x).expect("shapes ok");
-            let ours = rep.seconds();
-            // MKL treats the vector as dense: time independent of r (§7.2).
-            let t_cpu = cpu.spmv_seconds(matrix_bytes, n as u64);
-            // cuSPARSE scales compute with r but always streams the matrix.
-            let (_, gstats) =
-                outerspace::baselines::spmv::spmv_index_match(&a, &x).expect("shapes ok");
-            let t_gpu = k40.spmv_time(matrix_bytes, gstats.multiplies, n as u64);
-            cpu_s[i] = t_cpu / ours;
-            gpu_s[i] = t_gpu / ours;
-        }
-        println!(
-            "{:>9} | {:>8.1} {:>8.1} {:>8.1} | {:>8.1} {:>8.1} {:>8.1}",
-            n, cpu_s[0], cpu_s[1], cpu_s[2], gpu_s[0], gpu_s[1], gpu_s[2]
-        );
-        rows.push(Row { dim: n, speedup_cpu: cpu_s, speedup_gpu: gpu_s });
-    }
-
-    let scaling = rows.iter().map(|r| r.speedup_cpu[0] / r.speedup_cpu[1]).sum::<f64>()
-        / rows.len() as f64;
-    println!(
-        "# shape: 10x density reduction buys ~{scaling:.1}x speedup (paper: ~10x); \
-         paper r=.01 row: 93-196x CPU, 92-154x GPU"
-    );
-    opts.dump_json("table5", &rows);
+    let opts = HarnessOpts::from_args(table5::DEFAULTS);
+    table5::run(&opts);
 }

@@ -1,80 +1,11 @@
-//! Table 6 + §7.4: power and area estimates, GFLOPS/W, and the perf/W
-//! comparison against the K40.
-//!
-//! Paper values: 86.74 mm² total area, 23.99 W total power (14.60 W of it
-//! HBM), 0.12 GFLOPS/W average, and ≈150× better GFLOPS/W than the K40
-//! (which measured 85 W while averaging 0.067 GFLOPS → 0.8 MFLOPS/W).
+//! Thin CLI wrapper; the study body lives in
+//! [`outerspace_bench::harnesses::table6`] so `runall` can drive the same
+//! code in-process with crash isolation and `--resume` checkpointing.
 
-use outerspace::energy::AreaPowerModel;
-use outerspace::prelude::*;
-use outerspace::sim::xmodels::{gpu::row_imbalance, GpuModel};
-
+use outerspace_bench::harnesses::table6;
 use outerspace_bench::HarnessOpts;
 
 fn main() {
-    let opts = HarnessOpts::from_args(1);
-    let model = AreaPowerModel::tsmc32nm();
-    let cfg = OuterSpaceConfig::default();
-
-    // --- Static Table 6 (paper's assumed suite-average activity). ---
-    let t6 = model.table6(&cfg, None);
-    println!("# Table 6 reproduction (32 nm)");
-    println!("{:<28} {:>10} {:>10}   paper", "component", "area mm^2", "power W");
-    let paper = [(49.14, 7.98), (34.40, 0.82), (3.13, 0.06), (0.07, 0.53), (f64::NAN, 14.60)];
-    for (c, p) in t6.components.iter().zip(paper) {
-        println!(
-            "{:<28} {:>10} {:>10.2}   ({}, {:.2})",
-            c.name,
-            c.area_mm2.map(|a| format!("{a:.2}")).unwrap_or_else(|| "N/A".into()),
-            c.power_w,
-            if p.0.is_nan() { "N/A".into() } else { format!("{:.2}", p.0) },
-            p.1
-        );
-    }
-    println!(
-        "{:<28} {:>10.2} {:>10.2}   (86.74, 23.99)",
-        "Total",
-        t6.total_area_mm2(),
-        t6.total_power_w()
-    );
-
-    // --- Measured-activity power + GFLOPS/W on a suite sample. ---
-    let sim = Simulator::new(cfg.clone()).expect("valid config");
-    let mut gpw = Vec::new();
-    let mut gpu_mflops_w = Vec::new();
-    println!("\n# measured-activity energy on suite samples (scale {}x)", opts.scale);
-    for name in ["email-Enron", "poisson3Da", "wiki-Vote", "facebook", "p2p-Gnutella31", "webbase-1M"] {
-        let e = outerspace::gen::suite::by_name(name).expect("known matrix");
-        let scale = ((e.dim / 20_000).max(1)) * opts.scale;
-        let a = e.generate_scaled(scale, opts.seed);
-        let (_, rep) = sim.spgemm(&a, &a).expect("square");
-        let t6_run = model.table6(&cfg, Some(&rep));
-        let ours = model.gflops_per_watt(&cfg, &rep);
-        gpw.push(ours);
-
-        let (_, hash) = outerspace::baselines::hash::spgemm(&a, &a).expect("square");
-        let t_gpu = GpuModel::tesla_k40()
-            .cusparse_time(&hash, a.nrows() as u64, row_imbalance(&a, &a))
-            .total();
-        let gpu = hash.traffic.flops() as f64 / t_gpu / 1e9 / 85.0 * 1e3; // mW basis
-        gpu_mflops_w.push(gpu);
-        println!(
-            "  {name:<14} {:>6.2} GFLOPS  {:>6.2} W  -> {:>6.3} GFLOPS/W (K40 model: {:.2} MFLOPS/W)",
-            rep.gflops(),
-            t6_run.total_power_w(),
-            ours,
-            gpu
-        );
-    }
-    // Geometric means: the arithmetic mean is dominated by the regular
-    // matrices where cuSPARSE does comparatively well.
-    let ours_avg = gpw.iter().sum::<f64>() / gpw.len() as f64;
-    let gpu_avg = (gpu_mflops_w.iter().map(|x| x.ln()).sum::<f64>()
-        / gpu_mflops_w.len() as f64)
-        .exp();
-    println!(
-        "\n# avg: {ours_avg:.3} GFLOPS/W (paper 0.12); perf/W advantage over K40 model: {:.0}x (paper ~150x)",
-        ours_avg * 1e3 / gpu_avg
-    );
-    opts.dump_json("table6", &t6);
+    let opts = HarnessOpts::from_args(table6::DEFAULTS);
+    table6::run(&opts);
 }

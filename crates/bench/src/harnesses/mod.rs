@@ -1,0 +1,111 @@
+//! Harness bodies, one module per figure/table artifact of the paper's
+//! evaluation section.
+//!
+//! Each module exposes `NAME` (the artifact's JSON basename), `DEFAULTS`
+//! (per-binary `--scale` / `--max-case-secs`), and `run(&HarnessOpts) ->
+//! RunSummary`, which executes every benchmark case through the crash-safe
+//! [`crate::runner`] layer. The thin `src/bin/*.rs` wrappers and the
+//! consolidated `runall` driver both enter through [`ALL`], so a sweep can
+//! be run per-figure or end-to-end with the same isolation, checkpointing,
+//! and `--resume` semantics.
+
+use crate::runner::{CaseResult, Runner, RunSummary};
+use crate::{HarnessDefaults, HarnessOpts};
+
+pub mod ablations;
+pub mod fig03;
+pub mod fig04;
+pub mod fig06;
+pub mod fig07;
+pub mod sec43;
+pub mod sec73;
+pub mod sec8;
+pub mod table1;
+pub mod table5;
+pub mod table6;
+
+/// A runnable harness: artifact name, per-binary defaults, the workload
+/// divisor `runall --smoke` uses for its tiny-scale gate, and the entry
+/// point.
+pub struct Harness {
+    /// Artifact basename (`<name>.json` under `--out`).
+    pub name: &'static str,
+    /// Defaults applied when `--scale` / `--max-case-secs` are absent.
+    pub defaults: HarnessDefaults,
+    /// Workload divisor used by `runall --smoke`.
+    pub smoke_scale: u32,
+    /// Entry point; runs every case and finalizes the JSON dump.
+    pub run: fn(&HarnessOpts) -> RunSummary,
+}
+
+/// Every figure/table harness, in the order `runall` drives them.
+pub const ALL: &[Harness] = &[
+    Harness { name: fig03::NAME, defaults: fig03::DEFAULTS, smoke_scale: 64, run: fig03::run },
+    Harness { name: table1::NAME, defaults: table1::DEFAULTS, smoke_scale: 256, run: table1::run },
+    Harness { name: fig04::NAME, defaults: fig04::DEFAULTS, smoke_scale: 64, run: fig04::run },
+    Harness { name: fig06::NAME, defaults: fig06::DEFAULTS, smoke_scale: 16, run: fig06::run },
+    Harness { name: fig07::NAME, defaults: fig07::DEFAULTS, smoke_scale: 64, run: fig07::run },
+    Harness { name: table5::NAME, defaults: table5::DEFAULTS, smoke_scale: 64, run: table5::run },
+    Harness { name: table6::NAME, defaults: table6::DEFAULTS, smoke_scale: 32, run: table6::run },
+    Harness { name: sec73::NAME, defaults: sec73::DEFAULTS, smoke_scale: 64, run: sec73::run },
+    Harness { name: sec43::NAME, defaults: sec43::DEFAULTS, smoke_scale: 16, run: sec43::run },
+    Harness { name: sec8::NAME, defaults: sec8::DEFAULTS, smoke_scale: 32, run: sec8::run },
+    Harness {
+        name: ablations::NAME,
+        defaults: ablations::DEFAULTS,
+        smoke_scale: 16,
+        run: ablations::run,
+    },
+];
+
+/// Looks a harness up by its artifact name.
+pub fn by_name(name: &str) -> Option<&'static Harness> {
+    ALL.iter().find(|h| h.name == name)
+}
+
+/// The deliberately faulty harness `runall --smoke` appends: one healthy
+/// case and one injected panic, proving case isolation end-to-end in CI
+/// (the driver must exit 0 with the failure recorded in the manifest).
+pub const SMOKE_FAULT: Harness = Harness {
+    name: "smoke_fault",
+    defaults: HarnessDefaults { scale: 1, max_case_secs: 60.0 },
+    smoke_scale: 1,
+    run: smoke_fault,
+};
+
+fn smoke_fault(opts: &HarnessOpts) -> RunSummary {
+    let mut runner = Runner::new(SMOKE_FAULT.name, opts);
+    runner.run_case("healthy", || -> CaseResult<u64> { Ok(42) });
+    runner.run_case("injected-panic", || -> CaseResult<u64> {
+        panic!("injected smoke-test panic (expected: exercises case isolation)")
+    });
+    runner.finalize()
+}
+
+/// Picks a workload scale for a Table 4 suite entry: dimension capped near
+/// 100 k rows and intermediate products capped so a full 20-matrix sweep
+/// finishes in minutes. `--full` disables both caps; `--scale` multiplies
+/// the result. A flops-estimation failure becomes a skip reason (`Err`)
+/// instead of aborting the sweep.
+pub(crate) fn suite_scale(
+    e: &outerspace::gen::suite::SuiteEntry,
+    opts: &HarnessOpts,
+) -> Result<u32, String> {
+    if opts.full {
+        return Ok(1);
+    }
+    const PRODUCT_CAP: u64 = 50_000_000;
+    let mut scale = (e.dim / 100_000).max(1) * opts.scale;
+    for _ in 0..6 {
+        let probe = e.generate_scaled(scale.min(e.dim / 2).max(1), opts.seed);
+        let products = outerspace::sparse::ops::spgemm_flops(&probe, &probe)
+            .map_err(|err| format!("cannot estimate products for {}: {err}", e.name))?
+            / 2;
+        if products <= PRODUCT_CAP {
+            break;
+        }
+        let grow = (products as f64 / PRODUCT_CAP as f64).ceil() as u32;
+        scale = (scale * grow.clamp(2, 16)).min(e.dim / 2).max(1);
+    }
+    Ok(scale.min(e.dim / 2).max(1))
+}

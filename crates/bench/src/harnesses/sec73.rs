@@ -1,0 +1,99 @@
+//! §7.3: dynamic memory-allocation requests vs the static multiplier α.
+//!
+//! "Our analysis of the total number of dynamic requests to increment the
+//! spill-over pointer, while sweeping (α), shows that the count of these
+//! requests drops to less than 10,000 for α >= 2 for almost all the
+//! matrices in Table 4. m133-b3 is an outlier, with zero dynamic requests."
+
+use outerspace::gen::suite::TABLE4;
+use outerspace_json::Json;
+
+use crate::runner::{CaseResult, Runner, RunSummary};
+use crate::{HarnessDefaults, HarnessOpts};
+
+/// Artifact basename.
+pub const NAME: &str = "sec73";
+/// Per-binary defaults.
+pub const DEFAULTS: HarnessDefaults = HarnessDefaults { scale: 1, max_case_secs: 600.0 };
+
+struct Row {
+    name: &'static str,
+    scale: u32,
+    requests_by_alpha: Vec<(f64, u64)>,
+    wasted_at_alpha2: u64,
+}
+
+outerspace_json::impl_to_json!(Row { name, scale, requests_by_alpha, wasted_at_alpha2 });
+
+/// `requests_by_alpha[i].1` of a dumped row (the request count at the i-th
+/// swept α), tolerant of checkpoint-loaded JSON.
+fn requests_at(row: &Json, i: usize) -> Option<u64> {
+    row.get("requests_by_alpha")?
+        .as_array()?
+        .get(i)?
+        .as_array()?
+        .get(1)?
+        .as_u64()
+}
+
+/// Runs the §7.3 allocation sweep through the crash-safe runner.
+pub fn run(opts: &HarnessOpts) -> RunSummary {
+    let mut runner = Runner::new(NAME, opts);
+    println!("# Section 7.3 reproduction: spill-over requests vs alpha (C = A x A)");
+    println!(
+        "{:<16} {:>5} | {:>9} {:>9} {:>9} {:>9} {:>9} | {:>12}",
+        "matrix", "scale", "a=1", "a=1.5", "a=2", "a=3", "a=4", "wasted@a=2"
+    );
+
+    for e in TABLE4 {
+        let case_opts = opts.clone();
+        runner.run_case(e.name, move || -> CaseResult<Row> {
+            let alphas = [1.0, 1.5, 2.0, 3.0, 4.0];
+            let scale = super::suite_scale(e, &case_opts)?;
+            let a = e.generate_scaled(scale, case_opts.seed);
+            let reports = outerspace::sim::alloc::analyze(&a.to_csc(), &a, &alphas);
+            let row = Row {
+                name: e.name,
+                scale,
+                requests_by_alpha: reports.iter().map(|r| (r.alpha, r.dynamic_requests)).collect(),
+                wasted_at_alpha2: reports[2].wasted_elements,
+            };
+            println!(
+                "{:<16} {:>5} | {:>9} {:>9} {:>9} {:>9} {:>9} | {:>12}",
+                row.name,
+                row.scale,
+                row.requests_by_alpha[0].1,
+                row.requests_by_alpha[1].1,
+                row.requests_by_alpha[2].1,
+                row.requests_by_alpha[3].1,
+                row.requests_by_alpha[4].1,
+                row.wasted_at_alpha2,
+            );
+            Ok(row)
+        });
+    }
+
+    if let Some(m133) = runner
+        .ok_values()
+        .find(|r| r.get("name").and_then(Json::as_str) == Some("m133-b3"))
+    {
+        println!(
+            "# shape: m133-b3 issues {} requests at alpha=1 (paper: 0, its rows are exactly 4-wide)",
+            requests_at(m133, 0).unwrap_or(0)
+        );
+    }
+    let ok: Vec<_> = runner.ok_values().collect();
+    let settled = ok
+        .iter()
+        .filter(|r| {
+            let a1 = requests_at(r, 0).unwrap_or(u64::MAX);
+            let a2 = requests_at(r, 2).unwrap_or(u64::MAX);
+            a1 == 0 || (a2 as f64) < 0.2 * a1 as f64 || a2 < 10_000
+        })
+        .count();
+    println!(
+        "# shape: {settled}/{} matrices settle below the paper's 10k-request threshold by alpha=2",
+        ok.len()
+    );
+    runner.finalize()
+}

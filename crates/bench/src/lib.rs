@@ -6,6 +6,10 @@
 //! EXPERIMENTS.md. Absolute numbers are not expected to match the authors'
 //! testbed — the *shape* (who wins, by what factor, where crossovers fall)
 //! is the reproduction target.
+//!
+//! The harness bodies live in [`harnesses`] (one module per figure/table) so
+//! the `runall` driver can run them in-process; each executes its cases
+//! through the crash-safe, resumable [`runner`] layer.
 
 #![warn(missing_docs)]
 
@@ -15,13 +19,56 @@ use std::time::Instant;
 use outerspace::prelude::*;
 use outerspace::sim::xmodels::{gpu::row_imbalance, CpuModel, GpuModel};
 
+pub mod harnesses;
+pub mod runner;
+
+/// Per-binary defaults applied when the corresponding flag is absent.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessDefaults {
+    /// Default workload divisor (`--scale`).
+    pub scale: u32,
+    /// Default per-case watchdog budget in seconds (`--max-case-secs`).
+    pub max_case_secs: f64,
+}
+
+/// A malformed command line, reported on stderr with exit code 2 (the
+/// conventional usage-error status) instead of a panic + exit 101.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError {
+    /// Human-readable description of what was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+fn usage_error(message: impl Into<String>) -> UsageError {
+    UsageError { message: message.into() }
+}
+
+/// One-line flag summary printed beneath a [`UsageError`].
+pub const USAGE: &str = "usage: <harness> [--scale N] [--full] [--seed N] [--out DIR] \
+     [--resume] [--max-case-secs S] [--table4]";
+
 /// Command-line options shared by all harness binaries.
 ///
 /// * `--scale N` — divide workload dimensions/non-zeros by `N` (default
 ///   chosen per binary so a full run takes minutes).
-/// * `--full` — run at the paper's original sizes (`scale = 1`).
+/// * `--full` — run at the paper's original sizes (`scale = 1`, suite caps
+///   disabled).
 /// * `--seed N` — change the workload seed.
 /// * `--out DIR` — where JSON results go (default `bench_results/`).
+/// * `--resume` — skip cases already checkpointed in `<out>/<name>.partial.json`
+///   (or a previous final dump); failed cases are retried.
+/// * `--max-case-secs S` — per-case wall-clock watchdog (fractional seconds
+///   accepted; `0` disables it). Default is per-binary.
+/// * `--table4` — print the suite inventory instead of running
+///   (`fig07_suite_speedups` only; accepted and ignored elsewhere).
 #[derive(Debug, Clone)]
 pub struct HarnessOpts {
     /// Workload divisor.
@@ -30,61 +77,97 @@ pub struct HarnessOpts {
     pub seed: u64,
     /// Output directory for JSON dumps.
     pub out_dir: PathBuf,
+    /// `--full`: paper-sized workloads, per-matrix suite caps disabled.
+    pub full: bool,
+    /// `--table4`: print the Table 4 suite inventory instead of running.
+    pub table4: bool,
+    /// `--resume`: skip checkpointed cases, retry failed ones.
+    pub resume: bool,
+    /// Per-case watchdog budget in seconds; `<= 0` disables the watchdog.
+    pub max_case_secs: f64,
 }
 
 impl HarnessOpts {
-    /// Parses `std::env::args`, with `default_scale` when `--scale`/`--full`
-    /// are absent.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments.
-    pub fn from_args(default_scale: u32) -> Self {
-        let mut scale = default_scale;
-        let mut seed = 42u64;
-        let mut out_dir = PathBuf::from("bench_results");
-        let mut args = std::env::args().skip(1);
+    /// Parses an argument list (without the program name). Returns a typed
+    /// [`UsageError`] on malformed input — callers decide whether to exit.
+    pub fn parse<I>(args: I, defaults: HarnessDefaults) -> Result<Self, UsageError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut opts = HarnessOpts {
+            scale: defaults.scale,
+            seed: 42,
+            out_dir: PathBuf::from("bench_results"),
+            full: false,
+            table4: false,
+            resume: false,
+            max_case_secs: defaults.max_case_secs,
+        };
+        let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--scale" => {
-                    scale = args
+                    let v = args
                         .next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| panic!("--scale needs a positive integer"));
+                        .ok_or_else(|| usage_error("--scale needs a positive integer"))?;
+                    opts.scale = v.parse().map_err(|_| {
+                        usage_error(format!("--scale: '{v}' is not a positive integer"))
+                    })?;
+                    if opts.scale == 0 {
+                        return Err(usage_error(
+                            "--scale must be at least 1 (1 = the paper's full size; \
+                             larger values shrink the workload)",
+                        ));
+                    }
                 }
-                "--full" => scale = 1,
+                "--full" => {
+                    opts.full = true;
+                    opts.scale = 1;
+                }
                 "--seed" => {
-                    seed = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| panic!("--seed needs an integer"));
+                    let v = args.next().ok_or_else(|| usage_error("--seed needs an integer"))?;
+                    opts.seed = v
+                        .parse()
+                        .map_err(|_| usage_error(format!("--seed: '{v}' is not an integer")))?;
                 }
                 "--out" => {
-                    out_dir = args
-                        .next()
-                        .map(PathBuf::from)
-                        .unwrap_or_else(|| panic!("--out needs a directory"));
+                    let v = args.next().ok_or_else(|| usage_error("--out needs a directory"))?;
+                    opts.out_dir = PathBuf::from(v);
                 }
-                "--table4" => {} // handled by fig07 via args().any()
-                other => panic!("unknown argument '{other}' (try --scale N | --full | --seed N | --out DIR)"),
+                "--resume" => opts.resume = true,
+                "--max-case-secs" => {
+                    let v = args
+                        .next()
+                        .ok_or_else(|| usage_error("--max-case-secs needs a number of seconds"))?;
+                    let secs: f64 = v.parse().map_err(|_| {
+                        usage_error(format!("--max-case-secs: '{v}' is not a number"))
+                    })?;
+                    if !secs.is_finite() || secs < 0.0 {
+                        return Err(usage_error(
+                            "--max-case-secs must be a non-negative number (0 disables the watchdog)",
+                        ));
+                    }
+                    opts.max_case_secs = secs;
+                }
+                "--table4" => opts.table4 = true,
+                other => {
+                    return Err(usage_error(format!("unknown argument '{other}'")));
+                }
             }
         }
-        HarnessOpts { scale: scale.max(1), seed, out_dir }
+        Ok(opts)
     }
 
-    /// Writes `value` as pretty JSON to `<out>/<name>.json` (best effort:
-    /// failures are reported to stderr, not fatal).
-    pub fn dump_json<T: outerspace_json::ToJson>(&self, name: &str, value: &T) {
-        if let Err(e) = std::fs::create_dir_all(&self.out_dir) {
-            eprintln!("warning: cannot create {}: {e}", self.out_dir.display());
-            return;
-        }
-        let path = self.out_dir.join(format!("{name}.json"));
-        let json = value.to_json().to_string_pretty();
-        if let Err(e) = std::fs::write(&path, json) {
-            eprintln!("warning: cannot write {}: {e}", path.display());
-        } else {
-            eprintln!("(results written to {})", path.display());
+    /// Parses `std::env::args`; on a malformed command line prints the error
+    /// plus usage to stderr and exits with status 2.
+    pub fn from_args(defaults: HarnessDefaults) -> Self {
+        match Self::parse(std::env::args().skip(1), defaults) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
         }
     }
 }
@@ -200,6 +283,12 @@ pub fn host_peak_bandwidth_bytes_per_s() -> f64 {
 mod tests {
     use super::*;
 
+    const DEFAULTS: HarnessDefaults = HarnessDefaults { scale: 8, max_case_secs: 300.0 };
+
+    fn parse(args: &[&str]) -> Result<HarnessOpts, UsageError> {
+        HarnessOpts::parse(args.iter().map(|s| s.to_string()), DEFAULTS)
+    }
+
     #[test]
     fn geomean_of_powers() {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
@@ -211,6 +300,48 @@ mod tests {
         assert_eq!(fmt_secs(2.5), "2.50 s");
         assert_eq!(fmt_secs(0.0025), "2.50 ms");
         assert_eq!(fmt_secs(0.0000025), "2.5 us");
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.scale, 8);
+        assert_eq!(o.seed, 42);
+        assert!(!o.resume && !o.full && !o.table4);
+        assert_eq!(o.max_case_secs, 300.0);
+
+        let o = parse(&[
+            "--scale", "3", "--seed", "7", "--out", "x", "--resume", "--max-case-secs", "1.5",
+        ])
+        .unwrap();
+        assert_eq!((o.scale, o.seed), (3, 7));
+        assert_eq!(o.out_dir, PathBuf::from("x"));
+        assert!(o.resume);
+        assert_eq!(o.max_case_secs, 1.5);
+
+        let o = parse(&["--full", "--table4"]).unwrap();
+        assert!(o.full && o.table4);
+        assert_eq!(o.scale, 1);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_arguments_with_typed_errors() {
+        for bad in [
+            vec!["--scale"],
+            vec!["--scale", "zero"],
+            vec!["--scale", "0"],
+            vec!["--seed", "4x"],
+            vec!["--out"],
+            vec!["--max-case-secs", "-1"],
+            vec!["--max-case-secs", "soon"],
+            vec!["--frobnicate"],
+        ] {
+            let err = parse(&bad).expect_err(&format!("accepted {bad:?}"));
+            assert!(!err.message.is_empty());
+        }
+        // --scale 0 carries the specific guidance.
+        let err = parse(&["--scale", "0"]).unwrap_err();
+        assert!(err.message.contains("at least 1"), "{}", err.message);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Filesystem dump helpers for crash-safe result files.
+//!
+//! The benchmark harnesses checkpoint partial results after every case; a
+//! torn write would make the checkpoint unreadable and defeat `--resume`.
+//! [`write_atomic`] therefore writes through a temp file in the same
+//! directory, fsyncs it, and renames it over the destination, so readers
+//! only ever observe the old or the new contents — never a prefix. For
+//! streaming logs where rewriting the whole file per event would be
+//! quadratic, [`append_jsonl`]/[`read_jsonl`] provide an append-safe
+//! JSON-lines format (one compact value per line; a torn tail line is
+//! skipped on read instead of poisoning the whole log).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::{parse, Json};
+
+/// Builds the sibling temp path used by [`write_atomic`]: same directory
+/// (renames across filesystems are not atomic), name prefixed with a dot and
+/// suffixed with the pid so concurrent writers do not trample each other.
+fn temp_sibling(path: &Path) -> PathBuf {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("dump");
+    path.with_file_name(format!(".{name}.tmp.{}", std::process::id()))
+}
+
+/// Writes `contents` to `path` atomically: temp file in the same directory,
+/// `sync_all`, then rename. Creates parent directories as needed. On any
+/// failure the destination is left untouched (the temp file is removed
+/// best-effort).
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = temp_sibling(path);
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Serializes `value` (pretty) to `path` via [`write_atomic`].
+pub fn write_json_atomic(path: &Path, value: &Json) -> io::Result<()> {
+    let mut text = value.to_string_pretty();
+    text.push('\n');
+    write_atomic(path, &text)
+}
+
+/// Appends `value` as one compact JSON line to `path` (creating it and any
+/// parent directories if missing). Append-safe: an interrupted write can only
+/// corrupt the final line, which [`read_jsonl`] tolerates.
+pub fn append_jsonl(path: &Path, value: &Json) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+    let mut line = value.to_string_compact();
+    line.push('\n');
+    f.write_all(line.as_bytes())
+}
+
+/// Reads a JSON-lines file written by [`append_jsonl`]. Blank lines are
+/// skipped; a malformed *final* line (torn tail from an interrupted append)
+/// is dropped silently, while malformed interior lines are an error.
+pub fn read_jsonl(path: &Path) -> io::Result<Vec<Json>> {
+    let text = fs::read_to_string(path)?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut out = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match parse(line) {
+            Ok(v) => out.push(v),
+            Err(_) if i + 1 == lines.len() => break, // torn tail
+            Err(e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: line {}: {e}", path.display(), i + 1),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("outerspace-json-dump-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn write_atomic_round_trips_and_overwrites() {
+        let dir = scratch("atomic");
+        let path = dir.join("nested/out.json");
+        write_atomic(&path, "{\"a\":1}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"a\":1}");
+        write_atomic(&path, "{\"a\":2}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"a\":2}");
+        // No temp residue.
+        let leftovers: Vec<_> = fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers.len(), 1, "temp residue: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jsonl_append_and_read_back() {
+        let dir = scratch("jsonl");
+        let path = dir.join("log.jsonl");
+        for i in 0..3u64 {
+            append_jsonl(&path, &Json::Obj(vec![("i".into(), Json::UInt(i))])).unwrap();
+        }
+        let vals = read_jsonl(&path).unwrap();
+        assert_eq!(vals.len(), 3);
+        assert_eq!(vals[2].get("i").and_then(Json::as_u64), Some(2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jsonl_tolerates_torn_tail_but_not_torn_middle() {
+        let dir = scratch("torn");
+        let path = dir.join("log.jsonl");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(&path, "{\"i\":0}\n{\"i\":1}\n{\"i\":2").unwrap();
+        // `{"i":2` lacks the closing brace: a torn final append.
+        assert_eq!(read_jsonl(&path).unwrap().len(), 2);
+        fs::write(&path, "{\"i\":0}\n{bad\n{\"i\":2}\n").unwrap();
+        assert!(read_jsonl(&path).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -11,6 +11,8 @@
 
 use std::fmt::Write as _;
 
+pub mod dump;
+
 /// A JSON value.
 ///
 /// Integers keep their own variants so that values such as `16` are emitted
