@@ -32,4 +32,35 @@ for artifact in fig03 fig07 ablations runall; do
     test -s "$SMOKE_OUT/$artifact.json"
 done
 
+echo "==> oracle (clean differential sweep at tiny scale)"
+ORACLE_OUT="$(mktemp -d)"
+trap 'rm -rf "$HERMETIC_CARGO_HOME" "$SMOKE_OUT" "$ORACLE_OUT"' EXIT
+# Every implementation vs the reference across all case families: must agree
+# everywhere (set -e enforces exit 0) and leave no repro directory behind.
+./target/release/oracle --seeds 32 --scale 48 \
+    --out "$ORACLE_OUT/clean" --repro-dir "$ORACLE_OUT/clean_repros"
+test ! -e "$ORACLE_OUT/clean_repros"
+
+echo "==> oracle --inject-fault (mismatch must be detected, shrunk, replayable)"
+# A deliberately broken implementation rides along; the oracle must exit
+# non-zero, write a shrunk repro, and the repro must replay deterministically.
+if ./target/release/oracle --seeds 2 --scale 48 --inject-fault \
+    --out "$ORACLE_OUT/fault" --repro-dir "$ORACLE_OUT/fault_repros"; then
+    echo "ERROR: oracle did not flag the injected fault" >&2
+    exit 1
+fi
+REPRO_DIR="$(find "$ORACLE_OUT/fault_repros" -mindepth 1 -maxdepth 1 -type d | head -n1)"
+test -n "$REPRO_DIR"
+test -s "$REPRO_DIR/a.mtx" && test -s "$REPRO_DIR/b.mtx" && test -s "$REPRO_DIR/manifest.json"
+grep -q '"impl": "injected_fault"' "$REPRO_DIR/manifest.json"
+if ./target/release/oracle --replay "$REPRO_DIR" > "$ORACLE_OUT/replay1.txt"; then
+    echo "ERROR: replayed repro no longer reproduces" >&2
+    exit 1
+fi
+if ./target/release/oracle --replay "$REPRO_DIR" > "$ORACLE_OUT/replay2.txt"; then
+    echo "ERROR: replayed repro no longer reproduces" >&2
+    exit 1
+fi
+diff "$ORACLE_OUT/replay1.txt" "$ORACLE_OUT/replay2.txt"
+
 echo "==> ci.sh: all gates passed"

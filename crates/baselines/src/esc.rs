@@ -52,13 +52,10 @@ pub struct EscStats {
 /// # }
 /// ```
 pub fn spgemm(a: &Csr, b: &Csr) -> Result<(Csr, EscStats), SparseError> {
-    if a.ncols() != b.nrows() {
-        return Err(SparseError::ShapeMismatch {
-            left: (a.nrows() as u64, a.ncols() as u64),
-            right: (b.nrows() as u64, b.ncols() as u64),
-            op: "spgemm",
-        });
-    }
+    outerspace_sparse::ops::check_spgemm_dims(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+    )?;
     let mut stats = EscStats::default();
 
     // --- Expansion: materialize every elementary product. ---
@@ -134,13 +131,10 @@ pub fn intermediate_bytes(a: &Csr, b: &Csr) -> Result<u64, SparseError> {
 /// Reference COO equivalent of the ESC intermediate, exposed for tests that
 /// verify the duplicate-then-compress semantics.
 pub fn expand_to_coo(a: &Csr, b: &Csr) -> Result<Coo, SparseError> {
-    if a.ncols() != b.nrows() {
-        return Err(SparseError::ShapeMismatch {
-            left: (a.nrows() as u64, a.ncols() as u64),
-            right: (b.nrows() as u64, b.ncols() as u64),
-            op: "spgemm",
-        });
-    }
+    outerspace_sparse::ops::check_spgemm_dims(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+    )?;
     let mut coo = Coo::new(a.nrows(), b.ncols());
     for i in 0..a.nrows() {
         let (a_cols, a_vals) = a.row(i);

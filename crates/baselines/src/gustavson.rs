@@ -11,7 +11,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 
-use outerspace_sparse::{Csr, Index, SparseError, Value};
+use outerspace_sparse::{ops, Csr, Index, SparseError, Value};
 
 use crate::TrafficStats;
 
@@ -254,13 +254,7 @@ fn row_into(
 }
 
 fn check_shapes(a: &Csr, b: &Csr) -> Result<(), SparseError> {
-    if a.ncols() != b.nrows() {
-        return Err(SparseError::ShapeMismatch {
-            left: (a.nrows() as u64, a.ncols() as u64),
-            right: (b.nrows() as u64, b.ncols() as u64),
-            op: "spgemm",
-        });
-    }
+    ops::check_spgemm_dims((a.nrows(), a.ncols()), (b.nrows(), b.ncols()))?;
     Ok(())
 }
 

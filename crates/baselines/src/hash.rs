@@ -108,13 +108,10 @@ impl RowTable {
 ///
 /// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
 pub fn spgemm(a: &Csr, b: &Csr) -> Result<(Csr, HashStats), SparseError> {
-    if a.ncols() != b.nrows() {
-        return Err(SparseError::ShapeMismatch {
-            left: (a.nrows() as u64, a.ncols() as u64),
-            right: (b.nrows() as u64, b.ncols() as u64),
-            op: "spgemm",
-        });
-    }
+    outerspace_sparse::ops::check_spgemm_dims(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+    )?;
     let mut stats = HashStats::default();
     let avg_row = (b.nnz() as f64 / b.nrows().max(1) as f64).ceil() as usize;
     let mut table = RowTable::with_capacity(avg_row.max(8) * 4);

@@ -33,13 +33,10 @@ pub struct InnerStats {
 ///
 /// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
 pub fn spgemm(a: &Csr, b: &Csc) -> Result<(Csr, InnerStats), SparseError> {
-    if a.ncols() != b.nrows() {
-        return Err(SparseError::ShapeMismatch {
-            left: (a.nrows() as u64, a.ncols() as u64),
-            right: (b.nrows() as u64, b.ncols() as u64),
-            op: "spgemm",
-        });
-    }
+    outerspace_sparse::ops::check_spgemm_dims(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+    )?;
     let mut stats = InnerStats::default();
     let mut row_ptr = vec![0usize];
     let mut cols: Vec<Index> = Vec::new();

@@ -22,13 +22,7 @@ pub fn spmv_dense_vector(
     a: &Csr,
     x: &SparseVector,
 ) -> Result<(Vec<Value>, TrafficStats), SparseError> {
-    if x.len != a.ncols() {
-        return Err(SparseError::ShapeMismatch {
-            left: (a.nrows() as u64, a.ncols() as u64),
-            right: (x.len as u64, 1),
-            op: "spmv",
-        });
-    }
+    outerspace_sparse::ops::check_spmv_dims((a.nrows(), a.ncols()), x.len)?;
     let dense = x.to_dense();
     // Whole matrix + whole dense vector are touched, always.
     let mut stats = TrafficStats {
@@ -61,13 +55,7 @@ pub fn spmv_index_match(
     a: &Csr,
     x: &SparseVector,
 ) -> Result<(SparseVector, TrafficStats), SparseError> {
-    if x.len != a.ncols() {
-        return Err(SparseError::ShapeMismatch {
-            left: (a.nrows() as u64, a.ncols() as u64),
-            right: (x.len as u64, 1),
-            op: "spmv",
-        });
-    }
+    outerspace_sparse::ops::check_spmv_dims((a.nrows(), a.ncols()), x.len)?;
     let mut stats = TrafficStats {
         bytes_touched: 12 * a.nnz() as u64 + 12 * x.nnz() as u64,
         ..Default::default()

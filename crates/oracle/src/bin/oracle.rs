@@ -1,0 +1,141 @@
+//! `oracle` — differential-testing front end.
+//!
+//! ```text
+//! oracle [--seeds N] [--impl-subset a,b,c] [--inject-fault]
+//!        [--repro-dir DIR] [--replay DIR] [<shared harness flags>]
+//! ```
+//!
+//! Shared flags (`--scale`, `--seed`, `--out`, `--resume`,
+//! `--max-case-secs`) are parsed by the bench crate's [`HarnessOpts`], so
+//! the oracle scales and checkpoints exactly like the figure harnesses.
+//!
+//! Exit status: `0` — every implementation agreed on every case (or the
+//! replayed repro no longer mismatches); `1` — mismatches found (repros
+//! written) or the replayed mismatch still reproduces; `2` — usage error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use outerspace_bench::{HarnessDefaults, HarnessOpts, USAGE};
+use outerspace_oracle::{driver, impls, OracleConfig, Repro, Tolerance};
+
+const ORACLE_USAGE: &str = "usage: oracle [--seeds N] [--impl-subset a,b,c] \
+     [--inject-fault] [--repro-dir DIR] [--replay DIR] [--scale N] [--seed N] \
+     [--out DIR] [--resume] [--max-case-secs S]";
+
+fn usage_exit(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    eprintln!("{ORACLE_USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    // Pull the oracle-specific flags out first; everything else goes through
+    // the shared harness parser (which rejects unknown arguments).
+    let mut cfg = OracleConfig::default();
+    let mut replay: Option<PathBuf> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                let Some(v) = args.next() else {
+                    return usage_exit("--seeds needs a positive integer");
+                };
+                match v.parse::<u64>() {
+                    Ok(n) if n > 0 => cfg.seeds = n,
+                    _ => return usage_exit(&format!("--seeds: '{v}' is not a positive integer")),
+                }
+            }
+            "--impl-subset" => {
+                let Some(v) = args.next() else {
+                    return usage_exit("--impl-subset needs a comma-separated impl list");
+                };
+                cfg.impl_subset = Some(v);
+            }
+            "--inject-fault" => cfg.inject_fault = true,
+            "--repro-dir" => {
+                let Some(v) = args.next() else {
+                    return usage_exit("--repro-dir needs a directory");
+                };
+                cfg.repro_dir = PathBuf::from(v);
+            }
+            "--replay" => {
+                let Some(v) = args.next() else {
+                    return usage_exit("--replay needs a repro directory");
+                };
+                replay = Some(PathBuf::from(v));
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    let defaults = HarnessDefaults { scale: 4, max_case_secs: 120.0 };
+    let opts = match HarnessOpts::parse(rest, defaults) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{ORACLE_USAGE}");
+            eprintln!("(shared flags: {USAGE})");
+            return ExitCode::from(2);
+        }
+    };
+    // Validate the subset up front so a typo is a usage error, not a panic
+    // mid-sweep.
+    if let Err(e) = impls::filter_impls(impls::spgemm_impls(), cfg.impl_subset.as_deref()) {
+        return usage_exit(&e);
+    }
+
+    if let Some(path) = replay {
+        return run_replay(&path, &cfg.tol);
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
+        eprintln!("error: cannot create {}: {e}", opts.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let (summary, mismatches) = driver::run(&opts, &cfg);
+    println!(
+        "oracle: {} case(s), {} ok, {} mismatch(es), {} panicked, {} timeout",
+        summary.total, summary.ok, mismatches, summary.panicked, summary.timeout
+    );
+    if mismatches > 0 {
+        println!("repros written under {}", cfg.repro_dir.display());
+    }
+    if mismatches > 0 || summary.failures() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `--replay <dir>`: reload a stored repro and re-run only the recorded
+/// implementation against the reference.
+fn run_replay(path: &Path, tol: &Tolerance) -> ExitCode {
+    let repro = match Repro::load(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "replaying {} ({}x{} * {}x{}, impl {}, from case {})",
+        path.display(),
+        repro.a.nrows(),
+        repro.a.ncols(),
+        repro.b.nrows(),
+        repro.b.ncols(),
+        repro.impl_name,
+        repro.case,
+    );
+    match repro.replay(tol) {
+        Ok(()) => {
+            println!("replay: results agree (mismatch no longer reproduces)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("replay: mismatch reproduces: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Canonical matrix form for cross-implementation comparison.
+//!
+//! The five SpGEMM implementations legitimately disagree on *representation*:
+//! chunk order differs between sequential and parallel runs, ESC and the hash
+//! kernel lay rows out through different intermediates, and kernels disagree
+//! about keeping entries whose accumulation cancelled to exactly `0.0`
+//! (Gustavson keeps every touched position, the inner-product kernel keeps
+//! every matched position, pruning drops them). [`CanonMatrix`] removes all
+//! of that before the comparison: entries are sorted by `(row, col)`,
+//! duplicate coordinates are summed in that order, and entries whose final
+//! value is exactly `0.0` are dropped. Comparison then treats an absent
+//! coordinate as `0.0`, so a kernel that *stores* a cancelled zero and one
+//! that prunes it canonicalize identically.
+
+use outerspace_sparse::{Coo, Csc, Csr, Dense, Index, SparseVector, Value};
+
+/// A matrix reduced to the canonical triplet form described in the module
+/// docs: sorted coordinates, merged duplicates, no explicit zeros.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonMatrix {
+    /// Number of rows.
+    pub nrows: Index,
+    /// Number of columns.
+    pub ncols: Index,
+    /// `(row, col, value)` sorted by `(row, col)`, duplicate-free,
+    /// zero-free.
+    pub entries: Vec<(Index, Index, Value)>,
+}
+
+impl CanonMatrix {
+    /// Canonicalizes an arbitrary triplet stream.
+    pub fn from_triples<I>(nrows: Index, ncols: Index, triples: I) -> CanonMatrix
+    where
+        I: IntoIterator<Item = (Index, Index, Value)>,
+    {
+        let mut entries: Vec<(Index, Index, Value)> = triples.into_iter().collect();
+        // Stable sort: duplicates keep stream order, so their values sum in
+        // a deterministic order.
+        entries.sort_by_key(|&(r, c, _)| (r, c));
+        let mut merged: Vec<(Index, Index, Value)> = Vec::with_capacity(entries.len());
+        for (r, c, v) in entries {
+            match merged.last_mut() {
+                Some(&mut (lr, lc, ref mut lv)) if lr == r && lc == c => *lv += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        merged.retain(|&(_, _, v)| v != 0.0);
+        CanonMatrix { nrows, ncols, entries: merged }
+    }
+
+    /// Canonicalizes a CR (CSR) matrix.
+    pub fn from_csr(m: &Csr) -> CanonMatrix {
+        CanonMatrix::from_triples(m.nrows(), m.ncols(), m.iter())
+    }
+
+    /// Canonicalizes a CC (CSC) matrix.
+    pub fn from_csc(m: &Csc) -> CanonMatrix {
+        CanonMatrix::from_triples(m.nrows(), m.ncols(), m.iter())
+    }
+
+    /// Canonicalizes a COO matrix (duplicates summed).
+    pub fn from_coo(m: &Coo) -> CanonMatrix {
+        CanonMatrix::from_triples(m.nrows(), m.ncols(), m.iter())
+    }
+
+    /// Canonicalizes a dense matrix (structural zeros never stored).
+    pub fn from_dense(m: &Dense) -> CanonMatrix {
+        let mut entries = Vec::new();
+        for r in 0..m.nrows() {
+            for c in 0..m.ncols() {
+                let v = m.get(r, c);
+                if v != 0.0 {
+                    entries.push((r, c, v));
+                }
+            }
+        }
+        CanonMatrix { nrows: m.nrows(), ncols: m.ncols(), entries }
+    }
+
+    /// Canonicalizes a sparse vector as an `len × 1` matrix.
+    pub fn from_sparse_vector(x: &SparseVector) -> CanonMatrix {
+        CanonMatrix::from_triples(
+            x.len,
+            1,
+            x.indices.iter().zip(&x.values).map(|(&i, &v)| (i, 0, v)),
+        )
+    }
+
+    /// Canonicalizes a dense vector as an `len × 1` matrix.
+    pub fn from_dense_vector(x: &[Value]) -> CanonMatrix {
+        CanonMatrix::from_triples(
+            x.len() as Index,
+            1,
+            x.iter().enumerate().map(|(i, &v)| (i as Index, 0, v)),
+        )
+    }
+
+    /// Number of canonical (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_merged_in_order_and_zeros_dropped() {
+        let m = CanonMatrix::from_triples(
+            2,
+            2,
+            vec![(1, 1, 2.0), (0, 0, 1.0), (1, 1, 3.0), (0, 1, 5.0), (0, 1, -5.0)],
+        );
+        // (0,1) cancels to exactly zero and is dropped; (1,1) sums to 5.
+        assert_eq!(m.entries, vec![(0, 0, 1.0), (1, 1, 5.0)]);
+    }
+
+    #[test]
+    fn csr_csc_coo_dense_of_same_matrix_canonicalize_equal() {
+        let a = outerspace_gen::uniform::matrix(16, 12, 40, 3);
+        let mut coo = Coo::new(16, 12);
+        for (r, c, v) in a.iter() {
+            coo.push(r, c, v);
+        }
+        let canon = CanonMatrix::from_csr(&a);
+        assert_eq!(canon, CanonMatrix::from_csc(&a.to_csc()));
+        assert_eq!(canon, CanonMatrix::from_coo(&coo));
+        assert_eq!(canon, CanonMatrix::from_dense(&a.to_dense()));
+    }
+
+    #[test]
+    fn vectors_canonicalize_as_single_column() {
+        let x = SparseVector { len: 4, indices: vec![1, 3], values: vec![2.0, 0.0] };
+        let canon = CanonMatrix::from_sparse_vector(&x);
+        assert_eq!(canon.entries, vec![(1, 0, 2.0)]); // explicit zero dropped
+        assert_eq!(canon, CanonMatrix::from_dense_vector(&x.to_dense()));
+    }
+}

@@ -1,0 +1,301 @@
+//! Deterministic generation of oracle test cases.
+//!
+//! Every case is a pure function of `(base_seed, index, scale)`: seed `i`
+//! rotates through the workload families — the four `gen` distributions the
+//! benchmarks draw from (uniform, R-MAT, banded, power-law) plus the
+//! adversarial shapes the paper's kernels are most likely to mishandle
+//! (empty rows/columns, all-zero operands, a single dense column, COO input
+//! with duplicate coordinates, degenerate `1×N` / `N×1` products) and
+//! *reject* cases whose inner dimensions disagree, which every
+//! implementation must refuse identically (the [`DimError`] contract).
+//!
+//! `scale` divides the base dimension the same way the bench harness's
+//! `--scale` divides workload sizes, so `oracle --scale 48` is a sub-second
+//! smoke and `--scale 1` exercises four-figure dimensions.
+//!
+//! [`DimError`]: outerspace_sparse::DimError
+
+use outerspace_gen::{banded, powerlaw, rmat, uniform, vector};
+use outerspace_sparse::{Coo, Csr, Index, SparseVector};
+
+/// One SpGEMM differential case: compute `A × B` everywhere and compare.
+#[derive(Debug, Clone)]
+pub struct SpgemmCase {
+    /// Stable case name (`family@seed`), used for runner resume keys and
+    /// repro directories.
+    pub name: String,
+    /// Workload family the rotation picked.
+    pub family: &'static str,
+    /// The RNG seed the operands were drawn from.
+    pub seed: u64,
+    /// Left operand.
+    pub a: Csr,
+    /// Right operand.
+    pub b: Csr,
+    /// True when the operands are malformed and every implementation must
+    /// reject them (inner-dimension mismatch).
+    pub expect_reject: bool,
+}
+
+/// One SpMV differential case: compute `y = A × x` everywhere and compare.
+#[derive(Debug, Clone)]
+pub struct SpmvCase {
+    /// Stable case name (`family@seed`).
+    pub name: String,
+    /// Workload family the rotation picked.
+    pub family: &'static str,
+    /// The RNG seed the operands were drawn from.
+    pub seed: u64,
+    /// The matrix operand (CR; implementations convert as they need).
+    pub a: Csr,
+    /// The vector operand.
+    pub x: SparseVector,
+    /// True when `x.len != a.ncols()` and every path must reject.
+    pub expect_reject: bool,
+}
+
+/// Base dimension for `scale = 1`, divided by `--scale` like the bench
+/// workloads (floor keeps degenerate scales usable).
+pub fn base_dim(scale: u32) -> Index {
+    (768 / scale.max(1)).max(8)
+}
+
+/// An all-zero `n × m` matrix (every row and column empty).
+fn zero_matrix(nrows: Index, ncols: Index) -> Csr {
+    Coo::new(nrows, ncols).to_csr()
+}
+
+/// A matrix whose non-zeros all live in one dense column — the worst case
+/// for outer-product chunking (one enormous partial-product chunk).
+fn single_dense_column(nrows: Index, ncols: Index, col: Index, seed: u64) -> Csr {
+    let mut coo = Coo::new(nrows, ncols);
+    for r in 0..nrows {
+        // Deterministic, seed-dependent, and free of exact cancellations.
+        let v = 0.5 + ((seed.wrapping_add(r as u64 * 2654435761)) % 1000) as f64 / 1000.0;
+        coo.push(r, col, v);
+    }
+    coo.to_csr()
+}
+
+/// A matrix assembled from COO triplets with every coordinate pushed twice
+/// (once positive, once scaled) — exercises duplicate merging in the
+/// COO→CR conversion that feeds every kernel.
+fn duplicate_entry_coo(n: Index, nnz: usize, seed: u64) -> Csr {
+    let base = uniform::matrix(n, n, nnz, seed);
+    let mut coo = Coo::new(n, n);
+    for (r, c, v) in base.iter() {
+        coo.push(r, c, v);
+        coo.push(r, c, 0.5 * v);
+    }
+    coo.to_csr()
+}
+
+/// The SpGEMM family rotation, indexed by `i % SPGEMM_FAMILIES`.
+pub const SPGEMM_FAMILIES: u64 = 12;
+
+/// Generates the `i`-th SpGEMM case for `(base_seed, scale)`.
+pub fn spgemm_case(base_seed: u64, i: u64, scale: u32) -> SpgemmCase {
+    let n = base_dim(scale);
+    let nnz = (n as usize) * 4;
+    let seed = base_seed.wrapping_add(i);
+    let (family, a, b, expect_reject) = match i % SPGEMM_FAMILIES {
+        0 => (
+            "uniform_square",
+            uniform::matrix(n, n, nnz, seed),
+            uniform::matrix(n, n, nnz, seed ^ 0x9e37),
+            false,
+        ),
+        1 => {
+            // Rectangular chain with every dimension distinct, so any
+            // transpose/relabel bug in the CC paths surfaces as a shape or
+            // entry mismatch.
+            let (p, k, q) = (n, n / 2 + 1, n + 3);
+            (
+                "uniform_rect",
+                uniform::matrix(p, k, nnz / 2, seed),
+                uniform::matrix(k, q, nnz / 2, seed ^ 0x9e37),
+                false,
+            )
+        }
+        2 => {
+            let g = rmat::graph500(n.next_power_of_two(), nnz, seed);
+            ("rmat", g.clone(), g, false)
+        }
+        3 => {
+            let m = banded::circulant(n, 5.min(n as usize), seed);
+            ("banded", m.clone(), m, false)
+        }
+        4 => {
+            let g = powerlaw::graph(n, nnz, seed);
+            ("powerlaw", g.clone(), g, false)
+        }
+        5 => (
+            // nnz ≪ n guarantees many empty rows *and* columns on both sides.
+            "sparse_empty_rows_cols",
+            uniform::matrix(n, n, (n / 4).max(1) as usize, seed),
+            uniform::matrix(n, n, (n / 4).max(1) as usize, seed ^ 0x9e37),
+            false,
+        ),
+        6 => (
+            "zero_matrix",
+            zero_matrix(n, n),
+            uniform::matrix(n, n, nnz, seed),
+            false,
+        ),
+        7 => (
+            "single_dense_column",
+            single_dense_column(n, n, n / 2, seed),
+            uniform::matrix(n, n, nnz, seed ^ 0x9e37),
+            false,
+        ),
+        8 => (
+            "duplicate_coo",
+            duplicate_entry_coo(n, nnz / 2, seed),
+            duplicate_entry_coo(n, nnz / 2, seed ^ 0x9e37),
+            false,
+        ),
+        9 => (
+            // (1×N)·(N×1) and its transpose sibling stress the "one row" /
+            // "one chunk per product" boundaries of the merge phase.
+            "outer_vector_product",
+            uniform::matrix(n, 1, (n / 2).max(1) as usize, seed).transpose(),
+            uniform::matrix(n, 1, (n / 2).max(1) as usize, seed ^ 0x9e37),
+            false,
+        ),
+        10 => (
+            "rank_one_blowup",
+            uniform::matrix(n, 1, (n / 2).max(1) as usize, seed),
+            uniform::matrix(1, n, (n / 2).max(1) as usize, seed ^ 0x9e37),
+            false,
+        ),
+        _ => (
+            // Inner dimensions disagree by one: every path must reject.
+            "reject_dim_mismatch",
+            uniform::matrix(n, n + 1, nnz, seed),
+            uniform::matrix(n, n, nnz, seed ^ 0x9e37),
+            true,
+        ),
+    };
+    SpgemmCase { name: format!("{family}@{seed}"), family, seed, a, b, expect_reject }
+}
+
+/// The SpMV family rotation, indexed by `i % SPMV_FAMILIES`.
+pub const SPMV_FAMILIES: u64 = 6;
+
+/// Generates the `i`-th SpMV case for `(base_seed, scale)`.
+pub fn spmv_case(base_seed: u64, i: u64, scale: u32) -> SpmvCase {
+    let n = base_dim(scale);
+    let nnz = (n as usize) * 4;
+    let seed = base_seed.wrapping_add(i);
+    let (family, a, x, expect_reject) = match i % SPMV_FAMILIES {
+        0 => (
+            "uniform_sparse_x",
+            uniform::matrix(n, n, nnz, seed),
+            vector::sparse(n, 0.25, seed ^ 0x5bd1),
+            false,
+        ),
+        1 => (
+            "rect_dense_x",
+            uniform::matrix(n / 2 + 1, n, nnz / 2, seed),
+            vector::sparse(n, 1.0, seed ^ 0x5bd1),
+            false,
+        ),
+        2 => (
+            "banded_sparse_x",
+            banded::circulant(n, 3.min(n as usize), seed),
+            vector::sparse(n, 0.1, seed ^ 0x5bd1),
+            false,
+        ),
+        3 => (
+            "empty_x",
+            uniform::matrix(n, n, nnz, seed),
+            SparseVector { len: n, indices: vec![], values: vec![] },
+            false,
+        ),
+        4 => (
+            "zero_matrix_x",
+            zero_matrix(n, n),
+            vector::sparse(n, 0.5, seed ^ 0x5bd1),
+            false,
+        ),
+        _ => (
+            "reject_len_mismatch",
+            uniform::matrix(n, n, nnz, seed),
+            vector::sparse(n + 1, 0.25, seed ^ 0x5bd1),
+            true,
+        ),
+    };
+    SpmvCase { name: format!("{family}@{seed}"), family, seed, a, x, expect_reject }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        for i in 0..SPGEMM_FAMILIES {
+            let c1 = spgemm_case(42, i, 48);
+            let c2 = spgemm_case(42, i, 48);
+            assert_eq!(c1.name, c2.name);
+            assert_eq!(c1.a, c2.a);
+            assert_eq!(c1.b, c2.b);
+        }
+        for i in 0..SPMV_FAMILIES {
+            let c1 = spmv_case(42, i, 48);
+            let c2 = spmv_case(42, i, 48);
+            assert_eq!(c1.a, c2.a);
+            assert_eq!(c1.x.indices, c2.x.indices);
+        }
+    }
+
+    #[test]
+    fn rotation_covers_adversarial_shapes() {
+        let families: Vec<&str> =
+            (0..SPGEMM_FAMILIES).map(|i| spgemm_case(1, i, 48).family).collect();
+        for needed in [
+            "zero_matrix",
+            "single_dense_column",
+            "duplicate_coo",
+            "outer_vector_product",
+            "rank_one_blowup",
+            "reject_dim_mismatch",
+            "sparse_empty_rows_cols",
+        ] {
+            assert!(families.contains(&needed), "missing family {needed}");
+        }
+    }
+
+    #[test]
+    fn valid_cases_have_compatible_dims_and_reject_cases_do_not() {
+        for i in 0..SPGEMM_FAMILIES {
+            let c = spgemm_case(7, i, 48);
+            if c.expect_reject {
+                assert_ne!(c.a.ncols(), c.b.nrows(), "{}", c.name);
+            } else {
+                assert_eq!(c.a.ncols(), c.b.nrows(), "{}", c.name);
+            }
+        }
+        for i in 0..SPMV_FAMILIES {
+            let c = spmv_case(7, i, 48);
+            if c.expect_reject {
+                assert_ne!(c.a.ncols(), c.x.len, "{}", c.name);
+            } else {
+                assert_eq!(c.a.ncols(), c.x.len, "{}", c.name);
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_structure_is_as_advertised() {
+        let zero = spgemm_case(1, 6, 48);
+        assert_eq!(zero.a.nnz(), 0);
+        let dense_col = spgemm_case(1, 7, 48);
+        assert_eq!(dense_col.a.nnz(), dense_col.a.nrows() as usize);
+        let outer_vec = spgemm_case(1, 9, 48);
+        assert_eq!(outer_vec.a.nrows(), 1);
+        assert_eq!(outer_vec.b.ncols(), 1);
+        let blowup = spgemm_case(1, 10, 48);
+        assert_eq!((blowup.a.ncols(), blowup.b.nrows()), (1, 1));
+    }
+}

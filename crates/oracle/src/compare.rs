@@ -1,0 +1,264 @@
+//! ULP-aware comparison of canonicalized results.
+//!
+//! The implementations sum the same elementary products in different orders
+//! (heap order, sort order, hash-probe order, per-thread block order), so
+//! bitwise equality is the wrong bar. Two values are *close* when any of
+//! three criteria holds — absolute slack for near-zero accumulations,
+//! relative slack for the common case, and a ULP budget that scales
+//! correctly across magnitudes where a fixed relative epsilon misbehaves.
+//! An entry missing on one side compares against `0.0` (canonicalization
+//! guarantees stored values are non-zero, see [`crate::canon`]).
+
+use crate::canon::CanonMatrix;
+use outerspace_sparse::{Index, Value};
+
+/// The tolerance policy (documented in DESIGN.md §8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Absolute slack, covering sums that cancel toward zero.
+    pub abs: f64,
+    /// Relative slack against the larger magnitude.
+    pub rel: f64,
+    /// Maximum units-in-the-last-place distance.
+    pub max_ulps: u64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        // rel mirrors the 1e-9 the repo's hand-written differential tests
+        // use; 256 ULPs ≈ 6e-14 relative for f64, a strictly tighter backstop
+        // that exists for magnitudes where abs/rel are miscalibrated.
+        Tolerance { abs: 1e-12, rel: 1e-9, max_ulps: 256 }
+    }
+}
+
+impl Tolerance {
+    /// Are `x` and `y` equal under this policy?
+    pub fn close(&self, x: Value, y: Value) -> bool {
+        if x == y {
+            return true; // covers ±0.0 and exact equality
+        }
+        if x.is_nan() || y.is_nan() {
+            return false;
+        }
+        let diff = (x - y).abs();
+        if diff <= self.abs {
+            return true;
+        }
+        if diff <= self.rel * x.abs().max(y.abs()) {
+            return true;
+        }
+        ulp_distance(x, y) <= self.max_ulps
+    }
+}
+
+/// Units-in-the-last-place distance between two finite doubles, via the
+/// standard monotone mapping of IEEE-754 bit patterns onto a signed integer
+/// line. Opposite-sign pairs measure through zero; non-finite operands
+/// return `u64::MAX`.
+pub fn ulp_distance(x: f64, y: f64) -> u64 {
+    if !x.is_finite() || !y.is_finite() {
+        return u64::MAX;
+    }
+    fn ordered(v: f64) -> i64 {
+        let bits = v.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN.wrapping_add(bits.wrapping_neg()) // map negatives below zero
+        } else {
+            bits
+        }
+    }
+    let (a, b) = (ordered(x), ordered(y));
+    a.abs_diff(b)
+}
+
+/// One coordinate where two results disagree. Missing entries are reported
+/// with value `0.0` on the absent side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntryDiff {
+    /// Row of the disagreeing coordinate.
+    pub row: Index,
+    /// Column of the disagreeing coordinate.
+    pub col: Index,
+    /// Value on the left (reference) side.
+    pub left: Value,
+    /// Value on the right (candidate) side.
+    pub right: Value,
+}
+
+/// Why two canonical results are not equal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompareError {
+    /// The results have different dimensions.
+    Shape {
+        /// Left (reference) shape.
+        left: (Index, Index),
+        /// Right (candidate) shape.
+        right: (Index, Index),
+    },
+    /// The results disagree at one or more coordinates.
+    Entries {
+        /// The first few disagreements (capped at [`MAX_REPORTED_DIFFS`]).
+        diffs: Vec<EntryDiff>,
+        /// Total number of disagreeing coordinates.
+        total: usize,
+    },
+}
+
+/// Cap on diffs carried inside [`CompareError::Entries`].
+pub const MAX_REPORTED_DIFFS: usize = 8;
+
+impl std::fmt::Display for CompareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompareError::Shape { left, right } => write!(
+                f,
+                "shape mismatch: {} x {} vs {} x {}",
+                left.0, left.1, right.0, right.1
+            ),
+            CompareError::Entries { diffs, total } => {
+                write!(f, "{total} disagreeing entr{}", if *total == 1 { "y" } else { "ies" })?;
+                for d in diffs {
+                    write!(f, "; ({},{}): {} vs {}", d.row, d.col, d.left, d.right)?;
+                }
+                if *total > diffs.len() {
+                    write!(f, "; …")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompareError {}
+
+/// Compares two canonical matrices under `tol`. `Ok(())` means equal.
+pub fn compare(
+    left: &CanonMatrix,
+    right: &CanonMatrix,
+    tol: &Tolerance,
+) -> Result<(), CompareError> {
+    if left.nrows != right.nrows || left.ncols != right.ncols {
+        return Err(CompareError::Shape {
+            left: (left.nrows, left.ncols),
+            right: (right.nrows, right.ncols),
+        });
+    }
+    let mut diffs = Vec::new();
+    let mut total = 0usize;
+    let mut record = |row, col, l, r| {
+        total += 1;
+        if diffs.len() < MAX_REPORTED_DIFFS {
+            diffs.push(EntryDiff { row, col, left: l, right: r });
+        }
+    };
+    // Two-pointer sweep over the sorted entry lists; a coordinate present on
+    // only one side compares against 0.0.
+    let (mut p, mut q) = (0usize, 0usize);
+    while p < left.entries.len() || q < right.entries.len() {
+        let lkey = left.entries.get(p).map(|&(r, c, _)| (r, c));
+        let rkey = right.entries.get(q).map(|&(r, c, _)| (r, c));
+        match (lkey, rkey) {
+            (Some(lk), Some(rk)) if lk == rk => {
+                let (lv, rv) = (left.entries[p].2, right.entries[q].2);
+                if !tol.close(lv, rv) {
+                    record(lk.0, lk.1, lv, rv);
+                }
+                p += 1;
+                q += 1;
+            }
+            (Some(lk), Some(rk)) if lk < rk => {
+                let lv = left.entries[p].2;
+                if !tol.close(lv, 0.0) {
+                    record(lk.0, lk.1, lv, 0.0);
+                }
+                p += 1;
+            }
+            (Some(_), Some(rk)) => {
+                let rv = right.entries[q].2;
+                if !tol.close(0.0, rv) {
+                    record(rk.0, rk.1, 0.0, rv);
+                }
+                q += 1;
+            }
+            (Some(lk), None) => {
+                let lv = left.entries[p].2;
+                if !tol.close(lv, 0.0) {
+                    record(lk.0, lk.1, lv, 0.0);
+                }
+                p += 1;
+            }
+            (None, Some(rk)) => {
+                let rv = right.entries[q].2;
+                if !tol.close(0.0, rv) {
+                    record(rk.0, rk.1, 0.0, rv);
+                }
+                q += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    if total > 0 {
+        return Err(CompareError::Entries { diffs, total });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        // Distance across zero measures through both subnormal ranges.
+        assert_eq!(ulp_distance(f64::MIN_POSITIVE, -f64::MIN_POSITIVE), ulp_distance(f64::MIN_POSITIVE, 0.0) * 2);
+        assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_distance(f64::INFINITY, 1.0), u64::MAX);
+    }
+
+    #[test]
+    fn tolerance_accepts_reordered_sums() {
+        let tol = Tolerance::default();
+        let forward: f64 = (1..=1000).map(|i| 1.0 / i as f64).sum();
+        let backward: f64 = (1..=1000).rev().map(|i| 1.0 / i as f64).sum();
+        assert!(tol.close(forward, backward));
+        assert!(!tol.close(forward, forward + 1e-3));
+        assert!(!tol.close(1.0, f64::NAN));
+    }
+
+    #[test]
+    fn compare_reports_missing_and_mismatched_entries() {
+        let tol = Tolerance::default();
+        let l = CanonMatrix::from_triples(2, 2, vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        let r = CanonMatrix::from_triples(2, 2, vec![(0, 0, 1.0), (1, 0, 3.0)]);
+        let err = compare(&l, &r, &tol).unwrap_err();
+        match err {
+            CompareError::Entries { diffs, total } => {
+                assert_eq!(total, 2);
+                assert_eq!(diffs[0], EntryDiff { row: 1, col: 0, left: 0.0, right: 3.0 });
+                assert_eq!(diffs[1], EntryDiff { row: 1, col: 1, left: 2.0, right: 0.0 });
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compare_shape_mismatch() {
+        let tol = Tolerance::default();
+        let l = CanonMatrix::from_triples(2, 2, vec![]);
+        let r = CanonMatrix::from_triples(2, 3, vec![]);
+        assert!(matches!(compare(&l, &r, &tol), Err(CompareError::Shape { .. })));
+    }
+
+    #[test]
+    fn near_zero_cancellation_tolerated() {
+        let tol = Tolerance::default();
+        // One side cancelled to a tiny residue, the other pruned exactly.
+        let l = CanonMatrix::from_triples(1, 1, vec![(0, 0, 1e-15)]);
+        let r = CanonMatrix::from_triples(1, 1, vec![]);
+        assert!(compare(&l, &r, &tol).is_ok());
+    }
+}

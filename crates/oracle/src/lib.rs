@@ -1,0 +1,46 @@
+//! Property-based differential-testing oracle for the OuterSPACE
+//! reproduction.
+//!
+//! The workspace carries five SpGEMM implementations (the outer-product
+//! kernel in four configurations plus the simulator's functional path) and
+//! four baseline kernels, two SpMV paths, and a web of format conversions —
+//! all expected to compute the *same* linear algebra. This crate turns that
+//! redundancy into a test oracle:
+//!
+//! * [`cases`] draws deterministic workloads from every `gen` distribution
+//!   plus adversarial shapes (empty rows/columns, all-zero operands, a
+//!   single dense column, duplicate-entry COO, `1×N`/`N×1` products) and
+//!   malformed operands every path must *reject* identically;
+//! * [`impls`] wraps every public SpGEMM/SpMV entry point — including the
+//!   simulator — behind one registry signature;
+//! * [`canon`] + [`compare`] canonicalize results (sorted coordinates,
+//!   merged duplicates, no explicit zeros) and compare them under an
+//!   absolute + relative + ULP tolerance;
+//! * [`shrink`] reduces a failing pair to a locally minimal one by greedy
+//!   bisection, entry thinning and value simplification;
+//! * [`repro`] persists the shrunk input as replayable `.mtx` files plus a
+//!   seed manifest under `oracle_repros/`;
+//! * [`driver`] runs the sweep through the bench crate's crash-safe
+//!   [`Runner`](outerspace_bench::runner::Runner), emitting the same
+//!   `{manifest, cases}` JSON report shape as the figure harnesses.
+//!
+//! The `oracle` binary (`cargo run --release -p outerspace-oracle --bin
+//! oracle`) fronts all of it: `--seeds N` sweeps, `--impl-subset` narrows,
+//! `--replay <dir>` re-checks a stored repro, and `--inject-fault` proves
+//! the detection pipeline end to end with a deliberately broken kernel.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod canon;
+pub mod cases;
+pub mod compare;
+pub mod driver;
+pub mod impls;
+pub mod repro;
+pub mod shrink;
+
+pub use canon::CanonMatrix;
+pub use compare::{compare, CompareError, Tolerance};
+pub use driver::{run, OracleConfig};
+pub use repro::{Repro, ReproKind};

@@ -1,0 +1,348 @@
+//! Greedy delta-debugging shrinker for failing operand pairs.
+//!
+//! Given a pair `(A, B)` on which some implementation disagrees with the
+//! reference, the shrinker searches for a smaller pair that still fails,
+//! using first-improvement greedy descent over four transformation groups:
+//!
+//! 1. **Dimension bisection** — keep the low or high half of `A`'s rows,
+//!    `B`'s columns, or the shared inner dimension (entries outside the kept
+//!    band are dropped, indices remapped).
+//! 2. **Entry thinning** — drop the first or second half of either entry
+//!    list; once a list is small, drop entries one at a time.
+//! 3. **Value simplification** — rewrite values to `±1`, wholesale first and
+//!    then entry-by-entry, so the surviving repro has trivially checkable
+//!    arithmetic.
+//! 4. **Compaction** — delete empty rows/columns and unused inner indices,
+//!    remapping both operands consistently.
+//!
+//! A candidate is adopted only when its cost — lexicographically
+//! `(total nnz, dimension sum, non-unit value count)` — strictly decreases
+//! and the caller's `still_fails` predicate holds, so the loop terminates;
+//! an evaluation budget bounds the worst case. The result is a *local*
+//! minimum: every single transformation either stops failing or stops
+//! shrinking.
+
+use outerspace_sparse::{Coo, Csr, Index, Value};
+
+/// Triplet-form operand pair the transformations act on.
+#[derive(Debug, Clone)]
+struct Cand {
+    a_shape: (Index, Index),
+    b_shape: (Index, Index),
+    a: Vec<(Index, Index, Value)>,
+    b: Vec<(Index, Index, Value)>,
+}
+
+impl Cand {
+    fn from_pair(a: &Csr, b: &Csr) -> Cand {
+        Cand {
+            a_shape: (a.nrows(), a.ncols()),
+            b_shape: (b.nrows(), b.ncols()),
+            a: a.iter().collect(),
+            b: b.iter().collect(),
+        }
+    }
+
+    fn build(&self) -> (Csr, Csr) {
+        let mut ca = Coo::new(self.a_shape.0, self.a_shape.1);
+        for &(r, c, v) in &self.a {
+            ca.push(r, c, v);
+        }
+        let mut cb = Coo::new(self.b_shape.0, self.b_shape.1);
+        for &(r, c, v) in &self.b {
+            cb.push(r, c, v);
+        }
+        (ca.to_csr(), cb.to_csr())
+    }
+
+    /// Lexicographic cost: total entries, then dimension extent, then
+    /// entries whose value is not exactly `±1`.
+    fn cost(&self) -> (usize, u64, usize) {
+        let dims = self.a_shape.0 as u64 + self.a_shape.1 as u64 + self.b_shape.1 as u64;
+        let non_unit = self
+            .a
+            .iter()
+            .chain(&self.b)
+            .filter(|&&(_, _, v)| v != 1.0 && v != -1.0)
+            .count();
+        (self.a.len() + self.b.len(), dims, non_unit)
+    }
+}
+
+/// Which operand a transformation targets.
+#[derive(Clone, Copy, PartialEq)]
+enum Side {
+    A,
+    B,
+}
+
+/// Keeps `[lo, hi)` of a dimension, remapping kept indices down by `lo`.
+/// `axis` selects rows (`0`) or columns (`1`) of the chosen side; the inner
+/// dimension is cut by applying this to `A` columns and `B` rows together.
+fn keep_band(
+    entries: &[(Index, Index, Value)],
+    axis: usize,
+    lo: Index,
+    hi: Index,
+) -> Vec<(Index, Index, Value)> {
+    entries
+        .iter()
+        .filter_map(|&(r, c, v)| {
+            let k = if axis == 0 { r } else { c };
+            if k < lo || k >= hi {
+                return None;
+            }
+            Some(if axis == 0 { (r - lo, c, v) } else { (r, c - lo, v) })
+        })
+        .collect()
+}
+
+/// Generates the candidate list for one descent round, cheapest-first.
+fn candidates(cur: &Cand, lock_b_cols: bool) -> Vec<Cand> {
+    let mut out = Vec::new();
+    let inner = cur.a_shape.1;
+
+    // 1. Dimension bisection.
+    if cur.a_shape.0 > 1 {
+        let h = cur.a_shape.0 / 2;
+        for (lo, hi) in [(0, h), (h, cur.a_shape.0)] {
+            let mut c = cur.clone();
+            c.a = keep_band(&cur.a, 0, lo, hi);
+            c.a_shape.0 = hi - lo;
+            out.push(c);
+        }
+    }
+    if cur.b_shape.1 > 1 && !lock_b_cols {
+        let h = cur.b_shape.1 / 2;
+        for (lo, hi) in [(0, h), (h, cur.b_shape.1)] {
+            let mut c = cur.clone();
+            c.b = keep_band(&cur.b, 1, lo, hi);
+            c.b_shape.1 = hi - lo;
+            out.push(c);
+        }
+    }
+    if inner > 1 {
+        let h = inner / 2;
+        for (lo, hi) in [(0, h), (h, inner)] {
+            let mut c = cur.clone();
+            c.a = keep_band(&cur.a, 1, lo, hi);
+            c.b = keep_band(&cur.b, 0, lo, hi);
+            c.a_shape.1 = hi - lo;
+            c.b_shape.0 = hi - lo;
+            out.push(c);
+        }
+    }
+
+    // 2. Entry thinning.
+    for side in [Side::A, Side::B] {
+        let list = if side == Side::A { &cur.a } else { &cur.b };
+        if list.len() > 1 {
+            let h = list.len() / 2;
+            for keep in [&list[..h], &list[h..]] {
+                let mut c = cur.clone();
+                *(if side == Side::A { &mut c.a } else { &mut c.b }) = keep.to_vec();
+                out.push(c);
+            }
+        }
+        if (2..=16).contains(&list.len()) {
+            for i in 0..list.len() {
+                let mut c = cur.clone();
+                let target = if side == Side::A { &mut c.a } else { &mut c.b };
+                target.remove(i);
+                out.push(c);
+            }
+        }
+    }
+
+    // 3. Value simplification (wholesale, then per-entry on small inputs).
+    let unit = |v: Value| if v < 0.0 { -1.0 } else { 1.0 };
+    if cur.a.iter().chain(&cur.b).any(|&(_, _, v)| v != 1.0 && v != -1.0) {
+        let mut c = cur.clone();
+        for e in c.a.iter_mut().chain(c.b.iter_mut()) {
+            e.2 = unit(e.2);
+        }
+        out.push(c);
+        if cur.a.len() + cur.b.len() <= 16 {
+            for side in [Side::A, Side::B] {
+                let len = if side == Side::A { cur.a.len() } else { cur.b.len() };
+                for i in 0..len {
+                    let mut c = cur.clone();
+                    let e = if side == Side::A { &mut c.a[i] } else { &mut c.b[i] };
+                    if e.2 != 1.0 && e.2 != -1.0 {
+                        e.2 = unit(e.2);
+                        out.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    // 4. Compaction: densely renumber the used rows of A, columns of B, and
+    // inner indices (used by either side — both must remap identically).
+    {
+        let remap = |used: &mut Vec<Index>| -> Option<Vec<Index>> {
+            used.sort_unstable();
+            used.dedup();
+            Some(used.clone())
+        };
+        let mut rows: Vec<Index> = cur.a.iter().map(|&(r, _, _)| r).collect();
+        let mut cols: Vec<Index> = cur.b.iter().map(|&(_, c, _)| c).collect();
+        let mut inner_used: Vec<Index> = cur
+            .a
+            .iter()
+            .map(|&(_, c, _)| c)
+            .chain(cur.b.iter().map(|&(r, _, _)| r))
+            .collect();
+        let (rows, cols, inner_used) =
+            (remap(&mut rows).unwrap(), remap(&mut cols).unwrap(), remap(&mut inner_used).unwrap());
+        let shrinks_rows = !rows.is_empty() && rows.len() < cur.a_shape.0 as usize;
+        let shrinks_cols =
+            !lock_b_cols && !cols.is_empty() && cols.len() < cur.b_shape.1 as usize;
+        let shrinks_inner = !inner_used.is_empty() && inner_used.len() < inner as usize;
+        if shrinks_rows || shrinks_cols || shrinks_inner {
+            let pos = |list: &[Index], k: Index| list.binary_search(&k).unwrap() as Index;
+            let mut c = cur.clone();
+            if shrinks_rows {
+                for e in &mut c.a {
+                    e.0 = pos(&rows, e.0);
+                }
+                c.a_shape.0 = rows.len() as Index;
+            }
+            if shrinks_cols {
+                for e in &mut c.b {
+                    e.1 = pos(&cols, e.1);
+                }
+                c.b_shape.1 = cols.len() as Index;
+            }
+            if shrinks_inner {
+                for e in &mut c.a {
+                    e.1 = pos(&inner_used, e.1);
+                }
+                for e in &mut c.b {
+                    e.0 = pos(&inner_used, e.0);
+                }
+                c.a_shape.1 = inner_used.len() as Index;
+                c.b_shape.0 = inner_used.len() as Index;
+            }
+            out.push(c);
+        }
+    }
+
+    out
+}
+
+/// How a shrink run went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Predicate evaluations spent.
+    pub evals: usize,
+    /// Adopted (strictly improving) steps.
+    pub steps: usize,
+}
+
+/// Default evaluation budget — generous for the sub-`1000 × 1000` inputs
+/// the case generator produces (each eval is one kernel run on a shrinking
+/// input, so later evals are nearly free).
+pub const DEFAULT_MAX_EVALS: usize = 4000;
+
+/// Shrinks a failing pair to a locally minimal one.
+///
+/// `still_fails` must return `true` on `(a, b)` (the caller just observed
+/// the failure); if it does not — a flaky predicate — the input is returned
+/// unshrunk. Set `lock_b_cols` when `B` stands for an SpMV vector and must
+/// stay single-column.
+pub fn shrink_pair(
+    a: &Csr,
+    b: &Csr,
+    lock_b_cols: bool,
+    max_evals: usize,
+    still_fails: &dyn Fn(&Csr, &Csr) -> bool,
+) -> (Csr, Csr, ShrinkStats) {
+    let mut stats = ShrinkStats { evals: 0, steps: 0 };
+    let mut cur = Cand::from_pair(a, b);
+    stats.evals += 1;
+    if !still_fails(a, b) {
+        return (a.clone(), b.clone(), stats);
+    }
+    'descend: loop {
+        let cost = cur.cost();
+        for cand in candidates(&cur, lock_b_cols) {
+            if cand.cost() >= cost {
+                continue;
+            }
+            if stats.evals >= max_evals {
+                break 'descend;
+            }
+            stats.evals += 1;
+            let (ca, cb) = cand.build();
+            if still_fails(&ca, &cb) {
+                cur = cand;
+                stats.steps += 1;
+                continue 'descend; // first improvement: restart the round
+            }
+        }
+        break; // full round without improvement: local minimum
+    }
+    let (sa, sb) = cur.build();
+    (sa, sb, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outerspace_gen::uniform;
+
+    /// A synthetic "bug": fails whenever A touches inner index 3 with a
+    /// value heavier than 0.75 — shrinkable to a single entry.
+    fn touches_hot_index(a: &Csr, _b: &Csr) -> bool {
+        a.iter().any(|(_, c, v)| c == 3 && v.abs() > 0.75)
+    }
+
+    #[test]
+    fn shrinks_synthetic_bug_to_single_entry() {
+        let mut a = uniform::matrix(64, 64, 256, 9);
+        // Plant the trigger deterministically.
+        let mut coo = Coo::new(64, 64);
+        for (r, c, v) in a.iter() {
+            coo.push(r, c, v);
+        }
+        coo.push(17, 3, 0.9);
+        a = coo.to_csr();
+        let b = uniform::matrix(64, 64, 256, 10);
+        assert!(touches_hot_index(&a, &b));
+        let (sa, sb, stats) =
+            shrink_pair(&a, &b, false, DEFAULT_MAX_EVALS, &touches_hot_index);
+        assert!(touches_hot_index(&sa, &sb), "shrunk input must still fail");
+        assert_eq!(sa.nnz(), 1, "one entry suffices to trigger");
+        assert!(sa.nrows() <= 8 && sa.ncols() <= 8, "dims compacted: {sa:?}");
+        assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let a = uniform::matrix(8, 8, 16, 1);
+        let b = uniform::matrix(8, 8, 16, 2);
+        let (sa, sb, stats) = shrink_pair(&a, &b, false, 100, &|_, _| false);
+        assert_eq!(sa, a);
+        assert_eq!(sb, b);
+        assert_eq!(stats.steps, 0);
+    }
+
+    #[test]
+    fn lock_b_cols_preserves_vector_shape() {
+        let a = uniform::matrix(32, 32, 128, 3);
+        let x = uniform::matrix(32, 1, 16, 4);
+        // "Bug": any non-empty product of non-empty operands.
+        let fails = |a: &Csr, b: &Csr| a.nnz() > 0 && b.nnz() > 0;
+        let (_, sx, _) = shrink_pair(&a, &x, true, DEFAULT_MAX_EVALS, &fails);
+        assert_eq!(sx.ncols(), 1, "vector operand must stay one column");
+    }
+
+    #[test]
+    fn shrink_respects_eval_budget() {
+        let a = uniform::matrix(64, 64, 512, 5);
+        let b = uniform::matrix(64, 64, 512, 6);
+        let (_, _, stats) = shrink_pair(&a, &b, false, 10, &|a, b| a.nnz() + b.nnz() > 0);
+        assert!(stats.evals <= 10);
+    }
+}

@@ -125,13 +125,10 @@ fn outer_product<F: FnMut(Index, Chunk)>(
 }
 
 fn check_shapes(a: &Csc, b: &Csr) -> Result<(), SparseError> {
-    if a.ncols() != b.nrows() {
-        return Err(SparseError::ShapeMismatch {
-            left: (a.nrows() as u64, a.ncols() as u64),
-            right: (b.nrows() as u64, b.ncols() as u64),
-            op: "spgemm",
-        });
-    }
+    outerspace_sparse::ops::check_spgemm_dims(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+    )?;
     Ok(())
 }
 

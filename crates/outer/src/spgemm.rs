@@ -1,6 +1,6 @@
 //! Top-level outer-product SpGEMM drivers.
 
-use outerspace_sparse::{Csc, Csr, SparseError};
+use outerspace_sparse::{ops, Csc, Csr, SparseError};
 
 use crate::chunks::{MultiplyStats, PartialProducts};
 use crate::convert::{csr_to_csc_via_outer, ConversionStats};
@@ -59,6 +59,9 @@ pub fn spgemm_with_stats(
     b: &Csr,
     kind: MergeKind,
 ) -> Result<(Csr, SpGemmReport), SparseError> {
+    // Guard before the conversion phase so malformed operands are rejected
+    // without doing (or charging) any work.
+    ops::check_spgemm_dims((a.nrows(), a.ncols()), (b.nrows(), b.ncols()))?;
     let (a_cc, conversion) = csr_to_csc_via_outer(a);
     let (pp, mul) = multiply(&a_cc, b)?;
     let intermediate_bytes = pp.memory_footprint_bytes();
@@ -80,6 +83,7 @@ pub fn spgemm_parallel(
     b: &Csr,
     n_threads: usize,
 ) -> Result<(Csr, SpGemmReport), SparseError> {
+    ops::check_spgemm_dims((a.nrows(), a.ncols()), (b.nrows(), b.ncols()))?;
     let (a_cc, conversion) = csr_to_csc_via_outer(a);
     let (pp, mul) = multiply_parallel(&a_cc, b, n_threads)?;
     let intermediate_bytes = pp.memory_footprint_bytes();
@@ -100,6 +104,9 @@ pub fn spgemm_parallel(
 ///
 /// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
 pub fn spgemm_cc(a: &Csr, b: &Csr) -> Result<Csc, SparseError> {
+    // Guard on the *untransposed* operands so the error reports the shapes
+    // the caller passed, not the relabelled ones fed to `multiply`.
+    ops::check_spgemm_dims((a.nrows(), a.ncols()), (b.nrows(), b.ncols()))?;
     // Bᵀ in CC format is just B's arrays relabelled; same for Aᵀ in CR.
     let bt_cc: Csc = b.clone().into_csc_transposed();
     let at_cr: Csr = a.clone().to_csc().into_csr_transposed();

@@ -46,13 +46,7 @@ pub struct SpmvStats {
 /// # }
 /// ```
 pub fn spmv(a: &Csc, x: &SparseVector) -> Result<(SparseVector, SpmvStats), SparseError> {
-    if x.len != a.ncols() {
-        return Err(SparseError::ShapeMismatch {
-            left: (a.nrows() as u64, a.ncols() as u64),
-            right: (x.len as u64, 1),
-            op: "spmv",
-        });
-    }
+    outerspace_sparse::ops::check_spmv_dims((a.nrows(), a.ncols()), x.len)?;
     let mut stats = SpmvStats::default();
     let mut acc = vec![0.0 as Value; a.nrows() as usize];
     let mut touched: Vec<Index> = Vec::new();
@@ -90,13 +84,7 @@ pub fn spmv(a: &Csc, x: &SparseVector) -> Result<(SparseVector, SpmvStats), Spar
 ///
 /// Returns [`SparseError::ShapeMismatch`] if `x.len() != a.ncols()`.
 pub fn spmv_dense(a: &Csc, x: &[Value]) -> Result<(Vec<Value>, SpmvStats), SparseError> {
-    if x.len() != a.ncols() as usize {
-        return Err(SparseError::ShapeMismatch {
-            left: (a.nrows() as u64, a.ncols() as u64),
-            right: (x.len() as u64, 1),
-            op: "spmv",
-        });
-    }
+    outerspace_sparse::ops::check_spmv_dims((a.nrows(), a.ncols()), x.len() as Index)?;
     let mut stats = SpmvStats::default();
     let mut y = vec![0.0 as Value; a.nrows() as usize];
     for (k, &xk) in x.iter().enumerate() {

@@ -1,0 +1,119 @@
+//! Round-trip property tests for the format conversions the outer-product
+//! pipeline leans on: CR ↔ CC (both the direct transpose path and the
+//! paper's §4.3 identity-multiplication conversion), CR ↔ COO (including
+//! duplicate coordinates), and CR ↔ dense. Structural edge cases — empty
+//! rows, trailing empty columns, fully empty matrices — are exercised
+//! explicitly, because those are exactly the places a prefix-sum or
+//! relabelling bug hides.
+
+use outerspace_gen::{banded, powerlaw, rmat, uniform};
+use outerspace_outer::csr_to_csc_via_outer;
+use outerspace_sparse::{Coo, Csr, Index};
+
+/// Canonical triple list of a CR matrix — the equality the round trips must
+/// preserve (`Csr` equality also covers it, but triples give better failure
+/// output and cost nothing at these sizes).
+fn triples(m: &Csr) -> Vec<(Index, Index, f64)> {
+    m.iter().collect()
+}
+
+/// The matrices under test: every generator family plus structural edges.
+fn workloads() -> Vec<(&'static str, Csr)> {
+    let mut out: Vec<(&'static str, Csr)> = vec![
+        ("uniform", uniform::matrix(60, 45, 300, 11)),
+        ("rmat", rmat::graph500(64, 400, 12)),
+        ("banded", banded::circulant(48, 4, 13)),
+        ("powerlaw", powerlaw::graph(56, 250, 14)),
+        ("empty", Csr::zero(17, 9)),
+        ("identity", Csr::identity(23)),
+        ("single_row", uniform::matrix(1, 40, 20, 15)),
+        ("single_col", uniform::matrix(40, 1, 20, 16)),
+    ];
+    // Many empty rows *and* a guaranteed trailing block of empty columns:
+    // entries confined to the top-left quadrant of a larger shape.
+    let mut coo = Coo::new(32, 32);
+    for (r, c, v) in uniform::matrix(8, 8, 20, 17).iter() {
+        coo.push(r, c, v);
+    }
+    out.push(("trailing_empty", coo.to_csr()));
+    out
+}
+
+#[test]
+fn csr_to_csc_and_back_is_identity() {
+    for (name, m) in workloads() {
+        let back = m.to_csc().to_csr();
+        assert_eq!(triples(&m), triples(&back), "{name}: CR -> CC -> CR");
+        assert_eq!((m.nrows(), m.ncols()), (back.nrows(), back.ncols()), "{name}: shape");
+    }
+}
+
+#[test]
+fn outer_product_conversion_agrees_with_direct_transpose() {
+    // §4.3's identity-multiplication conversion must be *exactly* the
+    // direct CR -> CC conversion, for every structure class.
+    for (name, m) in workloads() {
+        let (via_outer, _) = csr_to_csc_via_outer(&m);
+        assert_eq!(via_outer, m.to_csc(), "{name}: outer-product conversion");
+        assert_eq!(triples(&via_outer.to_csr()), triples(&m), "{name}: round trip");
+    }
+}
+
+#[test]
+fn coo_round_trip_preserves_entries() {
+    for (name, m) in workloads() {
+        let mut coo = Coo::new(m.nrows(), m.ncols());
+        for (r, c, v) in m.iter() {
+            coo.push(r, c, v);
+        }
+        assert_eq!(triples(&coo.to_csr()), triples(&m), "{name}: CR -> COO -> CR");
+    }
+}
+
+#[test]
+fn coo_duplicate_coordinates_sum_deterministically() {
+    // Split every entry into three pushes (v = v/2 + v/4 + v/4) in scattered
+    // order; the CSR conversion must merge them back to the original values.
+    let m = uniform::matrix(24, 24, 120, 18);
+    let mut coo = Coo::new(24, 24);
+    for (r, c, v) in m.iter() {
+        coo.push(r, c, v / 2.0);
+    }
+    for (r, c, v) in m.iter() {
+        coo.push(r, c, v / 4.0);
+        coo.push(r, c, v / 4.0);
+    }
+    let back = coo.to_csr();
+    assert_eq!(back.nnz(), m.nnz(), "duplicates must merge, not accumulate");
+    for ((r1, c1, v1), (r2, c2, v2)) in triples(&m).into_iter().zip(triples(&back)) {
+        assert_eq!((r1, c1), (r2, c2));
+        assert!((v1 - v2).abs() <= 1e-12 * v1.abs().max(1.0), "({r1},{c1}): {v1} vs {v2}");
+    }
+}
+
+#[test]
+fn dense_round_trip_preserves_entries() {
+    for (name, m) in workloads() {
+        let back = m.to_dense().to_csr();
+        assert_eq!(triples(&back), triples(&m), "{name}: CR -> dense -> CR");
+    }
+}
+
+#[test]
+fn empty_rows_and_trailing_empty_cols_survive_every_path() {
+    let mut coo = Coo::new(10, 12);
+    coo.push(0, 0, 1.0);
+    coo.push(4, 3, -2.0); // rows 1-3 empty, rows 5-9 empty, cols 4-11 empty
+    let m = coo.to_csr();
+    assert_eq!(m.row_nnz(1), 0);
+    assert_eq!(m.row_nnz(9), 0);
+
+    let via_csc = m.to_csc().to_csr();
+    assert_eq!(via_csc, m);
+    let (via_outer, _) = csr_to_csc_via_outer(&m);
+    assert_eq!(via_outer.to_csr(), m);
+    let via_dense = m.to_dense().to_csr();
+    assert_eq!(via_dense, m);
+    // The shape — including the fully-empty trailing columns — survives.
+    assert_eq!((via_csc.nrows(), via_csc.ncols()), (10, 12));
+}

@@ -1,0 +1,146 @@
+//! Property tests for the merge phase (§4.2/§5.4.2): the streaming
+//! multi-way merge and the sort-based ablation must agree with each other
+//! and with an independent Gustavson implementation, including on the
+//! awkward inputs — duplicate column indices spread across chunks, values
+//! that cancel to exactly zero, and the single-chunk fast path where no
+//! actual merging happens.
+
+use outerspace_baselines::gustavson;
+use outerspace_outer::{merge, merge_parallel, multiply, Chunk, MergeKind, PartialProducts};
+use outerspace_sparse::{Csr, Index, Value};
+
+fn chunk(entries: &[(Index, Value)]) -> Chunk {
+    Chunk {
+        cols: entries.iter().map(|&(c, _)| c).collect(),
+        vals: entries.iter().map(|&(_, v)| v).collect(),
+    }
+}
+
+/// Builds identical partial products twice (merge consumes them).
+fn twin_pp<F: Fn(&mut PartialProducts)>(
+    nrows: Index,
+    ncols: Index,
+    fill: F,
+) -> (PartialProducts, PartialProducts) {
+    let mut a = PartialProducts::new(nrows, ncols);
+    let mut b = PartialProducts::new(nrows, ncols);
+    fill(&mut a);
+    fill(&mut b);
+    (a, b)
+}
+
+#[test]
+fn duplicate_columns_across_many_chunks_accumulate_once() {
+    // Column 5 appears in every chunk; both algorithms must sum all four
+    // contributions into a single output entry.
+    let (pp1, pp2) = twin_pp(1, 16, |pp| {
+        pp.push_chunk(0, chunk(&[(2, 1.0), (5, 0.25)]));
+        pp.push_chunk(0, chunk(&[(5, 0.25), (9, 2.0)]));
+        pp.push_chunk(0, chunk(&[(5, 0.25)]));
+        pp.push_chunk(0, chunk(&[(0, 3.0), (5, 0.25), (14, 4.0)]));
+    });
+    let (c1, s1) = merge(pp1, MergeKind::Streaming);
+    let (c2, s2) = merge(pp2, MergeKind::SortBased);
+    assert_eq!(c1, c2);
+    assert_eq!(c1.row(0).0, &[0, 2, 5, 9, 14]);
+    assert_eq!(c1.get(0, 5), 1.0);
+    assert_eq!(s1.collisions, 3, "four copies of column 5 = three additions");
+    assert_eq!(s1.collisions, s2.collisions);
+    assert_eq!(s1.output_entries, s2.output_entries);
+}
+
+#[test]
+fn zero_sum_cancellation_keeps_an_explicit_zero() {
+    // +1 and -1 collide at column 3. The merge *stores* the cancelled
+    // entry (value 0.0) rather than re-compacting the row — the hardware
+    // streams its output, it cannot retract an allocation. Downstream
+    // comparisons treat explicit zeros as absent (see the oracle's
+    // canonicalization), but the phase-level contract is "sum, keep".
+    let (pp1, pp2) = twin_pp(1, 8, |pp| {
+        pp.push_chunk(0, chunk(&[(3, 1.0), (6, 2.0)]));
+        pp.push_chunk(0, chunk(&[(3, -1.0)]));
+    });
+    let (c1, s1) = merge(pp1, MergeKind::Streaming);
+    let (c2, _) = merge(pp2, MergeKind::SortBased);
+    assert_eq!(c1, c2);
+    assert_eq!(c1.row(0).0, &[3, 6], "cancelled column is still present");
+    assert_eq!(c1.get(0, 3), 0.0);
+    assert_eq!(s1.collisions, 1);
+}
+
+#[test]
+fn single_chunk_rows_pass_through_unchanged() {
+    // One chunk per row: nothing to merge, output must be the chunk verbatim
+    // with zero collisions — and both algorithms agree on the stats.
+    let entries: Vec<(Index, Value)> = vec![(1, 0.5), (4, -2.0), (7, 3.25)];
+    let (pp1, pp2) = twin_pp(2, 8, |pp| {
+        pp.push_chunk(0, chunk(&entries));
+        // Row 1 left empty: the empty-row path rides along.
+    });
+    let (c1, s1) = merge(pp1, MergeKind::Streaming);
+    let (c2, s2) = merge(pp2, MergeKind::SortBased);
+    assert_eq!(c1, c2);
+    assert_eq!(c1.row(0).0, &[1, 4, 7]);
+    assert_eq!(c1.row(0).1, &[0.5, -2.0, 3.25]);
+    assert_eq!(c1.row_nnz(1), 0);
+    for s in [s1, s2] {
+        assert_eq!(s.collisions, 0);
+        assert_eq!(s.output_entries, 3);
+    }
+}
+
+/// Full pipeline check: multiply + every merge flavour versus an
+/// independent Gustavson implementation, over structurally diverse inputs.
+#[test]
+fn merged_products_match_gustavson_baseline() {
+    let workloads: Vec<(Csr, Csr)> = vec![
+        {
+            let a = outerspace_gen::uniform::matrix(72, 72, 600, 21);
+            let b = outerspace_gen::uniform::matrix(72, 72, 600, 22);
+            (a, b)
+        },
+        {
+            let g = outerspace_gen::rmat::graph500(64, 500, 23);
+            (g.clone(), g)
+        },
+        {
+            // Rectangular: every dimension distinct.
+            let a = outerspace_gen::uniform::matrix(40, 25, 300, 24);
+            let b = outerspace_gen::uniform::matrix(25, 55, 300, 25);
+            (a, b)
+        },
+    ];
+    for (a, b) in workloads {
+        let (want, _) = gustavson::spgemm(&a, &b).expect("compatible shapes");
+        for kind in [MergeKind::Streaming, MergeKind::SortBased] {
+            let (pp, _) = multiply(&a.to_csc(), &b).unwrap();
+            let (c, _) = merge(pp, kind);
+            assert!(c.approx_eq(&want, 1e-9), "{kind:?} diverges from Gustavson");
+        }
+        let (pp, _) = multiply(&a.to_csc(), &b).unwrap();
+        let (c_par, _) = merge_parallel(pp, MergeKind::Streaming, 3);
+        assert!(c_par.approx_eq(&want, 1e-9), "parallel merge diverges");
+    }
+}
+
+#[test]
+fn streaming_and_sort_based_agree_on_adversarial_chunk_layouts() {
+    // Chunks with interleaved, overlapping, and disjoint column ranges —
+    // the orderings that stress the heap refill logic.
+    let (pp1, pp2) = twin_pp(3, 32, |pp| {
+        pp.push_chunk(0, chunk(&[(0, 1.0), (10, 1.0), (20, 1.0), (30, 1.0)]));
+        pp.push_chunk(0, chunk(&[(5, 1.0), (15, 1.0), (25, 1.0)]));
+        pp.push_chunk(0, chunk(&[(0, 1.0), (31, 1.0)]));
+        pp.push_chunk(1, chunk(&[(7, -1.0), (8, -1.0), (9, -1.0)]));
+        pp.push_chunk(1, chunk(&[(7, 1.0), (8, 1.0), (9, 1.0)]));
+        pp.push_chunk(2, chunk(&[(16, 2.0)]));
+    });
+    let (c1, s1) = merge(pp1, MergeKind::Streaming);
+    let (c2, s2) = merge(pp2, MergeKind::SortBased);
+    assert_eq!(c1, c2);
+    assert_eq!(s1.collisions, s2.collisions);
+    assert_eq!(s1.output_entries, s2.output_entries);
+    // Row 1 cancelled everywhere but the entries remain, as zeros.
+    assert_eq!(c1.row(1).0, &[7, 8, 9]);
+    assert!(c1.row(1).1.iter().all(|&v| v == 0.0));
+}

@@ -92,6 +92,13 @@ impl Simulator {
     /// [`SimError::MemoryFailure`], [`SimError::WatchdogTimeout`]) when the
     /// configured [`FaultModel`] overwhelms the machine.
     pub fn spgemm(&self, a: &Csr, b: &Csr) -> Result<(Csr, SimReport), SimError> {
+        // Reject malformed operands before simulating (and charging) the
+        // conversion phase — the same guard every software kernel uses.
+        outerspace_sparse::ops::check_spgemm_dims(
+            (a.nrows(), a.ncols()),
+            (b.nrows(), b.ncols()),
+        )
+        .map_err(outerspace_sparse::SparseError::from)?;
         let (a_cc, conv_soft) = outer::csr_to_csc_via_outer(a);
         let convert = if conv_soft.skipped_symmetric {
             None

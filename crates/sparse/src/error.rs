@@ -76,6 +76,42 @@ impl From<std::io::Error> for SparseError {
     }
 }
 
+/// A typed operand-dimension mismatch.
+///
+/// Every SpGEMM/SpMV entry point in the workspace validates its operands
+/// through the shared guards [`crate::ops::check_spgemm_dims`] /
+/// [`crate::ops::check_spmv_dims`], which produce this type; `?` converts it
+/// into [`SparseError::ShapeMismatch`] at the public boundaries. Keeping the
+/// guard centralized means every implementation classifies malformed inputs
+/// identically — a property the differential-testing oracle asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimError {
+    /// Shape of the left operand (rows, cols).
+    pub left: (u64, u64),
+    /// Shape of the right operand (rows, cols); vectors report `(len, 1)`.
+    pub right: (u64, u64),
+    /// The operation that was attempted ("spgemm" or "spmv").
+    pub op: &'static str,
+}
+
+impl fmt::Display for DimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dimension mismatch for {}: ({} x {}) is incompatible with ({} x {})",
+            self.op, self.left.0, self.left.1, self.right.0, self.right.1
+        )
+    }
+}
+
+impl Error for DimError {}
+
+impl From<DimError> for SparseError {
+    fn from(e: DimError) -> Self {
+        SparseError::ShapeMismatch { left: e.left, right: e.right, op: e.op }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +144,17 @@ mod tests {
         let e = SparseError::ShapeMismatch { left: (2, 3), right: (4, 5), op: "spgemm" };
         assert!(e.to_string().contains("spgemm"));
         assert!(e.to_string().contains("(2 x 3)"));
+    }
+
+    #[test]
+    fn dim_error_converts_to_shape_mismatch() {
+        let d = DimError { left: (2, 3), right: (4, 5), op: "spgemm" };
+        assert!(d.to_string().contains("(2 x 3)"));
+        assert!(d.to_string().contains("(4 x 5)"));
+        let e: SparseError = d.into();
+        assert!(matches!(
+            e,
+            SparseError::ShapeMismatch { left: (2, 3), right: (4, 5), op: "spgemm" }
+        ));
     }
 }

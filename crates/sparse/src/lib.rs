@@ -56,7 +56,7 @@ pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::Csr;
 pub use dense::Dense;
-pub use error::SparseError;
+pub use error::{DimError, SparseError};
 pub use vector::SparseVector;
 
 /// Column/row index type used across the workspace.

@@ -5,7 +5,7 @@
 //! are validated against them, and they in turn are validated against dense
 //! arithmetic in the unit tests.
 
-use crate::{Csr, Index, SparseError, Value};
+use crate::{Csr, DimError, Index, SparseError, Value};
 
 /// Reference SpGEMM (`C = A × B`) using Gustavson's row-wise formulation
 /// with a dense accumulator.
@@ -70,13 +70,7 @@ pub fn spgemm_reference(a: &Csr, b: &Csr) -> Result<Csr, SparseError> {
 ///
 /// Returns [`SparseError::ShapeMismatch`] if `x.len() != a.ncols()`.
 pub fn spmv_reference(a: &Csr, x: &[Value]) -> Result<Vec<Value>, SparseError> {
-    if x.len() != a.ncols() as usize {
-        return Err(SparseError::ShapeMismatch {
-            left: (a.nrows() as u64, a.ncols() as u64),
-            right: (x.len() as u64, 1),
-            op: "spmv",
-        });
-    }
+    check_spmv_dims((a.nrows(), a.ncols()), x.len() as Index)?;
     let mut y = vec![0.0 as Value; a.nrows() as usize];
     for (yi, i) in y.iter_mut().zip(0..a.nrows()) {
         let (cols, vals) = a.row(i);
@@ -191,14 +185,48 @@ pub fn spgemm_flops(a: &Csr, b: &Csr) -> Result<u64, SparseError> {
     Ok(flops)
 }
 
-fn check_mul_shapes(a: &Csr, b: &Csr) -> Result<(), SparseError> {
-    if a.ncols() != b.nrows() {
-        return Err(SparseError::ShapeMismatch {
-            left: (a.nrows() as u64, a.ncols() as u64),
-            right: (b.nrows() as u64, b.ncols() as u64),
+/// The shared SpGEMM operand guard: `C = A × B` requires
+/// `a.ncols() == b.nrows()`. Shape-only, so it takes the shapes directly and
+/// works for CR and CC operands alike.
+///
+/// # Errors
+///
+/// Returns a typed [`DimError`] (convertible to
+/// [`SparseError::ShapeMismatch`] via `?`) when the inner dimensions differ.
+pub fn check_spgemm_dims(
+    a_shape: (Index, Index),
+    b_shape: (Index, Index),
+) -> Result<(), DimError> {
+    if a_shape.1 != b_shape.0 {
+        return Err(DimError {
+            left: (a_shape.0 as u64, a_shape.1 as u64),
+            right: (b_shape.0 as u64, b_shape.1 as u64),
             op: "spgemm",
         });
     }
+    Ok(())
+}
+
+/// The shared SpMV operand guard: `y = A × x` requires
+/// `x_len == a_shape.1` (the vector is reported as an `x_len × 1` operand).
+///
+/// # Errors
+///
+/// Returns a typed [`DimError`] when the vector length differs from the
+/// matrix column count.
+pub fn check_spmv_dims(a_shape: (Index, Index), x_len: Index) -> Result<(), DimError> {
+    if x_len != a_shape.1 {
+        return Err(DimError {
+            left: (a_shape.0 as u64, a_shape.1 as u64),
+            right: (x_len as u64, 1),
+            op: "spmv",
+        });
+    }
+    Ok(())
+}
+
+fn check_mul_shapes(a: &Csr, b: &Csr) -> Result<(), SparseError> {
+    check_spgemm_dims((a.nrows(), a.ncols()), (b.nrows(), b.ncols()))?;
     Ok(())
 }
 
