@@ -28,7 +28,7 @@ trap 'rm -rf "$HERMETIC_CARGO_HOME" "$SMOKE_OUT"' EXIT
 ./target/release/runall --smoke --out "$SMOKE_OUT"
 grep -q '"harness": "smoke_fault"' "$SMOKE_OUT/runall.json"
 grep -A6 '"harness": "smoke_fault"' "$SMOKE_OUT/runall.json" | grep -q '"panicked": 1'
-for artifact in fig03 fig07 ablations runall; do
+for artifact in fig03 fig07 fig12 ablations runall; do
     test -s "$SMOKE_OUT/$artifact.json"
 done
 

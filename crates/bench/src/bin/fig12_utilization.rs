@@ -1,0 +1,11 @@
+//! Thin CLI wrapper; the study body lives in
+//! [`outerspace_bench::harnesses::fig12`] so `runall` can drive the same
+//! code in-process with crash isolation and `--resume` checkpointing.
+
+use outerspace_bench::harnesses::fig12;
+use outerspace_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args(fig12::DEFAULTS);
+    fig12::run(&opts);
+}

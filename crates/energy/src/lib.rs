@@ -25,9 +25,89 @@
 #![warn(missing_debug_implementations)]
 
 use outerspace_json::impl_to_json;
-use outerspace_sim::{OuterSpaceConfig, SimReport};
-#[cfg(doc)]
-use outerspace_sim::PhaseStats;
+use outerspace_sim::engine::CycleBreakdown;
+use outerspace_sim::{OuterSpaceConfig, PhaseStats, SimReport};
+
+/// The activity factors Table 6's dynamic-power terms consume: how hard
+/// each component actually works. One value of this type fully determines
+/// the power column for a given configuration, so the paper's suite-average
+/// assumptions, whole-run measurements and single-phase engine breakdowns
+/// all feed the same [`AreaPowerModel::table6_with_activity`] path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivityFactors {
+    /// Mean fraction of PEs doing useful work, in [0, 1].
+    pub pe_busy: f64,
+    /// System-wide L0 accesses per cycle.
+    pub l0_accesses_per_cycle: f64,
+    /// System-wide L1 accesses per cycle.
+    pub l1_accesses_per_cycle: f64,
+    /// Achieved fraction of peak HBM bandwidth, in [0, 1].
+    pub bw_utilization: f64,
+}
+
+impl ActivityFactors {
+    /// The paper's suite averages: PEs near fully busy, ~6.8 L0 accesses
+    /// per cycle system-wide, ~0.55 L1, ~0.6 of peak bandwidth — the
+    /// activity that reproduces Table 6's power column.
+    pub fn paper_defaults() -> Self {
+        ActivityFactors {
+            pe_busy: 1.0,
+            l0_accesses_per_cycle: 6.8,
+            l1_accesses_per_cycle: 0.55,
+            bw_utilization: 0.6,
+        }
+    }
+
+    /// Measured activity of a whole simulated run (multiply + merge).
+    pub fn from_report(cfg: &OuterSpaceConfig, r: &SimReport) -> Self {
+        let cyc = r.total_cycles().max(1) as f64;
+        let busy = (r.multiply.busy_pe_cycles + r.merge.busy_pe_cycles) as f64
+            / (cyc * cfg.total_pes() as f64);
+        let l0 = (r.multiply.l0_hits
+            + r.multiply.l0_misses
+            + r.merge.l0_hits
+            + r.merge.l0_misses) as f64
+            / cyc;
+        let l1 = (r.multiply.l1_hits
+            + r.multiply.l1_misses
+            + r.merge.l1_hits
+            + r.merge.l1_misses) as f64
+            / cyc;
+        let bw = (r.hbm_bytes() as f64 / r.seconds())
+            / cfg.hbm_total_bandwidth_bytes_per_sec() as f64;
+        ActivityFactors {
+            pe_busy: busy.min(1.0),
+            l0_accesses_per_cycle: l0,
+            l1_accesses_per_cycle: l1,
+            bw_utilization: bw.min(1.0),
+        }
+    }
+
+    /// Measured activity of one phase, from the engine's hierarchical
+    /// cycle breakdown: the busy share and per-channel occupancy come
+    /// straight from the [`CycleBreakdown`], the cache rates from the
+    /// phase counters over its makespan.
+    pub fn from_phase(
+        _cfg: &OuterSpaceConfig,
+        stats: &PhaseStats,
+        breakdown: &CycleBreakdown,
+    ) -> Self {
+        let cyc = breakdown.makespan.max(1) as f64;
+        ActivityFactors {
+            pe_busy: breakdown.shares().busy.min(1.0),
+            l0_accesses_per_cycle: (stats.l0_hits + stats.l0_misses) as f64 / cyc,
+            l1_accesses_per_cycle: (stats.l1_hits + stats.l1_misses) as f64 / cyc,
+            bw_utilization: breakdown.mean_channel_occupancy().min(1.0),
+        }
+    }
+}
+
+impl_to_json!(ActivityFactors {
+    pe_busy,
+    l0_accesses_per_cycle,
+    l1_accesses_per_cycle,
+    bw_utilization,
+});
 
 /// One row of Table 6.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,35 +207,29 @@ impl AreaPowerModel {
     /// utilization); otherwise the paper's suite-average activity factors
     /// are assumed.
     pub fn table6(&self, cfg: &OuterSpaceConfig, report: Option<&SimReport>) -> Table6 {
+        let activity = match report {
+            Some(r) => ActivityFactors::from_report(cfg, r),
+            None => ActivityFactors::paper_defaults(),
+        };
+        self.table6_with_activity(cfg, &activity)
+    }
+
+    /// [`table6`](Self::table6) at an explicit activity level — the entry
+    /// point single-phase estimates use via [`ActivityFactors::from_phase`].
+    pub fn table6_with_activity(
+        &self,
+        cfg: &OuterSpaceConfig,
+        activity: &ActivityFactors,
+    ) -> Table6 {
         let n_cores = Self::n_cores(cfg) as f64;
         let l0_kb_total = (cfg.n_tiles * cfg.l0_multiply_bytes) as f64 / 1024.0;
         let l1_kb_total = (cfg.n_l1 * cfg.l1_bytes) as f64 / 1024.0;
-
-        // Activity factors.
-        let (pe_busy, l0_apc, l1_apc, bw_util) = match report {
-            Some(r) => {
-                let cyc = r.total_cycles().max(1) as f64;
-                let busy = (r.multiply.busy_pe_cycles + r.merge.busy_pe_cycles) as f64
-                    / (cyc * cfg.total_pes() as f64);
-                let l0 = (r.multiply.l0_hits
-                    + r.multiply.l0_misses
-                    + r.merge.l0_hits
-                    + r.merge.l0_misses) as f64
-                    / cyc;
-                let l1 = (r.multiply.l1_hits
-                    + r.multiply.l1_misses
-                    + r.merge.l1_hits
-                    + r.merge.l1_misses) as f64
-                    / cyc;
-                let bw = (r.hbm_bytes() as f64 / r.seconds())
-                    / cfg.hbm_total_bandwidth_bytes_per_sec() as f64;
-                (busy.min(1.0), l0, l1, bw.min(1.0))
-            }
-            // Paper suite averages: PEs near fully busy, ~6.8 L0 accesses
-            // per cycle system-wide, ~0.55 L1, ~0.6 of peak bandwidth —
-            // the activity factors that reproduce Table 6's power column.
-            None => (1.0, 6.8, 0.55, 0.6),
-        };
+        let ActivityFactors {
+            pe_busy,
+            l0_accesses_per_cycle: l0_apc,
+            l1_accesses_per_cycle: l1_apc,
+            bw_utilization: bw_util,
+        } = *activity;
 
         let core_power = n_cores
             * self.core_power_w
@@ -387,6 +461,52 @@ mod tests {
         let e1 = m.energy_report(&cfg, &r1).total_j;
         let e2 = m.energy_report(&cfg, &r2).total_j;
         assert!(e2 > 2.0 * e1, "{e2} vs {e1}");
+    }
+
+    #[test]
+    fn explicit_activity_matches_the_delegating_paths() {
+        let m = AreaPowerModel::tsmc32nm();
+        let cfg = OuterSpaceConfig::default();
+        assert_eq!(
+            m.table6(&cfg, None),
+            m.table6_with_activity(&cfg, &ActivityFactors::paper_defaults())
+        );
+        let sim = Simulator::new(cfg.clone()).unwrap();
+        let a = outerspace_gen::uniform::matrix(512, 512, 6_000, 5);
+        let (_, rep) = sim.spgemm(&a, &a).unwrap();
+        assert_eq!(
+            m.table6(&cfg, Some(&rep)),
+            m.table6_with_activity(&cfg, &ActivityFactors::from_report(&cfg, &rep))
+        );
+    }
+
+    #[test]
+    fn phase_breakdown_drives_a_sane_power_estimate() {
+        let m = AreaPowerModel::tsmc32nm();
+        let cfg = OuterSpaceConfig::default();
+        let a = outerspace_gen::uniform::matrix(1024, 1024, 16_384, 6);
+        let (stats, _, bd) = outerspace_sim::phases::multiply::simulate_multiply_with_breakdown(
+            &cfg,
+            &a.to_csc(),
+            &a,
+        )
+        .unwrap();
+        let af = ActivityFactors::from_phase(&cfg, &stats, &bd);
+        assert!((0.0..=1.0).contains(&af.pe_busy), "pe_busy {}", af.pe_busy);
+        assert!((0.0..=1.0).contains(&af.bw_utilization));
+        assert!(af.l0_accesses_per_cycle > 0.0);
+        let t = m.table6_with_activity(&cfg, &af);
+        let idle = m.table6_with_activity(
+            &cfg,
+            &ActivityFactors {
+                pe_busy: 0.0,
+                l0_accesses_per_cycle: 0.0,
+                l1_accesses_per_cycle: 0.0,
+                bw_utilization: 0.0,
+            },
+        );
+        assert!(t.total_power_w() > idle.total_power_w());
+        assert!(t.total_power_w() < 30.0);
     }
 
     #[test]

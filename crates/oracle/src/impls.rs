@@ -114,6 +114,16 @@ pub fn spgemm_impls() -> Vec<SpgemmImpl> {
                 sim.spgemm(a, b).map(|(c, _)| c).map_err(err)
             },
         },
+        SpgemmImpl {
+            name: "sim_cc",
+            run: |a, b| {
+                // The preconverted-operand entry point (chained-multiply
+                // steady state): skips the conversion phase, so its engine
+                // dataflow is differenced independently of `sim`.
+                let sim = Simulator::new(OuterSpaceConfig::default()).map_err(err)?;
+                sim.spgemm_cc_operand(&a.to_csc(), b).map(|(c, _)| c).map_err(err)
+            },
+        },
     ]
 }
 
@@ -215,7 +225,7 @@ mod tests {
     fn filter_rejects_unknown_names() {
         assert!(filter_impls(spgemm_impls(), Some("outer_streaming,cusp_esc")).unwrap().len() == 2);
         assert!(filter_impls(spgemm_impls(), Some("nope")).is_err());
-        assert_eq!(filter_impls(spgemm_impls(), None).unwrap().len(), 10);
+        assert_eq!(filter_impls(spgemm_impls(), None).unwrap().len(), 11);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod alloc;
 mod config;
+pub mod engine;
 mod error;
 pub mod faults;
 pub mod layout;

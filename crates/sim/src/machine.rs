@@ -64,6 +64,11 @@ impl PeTimeline {
         }
     }
 
+    /// Capacity of the outstanding-request queue.
+    pub fn queue_cap(&self) -> usize {
+        self.cap
+    }
+
     /// Blocks until every in-flight request has completed (phase barrier).
     pub fn drain(&mut self) {
         while let Some(c) = self.inflight.pop_front() {
@@ -264,6 +269,11 @@ impl PeArray {
     /// Mutable access to PE `idx`.
     pub fn pe_mut(&mut self, idx: usize) -> &mut PeTimeline {
         &mut self.pes[idx]
+    }
+
+    /// Shared access to PE `idx` (post-phase attribution walks).
+    pub fn pe(&self, idx: usize) -> &PeTimeline {
+        &self.pes[idx]
     }
 
     /// Drains all queues and returns the phase makespan (max local time).

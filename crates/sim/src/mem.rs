@@ -103,6 +103,19 @@ pub struct MemCounters {
     pub fault_penalty_cycles: u64,
 }
 
+impl MemCounters {
+    /// Accumulates `delta` into `slot` without wrapping: long sweeps
+    /// saturate at `u64::MAX` in release builds, and debug builds assert
+    /// that the counter stayed monotone (i.e. never needed to saturate).
+    pub fn accumulate(slot: &mut u64, delta: u64) {
+        debug_assert!(
+            slot.checked_add(delta).is_some(),
+            "memory counter would overflow: {slot} + {delta}"
+        );
+        *slot = slot.saturating_add(delta);
+    }
+}
+
 /// One HBM pseudo-channel's booking state.
 ///
 /// The simulator dispatches work units one at a time, so requests from
@@ -116,6 +129,8 @@ pub struct MemCounters {
 struct Channel {
     free: u64,
     idle_credit: u64,
+    /// Total service cycles booked (occupancy, for bandwidth breakdowns).
+    busy: u64,
 }
 
 /// How much recorded idle time a channel may later backfill, in multiples
@@ -132,6 +147,7 @@ impl Channel {
     /// the cycle when the transfer completes (excluding access latency).
     fn book(&mut self, arrival: u64, service: u64) -> u64 {
         let credit_cap = BACKFILL_WINDOW_SLOTS * service;
+        self.busy += service;
         if arrival >= self.free {
             // The channel has been idle since `free`: record the hole, up to
             // the scheduler's reordering window.
@@ -146,6 +162,41 @@ impl Channel {
             self.idle_credit = 0;
             self.free += service;
             self.free
+        }
+    }
+}
+
+/// The reconfigurable L0 arrangement (§5.4): multiply mode shares one large
+/// L0 per tile; merge mode splits the same SRAM into private per-worker-pair
+/// domains. Both legacy constructors are expressed through this one
+/// description, so ablations can explore other splits uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L0Mode {
+    /// Independent L0 domains (tiles in multiply mode, worker pairs in
+    /// merge mode).
+    pub domains: usize,
+    /// Capacity of each domain in bytes.
+    pub bytes_per_domain: u32,
+    /// Associativity of each domain.
+    pub ways: u32,
+}
+
+impl L0Mode {
+    /// The multiply-phase split: one shared L0 per tile.
+    pub fn multiply(cfg: &OuterSpaceConfig) -> Self {
+        L0Mode {
+            domains: cfg.n_tiles as usize,
+            bytes_per_domain: cfg.l0_multiply_bytes,
+            ways: cfg.l0_ways,
+        }
+    }
+
+    /// The merge-phase split: one private cache per worker pair (§5.4.2).
+    pub fn merge(cfg: &OuterSpaceConfig) -> Self {
+        L0Mode {
+            domains: (cfg.n_tiles * cfg.merge_pairs_per_tile()) as usize,
+            bytes_per_domain: cfg.l0_merge_bytes,
+            ways: cfg.l0_ways,
         }
     }
 }
@@ -179,20 +230,20 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// Builds the multiply-phase configuration: one shared L0 per tile.
     pub fn for_multiply(cfg: &OuterSpaceConfig) -> Self {
-        Self::with_l0(cfg, cfg.n_tiles as usize, cfg.l0_multiply_bytes, cfg.l0_ways)
+        Self::with_mode(cfg, L0Mode::multiply(cfg))
     }
 
     /// Builds the merge-phase configuration: one private cache per worker
     /// pair (the reconfigured state of §5.4.2).
     pub fn for_merge(cfg: &OuterSpaceConfig) -> Self {
-        let workers = (cfg.n_tiles * cfg.merge_pairs_per_tile()) as usize;
-        Self::with_l0(cfg, workers, cfg.l0_merge_bytes, cfg.l0_ways)
+        Self::with_mode(cfg, L0Mode::merge(cfg))
     }
 
-    fn with_l0(cfg: &OuterSpaceConfig, n_l0: usize, l0_bytes: u32, l0_ways: u32) -> Self {
+    /// Builds the memory system with an explicit L0 split.
+    pub fn with_mode(cfg: &OuterSpaceConfig, mode: L0Mode) -> Self {
         MemorySystem {
-            l0: (0..n_l0)
-                .map(|_| CacheModel::new(l0_bytes, l0_ways, cfg.block_bytes))
+            l0: (0..mode.domains)
+                .map(|_| CacheModel::new(mode.bytes_per_domain, mode.ways, cfg.block_bytes))
                 .collect(),
             l1: (0..cfg.n_l1)
                 .map(|_| CacheModel::new(cfg.l1_bytes, cfg.l1_ways, cfg.block_bytes))
@@ -227,19 +278,19 @@ impl MemorySystem {
     pub fn read(&mut self, l0_idx: usize, addr: u64, now: u64) -> (u64, AccessOutcome) {
         let block = self.block_of(addr);
         if self.l0[l0_idx].access(block) {
-            self.counters.l0_hits += 1;
+            MemCounters::accumulate(&mut self.counters.l0_hits, 1);
             return (now + self.l0_hit_cycles, AccessOutcome::L0Hit);
         }
-        self.counters.l0_misses += 1;
+        MemCounters::accumulate(&mut self.counters.l0_misses, 1);
         // L1 selection: blocks are interleaved over the L1s by address, the
         // same striping the crossbar implements.
         let l1_idx = (block % self.n_l1) as usize;
         if self.l1[l1_idx].access(block) {
-            self.counters.l1_hits += 1;
+            MemCounters::accumulate(&mut self.counters.l1_hits, 1);
             return (now + self.l0_hit_cycles + self.l1_hit_cycles, AccessOutcome::L1Hit);
         }
-        self.counters.l1_misses += 1;
-        self.counters.hbm_read_bytes += self.block_bytes;
+        MemCounters::accumulate(&mut self.counters.l1_misses, 1);
+        MemCounters::accumulate(&mut self.counters.hbm_read_bytes, self.block_bytes);
         let arrival = now + self.l0_hit_cycles + self.l1_hit_cycles + self.xbar_cycles;
         let ch = (block % self.chan.len() as u64) as usize;
         let mut done = self.chan[ch].book(arrival, self.hbm_cycles_per_block);
@@ -260,24 +311,24 @@ impl MemorySystem {
         // re-issues; each retry is a fresh block transfer on the channel.
         let mut attempt = 0u32;
         while inj.response_dropped(idx, attempt) {
-            self.counters.dropped_responses += 1;
+            MemCounters::accumulate(&mut self.counters.dropped_responses, 1);
             if attempt >= inj.max_retries {
                 self.failure.get_or_insert(MemoryFault { addr, attempts: attempt + 1 });
                 break;
             }
             let wait = inj.backoff_cycles(attempt);
-            self.counters.hbm_read_bytes += self.block_bytes;
+            MemCounters::accumulate(&mut self.counters.hbm_read_bytes, self.block_bytes);
             done = self.chan[ch].book(done + wait, self.hbm_cycles_per_block);
             attempt += 1;
         }
         // ECC: corruption is detected on delivery and corrected by a
         // re-read, costing the detect latency plus another transfer.
         if inj.ecc_corrupted(idx) {
-            self.counters.ecc_retries += 1;
-            self.counters.hbm_read_bytes += self.block_bytes;
+            MemCounters::accumulate(&mut self.counters.ecc_retries, 1);
+            MemCounters::accumulate(&mut self.counters.hbm_read_bytes, self.block_bytes);
             done = self.chan[ch].book(done + inj.ecc_retry_cycles, self.hbm_cycles_per_block);
         }
-        self.counters.fault_penalty_cycles += done - base;
+        MemCounters::accumulate(&mut self.counters.fault_penalty_cycles, done - base);
         done
     }
 
@@ -314,7 +365,7 @@ impl MemorySystem {
         let first = self.block_of(addr);
         let last = self.block_of(addr + bytes - 1);
         for b in first..=last {
-            self.counters.hbm_write_bytes += self.block_bytes;
+            MemCounters::accumulate(&mut self.counters.hbm_write_bytes, self.block_bytes);
             let ch = (b % self.chan.len() as u64) as usize;
             let _ = self.chan[ch].book(now, self.hbm_cycles_per_block);
         }
@@ -328,6 +379,12 @@ impl MemorySystem {
     /// The cycle when all HBM channels are drained (end-of-phase barrier).
     pub fn quiesce_cycle(&self) -> u64 {
         self.chan.iter().map(|c| c.free).max().unwrap_or(0)
+    }
+
+    /// Service cycles booked on each HBM pseudo-channel so far (occupancy
+    /// numerators for the per-channel bandwidth breakdown).
+    pub fn channel_busy(&self) -> Vec<u64> {
+        self.chan.iter().map(|c| c.busy).collect()
     }
 }
 
@@ -438,6 +495,75 @@ mod tests {
     fn merge_mode_has_private_domains() {
         let m = MemorySystem::for_merge(&cfg());
         assert_eq!(m.n_l0(), 16 * 4); // 16 tiles x 4 pairs
+    }
+
+    /// The config-driven constructor must reproduce both legacy L0 shapes
+    /// exactly: same domain counts, and behaviorally identical timing and
+    /// counters over a deterministic access stream.
+    #[test]
+    fn l0_mode_reproduces_legacy_shapes_exactly() {
+        let c = cfg();
+        assert_eq!(
+            L0Mode::multiply(&c),
+            L0Mode { domains: 16, bytes_per_domain: c.l0_multiply_bytes, ways: c.l0_ways }
+        );
+        assert_eq!(
+            L0Mode::merge(&c),
+            L0Mode { domains: 64, bytes_per_domain: c.l0_merge_bytes, ways: c.l0_ways }
+        );
+        for (mut legacy, mut modal) in [
+            (MemorySystem::for_multiply(&c), MemorySystem::with_mode(&c, L0Mode::multiply(&c))),
+            (MemorySystem::for_merge(&c), MemorySystem::with_mode(&c, L0Mode::merge(&c))),
+        ] {
+            assert_eq!(legacy.n_l0(), modal.n_l0());
+            let n = legacy.n_l0() as u64;
+            for i in 0..4096u64 {
+                // Strided + re-visited addresses exercise hits at every
+                // level across every domain.
+                let addr = (i % 97) * 64 * 7 + (i / 97) * 4096;
+                let dom = (i % n) as usize;
+                assert_eq!(legacy.read(dom, addr, i), modal.read(dom, addr, i));
+            }
+            let (a, b) = (legacy.take_counters(), modal.take_counters());
+            assert_eq!(
+                (a.l0_hits, a.l0_misses, a.l1_hits, a.l1_misses, a.hbm_read_bytes),
+                (b.l0_hits, b.l0_misses, b.l1_hits, b.l1_misses, b.hbm_read_bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn counter_accumulation_saturates_instead_of_wrapping() {
+        let mut w = 7u64;
+        MemCounters::accumulate(&mut w, 3);
+        assert_eq!(w, 10);
+        if cfg!(debug_assertions) {
+            // Debug builds flag the (would-be) wrap loudly.
+            let r = std::panic::catch_unwind(|| {
+                let mut v = u64::MAX - 1;
+                MemCounters::accumulate(&mut v, 5);
+                v
+            });
+            assert!(r.is_err(), "debug builds must assert on saturation");
+        } else {
+            // Release builds clamp instead of wrapping around.
+            let mut v = u64::MAX - 1;
+            MemCounters::accumulate(&mut v, 5);
+            assert_eq!(v, u64::MAX);
+        }
+    }
+
+    #[test]
+    fn channel_busy_tracks_booked_service() {
+        let mut m = MemorySystem::for_multiply(&cfg());
+        // 10 blocks on consecutive channels: 12 service cycles each.
+        m.read_stream(0, 0, 64 * 10, 0);
+        let busy = m.channel_busy();
+        assert_eq!(busy.len(), 16);
+        assert_eq!(busy.iter().filter(|&&b| b == 12).count(), 10);
+        // Writes book bandwidth too.
+        m.write_stream(0, 64 * 16, 100);
+        assert!(m.channel_busy().iter().all(|&b| b >= 12));
     }
 
     #[test]

@@ -89,6 +89,10 @@ pub fn simulate_convert(cfg: &OuterSpaceConfig, a: &Csr) -> Result<PhaseStats, S
     total.fault_penalty_cycles += merge.fault_penalty_cycles;
     total.requeued_work_items += merge.requeued_work_items;
     total.killed_pes += merge.killed_pes;
+    total.stall_l0_cycles += merge.stall_l0_cycles;
+    total.stall_l1_cycles += merge.stall_l1_cycles;
+    total.stall_hbm_cycles += merge.stall_hbm_cycles;
+    total.idle_pe_cycles += merge.idle_pe_cycles;
     Ok(total)
 }
 

@@ -11,13 +11,20 @@
 //! model performs the paper's recursive sub-merge: subsets of chunks are
 //! merged into intermediate runs (extra HBM round trips) until the fan-in
 //! fits.
+//!
+//! The phase is an engine kernel: [`MergeKernel`] yields one batch per
+//! sub-merge pass (gated on the previous pass through
+//! [`crate::engine::Batch::min_start`], fed back via
+//! [`crate::engine::Feedback::batch_done`]) and one final batch per row;
+//! the shared loop in [`crate::engine`] owns worker dispatch, fault hooks
+//! and stat collection.
 
 use crate::config::OuterSpaceConfig;
+use crate::engine::{self, Batch, CycleBreakdown, Feedback, PeCtx, PhaseKernel, Step};
 use crate::error::SimError;
 use crate::layout::{ChunkRef, IntermediateLayout, ELEM_BYTES, OUT_BASE, SCRATCH_BASE};
 use crate::machine::PeArray;
 use crate::mem::MemorySystem;
-use crate::phases::{apply_fault_model, check_phase_health, collect_stats};
 use crate::stats::PhaseStats;
 
 const PHASE: &str = "merge";
@@ -30,6 +37,172 @@ pub struct RowMergeInfo {
     pub out_len: u32,
     /// Index collisions accumulated while merging this row.
     pub collisions: u32,
+}
+
+/// One merge pass on one worker pair: stream `chunks` in, sort, write
+/// `out_elems` to `out_addr`.
+#[derive(Debug, Clone)]
+pub(crate) struct MergePassItem {
+    chunks: Vec<ChunkRef>,
+    out_addr: u64,
+    out_elems: u64,
+}
+
+/// The pass's memory script. The loader PE streams every chunk's blocks
+/// through the private cache; the sorter PE runs concurrently, so the
+/// pair's occupancy for the pass is max(load-issue time, sort time) — not
+/// their sum. The sorted-list insert is log-depth in the fan-in (the
+/// swizzle-switch comparator network). The pair does not stall for the
+/// final block to arrive: the dependency rides in the outstanding queue
+/// ([`PeCtx::track_tail`]), back-pressuring only when 64 rows are in flight
+/// (§5.4.2: the scratchpad buffer "can help hide the latency of inserting
+/// elements ... under the latency of grabbing a new element from main
+/// memory").
+fn merge_pass_script(item: &MergePassItem, ctx: &mut PeCtx<'_>) {
+    let t0 = ctx.time();
+    let total_elems: u64 = item.chunks.iter().map(|c| c.len as u64).sum();
+    for c in &item.chunks {
+        if c.len == 0 {
+            continue;
+        }
+        ctx.read_stream(c.addr, c.len as u64 * ELEM_BYTES);
+    }
+    let insert_cost = (u64::BITS - (item.chunks.len() as u64).leading_zeros()) as u64;
+    ctx.wait_busy_until(t0 + total_elems * insert_cost.max(1));
+    // Store the merged run (posted, after the operands exist).
+    ctx.store_stream(item.out_addr, item.out_elems * ELEM_BYTES);
+    ctx.track_tail();
+}
+
+/// Engine kernel for the merge phase. Walks rows of the intermediate
+/// layout; for each non-empty row it emits recursive sub-merge passes until
+/// the fan-in fits the scratchpad, then the final pass that writes the
+/// merged result row. Groups within a pass are independent, so they fan out
+/// across worker pairs; the next pass cannot start before all of them
+/// finish — expressed as the batch's `min_start`, fed from the engine's
+/// `batch_done` feedback.
+#[derive(Debug)]
+pub(crate) struct MergeKernel<'a> {
+    layout: &'a IntermediateLayout,
+    rows: &'a [RowMergeInfo],
+    head_cap: usize,
+    n_workers: u32,
+    row: usize,
+    in_row: bool,
+    current: Vec<ChunkRef>,
+    out_len: u64,
+    row_ready: u64,
+    awaiting_pass: bool,
+    scratch_bump: u64,
+    out_cursor: u64,
+    flops: u64,
+    work_items: u64,
+}
+
+impl<'a> MergeKernel<'a> {
+    pub(crate) fn new(
+        cfg: &OuterSpaceConfig,
+        layout: &'a IntermediateLayout,
+        rows: &'a [RowMergeInfo],
+        n_workers: usize,
+    ) -> Self {
+        MergeKernel {
+            layout,
+            rows,
+            head_cap: cfg.merge_head_capacity().max(2),
+            n_workers: n_workers as u32,
+            row: 0,
+            in_row: false,
+            current: Vec::new(),
+            out_len: 0,
+            row_ready: 0,
+            awaiting_pass: false,
+            scratch_bump: SCRATCH_BASE,
+            out_cursor: OUT_BASE,
+            flops: 0,
+            work_items: 0,
+        }
+    }
+}
+
+impl PhaseKernel for MergeKernel<'_> {
+    type Item = MergePassItem;
+
+    fn phase(&self) -> &'static str {
+        PHASE
+    }
+
+    fn pe_class(&self) -> &'static str {
+        "merge_worker"
+    }
+
+    fn next(&mut self, fb: &Feedback) -> Step<MergePassItem> {
+        if self.awaiting_pass {
+            // The sub-merge pass just finished; its runs exist from
+            // `batch_done` on.
+            self.row_ready = fb.batch_done;
+            self.awaiting_pass = false;
+        }
+        if !self.in_row {
+            while self.row < self.rows.len() {
+                let i = self.row;
+                self.row += 1;
+                let chunks = self.layout.row(i as u32);
+                if chunks.is_empty() {
+                    continue;
+                }
+                self.current = chunks.to_vec();
+                self.out_len = self.rows[i].out_len as u64;
+                self.row_ready = 0;
+                self.work_items += 1;
+                self.flops += self.rows[i].collisions as u64;
+                self.in_row = true;
+                break;
+            }
+            if !self.in_row {
+                return Step::Done;
+            }
+        }
+        if self.current.len() > self.head_cap {
+            // Sub-merge pass: groups of head_cap chunks collapse into
+            // intermediate runs in the scratch arena.
+            let n_groups = self.current.len() / self.head_cap + 1;
+            let mut items = Vec::with_capacity(n_groups);
+            let mut next_refs = Vec::with_capacity(n_groups);
+            for group in self.current.chunks(self.head_cap) {
+                let total: u64 = group.iter().map(|c| c.len as u64).sum();
+                items.push(MergePassItem {
+                    chunks: group.to_vec(),
+                    out_addr: self.scratch_bump,
+                    out_elems: total,
+                });
+                next_refs.push(ChunkRef { addr: self.scratch_bump, len: total as u32 });
+                self.scratch_bump += total * ELEM_BYTES;
+            }
+            self.current = next_refs;
+            self.awaiting_pass = true;
+            return Step::Batch(Batch { items, min_start: self.row_ready });
+        }
+        // Final pass writes the merged result row.
+        let item = MergePassItem {
+            chunks: std::mem::take(&mut self.current),
+            out_addr: self.out_cursor,
+            out_elems: self.out_len,
+        };
+        self.out_cursor += self.out_len * ELEM_BYTES;
+        self.in_row = false;
+        Step::Batch(Batch { items: vec![item], min_start: self.row_ready })
+    }
+
+    fn execute(&mut self, item: &MergePassItem, ctx: &mut PeCtx<'_>) {
+        merge_pass_script(item, ctx);
+    }
+
+    fn finish(&mut self, stats: &mut PhaseStats) {
+        stats.flops = self.flops;
+        stats.work_items = self.work_items;
+        stats.active_pes = stats.active_pes.min(self.n_workers);
+    }
 }
 
 /// Simulates the merge phase over the intermediate `layout`, with per-row
@@ -48,115 +221,31 @@ pub fn simulate_merge(
     layout: &IntermediateLayout,
     rows: &[RowMergeInfo],
 ) -> Result<PhaseStats, SimError> {
+    simulate_merge_with_breakdown(cfg, layout, rows).map(|(stats, _)| stats)
+}
+
+/// [`simulate_merge`] plus the hierarchical [`CycleBreakdown`] for the
+/// merge-worker class (the Fig. 12 utilization accounting).
+///
+/// # Errors
+///
+/// As [`simulate_merge`].
+///
+/// # Panics
+///
+/// As [`simulate_merge`].
+pub fn simulate_merge_with_breakdown(
+    cfg: &OuterSpaceConfig,
+    layout: &IntermediateLayout,
+    rows: &[RowMergeInfo],
+) -> Result<(PhaseStats, CycleBreakdown), SimError> {
     assert_eq!(rows.len(), layout.nrows() as usize, "row info must align with layout");
     let mut mem = MemorySystem::for_merge(cfg);
     let n_workers = (cfg.n_tiles * cfg.merge_pairs_per_tile()) as usize;
     // Each worker pair acts as one dispatchable unit.
     let mut pes = PeArray::new(n_workers, 1, cfg.outstanding_requests as usize);
-    apply_fault_model(cfg, &mut pes);
-    let head_cap = cfg.merge_head_capacity().max(2);
-    let mut scratch_bump = SCRATCH_BASE;
-    let mut out_cursor = OUT_BASE;
-    let mut flops = 0u64;
-    let mut work_items = 0u64;
-
-    for (i, info) in rows.iter().enumerate() {
-        let chunks = layout.row(i as u32);
-        if chunks.is_empty() {
-            continue;
-        }
-        check_phase_health(PHASE, cfg, &mem, &pes)?;
-        work_items += 1;
-        flops += info.collisions as u64;
-
-        // Recursive sub-merge until the fan-in fits the scratchpad. Groups
-        // within a pass are independent, so they fan out across worker
-        // pairs; the next pass cannot start before all of them finish.
-        let mut current: Vec<ChunkRef> = chunks.to_vec();
-        let mut row_ready: u64 = 0;
-        while current.len() > head_cap {
-            let mut next: Vec<ChunkRef> = Vec::with_capacity(current.len() / head_cap + 1);
-            let mut pass_done: u64 = 0;
-            for group in current.chunks(head_cap) {
-                let total: u64 = group.iter().map(|c| c.len as u64).sum();
-                let w =
-                    pes.try_earliest_group().ok_or(SimError::AllPesFailed { phase: PHASE })?;
-                pes.pe_mut(w).wait_until(row_ready);
-                merge_pass(cfg, &mut mem, &mut pes, w, group, scratch_bump, total);
-                pass_done = pass_done.max(pes.pe_mut(w).time);
-                next.push(ChunkRef { addr: scratch_bump, len: total as u32 });
-                scratch_bump += total * ELEM_BYTES;
-            }
-            row_ready = pass_done;
-            current = next;
-        }
-
-        // Final pass writes the merged result row.
-        let worker = pes.try_earliest_group().ok_or(SimError::AllPesFailed { phase: PHASE })?;
-        pes.pe_mut(worker).wait_until(row_ready);
-        merge_pass(cfg, &mut mem, &mut pes, worker, &current, out_cursor, info.out_len as u64);
-        out_cursor += info.out_len as u64 * ELEM_BYTES;
-    }
-
-    check_phase_health(PHASE, cfg, &mem, &pes)?;
-    let mut stats = collect_stats(cfg, &mut mem, &mut pes, flops);
-    stats.work_items = work_items;
-    stats.active_pes = stats.active_pes.min(n_workers as u32);
-    Ok(stats)
-}
-
-/// One merge pass on one worker pair: stream `group` in, sort, write
-/// `out_elems` to `out_addr`.
-fn merge_pass(
-    cfg: &OuterSpaceConfig,
-    mem: &mut MemorySystem,
-    pes: &mut PeArray,
-    worker: usize,
-    group: &[ChunkRef],
-    out_addr: u64,
-    out_elems: u64,
-) {
-    let block = cfg.block_bytes as u64;
-    let pe = pes.pe_mut(worker);
-    let t0 = pe.time;
-    let total_elems: u64 = group.iter().map(|c| c.len as u64).sum();
-
-    // Loader PE: stream every chunk's blocks through the private cache.
-    let mut last_data = t0;
-    for c in group {
-        if c.len == 0 {
-            continue;
-        }
-        let bytes = c.len as u64 * ELEM_BYTES;
-        let first = c.addr / block;
-        let last = (c.addr + bytes - 1) / block;
-        for b in first..=last {
-            let t = pe.issue();
-            let (done, _) = mem.read(worker, b * block, t);
-            pe.track(done);
-            last_data = last_data.max(done);
-        }
-    }
-
-    // Sorter PE runs concurrently with the loader, so the pair's occupancy
-    // for this row is max(load-issue time, sort time) — not their sum. The
-    // sorted-list insert is log-depth in the fan-in (the swizzle-switch
-    // comparator network). The pair does not stall for the final block to
-    // arrive: the dependency rides in the outstanding queue, back-pressuring
-    // only when 64 rows are in flight (§5.4.2: the scratchpad buffer "can
-    // help hide the latency of inserting elements ... under the latency of
-    // grabbing a new element from main memory").
-    let insert_cost = (u64::BITS - (group.len() as u64).leading_zeros()) as u64;
-    let sort_end = t0 + total_elems * insert_cost.max(1);
-    pe.wait_until(sort_end);
-
-    // Store the merged run (posted, after the operands exist).
-    let out_bytes = out_elems * ELEM_BYTES;
-    if out_bytes > 0 {
-        mem.write_stream(out_addr, out_bytes, pe.time.max(last_data));
-        pe.advance(out_bytes.div_ceil(block));
-    }
-    pe.track(last_data);
+    let kernel = MergeKernel::new(cfg, layout, rows, n_workers);
+    engine::run_kernel(cfg, &mut mem, &mut pes, kernel)
 }
 
 #[cfg(test)]
@@ -258,5 +347,32 @@ mod tests {
         let layout = IntermediateLayout::new(4);
         let cfg = OuterSpaceConfig::default();
         let _ = simulate_merge(&cfg, &layout, &[]);
+    }
+
+    #[test]
+    fn submerge_dependency_shows_up_as_idle_cycles() {
+        // The deep-fanin workload serializes passes per row: workers gated
+        // on min_start must accumulate idle cycles in the breakdown.
+        let n = 512u32;
+        let mut coo = outerspace_sparse::Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, 0, 1.0);
+            coo.push(0, i, 1.0);
+        }
+        let a = coo.to_csr();
+        let cfg = OuterSpaceConfig::default();
+        let (_, layout) = simulate_multiply(&cfg, &a.to_csc(), &a).unwrap();
+        let (pp, _) = multiply(&a.to_csc(), &a).unwrap();
+        let (c, _) = merge(pp, MergeKind::Streaming);
+        let rows = row_infos(&layout, &c);
+        let (stats, bd) = simulate_merge_with_breakdown(&cfg, &layout, &rows).unwrap();
+        assert_eq!(bd.pe_class, "merge_worker");
+        assert_eq!(bd.n_pes, 64);
+        assert_eq!(bd.makespan, stats.cycles);
+        assert_eq!(
+            bd.busy_cycles + bd.stall_cycles() + bd.idle_cycles,
+            bd.total_pe_cycles()
+        );
+        assert!(bd.idle_cycles > 0, "pass gating must leave workers idle");
     }
 }

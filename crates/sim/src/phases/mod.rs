@@ -6,7 +6,10 @@ pub mod merge;
 pub mod multiply;
 pub mod spmv;
 
+use outerspace_json::impl_to_json;
+
 use crate::config::OuterSpaceConfig;
+use crate::engine::{self, Batch, PeCtx, PhaseKernel, Step};
 use crate::error::SimError;
 use crate::machine::PeArray;
 use crate::mem::MemorySystem;
@@ -26,6 +29,54 @@ pub struct StreamItem {
     pub write_bytes: u64,
     /// Compute cycles consumed after the data arrives.
     pub compute_cycles: u64,
+}
+
+impl_to_json!(StreamItem {
+    read_addr,
+    read_bytes,
+    write_addr,
+    write_bytes,
+    compute_cycles,
+});
+
+/// Engine kernel for pure read→compute→write streams: one batch of
+/// independent items, greedily dispatched ([`engine::Dispatch::PerItem`]).
+#[derive(Debug, Clone)]
+pub(crate) struct StreamKernel {
+    phase: &'static str,
+    items: Option<Vec<StreamItem>>,
+}
+
+impl StreamKernel {
+    pub(crate) fn new(phase: &'static str, items: Vec<StreamItem>) -> Self {
+        StreamKernel { phase, items: Some(items) }
+    }
+}
+
+impl PhaseKernel for StreamKernel {
+    type Item = StreamItem;
+
+    fn phase(&self) -> &'static str {
+        self.phase
+    }
+
+    fn pe_class(&self) -> &'static str {
+        "stream_pe"
+    }
+
+    fn next(&mut self, _fb: &engine::Feedback) -> Step<StreamItem> {
+        match self.items.take() {
+            Some(items) => Step::Batch(Batch { items, min_start: 0 }),
+            None => Step::Done,
+        }
+    }
+
+    fn execute(&mut self, item: &StreamItem, ctx: &mut PeCtx<'_>) {
+        ctx.read_stream(item.read_addr, item.read_bytes);
+        ctx.wait_for_data();
+        ctx.compute(item.compute_cycles);
+        ctx.store_stream(item.write_addr, item.write_bytes);
+    }
 }
 
 /// Condemns the configuration's kill set before a phase starts: every phase
@@ -73,34 +124,9 @@ pub fn run_stream_phase(
     pes: &mut PeArray,
     items: impl IntoIterator<Item = StreamItem>,
 ) -> Result<PhaseStats, SimError> {
-    let block = cfg.block_bytes as u64;
-    apply_fault_model(cfg, pes);
-    for item in items {
-        check_phase_health(phase, cfg, mem, pes)?;
-        let (g, pe_idx) = pes.try_dispatch().ok_or(SimError::AllPesFailed { phase })?;
-        let l0 = g.min(mem.n_l0() - 1);
-        let pe = pes.pe_mut(pe_idx);
-
-        let mut last_data = pe.time;
-        if item.read_bytes > 0 {
-            let first = item.read_addr / block;
-            let last = (item.read_addr + item.read_bytes - 1) / block;
-            for b in first..=last {
-                let t = pe.issue();
-                let (c, _) = mem.read(l0, b * block, t);
-                pe.track(c);
-                last_data = last_data.max(c);
-            }
-        }
-        pe.wait_until(last_data);
-        pe.advance(item.compute_cycles);
-        if item.write_bytes > 0 {
-            mem.write_stream(item.write_addr, item.write_bytes, pe.time);
-            pe.advance(item.write_bytes.div_ceil(block));
-        }
-    }
-    check_phase_health(phase, cfg, mem, pes)?;
-    Ok(collect_stats(cfg, mem, pes, 0))
+    let kernel = StreamKernel::new(phase, items.into_iter().collect());
+    let (stats, _) = engine::run_kernel(cfg, mem, pes, kernel)?;
+    Ok(stats)
 }
 
 /// Finalizes a phase: drains PEs and channels, snapshots counters.
@@ -129,6 +155,10 @@ pub(crate) fn collect_stats(
         fault_penalty_cycles: c.fault_penalty_cycles,
         requeued_work_items: pes.requeued,
         killed_pes: pes.killed,
+        stall_l0_cycles: 0,
+        stall_l1_cycles: 0,
+        stall_hbm_cycles: 0,
+        idle_pe_cycles: 0,
     }
 }
 

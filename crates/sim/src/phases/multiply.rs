@@ -7,18 +7,150 @@
 //! row-of-`B` while the tile works through the column — the multiply-phase
 //! sharing pattern the reconfigurable cache exists for. Results are stored
 //! with write-no-allocate so they never evict `B` blocks.
+//!
+//! The phase is expressed as an engine kernel: [`MultiplyKernel`] generates
+//! one control step (pointer-stream reads) plus one tile-batched chunk batch
+//! per outer product, and [`chunk_script`] is the per-chunk memory script.
+//! The shared loop in [`crate::engine`] owns dispatch, fault hooks and stat
+//! collection; the trace recorder taps the same kernel through an observer,
+//! so recording is cycle-exact by construction.
 
+use outerspace_json::impl_to_json;
 use outerspace_sparse::{Csc, Csr};
 
 use crate::config::OuterSpaceConfig;
+use crate::engine::{
+    self, Batch, CycleBreakdown, Dispatch, Feedback, PeCtx, PhaseKernel, Step,
+};
 use crate::error::SimError;
 use crate::layout::{IntermediateLayout, A_BASE, A_PTR_BASE, B_BASE, B_PTR_BASE, ELEM_BYTES};
 use crate::machine::PeArray;
 use crate::mem::MemorySystem;
-use crate::phases::{apply_fault_model, check_phase_health, collect_stats};
 use crate::stats::PhaseStats;
 
 const PHASE: &str = "multiply";
+
+/// One multiply work item: load a column-of-A element, stream the paired
+/// row-of-B, multiply, store the chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ChunkItem {
+    /// Address of the column-of-A element.
+    pub a_addr: u64,
+    /// Base address of the row-of-B.
+    pub b_addr: u64,
+    /// Length of the row-of-B in bytes.
+    pub b_bytes: u64,
+    /// Multiply-accumulate cycles (= row-of-B non-zeros).
+    pub macs: u64,
+    /// Destination of the produced chunk in the intermediate arena.
+    pub store_addr: u64,
+}
+
+impl_to_json!(ChunkItem {
+    a_addr,
+    b_addr,
+    b_bytes,
+    macs,
+    store_addr,
+});
+
+/// One chunk's memory script: load the column-of-A element, stream the
+/// row-of-B, multiply, post the chunk store. The PE does not block on the
+/// loads — with its 64-entry outstanding queue it computes the current
+/// chunk while prefetching the next; the data dependency rides in the queue
+/// as a token ([`PeCtx::track_tail`]), so a PE only runs ahead of memory
+/// until the queue fills. Shared with the trace replayer (`crate::trace`).
+pub(crate) fn chunk_script(item: &ChunkItem, ctx: &mut PeCtx<'_>) {
+    ctx.read(item.a_addr);
+    ctx.read_stream(item.b_addr, item.b_bytes);
+    ctx.compute(item.macs);
+    // Write-no-allocate, posted: the store stream cannot start before its
+    // operands arrived.
+    ctx.store_stream(item.store_addr, item.b_bytes);
+    ctx.track_tail();
+}
+
+/// Engine kernel for the multiply phase: one control step (the control
+/// processors stream both pointer arrays to discover non-empty pairs) and
+/// one tile-batched chunk batch per outer product.
+#[derive(Debug)]
+pub(crate) struct MultiplyKernel<'a> {
+    a: &'a Csc,
+    b: &'a Csr,
+    layout: &'a mut IntermediateLayout,
+    k: u32,
+    pending: Option<Vec<ChunkItem>>,
+    flops: u64,
+    work_items: u64,
+}
+
+impl<'a> MultiplyKernel<'a> {
+    pub(crate) fn new(a: &'a Csc, b: &'a Csr, layout: &'a mut IntermediateLayout) -> Self {
+        MultiplyKernel { a, b, layout, k: 0, pending: None, flops: 0, work_items: 0 }
+    }
+}
+
+impl PhaseKernel for MultiplyKernel<'_> {
+    type Item = ChunkItem;
+
+    fn phase(&self) -> &'static str {
+        PHASE
+    }
+
+    fn pe_class(&self) -> &'static str {
+        "tile_pe"
+    }
+
+    fn dispatch(&self) -> Dispatch {
+        Dispatch::TileBatched
+    }
+
+    fn next(&mut self, _fb: &Feedback) -> Step<ChunkItem> {
+        if let Some(items) = self.pending.take() {
+            return Step::Batch(Batch { items, min_start: 0 });
+        }
+        if self.k >= self.a.ncols() {
+            return Step::Done;
+        }
+        let k = self.k;
+        self.k += 1;
+
+        let ca = self.a.col_nnz(k);
+        let cb = self.b.row_nnz(k);
+        if ca != 0 && cb != 0 {
+            let (a_rows, _) = self.a.col(k);
+            let a_col_base = A_BASE + self.a.col_ptr()[k as usize] as u64 * ELEM_BYTES;
+            let b_row_base = B_BASE + self.b.row_ptr()[k as usize] as u64 * ELEM_BYTES;
+            let b_row_bytes = cb as u64 * ELEM_BYTES;
+            let items = (0..ca)
+                .map(|idx| ChunkItem {
+                    a_addr: a_col_base + idx as u64 * ELEM_BYTES,
+                    b_addr: b_row_base,
+                    b_bytes: b_row_bytes,
+                    macs: cb as u64,
+                    store_addr: self.layout.alloc_chunk(a_rows[idx], cb as u32),
+                })
+                .collect();
+            self.flops += ca as u64 * cb as u64;
+            self.work_items += ca as u64;
+            self.pending = Some(items);
+        }
+        // Fig. 2: for an empty pair no outer product is formed; only the
+        // pointer reads are charged.
+        Step::Control {
+            reads: vec![A_PTR_BASE + k as u64 * 8, B_PTR_BASE + k as u64 * 8],
+        }
+    }
+
+    fn execute(&mut self, item: &ChunkItem, ctx: &mut PeCtx<'_>) {
+        chunk_script(item, ctx);
+    }
+
+    fn finish(&mut self, stats: &mut PhaseStats) {
+        stats.flops = self.flops;
+        stats.work_items = self.work_items;
+    }
+}
 
 /// Simulates the multiply phase for `Cᵢ = aᵢ · bᵢ` over all outer products,
 /// returning timing statistics and the intermediate-structure layout the
@@ -39,6 +171,24 @@ pub fn simulate_multiply(
     a: &Csc,
     b: &Csr,
 ) -> Result<(PhaseStats, IntermediateLayout), SimError> {
+    simulate_multiply_with_breakdown(cfg, a, b).map(|(stats, layout, _)| (stats, layout))
+}
+
+/// [`simulate_multiply`] plus the hierarchical [`CycleBreakdown`] for the
+/// tile-PE class (the Fig. 12 utilization accounting).
+///
+/// # Errors
+///
+/// As [`simulate_multiply`].
+///
+/// # Panics
+///
+/// As [`simulate_multiply`].
+pub fn simulate_multiply_with_breakdown(
+    cfg: &OuterSpaceConfig,
+    a: &Csc,
+    b: &Csr,
+) -> Result<(PhaseStats, IntermediateLayout, CycleBreakdown), SimError> {
     assert_eq!(a.ncols(), b.nrows(), "driver must validate shapes");
     let mut mem = MemorySystem::for_multiply(cfg);
     let mut pes = PeArray::new(
@@ -46,112 +196,10 @@ pub fn simulate_multiply(
         cfg.pes_per_tile as usize,
         cfg.outstanding_requests as usize,
     );
-    apply_fault_model(cfg, &mut pes);
     let mut layout = IntermediateLayout::new(a.nrows());
-
-    let group_size = cfg.pes_per_tile as usize;
-    let mut flops = 0u64;
-    let mut work_items = 0u64;
-
-    let a_ptr = a.col_ptr();
-    let b_ptr = b.row_ptr();
-    for k in 0..a.ncols() {
-        check_phase_health(PHASE, cfg, &mem, &pes)?;
-        // The control processors stream both pointer arrays to discover
-        // non-empty pairs; charge those reads to the earliest tile.
-        let sched_tile =
-            pes.try_earliest_group().ok_or(SimError::AllPesFailed { phase: PHASE })?;
-        let t_sched = pes.group_min_time(sched_tile);
-        let _ = mem.read(sched_tile, A_PTR_BASE + k as u64 * 8, t_sched);
-        let _ = mem.read(sched_tile, B_PTR_BASE + k as u64 * 8, t_sched);
-
-        let ca = a.col_nnz(k);
-        let cb = b.row_nnz(k);
-        if ca == 0 || cb == 0 {
-            continue; // Fig. 2: no outer product is formed; no element data fetched.
-        }
-        let (a_rows, _) = a.col(k);
-        let a_col_base = A_BASE + a_ptr[k as usize] as u64 * ELEM_BYTES;
-        let b_row_base = B_BASE + b_ptr[k as usize] as u64 * ELEM_BYTES;
-        let b_row_bytes = cb as u64 * ELEM_BYTES;
-
-        // Distribute the column's chunks over tiles in tile-sized groups so
-        // one tile shares one row-of-B at a time.
-        let mut idx = 0usize;
-        while idx < ca {
-            check_phase_health(PHASE, cfg, &mem, &pes)?;
-            let tile =
-                pes.try_earliest_group().ok_or(SimError::AllPesFailed { phase: PHASE })?;
-            let end = (idx + group_size).min(ca);
-            while idx < end {
-                // The tile can lose its last PE mid-column; fall back to the
-                // outer loop to re-select a live tile for the rest.
-                let Some(pe_idx) = pes.try_earliest_pe_in_group(tile) else {
-                    break;
-                };
-                work_items += 1;
-                let a_addr = a_col_base + idx as u64 * ELEM_BYTES;
-                let row = a_rows[idx];
-                let chunk_addr = layout.alloc_chunk(row, cb as u32);
-                flops += cb as u64;
-                execute_chunk(
-                    cfg, &mut mem, &mut pes, pe_idx, tile, a_addr, b_row_base, b_row_bytes,
-                    cb as u64, chunk_addr,
-                );
-                idx += 1;
-            }
-        }
-    }
-
-    check_phase_health(PHASE, cfg, &mem, &pes)?;
-    let mut stats = collect_stats(cfg, &mut mem, &mut pes, flops);
-    stats.work_items = work_items;
-    Ok((stats, layout))
-}
-
-/// One chunk's execution: load the column-of-A element, stream the
-/// row-of-B, multiply, post the chunk store. The PE does not block on the
-/// loads — with its 64-entry outstanding queue it computes the current
-/// chunk while prefetching the next; the data dependency rides in the queue
-/// as a token, so a PE only runs ahead of memory until the queue fills.
-/// Shared with the trace recorder/replayer (`crate::trace`) so trace replay
-/// is cycle-exact by construction.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn execute_chunk(
-    cfg: &OuterSpaceConfig,
-    mem: &mut MemorySystem,
-    pes: &mut PeArray,
-    pe_idx: usize,
-    tile: usize,
-    a_addr: u64,
-    b_addr: u64,
-    b_bytes: u64,
-    macs: u64,
-    store_addr: u64,
-) {
-
-    let block = cfg.block_bytes as u64;
-    let pe = pes.pe_mut(pe_idx);
-    let t = pe.issue();
-    let (c_a, _) = mem.read(tile, a_addr, t);
-    pe.track(c_a);
-    let mut last_data = c_a;
-    if b_bytes > 0 {
-        let first = b_addr / block;
-        let last = (b_addr + b_bytes - 1) / block;
-        for blk in first..=last {
-            let t = pe.issue();
-            let (c, _) = mem.read(tile, blk * block, t);
-            pe.track(c);
-            last_data = last_data.max(c);
-        }
-    }
-    pe.advance(macs);
-    // Write-no-allocate, posted: the store stream cannot start before its
-    // operands arrived.
-    mem.write_stream(store_addr, b_bytes, pe.time.max(last_data));
-    pe.advance(b_bytes.div_ceil(block));
-    pe.track(last_data);
+    let kernel = MultiplyKernel::new(a, b, &mut layout);
+    let (stats, breakdown) = engine::run_kernel(cfg, &mut mem, &mut pes, kernel)?;
+    Ok((stats, layout, breakdown))
 }
 
 #[cfg(test)]
@@ -225,5 +273,22 @@ mod tests {
         let (stats, layout) = simulate_multiply(&cfg, &a.to_csc(), &a).unwrap();
         assert_eq!(layout.total_elements(), 0);
         assert_eq!(stats.flops, 0);
+    }
+
+    #[test]
+    fn breakdown_accounts_for_every_tile_pe_cycle() {
+        let a = uniform::matrix(256, 256, 4000, 5);
+        let cfg = OuterSpaceConfig::default();
+        let (stats, _, bd) =
+            simulate_multiply_with_breakdown(&cfg, &a.to_csc(), &a).unwrap();
+        assert_eq!(bd.pe_class, "tile_pe");
+        assert_eq!(bd.n_pes, cfg.total_pes());
+        assert_eq!(bd.makespan, stats.cycles);
+        assert_eq!(
+            bd.busy_cycles + bd.stall_cycles() + bd.idle_cycles,
+            bd.total_pe_cycles()
+        );
+        assert!(bd.busy_cycles > 0 && bd.stall_cycles() > 0);
+        assert_eq!(stats.stall_hbm_cycles, bd.stall_hbm_cycles);
     }
 }

@@ -41,6 +41,15 @@ pub struct PhaseStats {
     pub requeued_work_items: u64,
     /// PEs that failed hard during this phase.
     pub killed_pes: u32,
+    /// PE cycles stalled waiting on L0-serviced data, summed over PEs.
+    pub stall_l0_cycles: u64,
+    /// PE cycles stalled waiting on L1-serviced data.
+    pub stall_l1_cycles: u64,
+    /// PE cycles stalled waiting on HBM-serviced data.
+    pub stall_hbm_cycles: u64,
+    /// PE cycles idle (before first dispatch, between work items, or after
+    /// a PE's last item while stragglers finish).
+    pub idle_pe_cycles: u64,
 }
 
 impl PhaseStats {
@@ -93,6 +102,10 @@ impl PhaseStats {
         self.fault_penalty_cycles += o.fault_penalty_cycles;
         self.requeued_work_items += o.requeued_work_items;
         self.killed_pes += o.killed_pes;
+        self.stall_l0_cycles += o.stall_l0_cycles;
+        self.stall_l1_cycles += o.stall_l1_cycles;
+        self.stall_hbm_cycles += o.stall_hbm_cycles;
+        self.idle_pe_cycles += o.idle_pe_cycles;
     }
 }
 
@@ -121,6 +134,10 @@ impl_to_json!(PhaseStats {
     fault_penalty_cycles,
     requeued_work_items,
     killed_pes,
+    stall_l0_cycles,
+    stall_l1_cycles,
+    stall_hbm_cycles,
+    idle_pe_cycles,
 });
 
 /// Complete report for one simulated kernel invocation.

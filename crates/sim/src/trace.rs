@@ -25,11 +25,13 @@ use outerspace_json::Json;
 use outerspace_sparse::{Csc, Csr};
 
 use crate::config::OuterSpaceConfig;
+use crate::engine::{self, KernelObserver, PeCtx};
+use crate::error::SimError;
 use crate::layout::IntermediateLayout;
 use crate::machine::PeArray;
 use crate::mem::MemorySystem;
 use crate::phases::collect_stats;
-use crate::phases::multiply::execute_chunk;
+use crate::phases::multiply::{chunk_script, ChunkItem, MultiplyKernel};
 use crate::stats::PhaseStats;
 
 /// One entry of a multiply-phase trace, in global dispatch order.
@@ -153,8 +155,38 @@ impl MultiplyTrace {
     }
 }
 
+/// Observer that mirrors the engine's dispatch stream into trace records.
+#[derive(Debug, Default)]
+struct TraceObserver {
+    records: Vec<TraceRecord>,
+}
+
+impl KernelObserver<ChunkItem> for TraceObserver {
+    fn on_control_read(&mut self, group: usize, addr: u64) {
+        self.records.push(TraceRecord::PtrRead { tile: group as u32, addr });
+    }
+
+    fn on_item(&mut self, pe: usize, group: usize, item: &ChunkItem) {
+        self.records.push(TraceRecord::Chunk {
+            pe: pe as u32,
+            tile: group as u32,
+            a_addr: item.a_addr,
+            b_addr: item.b_addr,
+            b_bytes: item.b_bytes,
+            macs: item.macs as u32,
+            store_addr: item.store_addr,
+        });
+    }
+}
+
 /// Runs the multiply phase exactly like
-/// [`crate::phases::multiply::simulate_multiply`] while recording the trace.
+/// [`crate::phases::multiply::simulate_multiply`] while recording the
+/// trace: the same [`MultiplyKernel`] runs through the same engine loop,
+/// with an observer tapping the dispatch stream.
+///
+/// # Errors
+///
+/// Fault injection only, as `simulate_multiply`.
 ///
 /// # Panics
 ///
@@ -163,11 +195,8 @@ pub fn record_multiply(
     cfg: &OuterSpaceConfig,
     a: &Csc,
     b: &Csr,
-) -> (PhaseStats, IntermediateLayout, MultiplyTrace) {
-    use crate::layout::{A_BASE, A_PTR_BASE, B_BASE, B_PTR_BASE, ELEM_BYTES};
+) -> Result<(PhaseStats, IntermediateLayout, MultiplyTrace), SimError> {
     assert_eq!(a.ncols(), b.nrows(), "driver must validate shapes");
-
-    let mut records = Vec::new();
     let mut mem = MemorySystem::for_multiply(cfg);
     let mut pes = PeArray::new(
         cfg.n_tiles as usize,
@@ -175,64 +204,19 @@ pub fn record_multiply(
         cfg.outstanding_requests as usize,
     );
     let mut layout = IntermediateLayout::new(a.nrows());
-    let group_size = cfg.pes_per_tile as usize;
-    let mut flops = 0u64;
-    let a_ptr = a.col_ptr();
-    let b_ptr = b.row_ptr();
-
-    for k in 0..a.ncols() {
-        let sched_tile = pes.earliest_group() as u32;
-        for addr in [A_PTR_BASE + k as u64 * 8, B_PTR_BASE + k as u64 * 8] {
-            records.push(TraceRecord::PtrRead { tile: sched_tile, addr });
-            let t = pes.group_min_time(sched_tile as usize);
-            let _ = mem.read(sched_tile as usize, addr, t);
-        }
-        let ca = a.col_nnz(k);
-        let cb = b.row_nnz(k);
-        if ca == 0 || cb == 0 {
-            continue;
-        }
-        let (a_rows, _) = a.col(k);
-        let a_col_base = A_BASE + a_ptr[k as usize] as u64 * ELEM_BYTES;
-        let b_row_base = B_BASE + b_ptr[k as usize] as u64 * ELEM_BYTES;
-        let b_row_bytes = cb as u64 * ELEM_BYTES;
-
-        let mut idx = 0usize;
-        while idx < ca {
-            let tile = pes.earliest_group();
-            let end = (idx + group_size).min(ca);
-            for (e, &a_row) in a_rows.iter().enumerate().take(end).skip(idx) {
-                let pe_idx = pes.earliest_pe_in_group(tile);
-                let a_addr = a_col_base + e as u64 * ELEM_BYTES;
-                let chunk_addr = layout.alloc_chunk(a_row, cb as u32);
-                records.push(TraceRecord::Chunk {
-                    pe: pe_idx as u32,
-                    tile: tile as u32,
-                    a_addr,
-                    b_addr: b_row_base,
-                    b_bytes: b_row_bytes,
-                    macs: cb as u32,
-                    store_addr: chunk_addr,
-                });
-                flops += cb as u64;
-                execute_chunk(
-                    cfg, &mut mem, &mut pes, pe_idx, tile, a_addr, b_row_base, b_row_bytes,
-                    cb as u64, chunk_addr,
-                );
-            }
-            idx = end;
-        }
-    }
-    let mut stats = collect_stats(cfg, &mut mem, &mut pes, flops);
-    stats.work_items =
-        records.iter().filter(|r| matches!(r, TraceRecord::Chunk { .. })).count() as u64;
-    (stats, layout, MultiplyTrace { records, recorded_on: cfg.clone() })
+    let kernel = MultiplyKernel::new(a, b, &mut layout);
+    let mut obs = TraceObserver::default();
+    let (stats, _) = engine::run_kernel_observed(cfg, &mut mem, &mut pes, kernel, &mut obs)?;
+    Ok((stats, layout, MultiplyTrace { records: obs.records, recorded_on: cfg.clone() }))
 }
 
 /// Re-times a recorded trace on `cfg` (frozen schedule; see module docs).
+/// Each chunk record replays the same [`chunk_script`] the live simulation
+/// runs, on a standalone [`PeCtx`].
 pub fn replay_multiply(cfg: &OuterSpaceConfig, trace: &MultiplyTrace) -> PhaseStats {
     let mut mem = MemorySystem::for_multiply(cfg);
     let n_tiles = cfg.n_tiles as usize;
+    let block = cfg.block_bytes as u64;
     let mut pes = PeArray::new(
         n_tiles,
         cfg.pes_per_tile as usize,
@@ -252,10 +236,15 @@ pub fn replay_multiply(cfg: &OuterSpaceConfig, trace: &MultiplyTrace) -> PhaseSt
                 let pe = (pe as usize).min(pes.len() - 1);
                 work_items += 1;
                 flops += macs as u64;
-                execute_chunk(
-                    cfg, &mut mem, &mut pes, pe, tile, a_addr, b_addr, b_bytes, macs as u64,
+                let item = ChunkItem {
+                    a_addr,
+                    b_addr,
+                    b_bytes,
+                    macs: macs as u64,
                     store_addr,
-                );
+                };
+                let mut ctx = PeCtx::new(&mut mem, pes.pe_mut(pe), tile, block);
+                chunk_script(&item, &mut ctx);
             }
         }
     }
@@ -276,7 +265,7 @@ mod tests {
         for seed in [1u64, 2] {
             let a = uniform::matrix(256, 256, 3000, seed);
             let (direct, _) = simulate_multiply(&cfg, &a.to_csc(), &a).unwrap();
-            let (recorded, _, trace) = record_multiply(&cfg, &a.to_csc(), &a);
+            let (recorded, _, trace) = record_multiply(&cfg, &a.to_csc(), &a).unwrap();
             assert_eq!(direct.cycles, recorded.cycles, "recording must not perturb timing");
             let replayed = replay_multiply(&cfg, &trace);
             assert_eq!(replayed.cycles, direct.cycles, "replay must be cycle-exact");
@@ -289,7 +278,7 @@ mod tests {
     fn trace_counts_match_algorithm() {
         let cfg = OuterSpaceConfig::default();
         let a = powerlaw::graph(512, 6000, 3);
-        let (_, _, trace) = record_multiply(&cfg, &a.to_csc(), &a);
+        let (_, _, trace) = record_multiply(&cfg, &a.to_csc(), &a).unwrap();
         let (_, soft) = outerspace_outer::multiply(&a.to_csc(), &a).unwrap();
         assert_eq!(trace.chunk_count() as u64, soft.chunks);
         assert_eq!(trace.total_macs(), soft.elementary_products);
@@ -299,7 +288,7 @@ mod tests {
     fn replay_under_halved_bandwidth_is_slower() {
         let cfg = OuterSpaceConfig::default();
         let a = uniform::matrix(1024, 1024, 12_000, 4);
-        let (_, _, trace) = record_multiply(&cfg, &a.to_csc(), &a);
+        let (_, _, trace) = record_multiply(&cfg, &a.to_csc(), &a).unwrap();
         let base = replay_multiply(&cfg, &trace);
         let mut slow = cfg.clone();
         slow.hbm_channel_mb_per_sec /= 4;
@@ -311,7 +300,7 @@ mod tests {
     fn replay_under_bigger_l0_hits_more() {
         let cfg = OuterSpaceConfig::default();
         let a = powerlaw::graph(2048, 30_000, 5);
-        let (_, _, trace) = record_multiply(&cfg, &a.to_csc(), &a);
+        let (_, _, trace) = record_multiply(&cfg, &a.to_csc(), &a).unwrap();
         let base = replay_multiply(&cfg, &trace);
         let mut big = cfg.clone();
         big.l0_multiply_bytes *= 8;
@@ -323,7 +312,7 @@ mod tests {
     fn trace_round_trips_through_json() {
         let cfg = OuterSpaceConfig::default();
         let a = uniform::matrix(64, 64, 400, 6);
-        let (_, _, trace) = record_multiply(&cfg, &a.to_csc(), &a);
+        let (_, _, trace) = record_multiply(&cfg, &a.to_csc(), &a).unwrap();
         let json = trace.to_json().to_string_compact();
         let back = MultiplyTrace::from_json(&outerspace_json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, trace);

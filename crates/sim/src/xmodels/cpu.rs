@@ -2,6 +2,56 @@
 
 use outerspace_baselines::TrafficStats;
 
+use crate::engine::UtilizationShares;
+
+/// The decomposed terms of [`CpuModel::spgemm_seconds`]: the four time
+/// components in seconds plus the dimensionless cache-thrash multiplier.
+/// [`CpuPhaseTimes::total`] recombines them with the exact overlap formula
+/// the scalar entry point has always used, so timing one workload through
+/// either path yields the same number.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuPhaseTimes {
+    /// DRAM streaming time (after LLC residency discounting).
+    pub t_mem: f64,
+    /// Raw multiply/add time across the cores.
+    pub t_compute: f64,
+    /// Accumulator gather-scatter latency (the term that keeps MKL's
+    /// bandwidth utilization below peak, Table 1).
+    pub t_acc: f64,
+    /// Per-output-row bookkeeping time.
+    pub t_rows: f64,
+    /// Cache-thrash multiplier (≥ 1) applied to the overlapped core terms.
+    pub thrash: f64,
+}
+
+impl CpuPhaseTimes {
+    /// Total predicted seconds: compute and memory overlap imperfectly on
+    /// an OoO core, the latency-bound accumulator term does not overlap,
+    /// and row bookkeeping rides after the thrash-scaled core time.
+    pub fn total(&self) -> f64 {
+        (self.t_mem.max(self.t_compute) + 0.3 * self.t_mem.min(self.t_compute)
+            + self.t_acc)
+            * self.thrash
+            + self.t_rows
+    }
+
+    /// Maps the terms onto the engine's utilization-share axes. Pure flop
+    /// and row-bookkeeping time is busy; everything else — DRAM streaming,
+    /// accumulator latency, thrash-induced re-reads — is memory. The model
+    /// has no idle component: an OoO core always has an instruction to
+    /// retire or a miss to wait on.
+    pub fn shares(&self) -> UtilizationShares {
+        let total = self.total();
+        if total <= 0.0 {
+            return UtilizationShares::default();
+        }
+        // `total >= t_compute + t_rows` holds because `thrash >= 1`, so the
+        // memory share is never negative.
+        let busy = ((self.t_compute + self.t_rows) / total).min(1.0);
+        UtilizationShares { busy, memory: 1.0 - busy, idle: 0.0 }
+    }
+}
+
 /// Roofline-style CPU model: compute rate, DRAM bandwidth with an
 /// efficiency factor, LLC residency discounting, and per-row overhead.
 ///
@@ -72,6 +122,21 @@ impl CpuModel {
         n_rows: u64,
         regularity: f64,
     ) -> f64 {
+        self.spgemm_times(traffic, b_bytes, out_cols, n_rows, regularity).total()
+    }
+
+    /// The decomposed terms behind [`CpuModel::spgemm_seconds`] — same
+    /// inputs, same math, but the components stay visible so harnesses can
+    /// report a busy/memory split ([`CpuPhaseTimes::shares`]) alongside the
+    /// accelerator's [`crate::engine::CycleBreakdown`].
+    pub fn spgemm_times(
+        &self,
+        traffic: &TrafficStats,
+        b_bytes: u64,
+        out_cols: u64,
+        n_rows: u64,
+        regularity: f64,
+    ) -> CpuPhaseTimes {
         let reg = regularity.clamp(0.0, 1.0);
         // Fraction of B the LLC can retain; regular access patterns make the
         // retained fraction effective, irregular ones thrash (§4.4.3's
@@ -104,9 +169,7 @@ impl CpuModel {
         // prefetch cleanly and escape it.
         let pressure = (traffic.bytes_touched as f64 / self.llc_bytes as f64).min(3.0);
         let thrash = 1.0 + 1.2 * (1.0 - reg) * pressure;
-        // Compute and memory overlap imperfectly on an OoO core; the
-        // latency-bound accumulator term does not overlap.
-        (t_mem.max(t_compute) + 0.3 * t_mem.min(t_compute) + t_acc) * thrash + t_rows
+        CpuPhaseTimes { t_mem, t_compute, t_acc, t_rows, thrash }
     }
 
     /// Predicted DRAM bandwidth utilization (achieved/peak) for the same
@@ -200,6 +263,30 @@ mod tests {
         let m = CpuModel::xeon_e5_1650_v4();
         let t = m.spmv_seconds(12_000_000, 65_536);
         assert!(t > 0.0);
+    }
+
+    #[test]
+    fn decomposed_terms_recombine_to_the_scalar_time() {
+        let m = CpuModel::xeon_e5_1650_v4();
+        let t = traffic(1_000_000_000, 50_000_000);
+        let times = m.spgemm_times(&t, 1 << 30, 4096, 1000, 0.3);
+        assert_eq!(times.total(), m.spgemm_seconds(&t, 1 << 30, 4096, 1000, 0.3));
+    }
+
+    #[test]
+    fn shares_sum_to_one_and_track_the_bound_resource() {
+        let m = CpuModel::xeon_e5_1650_v4();
+        // Traffic-heavy, flop-light: memory share dominates.
+        let mem_bound =
+            m.spgemm_times(&traffic(10_000_000_000, 1_000_000), 1 << 30, 1 << 24, 1000, 0.0);
+        let s = mem_bound.shares();
+        assert!((s.busy + s.memory + s.idle - 1.0).abs() < 1e-12);
+        assert_eq!(s.idle, 0.0);
+        assert!(s.memory > s.busy, "memory {} busy {}", s.memory, s.busy);
+        // Flop-heavy, cache-resident: busy share grows.
+        let cmp_bound =
+            m.spgemm_times(&traffic(1_000_000, 10_000_000_000), 1 << 20, 32, 1000, 1.0);
+        assert!(cmp_bound.shares().busy > s.busy);
     }
 
     #[test]

@@ -4,6 +4,8 @@ use outerspace_baselines::esc::EscStats;
 use outerspace_baselines::hash::HashStats;
 use outerspace_sparse::Csr;
 
+use crate::engine::UtilizationShares;
+
 /// Ratio of the heaviest output row's elementary products to the mean — the
 /// warp load-imbalance input to [`GpuModel::cusparse_time`]. Power-law
 /// matrices score in the hundreds; uniform matrices near 1.
@@ -61,12 +63,30 @@ pub struct GpuTime {
     pub merge: f64,
     /// Fixed overheads (launches).
     pub overhead: f64,
+    /// Seconds of `expand + merge` where the memory/latency side of the
+    /// roofline binds (recorded by the constructors when each `max` is
+    /// taken) — the GPU analog of the engine's stall cycles.
+    pub mem_bound: f64,
 }
 
 impl GpuTime {
     /// Total predicted seconds.
     pub fn total(&self) -> f64 {
         self.expand + self.merge + self.overhead
+    }
+
+    /// Maps the prediction onto the engine's utilization-share axes: the
+    /// memory/latency-bound kernel seconds are memory, launch and
+    /// scheduling overheads are idle (no kernel resident), the rest —
+    /// compute and divergence serialization — is busy.
+    pub fn shares(&self) -> UtilizationShares {
+        let total = self.total();
+        if total <= 0.0 {
+            return UtilizationShares::default();
+        }
+        let memory = (self.mem_bound / total).clamp(0.0, 1.0);
+        let idle = (self.overhead / total).clamp(0.0, 1.0 - memory);
+        UtilizationShares { busy: (1.0 - memory - idle).max(0.0), memory, idle }
     }
 }
 
@@ -116,25 +136,29 @@ impl GpuModel {
         // globally, so no imbalance penalty applies here.
         let triples = stats.expanded_triples as f64;
         let expand_bytes = stats.traffic.bytes_touched as f64 + 16.0 * triples;
-        let expand = self
-            .mem_seconds(expand_bytes, 0.55)
-            .max(self.compute_seconds(triples, 0.5));
+        let expand_mem = self.mem_seconds(expand_bytes, 0.55);
+        let expand_cmp = self.compute_seconds(triples, 0.5);
+        let expand = expand_mem.max(expand_cmp);
         // Radix sort over the (row, col) keys — CUSP sorts the triple
         // buffer by row and again (stably) by column, so the staging
         // traffic is ~5 pass-equivalents. Bandwidth floor plus the
-        // calibrated end-to-end sort rate, whichever binds.
+        // calibrated end-to-end sort rate, whichever binds; either way the
+        // sort is a memory-system operation, never ALU-bound.
         let sort_bytes = 2.0 * 5.0 * 16.0 * triples;
         let sort = self
             .mem_seconds(sort_bytes, 0.45)
             .max(triples / (self.sort_gtps * 1e9));
         // Compression: segmented reduction with divergent segment ends.
-        let compress = self
-            .mem_seconds(16.0 * triples, 0.45)
-            .max(self.compute_seconds(triples, 0.125));
+        let compress_mem = self.mem_seconds(16.0 * triples, 0.45);
+        let compress_cmp = self.compute_seconds(triples, 0.125);
+        let compress = compress_mem.max(compress_cmp);
         GpuTime {
             expand,
             merge: sort + compress,
             overhead: 6.0 * self.launch_us * 1e-6 + n_rows as f64 * 2e-9,
+            mem_bound: sort
+                + if expand_mem >= expand_cmp { expand } else { 0.0 }
+                + if compress_mem >= compress_cmp { compress } else { 0.0 },
         }
     }
 
@@ -147,20 +171,22 @@ impl GpuModel {
     /// with *density* (more work per row, Fig. 6) and degrades on irregular
     /// matrices (Fig. 7).
     pub fn cusparse_time(&self, stats: &HashStats, n_rows: u64, imbalance: f64) -> GpuTime {
-        let expand = self
-            .mem_seconds(stats.traffic.bytes_touched as f64, 0.40)
-            .max(self.compute_seconds(stats.traffic.multiplies as f64, 0.5));
+        let expand_mem = self.mem_seconds(stats.traffic.bytes_touched as f64, 0.40);
+        let expand_cmp = self.compute_seconds(stats.traffic.multiplies as f64, 0.5);
+        let expand = expand_mem.max(expand_cmp);
         // Hash probes are latency-bound scattered accesses; hub rows
-        // serialize their warps on top of that.
+        // serialize their warps on top of that (the penalty scales the
+        // bound side, so it stays with that side's attribution).
         let t_scatter = stats.probes as f64 / (self.scatter_gaps * 1e9);
-        let merge = t_scatter
-            .max(self.compute_seconds(stats.probes as f64, 0.125))
-            * self.imbalance_penalty(imbalance);
+        let probe_cmp = self.compute_seconds(stats.probes as f64, 0.125);
+        let merge = t_scatter.max(probe_cmp) * self.imbalance_penalty(imbalance);
         GpuTime {
             expand,
             merge,
             overhead: 2.0 * self.launch_us * 1e-6
                 + n_rows as f64 * self.row_overhead_ns * 1e-9,
+            mem_bound: (if expand_mem >= expand_cmp { expand } else { 0.0 })
+                + if t_scatter >= probe_cmp { merge } else { 0.0 },
         }
     }
 
@@ -179,9 +205,10 @@ impl GpuModel {
         merge_elems: u64,
         avg_fanin: f64,
     ) -> GpuTime {
-        let expand = self
-            .mem_seconds(multiply_bytes as f64 + 12.0 * products as f64, 0.55)
-            .max(self.compute_seconds(products as f64, 0.5));
+        let expand_mem =
+            self.mem_seconds(multiply_bytes as f64 + 12.0 * products as f64, 0.55);
+        let expand_cmp = self.compute_seconds(products as f64, 0.5);
+        let expand = expand_mem.max(expand_cmp);
         // Merge: each element's insertion branches on comparisons; with
         // fan-in f, roughly log2(f) divergent branches per element, executed
         // at ~1/warp efficiency. On top of that, the k-way merge is a
@@ -191,11 +218,19 @@ impl GpuModel {
         // not). This is the paper's Fig. 4 negative result: "the SIMD
         // nature of the GPU's processing elements prevent an overall win".
         let branches = merge_elems as f64 * (avg_fanin.max(2.0)).log2();
-        let merge = self
-            .mem_seconds(2.0 * 12.0 * merge_elems as f64, 0.30)
-            .max(self.compute_seconds(branches, 1.0 / self.warp as f64))
-            .max(1.15 * merge_elems as f64 / (self.sort_gtps * 1e9));
-        GpuTime { expand, merge, overhead: 4.0 * self.launch_us * 1e-6 }
+        let merge_mem = self.mem_seconds(2.0 * 12.0 * merge_elems as f64, 0.30);
+        let merge_cmp = self.compute_seconds(branches, 1.0 / self.warp as f64);
+        let merge_sort = 1.15 * merge_elems as f64 / (self.sort_gtps * 1e9);
+        let merge = merge_mem.max(merge_cmp).max(merge_sort);
+        // Divergent branch serialization is execution, not a memory stall;
+        // the bandwidth floor and the sort-class rate cap are.
+        GpuTime {
+            expand,
+            merge,
+            overhead: 4.0 * self.launch_us * 1e-6,
+            mem_bound: (if expand_mem >= expand_cmp { expand } else { 0.0 })
+                + if merge_cmp >= merge_mem.max(merge_sort) { 0.0 } else { merge },
+        }
     }
 
     /// Predicted cuSPARSE SpMV time: the whole matrix is streamed; compute
@@ -256,6 +291,19 @@ mod tests {
         let k40 = GpuModel::tesla_k40();
         let t = k40.outer_product_time(12_000_000, 1_000_000, 16_000_000, 16.0);
         assert!(t.merge > t.expand);
+    }
+
+    #[test]
+    fn shares_are_a_partition_of_total_time() {
+        let a = uniform::matrix(4096, 4096, 50_000, 1);
+        let (_, stats) = esc::spgemm(&a, &a).unwrap();
+        let t = GpuModel::tesla_k40().cusp_time(&stats, 4096);
+        let s = t.shares();
+        assert!((s.busy + s.memory + s.idle - 1.0).abs() < 1e-12);
+        assert!(s.memory > 0.0, "the sort side is always memory-bound");
+        assert!(s.idle > 0.0, "launch overhead must surface as idle");
+        assert!(t.mem_bound <= t.expand + t.merge);
+        assert_eq!(GpuTime::default().shares(), UtilizationShares::default());
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Golden cycle-regression snapshots.
+//!
+//! Each scenario runs a fixed-seed workload through the public simulator
+//! entry points and pins the resulting [`PhaseStats`] (cycles plus the
+//! per-level hit/traffic counters) against numbers captured from the seed
+//! timing model. Cycle counts may drift by at most 0.5%; the functional
+//! counters (hits, misses, bytes, flops, work items) are scheduling-order
+//! dependent only through cache state, so they get the same tolerance.
+//!
+//! If a deliberate timing-model change moves these numbers, re-capture by
+//! running with `GOLDEN_CAPTURE=1 cargo test -p outerspace-sim --test
+//! golden_cycles -- --nocapture` and paste the printed tables.
+
+use outerspace_gen::{rmat, uniform, vector};
+use outerspace_sim::{OuterSpaceConfig, PhaseStats, Simulator};
+
+/// One pinned phase snapshot.
+#[derive(Debug, Clone, Copy)]
+struct Golden {
+    cycles: u64,
+    l0_hits: u64,
+    l0_misses: u64,
+    l1_hits: u64,
+    l1_misses: u64,
+    hbm_read_bytes: u64,
+    hbm_write_bytes: u64,
+    flops: u64,
+    work_items: u64,
+}
+
+const DRIFT: f64 = 0.005;
+
+fn capture_mode() -> bool {
+    std::env::var("GOLDEN_CAPTURE").is_ok_and(|v| v == "1")
+}
+
+fn print_golden(scenario: &str, phase: &str, s: &PhaseStats) {
+    println!(
+        "({scenario}/{phase}) Golden {{ cycles: {}, l0_hits: {}, l0_misses: {}, \
+         l1_hits: {}, l1_misses: {}, hbm_read_bytes: {}, hbm_write_bytes: {}, \
+         flops: {}, work_items: {} }},",
+        s.cycles,
+        s.l0_hits,
+        s.l0_misses,
+        s.l1_hits,
+        s.l1_misses,
+        s.hbm_read_bytes,
+        s.hbm_write_bytes,
+        s.flops,
+        s.work_items
+    );
+}
+
+fn assert_close(scenario: &str, phase: &str, field: &str, got: u64, want: u64) {
+    let tol = (want as f64 * DRIFT).max(0.0);
+    let drift = (got as f64 - want as f64).abs();
+    assert!(
+        drift <= tol,
+        "{scenario}/{phase}: {field} drifted beyond 0.5%: got {got}, golden {want} \
+         (|Δ| = {drift}, tolerance {tol:.1})"
+    );
+}
+
+fn check(scenario: &str, phase: &str, s: &PhaseStats, g: &Golden) {
+    if capture_mode() {
+        print_golden(scenario, phase, s);
+        return;
+    }
+    assert_close(scenario, phase, "cycles", s.cycles, g.cycles);
+    assert_close(scenario, phase, "l0_hits", s.l0_hits, g.l0_hits);
+    assert_close(scenario, phase, "l0_misses", s.l0_misses, g.l0_misses);
+    assert_close(scenario, phase, "l1_hits", s.l1_hits, g.l1_hits);
+    assert_close(scenario, phase, "l1_misses", s.l1_misses, g.l1_misses);
+    assert_close(scenario, phase, "hbm_read_bytes", s.hbm_read_bytes, g.hbm_read_bytes);
+    assert_close(scenario, phase, "hbm_write_bytes", s.hbm_write_bytes, g.hbm_write_bytes);
+    assert_close(scenario, phase, "flops", s.flops, g.flops);
+    assert_close(scenario, phase, "work_items", s.work_items, g.work_items);
+}
+
+fn sim() -> Simulator {
+    Simulator::new(OuterSpaceConfig::default()).expect("default config valid")
+}
+
+/// Symmetric R-MAT product: conversion skipped, multiply + merge pinned.
+#[test]
+fn golden_rmat_spgemm() {
+    let g = rmat::graph500(512, 8000, 4);
+    let (_, rep) = sim().spgemm(&g, &g).unwrap();
+    assert!(rep.convert.is_none(), "graph500 input is symmetric");
+    check(
+        "rmat_spgemm",
+        "multiply",
+        &rep.multiply,
+        &Golden {
+            cycles: 99152,
+            l0_hits: 125313,
+            l0_misses: 11150,
+            l1_hits: 7325,
+            l1_misses: 3825,
+            hbm_read_bytes: 244800,
+            hbm_write_bytes: 8095744,
+            flops: 627471,
+            work_items: 9357,
+        },
+    );
+    check(
+        "rmat_spgemm",
+        "merge",
+        &rep.merge,
+        &Golden {
+            cycles: 224343,
+            l0_hits: 19,
+            l0_misses: 129389,
+            l1_hits: 27,
+            l1_misses: 129362,
+            hbm_read_bytes: 8279168,
+            hbm_write_bytes: 1779328,
+            flops: 497054,
+            work_items: 461,
+        },
+    );
+}
+
+/// Asymmetric uniform product: all three SpGEMM phases pinned.
+#[test]
+fn golden_uniform_spgemm() {
+    let a = uniform::matrix(384, 384, 6000, 7);
+    let b = uniform::matrix(384, 384, 6000, 11);
+    let (_, rep) = sim().spgemm(&a, &b).unwrap();
+    let conv = rep.convert.expect("uniform input is asymmetric");
+    check(
+        "uniform_spgemm",
+        "convert",
+        &conv,
+        &Golden {
+            cycles: 4538,
+            l0_hits: 264,
+            l0_misses: 2706,
+            l1_hits: 456,
+            l1_misses: 2250,
+            hbm_read_bytes: 144000,
+            hbm_write_bytes: 190080,
+            flops: 0,
+            work_items: 6000,
+        },
+    );
+    check(
+        "uniform_spgemm",
+        "multiply",
+        &rep.multiply,
+        &Golden {
+            cycles: 20038,
+            l0_hits: 25744,
+            l0_misses: 4255,
+            l1_hits: 1771,
+            l1_misses: 2484,
+            hbm_read_bytes: 158976,
+            hbm_write_bytes: 1484736,
+            flops: 93625,
+            work_items: 6000,
+        },
+    );
+    check(
+        "uniform_spgemm",
+        "merge",
+        &rep.merge,
+        &Golden {
+            cycles: 28074,
+            l0_hits: 5,
+            l0_misses: 23194,
+            l1_hits: 134,
+            l1_misses: 23060,
+            hbm_read_bytes: 1475840,
+            hbm_write_bytes: 857472,
+            flops: 24059,
+            work_items: 384,
+        },
+    );
+}
+
+/// Outer-product SpMV: both passes fold into one report; multiply + merge
+/// phases pinned.
+#[test]
+fn golden_spmv() {
+    let a = uniform::matrix(1024, 1024, 16384, 8).to_csc();
+    let x = vector::sparse(1024, 0.1, 9);
+    let (_, rep) = sim().spmv(&a, &x).unwrap();
+    check(
+        "spmv",
+        "multiply",
+        &rep.multiply,
+        &Golden {
+            cycles: 825,
+            l0_hits: 102,
+            l0_misses: 431,
+            l1_hits: 0,
+            l1_misses: 431,
+            hbm_read_bytes: 27584,
+            hbm_write_bytes: 25536,
+            flops: 1641,
+            work_items: 102,
+        },
+    );
+    check(
+        "spmv",
+        "merge",
+        &rep.merge,
+        &Golden {
+            cycles: 512,
+            l0_hits: 0,
+            l0_misses: 360,
+            l1_hits: 60,
+            l1_misses: 300,
+            hbm_read_bytes: 19200,
+            hbm_write_bytes: 13824,
+            flops: 821,
+            work_items: 820,
+        },
+    );
+}
+
+/// N-way element-wise sum riding the merge datapath.
+#[test]
+fn golden_elementwise() {
+    let mats: Vec<_> =
+        (0..4).map(|s| uniform::matrix(256, 256, 3000, 20 + s)).collect();
+    let refs: Vec<&_> = mats.iter().collect();
+    let (_, rep) = sim().elementwise_sum(&refs).unwrap();
+    check(
+        "elementwise",
+        "merge",
+        &rep.merge,
+        &Golden {
+            cycles: 3688,
+            l0_hits: 0,
+            l0_misses: 3219,
+            l1_hits: 946,
+            l1_misses: 2273,
+            hbm_read_bytes: 145472,
+            hbm_write_bytes: 149504,
+            flops: 790,
+            work_items: 256,
+        },
+    );
+}

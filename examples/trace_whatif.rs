@@ -21,7 +21,7 @@ fn main() {
     let a = outerspace::gen::powerlaw::graph(8192, 90_000, 7);
     let base_cfg = OuterSpaceConfig::default();
     let t0 = std::time::Instant::now();
-    let (direct, _, trace) = record_multiply(&base_cfg, &a.to_csc(), &a);
+    let (direct, _, trace) = record_multiply(&base_cfg, &a.to_csc(), &a).unwrap();
     println!(
         "recorded {} chunk items / {} MACs in {:?} (direct multiply phase: {} cycles)",
         trace.chunk_count(),

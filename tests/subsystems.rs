@@ -40,7 +40,7 @@ fn elementwise_sum_rejects_bad_input() {
 fn trace_replay_is_cycle_exact_through_public_api() {
     let cfg = OuterSpaceConfig::default();
     let a = outerspace::gen::rmat::graph500(512, 5000, 11);
-    let (direct, _, trace) = record_multiply(&cfg, &a.to_csc(), &a);
+    let (direct, _, trace) = record_multiply(&cfg, &a.to_csc(), &a).unwrap();
     let replayed = replay_multiply(&cfg, &trace);
     assert_eq!(direct.cycles, replayed.cycles);
     assert_eq!(direct.hbm_read_bytes, replayed.hbm_read_bytes);
