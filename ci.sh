@@ -63,4 +63,20 @@ if ./target/release/oracle --replay "$REPRO_DIR" > "$ORACLE_OUT/replay2.txt"; th
 fi
 diff "$ORACLE_OUT/replay1.txt" "$ORACLE_OUT/replay2.txt"
 
+echo "==> dse --smoke (deterministic sweep + memo-cache gate)"
+DSE_OUT="$(mktemp -d)"
+trap 'rm -rf "$HERMETIC_CARGO_HOME" "$SMOKE_OUT" "$ORACLE_OUT" "$DSE_OUT"' EXIT
+# First run simulates every point of the bundled 64-point smoke grid; a
+# second run with the same seed must (a) serve every point from the
+# content-addressed cache (0 re-simulations) and (b) regenerate the Pareto
+# report byte-identically. A third run against a *fresh* cache proves the
+# bytes are a function of the spec + seed, not of cache state.
+./target/release/dse --smoke --out "$DSE_OUT/a"
+./target/release/dse --smoke --out "$DSE_OUT/a" | tee "$DSE_OUT/second_run.txt"
+grep -q "0 simulated, 64 cache hits (100% hit rate)" "$DSE_OUT/second_run.txt"
+cp "$DSE_OUT/a/dse_smoke_pareto.json" "$DSE_OUT/first_pareto.json"
+./target/release/dse --smoke --out "$DSE_OUT/b"
+diff "$DSE_OUT/first_pareto.json" "$DSE_OUT/b/dse_smoke_pareto.json"
+diff "$DSE_OUT/first_pareto.json" "$DSE_OUT/a/dse_smoke_pareto.json"
+
 echo "==> ci.sh: all gates passed"

@@ -1,0 +1,202 @@
+//! `dse` — design-space exploration driver.
+//!
+//! Sweeps a declarative parameter space over the OuterSPACE simulator,
+//! memoizing every point in a content-addressed cache and emitting the
+//! Pareto/sensitivity report. Rides the same crash-safe runner as the
+//! figure harnesses, so `--resume` and the case manifest work identically.
+//!
+//! ```text
+//! dse [--space NAME|FILE] [--samples N] [--threads N] [--pareto-out FILE]
+//!     [--cache DIR] [--smoke] [--scale N] [--full] [--seed N] [--out DIR]
+//!     [--resume] [--max-case-secs S]
+//! ```
+//!
+//! * `--space` — a bundled spec (`smoke`, `sec73_alpha`, `sec8_scaling`) or
+//!   a path to a spec JSON file. Default `smoke`.
+//! * `--samples N` — override the spec's sample count (`0` = full grid).
+//! * `--threads N` — worker threads (default: one per core).
+//! * `--pareto-out FILE` — where the Pareto report goes (default
+//!   `<out>/dse_<spec>_pareto.json`).
+//! * `--cache DIR` — the memo cache directory (default `<out>/dse_cache`).
+//! * `--smoke` — CI gate: run the bundled `smoke` grid unscaled and assert
+//!   it has ≥ 64 points, includes the paper-default config, and produces a
+//!   non-empty frontier; exit 1 on any violation.
+//!
+//! Exit status: 0 on success, 1 on a failed sweep or smoke assertion, 2 on
+//! a malformed command line.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use outerspace::dse::SpaceSpec;
+use outerspace::sim::OuterSpaceConfig;
+use outerspace_bench::harnesses::dse;
+use outerspace_bench::runner::Runner;
+use outerspace_bench::{HarnessOpts, UsageError};
+use outerspace_json::{Json, ToJson};
+
+const USAGE: &str = "usage: dse [--space NAME|FILE] [--samples N] [--threads N] \
+     [--pareto-out FILE] [--cache DIR] [--smoke] [--scale N] [--full] [--seed N] \
+     [--out DIR] [--resume] [--max-case-secs S]";
+
+struct DseArgs {
+    space: String,
+    samples: Option<usize>,
+    threads: usize,
+    pareto_out: Option<PathBuf>,
+    cache: Option<PathBuf>,
+    smoke: bool,
+    harness: HarnessOpts,
+}
+
+fn usage_error(message: impl Into<String>) -> UsageError {
+    UsageError { message: message.into() }
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<DseArgs, UsageError> {
+    let mut space = "smoke".to_string();
+    let mut samples = None;
+    let mut threads = dse::default_threads();
+    let mut pareto_out = None;
+    let mut cache = None;
+    let mut smoke = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--space" => {
+                space = args.next().ok_or_else(|| usage_error("--space needs a name or file"))?;
+            }
+            "--samples" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| usage_error("--samples needs a non-negative integer"))?;
+                samples = Some(v.parse().map_err(|_| {
+                    usage_error(format!("--samples: '{v}' is not a non-negative integer"))
+                })?);
+            }
+            "--threads" => {
+                let v =
+                    args.next().ok_or_else(|| usage_error("--threads needs a positive integer"))?;
+                threads = v.parse().map_err(|_| {
+                    usage_error(format!("--threads: '{v}' is not a positive integer"))
+                })?;
+                if threads == 0 {
+                    return Err(usage_error("--threads must be at least 1"));
+                }
+            }
+            "--pareto-out" => {
+                let v = args.next().ok_or_else(|| usage_error("--pareto-out needs a file"))?;
+                pareto_out = Some(PathBuf::from(v));
+            }
+            "--cache" => {
+                let v = args.next().ok_or_else(|| usage_error("--cache needs a directory"))?;
+                cache = Some(PathBuf::from(v));
+            }
+            "--smoke" => smoke = true,
+            other => rest.push(other.to_string()),
+        }
+    }
+    let harness = HarnessOpts::parse(rest, dse::DEFAULTS)?;
+    Ok(DseArgs { space, samples, threads, pareto_out, cache, smoke, harness })
+}
+
+fn load_spec(name_or_path: &str) -> Result<SpaceSpec, String> {
+    if let Some(spec) = SpaceSpec::bundled(name_or_path) {
+        return Ok(spec);
+    }
+    let text = std::fs::read_to_string(name_or_path)
+        .map_err(|e| format!("'{name_or_path}' is not a bundled spec and not readable: {e}"))?;
+    SpaceSpec::parse_str(&text)
+}
+
+fn smoke_gate(row: &Json, points: &[outerspace::dse::DsePoint]) -> Result<(), String> {
+    let n = row.get("points").and_then(Json::as_u64).unwrap_or(0);
+    if n < 64 {
+        return Err(format!("smoke sweep has {n} points, needs >= 64"));
+    }
+    let default_canon = OuterSpaceConfig::default().to_json().to_string_compact();
+    if !points.iter().any(|p| p.config_canonical() == default_canon) {
+        return Err("smoke space does not include the paper-default config".into());
+    }
+    let frontier = row.get("frontier").and_then(Json::as_u64).unwrap_or(0);
+    if frontier == 0 {
+        return Err("smoke sweep produced an empty Pareto frontier".into());
+    }
+    if row.get("failed").and_then(Json::as_u64).unwrap_or(1) != 0 {
+        return Err("smoke sweep had failed points".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut a = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if a.smoke {
+        // The CI gate pins the spec and runs it unscaled so the point count
+        // and the default-config membership are invariant.
+        a.space = "smoke".to_string();
+        a.harness.full = true;
+    }
+    let spec = match load_spec(&a.space) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let pareto_path = a
+        .pareto_out
+        .clone()
+        .unwrap_or_else(|| a.harness.out_dir.join(format!("dse_{}_pareto.json", spec.name)));
+    let cache_dir = a.cache.clone().unwrap_or_else(|| dse::cache_dir(&a.harness));
+
+    println!(
+        "# dse: space '{}' ({} axes, {} workloads), {} workers",
+        spec.name,
+        spec.axes.len(),
+        spec.workloads.len(),
+        a.threads
+    );
+
+    let mut runner = Runner::new("dse", &a.harness);
+    let case_spec = spec.clone();
+    let case_opts = a.harness.clone();
+    let (samples, threads) = (a.samples, a.threads);
+    let (case_cache, case_pareto) = (cache_dir.clone(), pareto_path.clone());
+    let row = runner.run_case(&spec.name, move || {
+        dse::sweep_spec(&case_spec, &case_opts, samples, threads, &case_cache, &case_pareto)
+    });
+    let summary = runner.finalize();
+
+    let Some(row) = row else {
+        eprintln!("error: sweep did not complete (see {})", summary.out_path);
+        return ExitCode::from(1);
+    };
+    if a.smoke {
+        // Re-expand for the membership check (cheap; simulation is cached).
+        let scaled = if a.harness.full { spec.clone() } else { spec.scaled(a.harness.scale) };
+        match scaled
+            .expand(a.samples, a.harness.seed)
+            .map_err(|e| e.to_string())
+            .and_then(|points| smoke_gate(&row, &points))
+        {
+            Ok(()) => println!("# smoke gate: ok"),
+            Err(e) => {
+                eprintln!("error: smoke gate failed: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    // Standing of the default design, for the terminal reader.
+    if let Some(status) = row.get("default_config").and_then(Json::as_str) {
+        println!("# paper-default config: {status}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,163 @@
+//! Design-space exploration harness: drives the bundled `outerspace-dse`
+//! parameter spaces (the CI `smoke` grid, the §7.3 α sweep, the §8 scaling
+//! study) through the crash-safe runner.
+//!
+//! Each spec is one runner case: expand the space, fan it over a
+//! work-stealing worker pool with the content-addressed sim cache under
+//! `<out>/dse_cache/`, then emit the Pareto/sensitivity report to
+//! `<out>/dse_<spec>_pareto.json`. The Pareto file contains no wall-clock
+//! fields and is written in fixed field order, so two runs of the same spec
+//! and seed produce byte-identical files — the property `ci.sh` diffs. The
+//! point-level cache also makes the sweep resumable: a rerun (or a crash
+//! recovery) re-simulates only points that never completed.
+
+use std::path::{Path, PathBuf};
+
+use outerspace::dse::{self, SimCache, SpaceSpec};
+use outerspace_json::dump;
+
+use crate::runner::{CaseResult, Runner, RunSummary};
+use crate::{HarnessDefaults, HarnessOpts};
+
+/// Artifact basename.
+pub const NAME: &str = "dse";
+/// Per-binary defaults.
+pub const DEFAULTS: HarnessDefaults = HarnessDefaults { scale: 1, max_case_secs: 1200.0 };
+
+/// One spec's sweep summary row.
+pub struct Row {
+    /// Spec name.
+    pub spec: String,
+    /// Expanded points.
+    pub points: u64,
+    /// Points simulated this run.
+    pub simulated: u64,
+    /// Points served from the memo cache.
+    pub cache_hits: u64,
+    /// Points whose config failed `validate()`.
+    pub invalid: u64,
+    /// Points that errored or panicked.
+    pub failed: u64,
+    /// Distinct configs after aggregation.
+    pub configs: u64,
+    /// Configs on the Pareto frontier.
+    pub frontier: u64,
+    /// Where the paper default landed: `on_frontier` / `dominated` / `absent`.
+    pub default_config: String,
+    /// Where the Pareto report was written.
+    pub pareto_path: String,
+}
+
+outerspace_json::impl_to_json!(Row {
+    spec,
+    points,
+    simulated,
+    cache_hits,
+    invalid,
+    failed,
+    configs,
+    frontier,
+    default_config,
+    pareto_path,
+});
+
+/// Default worker count: one per core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Expands and sweeps one spec, writes its Pareto report, and returns the
+/// summary row. Shared by this harness and the `dse` binary.
+///
+/// # Errors
+///
+/// Expansion failures (bad spec), cache I/O errors, and Pareto-write
+/// failures — all as case-skipping strings.
+pub fn sweep_spec(
+    spec: &SpaceSpec,
+    opts: &HarnessOpts,
+    samples: Option<usize>,
+    threads: usize,
+    cache_dir: &Path,
+    pareto_path: &Path,
+) -> CaseResult<Row> {
+    let scaled = if opts.full { spec.clone() } else { spec.scaled(opts.scale) };
+    let points = scaled.expand(samples, opts.seed)?;
+    let mut cache = SimCache::open(cache_dir).map_err(|e| format!("open sim cache: {e}"))?;
+    let sweep = dse::run_sweep(&points, &mut cache, threads);
+    let report = dse::analyze(&points, &sweep.outcomes);
+
+    let mut pareto = report.to_json().to_string_pretty();
+    pareto.push('\n');
+    dump::write_atomic(pareto_path, &pareto)
+        .map_err(|e| format!("write {}: {e}", pareto_path.display()))?;
+
+    let default_config = match &report.default_status {
+        dse::DefaultStatus::Absent => "absent".to_string(),
+        dse::DefaultStatus::OnFrontier => "on_frontier".to_string(),
+        dse::DefaultStatus::DominatedBy(ids) => format!("dominated_by:{ids:?}"),
+    };
+    let row = Row {
+        spec: scaled.name.clone(),
+        points: points.len() as u64,
+        simulated: sweep.simulated as u64,
+        cache_hits: sweep.cache_hits as u64,
+        invalid: sweep.invalid as u64,
+        failed: sweep.failed as u64,
+        configs: report.configs.len() as u64,
+        frontier: report.frontier.len() as u64,
+        default_config,
+        pareto_path: pareto_path.display().to_string(),
+    };
+    print_row(&row, &sweep);
+    Ok(row)
+}
+
+fn print_row(row: &Row, sweep: &dse::SweepResult) {
+    println!(
+        "# dse spec {}: {} points | {} simulated, {} cache hits ({:.0}% hit rate), \
+         {} invalid, {} failed",
+        row.spec,
+        row.points,
+        row.simulated,
+        row.cache_hits,
+        100.0 * sweep.hit_rate(),
+        row.invalid,
+        row.failed,
+    );
+    println!(
+        "#   pareto: {} of {} configs on the frontier | default config {} | {}",
+        row.frontier, row.configs, row.default_config, row.pareto_path
+    );
+}
+
+/// Location of the shared point cache under the output directory.
+pub fn cache_dir(opts: &HarnessOpts) -> PathBuf {
+    opts.out_dir.join("dse_cache")
+}
+
+/// Runs every bundled space through the crash-safe runner.
+pub fn run(opts: &HarnessOpts) -> RunSummary {
+    let mut runner = Runner::new(NAME, opts);
+    println!(
+        "# design-space exploration over the bundled specs (scale {}x, {} workers)",
+        opts.scale,
+        default_threads()
+    );
+    for &name in SpaceSpec::BUNDLED {
+        let case_opts = opts.clone();
+        runner.run_case(name, move || -> CaseResult<Row> {
+            let spec = SpaceSpec::bundled(name).ok_or("bundled spec vanished")?;
+            let pareto_path = case_opts.out_dir.join(format!("dse_{name}_pareto.json"));
+            sweep_spec(
+                &spec,
+                &case_opts,
+                None,
+                default_threads(),
+                &cache_dir(&case_opts),
+                &pareto_path,
+            )
+        });
+    }
+    runner.finalize()
+}

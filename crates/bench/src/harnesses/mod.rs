@@ -13,6 +13,7 @@ use crate::runner::{CaseResult, Runner, RunSummary};
 use crate::{HarnessDefaults, HarnessOpts};
 
 pub mod ablations;
+pub mod dse;
 pub mod fig03;
 pub mod fig04;
 pub mod fig06;
@@ -58,6 +59,7 @@ pub const ALL: &[Harness] = &[
         smoke_scale: 16,
         run: ablations::run,
     },
+    Harness { name: dse::NAME, defaults: dse::DEFAULTS, smoke_scale: 32, run: dse::run },
 ];
 
 /// Looks a harness up by its artifact name.

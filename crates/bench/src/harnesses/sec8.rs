@@ -23,7 +23,7 @@ pub const DEFAULTS: HarnessDefaults = HarnessDefaults { scale: 1, max_case_secs:
 
 struct Row {
     system: String,
-    pes: u32,
+    pes: u64,
     bandwidth_gbps: u64,
     workload_nnz: usize,
     seconds: f64,

@@ -40,11 +40,13 @@
 //! | [`baselines`] | MKL / cuSPARSE / CUSP analogs |
 //! | [`sim`] | The accelerator timing simulator (§5–§6) + CPU/GPU models |
 //! | [`energy`] | Power & area model (Table 6) |
+//! | [`dse`] | Design-space exploration: sweeps, memo cache, Pareto frontier |
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub use outerspace_baselines as baselines;
+pub use outerspace_dse as dse;
 pub use outerspace_energy as energy;
 pub use outerspace_gen as gen;
 pub use outerspace_json as json;

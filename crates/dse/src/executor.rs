@@ -1,0 +1,410 @@
+//! The parallel sweep executor: fans expanded [`DsePoint`]s over a
+//! work-stealing pool of worker threads, memoizing every simulated point in
+//! the [`SimCache`].
+//!
+//! Workers pull point indices from one shared atomic counter (work stealing
+//! without queues: whichever thread frees up takes the next index), so an
+//! expensive point never serializes the sweep behind it. Each point:
+//!
+//! 1. `validate()`s its config — invalid corners of the space are *skipped*,
+//!    not fatal;
+//! 2. probes the cache under its content address — a hit costs one hash;
+//! 3. on a miss, synthesizes the workload and runs convert + multiply +
+//!    merge through `sim::engine` with cycle breakdowns, prices the design
+//!    with the Table 6 area/power model, and appends the metrics to the
+//!    cache.
+//!
+//! Outcomes are returned sorted by point index, and every metric is a pure
+//! function of (config, workload, seed) — so a re-run with the same seed
+//! produces byte-identical reports whether the numbers came from the
+//! simulator or from the cache.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use outerspace_energy::AreaPowerModel;
+use outerspace_json::{Json, ToJson};
+use outerspace_sim::phases::merge::{self, RowMergeInfo};
+use outerspace_sim::phases::{convert, multiply};
+use outerspace_sim::{alloc, SimReport};
+
+use crate::cache::{key_material, SimCache};
+use crate::spec::DsePoint;
+
+/// What happened to one design point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointOutcome {
+    /// Simulated (or recalled) successfully.
+    Ok {
+        /// Point index in expansion order.
+        index: usize,
+        /// The deterministic metrics object (see [`module docs`](self)).
+        metrics: Json,
+        /// True when served from the memo cache without simulating.
+        cached: bool,
+    },
+    /// The config failed `validate()`; the point was skipped.
+    Invalid {
+        /// Point index in expansion order.
+        index: usize,
+        /// The validation error.
+        reason: String,
+    },
+    /// The simulator returned an error or panicked.
+    Failed {
+        /// Point index in expansion order.
+        index: usize,
+        /// What went wrong.
+        error: String,
+    },
+}
+
+impl PointOutcome {
+    /// The point index this outcome belongs to.
+    pub fn index(&self) -> usize {
+        match *self {
+            PointOutcome::Ok { index, .. }
+            | PointOutcome::Invalid { index, .. }
+            | PointOutcome::Failed { index, .. } => index,
+        }
+    }
+}
+
+/// Aggregate result of one sweep.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// One outcome per point, sorted by point index.
+    pub outcomes: Vec<PointOutcome>,
+    /// Points served from the cache.
+    pub cache_hits: usize,
+    /// Points actually simulated this run.
+    pub simulated: usize,
+    /// Points skipped because their config failed validation.
+    pub invalid: usize,
+    /// Points that errored or panicked.
+    pub failed: usize,
+}
+
+impl SweepResult {
+    /// `cache_hits / (cache_hits + simulated)`, or 1.0 for an empty sweep.
+    pub fn hit_rate(&self) -> f64 {
+        let evaluated = self.cache_hits + self.simulated;
+        if evaluated == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / evaluated as f64
+        }
+    }
+}
+
+/// Runs every point, fanning across `threads` workers (≥ 1; a value of 0 is
+/// treated as 1). The cache is shared under a mutex — held only around the
+/// lookup and the insert, never across a simulation.
+pub fn run_sweep(points: &[DsePoint], cache: &mut SimCache, threads: usize) -> SweepResult {
+    let threads = threads.max(1).min(points.len().max(1));
+    let next = AtomicUsize::new(0);
+    let shared_cache = Mutex::new(&mut *cache);
+    let outcomes_mx: Mutex<Vec<PointOutcome>> = Mutex::new(Vec::with_capacity(points.len()));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let outcome = evaluate(&points[i], &shared_cache);
+                outcomes_mx.lock().unwrap().push(outcome);
+            });
+        }
+    });
+
+    let mut outcomes = outcomes_mx.into_inner().unwrap();
+    outcomes.sort_by_key(PointOutcome::index);
+    let cache_hits =
+        outcomes.iter().filter(|o| matches!(o, PointOutcome::Ok { cached: true, .. })).count();
+    let simulated =
+        outcomes.iter().filter(|o| matches!(o, PointOutcome::Ok { cached: false, .. })).count();
+    let invalid = outcomes.iter().filter(|o| matches!(o, PointOutcome::Invalid { .. })).count();
+    let failed = outcomes.iter().filter(|o| matches!(o, PointOutcome::Failed { .. })).count();
+    SweepResult { outcomes, cache_hits, simulated, invalid, failed }
+}
+
+fn evaluate(point: &DsePoint, cache: &Mutex<&mut SimCache>) -> PointOutcome {
+    let index = point.index;
+    if let Err(e) = point.config.validate() {
+        return PointOutcome::Invalid { index, reason: e.to_string() };
+    }
+    // The workload seed folds in the generator identity via the manifest, so
+    // two workloads in one spec get decorrelated streams from one sweep seed.
+    let seed = point.workload_seed();
+    let material = key_material(
+        &point.config_canonical(),
+        &point.workload.manifest(seed).to_string_compact(),
+        point.alpha,
+    );
+    if let Some(metrics) = cache.lock().unwrap().lookup(&material) {
+        return PointOutcome::Ok { index, metrics: metrics.clone(), cached: true };
+    }
+    let sim = panic::catch_unwind(AssertUnwindSafe(|| simulate_point(point, seed)));
+    match sim {
+        Ok(Ok(metrics)) => {
+            if let Err(e) = cache.lock().unwrap().insert(&material, metrics.clone()) {
+                return PointOutcome::Failed { index, error: format!("cache append: {e}") };
+            }
+            PointOutcome::Ok { index, metrics, cached: false }
+        }
+        Ok(Err(error)) => PointOutcome::Failed { index, error },
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic".to_string());
+            PointOutcome::Failed { index, error: format!("panic: {msg}") }
+        }
+    }
+}
+
+impl DsePoint {
+    /// The workload-synthesis seed for this point: the sweep-independent
+    /// generator identity keeps distinct workloads on distinct streams.
+    pub fn workload_seed(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.workload.label().bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Simulates one point end to end and flattens everything downstream
+/// analysis needs into one deterministic metrics object (fixed key order,
+/// pure function of the inputs).
+fn simulate_point(point: &DsePoint, seed: u64) -> Result<Json, String> {
+    let cfg = &point.config;
+    let a = point.workload.generate(seed)?;
+
+    // The full three-phase pipeline, mirroring `Simulator::spgemm` but
+    // through the `_with_breakdown` entry points so utilization comes along.
+    let (a_cc, conv_soft) = outerspace_outer::csr_to_csc_via_outer(&a);
+    let convert_stats = if conv_soft.skipped_symmetric {
+        None
+    } else {
+        Some(convert::simulate_convert(cfg, &a).map_err(|e| e.to_string())?)
+    };
+    let (mult_stats, layout, mult_bd) =
+        multiply::simulate_multiply_with_breakdown(cfg, &a_cc, &a).map_err(|e| e.to_string())?;
+    let (pp, _) = outerspace_outer::multiply(&a_cc, &a).map_err(|e| e.to_string())?;
+    let (c, _) = outerspace_outer::merge(pp, outerspace_outer::MergeKind::Streaming);
+    let rows: Vec<RowMergeInfo> = (0..layout.nrows())
+        .map(|i| {
+            let produced: u64 = layout.row(i).iter().map(|ch| ch.len as u64).sum();
+            let out = c.row_nnz(i) as u64;
+            RowMergeInfo {
+                out_len: out as u32,
+                collisions: produced.saturating_sub(out) as u32,
+            }
+        })
+        .collect();
+    let (merge_stats, merge_bd) =
+        merge::simulate_merge_with_breakdown(cfg, &layout, &rows).map_err(|e| e.to_string())?;
+
+    let report = SimReport {
+        convert: convert_stats,
+        multiply: mult_stats,
+        merge: merge_stats,
+        config: cfg.clone(),
+    };
+
+    // Price the design: measured-activity power, config-only area, energy.
+    let model = AreaPowerModel::tsmc32nm();
+    let table6 = model.table6(cfg, Some(&report));
+    let energy = model.energy_report(cfg, &report);
+
+    let mut pairs = vec![
+        ("cycles".to_string(), Json::UInt(report.total_cycles())),
+        ("seconds".to_string(), Json::Float(report.seconds())),
+        ("gflops".to_string(), Json::Float(report.gflops())),
+        ("power_w".to_string(), Json::Float(table6.total_power_w())),
+        ("area_mm2".to_string(), Json::Float(table6.total_area_mm2())),
+        ("energy_j".to_string(), Json::Float(energy.total_j)),
+        ("edp_js".to_string(), Json::Float(energy.energy_delay_js)),
+        ("nj_per_flop".to_string(), Json::Float(energy.nj_per_flop)),
+        (
+            "convert_cycles".to_string(),
+            Json::UInt(report.convert.as_ref().map_or(0, |p| p.cycles)),
+        ),
+        ("multiply_cycles".to_string(), Json::UInt(report.multiply.cycles)),
+        ("merge_cycles".to_string(), Json::UInt(report.merge.cycles)),
+        ("flops".to_string(), Json::UInt(report.flops())),
+        ("hbm_bytes".to_string(), Json::UInt(report.hbm_bytes())),
+        ("result_nnz".to_string(), Json::UInt(c.nnz() as u64)),
+        (
+            "multiply_l0_hit_rate".to_string(),
+            Json::Float(report.multiply.l0_hit_rate()),
+        ),
+        (
+            "multiply_busy_share".to_string(),
+            Json::Float(mult_bd.busy_cycles as f64 / mult_bd.total_pe_cycles().max(1) as f64),
+        ),
+        (
+            "merge_busy_share".to_string(),
+            Json::Float(merge_bd.busy_cycles as f64 / merge_bd.total_pe_cycles().max(1) as f64),
+        ),
+        (
+            "hbm_mean_occupancy".to_string(),
+            Json::Float(mult_bd.mean_channel_occupancy()),
+        ),
+    ];
+
+    if let Some(alpha) = point.alpha {
+        let reports = alloc::analyze(&a_cc, &a, &[alpha]);
+        let r = reports.first().ok_or("alloc::analyze returned nothing")?;
+        pairs.push((
+            "alloc".to_string(),
+            Json::Obj(vec![
+                ("alpha".into(), Json::Float(r.alpha)),
+                ("dynamic_requests".into(), Json::UInt(r.dynamic_requests)),
+                ("static_elements".into(), Json::UInt(r.static_elements)),
+                ("spilled_elements".into(), Json::UInt(r.spilled_elements)),
+                ("wasted_elements".into(), Json::UInt(r.wasted_elements)),
+            ]),
+        ));
+    }
+    Ok(Json::Obj(pairs))
+}
+
+/// Serializes one outcome for reports (fixed field order; `metrics` omitted
+/// for non-`Ok` outcomes).
+pub fn outcome_json(point: &DsePoint, outcome: &PointOutcome) -> Json {
+    let mut pairs = vec![
+        ("index".to_string(), Json::UInt(point.index as u64)),
+        ("workload".to_string(), Json::Str(point.workload.label())),
+        ("knobs".to_string(), point.knobs_json()),
+    ];
+    if let Some(a) = point.alpha {
+        pairs.push(("alpha".to_string(), Json::Float(a)));
+    }
+    match outcome {
+        PointOutcome::Ok { metrics, cached, .. } => {
+            pairs.push(("status".to_string(), Json::Str("ok".into())));
+            pairs.push(("cached".to_string(), cached.to_json()));
+            pairs.push(("metrics".to_string(), metrics.clone()));
+        }
+        PointOutcome::Invalid { reason, .. } => {
+            pairs.push(("status".to_string(), Json::Str("invalid".into())));
+            pairs.push(("reason".to_string(), Json::Str(reason.clone())));
+        }
+        PointOutcome::Failed { error, .. } => {
+            pairs.push(("status".to_string(), Json::Str("failed".into())));
+            pairs.push(("reason".to_string(), Json::Str(error.clone())));
+        }
+    }
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpaceSpec;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("outerspace-dse-exec-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn tiny_spec() -> SpaceSpec {
+        SpaceSpec::parse_str(
+            r#"{"name":"t","axes":[{"knob":"n_tiles","values":[4,8]}],
+              "workloads":[{"kind":"uniform","n":48,"nnz":200}]}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sweep_simulates_then_recalls_identically() {
+        let dir = scratch("recall");
+        let points = tiny_spec().expand(None, 9).unwrap();
+        let mut cache = SimCache::open(&dir).unwrap();
+        let first = run_sweep(&points, &mut cache, 2);
+        assert_eq!(first.simulated, 2);
+        assert_eq!(first.cache_hits, 0);
+        assert_eq!(first.failed + first.invalid, 0);
+
+        let mut cache2 = SimCache::open(&dir).unwrap();
+        let second = run_sweep(&points, &mut cache2, 2);
+        assert_eq!(second.simulated, 0, "rerun must be all cache hits");
+        assert_eq!(second.cache_hits, 2);
+        assert!((second.hit_rate() - 1.0).abs() < 1e-12);
+        for (a, b) in first.outcomes.iter().zip(&second.outcomes) {
+            let (PointOutcome::Ok { metrics: ma, .. }, PointOutcome::Ok { metrics: mb, .. }) =
+                (a, b)
+            else {
+                panic!("non-ok outcome");
+            };
+            assert_eq!(
+                ma.to_string_compact(),
+                mb.to_string_compact(),
+                "cached metrics must be byte-identical"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_points_are_skipped_not_fatal() {
+        let dir = scratch("invalid");
+        // l0_ways = 3 is not a power of two: validate() rejects it.
+        let spec = SpaceSpec::parse_str(
+            r#"{"name":"t","axes":[{"knob":"l0_ways","values":[3,4]}],
+              "workloads":[{"kind":"uniform","n":48,"nnz":200}]}"#,
+        )
+        .unwrap();
+        let points = spec.expand(None, 9).unwrap();
+        let mut cache = SimCache::open(&dir).unwrap();
+        let r = run_sweep(&points, &mut cache, 2);
+        assert_eq!(r.invalid, 1);
+        assert_eq!(r.simulated, 1);
+        assert!(matches!(r.outcomes[0], PointOutcome::Invalid { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn alpha_points_carry_allocation_analysis() {
+        let dir = scratch("alpha");
+        let spec = SpaceSpec::parse_str(
+            r#"{"name":"t","axes":[],"alphas":[1.0,2.0],
+              "workloads":[{"kind":"uniform","n":48,"nnz":200}]}"#,
+        )
+        .unwrap();
+        let points = spec.expand(None, 9).unwrap();
+        let mut cache = SimCache::open(&dir).unwrap();
+        let r = run_sweep(&points, &mut cache, 1);
+        assert_eq!(r.simulated, 2);
+        for o in &r.outcomes {
+            let PointOutcome::Ok { metrics, .. } = o else { panic!("non-ok") };
+            let alloc = metrics.get("alloc").expect("alpha point has alloc block");
+            assert!(alloc.get("alpha").and_then(Json::as_f64).unwrap() >= 1.0);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_workloads_use_distinct_seeds() {
+        let spec = SpaceSpec::parse_str(
+            r#"{"name":"t","axes":[],
+              "workloads":[{"kind":"uniform","n":48,"nnz":200},
+                           {"kind":"uniform","n":64,"nnz":200}]}"#,
+        )
+        .unwrap();
+        let pts = spec.expand(None, 1).unwrap();
+        assert_ne!(pts[0].workload_seed(), pts[1].workload_seed());
+    }
+}

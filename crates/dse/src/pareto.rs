@@ -1,0 +1,428 @@
+//! Post-sweep analysis: per-config aggregation, the Pareto frontier over
+//! {cycles, power, area}, per-knob sensitivity slopes, and the best config
+//! per workload.
+//!
+//! Configs are compared on their *aggregate* behaviour across every workload
+//! in the spec: geometric-mean cycles and power (the cross-workload average
+//! the paper's Fig. 10/11 speedup summaries use), with silicon area taken
+//! straight from the Table 6 model (it does not depend on the workload). A
+//! config is on the frontier when no other config is at least as good on all
+//! three axes and strictly better on one.
+//!
+//! Sensitivity is the marginal ln–ln least-squares slope of geomean cycles
+//! (and power) against each swept knob across the whole space — an
+//! elasticity: slope −0.8 on `pes_per_tile` reads "doubling the PEs cuts
+//! cycles by ~2^0.8". Everything is emitted in fixed field order and
+//! computed as a pure function of the outcomes, so reports are
+//! byte-reproducible.
+
+use std::collections::HashMap;
+
+use outerspace_json::{Json, ToJson};
+use outerspace_sim::OuterSpaceConfig;
+
+use crate::executor::PointOutcome;
+use crate::spec::DsePoint;
+
+/// One config's cross-workload aggregate.
+#[derive(Debug, Clone)]
+pub struct ConfigAgg {
+    /// Dense id in first-occurrence order (stable across runs).
+    pub config_id: usize,
+    /// Canonical compact config JSON (the grouping identity).
+    pub canonical: String,
+    /// The knob assignment that produced the config.
+    pub knobs: Vec<(String, f64)>,
+    /// Geometric-mean total cycles across its Ok points.
+    pub geomean_cycles: f64,
+    /// Geometric-mean total power (W) across its Ok points.
+    pub geomean_power_w: f64,
+    /// Table 6 area (mm²) — workload-independent.
+    pub area_mm2: f64,
+    /// Number of Ok points aggregated.
+    pub n_points: usize,
+    /// True when this config survives Pareto filtering.
+    pub on_frontier: bool,
+}
+
+/// Where the paper-default (Table 2/3) config landed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DefaultStatus {
+    /// The space never evaluated the default config.
+    Absent,
+    /// The default is itself Pareto-optimal.
+    OnFrontier,
+    /// The default is dominated by the named config ids.
+    DominatedBy(Vec<usize>),
+}
+
+/// One knob's elasticities.
+#[derive(Debug, Clone)]
+pub struct Sensitivity {
+    /// Knob name.
+    pub knob: String,
+    /// d ln(cycles) / d ln(knob).
+    pub cycles_slope: f64,
+    /// d ln(power) / d ln(knob).
+    pub power_slope: f64,
+    /// Configs the fit used.
+    pub n: usize,
+}
+
+/// The winning config for one workload.
+#[derive(Debug, Clone)]
+pub struct BestForWorkload {
+    /// Workload label.
+    pub workload: String,
+    /// Winning config id.
+    pub config_id: usize,
+    /// Its cycles on this workload.
+    pub cycles: u64,
+    /// Its power on this workload (W).
+    pub power_w: f64,
+}
+
+/// The full analysis product.
+#[derive(Debug)]
+pub struct ParetoReport {
+    /// Every aggregated config, id order.
+    pub configs: Vec<ConfigAgg>,
+    /// Ids of the frontier members, ascending.
+    pub frontier: Vec<usize>,
+    /// Where the paper default landed.
+    pub default_status: DefaultStatus,
+    /// Per-knob elasticities, knob-registry order.
+    pub sensitivities: Vec<Sensitivity>,
+    /// Best config per workload, workload first-occurrence order.
+    pub best_per_workload: Vec<BestForWorkload>,
+}
+
+fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+/// `a` dominates `b` when it is no worse on all three axes and strictly
+/// better on at least one (minimizing).
+fn dominates(a: &ConfigAgg, b: &ConfigAgg) -> bool {
+    let no_worse = a.geomean_cycles <= b.geomean_cycles
+        && a.geomean_power_w <= b.geomean_power_w
+        && a.area_mm2 <= b.area_mm2;
+    let better = a.geomean_cycles < b.geomean_cycles
+        || a.geomean_power_w < b.geomean_power_w
+        || a.area_mm2 < b.area_mm2;
+    no_worse && better
+}
+
+fn lnln_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    let lx: Vec<f64> = xs.iter().map(|&x| x.max(1e-300).ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|&y| y.max(1e-300).ln()).collect();
+    let n = lx.len() as f64;
+    let mx = lx.iter().sum::<f64>() / n;
+    let my = ly.iter().sum::<f64>() / n;
+    let var: f64 = lx.iter().map(|x| (x - mx) * (x - mx)).sum();
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
+    cov / var
+}
+
+/// Runs the full analysis over a sweep's points and outcomes (parallel
+/// slices, as the executor returns them).
+pub fn analyze(points: &[DsePoint], outcomes: &[PointOutcome]) -> ParetoReport {
+    assert_eq!(points.len(), outcomes.len(), "one outcome per point");
+
+    // Group Ok points by canonical config, preserving first-occurrence order.
+    let mut order: Vec<String> = Vec::new();
+    let mut by_config: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, o) in outcomes.iter().enumerate() {
+        if matches!(o, PointOutcome::Ok { .. }) {
+            let canon = points[i].config_canonical();
+            by_config.entry(canon.clone()).or_insert_with(|| {
+                order.push(canon);
+                Vec::new()
+            });
+            by_config.get_mut(&points[i].config_canonical()).unwrap().push(i);
+        }
+    }
+
+    let metric = |i: usize, key: &str| -> f64 {
+        match &outcomes[i] {
+            PointOutcome::Ok { metrics, .. } => {
+                metrics.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+            }
+            _ => 0.0,
+        }
+    };
+
+    let mut configs: Vec<ConfigAgg> = order
+        .iter()
+        .enumerate()
+        .map(|(config_id, canon)| {
+            let idxs = &by_config[canon];
+            let cycles: Vec<f64> = idxs.iter().map(|&i| metric(i, "cycles")).collect();
+            let power: Vec<f64> = idxs.iter().map(|&i| metric(i, "power_w")).collect();
+            ConfigAgg {
+                config_id,
+                canonical: canon.clone(),
+                knobs: points[idxs[0]].knobs.clone(),
+                geomean_cycles: geomean(&cycles),
+                geomean_power_w: geomean(&power),
+                area_mm2: metric(idxs[0], "area_mm2"),
+                n_points: idxs.len(),
+                on_frontier: false,
+            }
+        })
+        .collect();
+
+    let frontier: Vec<usize> = (0..configs.len())
+        .filter(|&i| !(0..configs.len()).any(|j| j != i && dominates(&configs[j], &configs[i])))
+        .collect();
+    for &i in &frontier {
+        configs[i].on_frontier = true;
+    }
+
+    // The paper default's standing.
+    let default_canon = OuterSpaceConfig::default().to_json().to_string_compact();
+    let default_status = match configs.iter().find(|c| c.canonical == default_canon) {
+        None => DefaultStatus::Absent,
+        Some(d) if d.on_frontier => DefaultStatus::OnFrontier,
+        Some(d) => DefaultStatus::DominatedBy(
+            configs
+                .iter()
+                .filter(|c| dominates(c, d))
+                .map(|c| c.config_id)
+                .collect(),
+        ),
+    };
+
+    // Marginal elasticities, in the stable knob-registry order.
+    let mut sensitivities = Vec::new();
+    for &knob in crate::knobs::KNOBS {
+        let pts: Vec<(f64, f64, f64)> = configs
+            .iter()
+            .filter_map(|c| {
+                c.knobs.iter().find(|(k, _)| k == knob).map(|&(_, v)| {
+                    (v, c.geomean_cycles, c.geomean_power_w)
+                })
+            })
+            .collect();
+        let distinct = {
+            let mut vs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+            vs.sort_by(f64::total_cmp);
+            vs.dedup();
+            vs.len()
+        };
+        if distinct < 2 {
+            continue;
+        }
+        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let cy: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        let pw: Vec<f64> = pts.iter().map(|p| p.2).collect();
+        sensitivities.push(Sensitivity {
+            knob: knob.to_string(),
+            cycles_slope: lnln_slope(&xs, &cy),
+            power_slope: lnln_slope(&xs, &pw),
+            n: pts.len(),
+        });
+    }
+
+    // Best config per workload (lowest cycles; ties to the lower point index).
+    let id_of: HashMap<&str, usize> =
+        configs.iter().map(|c| (c.canonical.as_str(), c.config_id)).collect();
+    let mut wl_order: Vec<String> = Vec::new();
+    let mut best: HashMap<String, (u64, f64, usize)> = HashMap::new();
+    for (i, o) in outcomes.iter().enumerate() {
+        if !matches!(o, PointOutcome::Ok { .. }) {
+            continue;
+        }
+        let label = points[i].workload.label();
+        let cycles = metric(i, "cycles") as u64;
+        let power = metric(i, "power_w");
+        let entry = best.entry(label.clone()).or_insert_with(|| {
+            wl_order.push(label);
+            (u64::MAX, 0.0, usize::MAX)
+        });
+        if cycles < entry.0 {
+            *entry = (cycles, power, i);
+        }
+    }
+    let best_per_workload: Vec<BestForWorkload> = wl_order
+        .iter()
+        .map(|label| {
+            let (cycles, power_w, idx) = best[label];
+            BestForWorkload {
+                workload: label.clone(),
+                config_id: id_of[points[idx].config_canonical().as_str()],
+                cycles,
+                power_w,
+            }
+        })
+        .collect();
+
+    ParetoReport { configs, frontier, default_status, sensitivities, best_per_workload }
+}
+
+impl ParetoReport {
+    /// Serializes the report deterministically (fixed key order, no
+    /// wall-clock fields) — the byte-reproducibility the CI gate diffs.
+    pub fn to_json(&self) -> Json {
+        let configs = self
+            .configs
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("config_id".into(), Json::UInt(c.config_id as u64)),
+                    (
+                        "knobs".into(),
+                        Json::Obj(
+                            c.knobs
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Float(*v)))
+                                .collect(),
+                        ),
+                    ),
+                    ("geomean_cycles".into(), Json::Float(c.geomean_cycles)),
+                    ("geomean_power_w".into(), Json::Float(c.geomean_power_w)),
+                    ("area_mm2".into(), Json::Float(c.area_mm2)),
+                    ("n_points".into(), Json::UInt(c.n_points as u64)),
+                    ("on_frontier".into(), Json::Bool(c.on_frontier)),
+                ])
+            })
+            .collect();
+        let default_status = match &self.default_status {
+            DefaultStatus::Absent => Json::Str("absent".into()),
+            DefaultStatus::OnFrontier => Json::Str("on_frontier".into()),
+            DefaultStatus::DominatedBy(ids) => Json::Obj(vec![(
+                "dominated_by".into(),
+                Json::Arr(ids.iter().map(|&i| Json::UInt(i as u64)).collect()),
+            )]),
+        };
+        let sensitivities = self
+            .sensitivities
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("knob".into(), Json::Str(s.knob.clone())),
+                    ("cycles_slope".into(), Json::Float(s.cycles_slope)),
+                    ("power_slope".into(), Json::Float(s.power_slope)),
+                    ("n".into(), Json::UInt(s.n as u64)),
+                ])
+            })
+            .collect();
+        let best = self
+            .best_per_workload
+            .iter()
+            .map(|b| {
+                Json::Obj(vec![
+                    ("workload".into(), Json::Str(b.workload.clone())),
+                    ("config_id".into(), Json::UInt(b.config_id as u64)),
+                    ("cycles".into(), Json::UInt(b.cycles)),
+                    ("power_w".into(), Json::Float(b.power_w)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("configs".into(), Json::Arr(configs)),
+            (
+                "frontier".into(),
+                Json::Arr(self.frontier.iter().map(|&i| Json::UInt(i as u64)).collect()),
+            ),
+            ("default_config".into(), default_status),
+            ("sensitivities".into(), Json::Arr(sensitivities)),
+            ("best_per_workload".into(), Json::Arr(best)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpaceSpec;
+
+    fn fake_outcome(cycles: u64, power: f64, area: f64) -> Json {
+        Json::Obj(vec![
+            ("cycles".into(), Json::UInt(cycles)),
+            ("power_w".into(), Json::Float(power)),
+            ("area_mm2".into(), Json::Float(area)),
+        ])
+    }
+
+    fn points_for(tiles: &[u32]) -> Vec<DsePoint> {
+        let values: Vec<String> = tiles.iter().map(u32::to_string).collect();
+        let spec = SpaceSpec::parse_str(&format!(
+            r#"{{"name":"t","axes":[{{"knob":"n_tiles","values":[{}]}}],
+               "workloads":[{{"kind":"uniform","n":48,"nnz":200}}]}}"#,
+            values.join(",")
+        ))
+        .unwrap();
+        spec.expand(None, 1).unwrap()
+    }
+
+    #[test]
+    fn frontier_drops_dominated_configs() {
+        // 16 tiles would *be* the paper default; keep the grid off it so
+        // the default reads Absent.
+        let points = points_for(&[4, 8, 32]);
+        // Config 1 dominates config 0 on every axis; config 2 trades power
+        // for cycles, so it survives.
+        let outcomes = vec![
+            PointOutcome::Ok { index: 0, metrics: fake_outcome(1000, 5.0, 10.0), cached: false },
+            PointOutcome::Ok { index: 1, metrics: fake_outcome(900, 4.0, 9.0), cached: false },
+            PointOutcome::Ok { index: 2, metrics: fake_outcome(500, 8.0, 12.0), cached: false },
+        ];
+        let r = analyze(&points, &outcomes);
+        assert_eq!(r.frontier, vec![1, 2]);
+        assert!(!r.configs[0].on_frontier);
+        assert_eq!(r.default_status, DefaultStatus::Absent);
+        assert_eq!(r.best_per_workload.len(), 1);
+        assert_eq!(r.best_per_workload[0].config_id, 2);
+    }
+
+    #[test]
+    fn sensitivity_recovers_a_power_law() {
+        let points = points_for(&[2, 4, 8, 16]);
+        // cycles = 16000 / tiles  =>  ln-ln slope exactly -1.
+        let outcomes: Vec<PointOutcome> = points
+            .iter()
+            .map(|p| PointOutcome::Ok {
+                index: p.index,
+                metrics: fake_outcome(16_000 / p.config.n_tiles as u64, 5.0, 10.0),
+                cached: false,
+            })
+            .collect();
+        let r = analyze(&points, &outcomes);
+        let s = r.sensitivities.iter().find(|s| s.knob == "n_tiles").unwrap();
+        assert!((s.cycles_slope + 1.0).abs() < 1e-9, "slope {}", s.cycles_slope);
+        assert!(s.power_slope.abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_and_failed_points_are_excluded() {
+        let points = points_for(&[4, 8]);
+        let outcomes = vec![
+            PointOutcome::Invalid { index: 0, reason: "bad".into() },
+            PointOutcome::Ok { index: 1, metrics: fake_outcome(900, 4.0, 9.0), cached: false },
+        ];
+        let r = analyze(&points, &outcomes);
+        assert_eq!(r.configs.len(), 1);
+        assert_eq!(r.frontier, vec![0]);
+    }
+
+    #[test]
+    fn report_json_is_stable() {
+        let points = points_for(&[4, 8]);
+        let outcomes = vec![
+            PointOutcome::Ok { index: 0, metrics: fake_outcome(1000, 5.0, 10.0), cached: false },
+            PointOutcome::Ok { index: 1, metrics: fake_outcome(900, 4.0, 9.0), cached: true },
+        ];
+        let a = analyze(&points, &outcomes).to_json().to_string_pretty();
+        let b = analyze(&points, &outcomes).to_json().to_string_pretty();
+        assert_eq!(a, b);
+        assert!(a.contains("\"frontier\""));
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end pipeline tests: spec → expansion → parallel memoized sweep →
+//! Pareto report, including the crash-recovery and byte-determinism
+//! properties the CI gate relies on.
+
+use std::fs;
+use std::path::PathBuf;
+
+use outerspace_dse::{analyze, run_sweep, PointOutcome, SimCache, SpaceSpec};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("outerspace-dse-it-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn small_space() -> SpaceSpec {
+    SpaceSpec::parse_str(
+        r#"{
+            "name": "it",
+            "axes": [
+                {"knob": "n_tiles", "values": [4, 8]},
+                {"knob": "hbm_channels", "values": [4, 8]}
+            ],
+            "workloads": [
+                {"kind": "uniform", "n": 64, "nnz": 320},
+                {"kind": "rmat", "n": 64, "nnz": 256}
+            ]
+        }"#,
+    )
+    .unwrap()
+}
+
+/// Two sweeps from *fresh* caches and one from a warm cache must produce the
+/// same Pareto bytes, and the warm run must simulate nothing.
+#[test]
+fn pareto_bytes_are_deterministic_and_cache_independent() {
+    let spec = small_space();
+    let points = spec.expand(None, 42).unwrap();
+    assert_eq!(points.len(), 8);
+
+    let dir_a = scratch("det-a");
+    let mut cache_a = SimCache::open(&dir_a).unwrap();
+    let sweep_a = run_sweep(&points, &mut cache_a, 2);
+    assert_eq!(sweep_a.simulated, 8);
+    let pareto_a = analyze(&points, &sweep_a.outcomes).to_json().to_string_pretty();
+
+    // Fresh cache, different thread count: same bytes.
+    let dir_b = scratch("det-b");
+    let mut cache_b = SimCache::open(&dir_b).unwrap();
+    let sweep_b = run_sweep(&points, &mut cache_b, 4);
+    let pareto_b = analyze(&points, &sweep_b.outcomes).to_json().to_string_pretty();
+    assert_eq!(pareto_a, pareto_b, "fresh-cache runs must agree byte-for-byte");
+
+    // Warm cache: zero simulations, same bytes.
+    let mut cache_w = SimCache::open(&dir_a).unwrap();
+    let sweep_w = run_sweep(&points, &mut cache_w, 2);
+    assert_eq!(sweep_w.simulated, 0);
+    assert_eq!(sweep_w.cache_hits, 8);
+    let pareto_w = analyze(&points, &sweep_w.outcomes).to_json().to_string_pretty();
+    assert_eq!(pareto_a, pareto_w, "cached runs must agree byte-for-byte");
+
+    let _ = fs::remove_dir_all(&dir_a);
+    let _ = fs::remove_dir_all(&dir_b);
+}
+
+/// Crash-mid-append: tearing the cache's final line loses exactly one point;
+/// the next sweep re-simulates only that point and heals the file.
+#[test]
+fn torn_cache_recovers_and_resimulates_only_the_lost_point() {
+    let spec = small_space();
+    let points = spec.expand(None, 42).unwrap();
+    let dir = scratch("torn");
+    {
+        let mut cache = SimCache::open(&dir).unwrap();
+        run_sweep(&points, &mut cache, 1);
+    }
+    let path = dir.join(SimCache::FILE);
+    let text = fs::read_to_string(&path).unwrap();
+    fs::write(&path, &text[..text.len() - 25]).unwrap(); // tear the tail
+
+    let mut cache = SimCache::open(&dir).unwrap();
+    assert_eq!(cache.len(), points.len() - 1, "exactly one entry lost");
+    let sweep = run_sweep(&points, &mut cache, 2);
+    assert_eq!(sweep.simulated, 1, "only the torn point re-simulates");
+    assert_eq!(sweep.cache_hits, points.len() - 1);
+    assert_eq!(sweep.failed + sweep.invalid, 0);
+
+    // Healed: a third run is all hits.
+    let mut cache2 = SimCache::open(&dir).unwrap();
+    let sweep2 = run_sweep(&points, &mut cache2, 2);
+    assert_eq!(sweep2.simulated, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The α and system-scale axes flow through the whole pipeline: alloc
+/// metrics appear per point, and scaled systems report more PEs' worth of
+/// area and (for fixed work) fewer cycles.
+#[test]
+fn alpha_and_system_scale_flow_end_to_end() {
+    let spec = SpaceSpec::parse_str(
+        r#"{
+            "name": "it2",
+            "axes": [{"knob": "system_scale", "values": [1, 4]}],
+            "workloads": [{"kind": "powerlaw", "n": 96, "nnz": 600}],
+            "alphas": [2.0]
+        }"#,
+    )
+    .unwrap();
+    let points = spec.expand(None, 7).unwrap();
+    assert_eq!(points.len(), 2);
+    let dir = scratch("axes");
+    let mut cache = SimCache::open(&dir).unwrap();
+    let sweep = run_sweep(&points, &mut cache, 2);
+    let metrics: Vec<_> = sweep
+        .outcomes
+        .iter()
+        .map(|o| match o {
+            PointOutcome::Ok { metrics, .. } => metrics.clone(),
+            other => panic!("expected ok, got {other:?}"),
+        })
+        .collect();
+    for m in &metrics {
+        let alloc = m.get("alloc").expect("alpha in spec => alloc block");
+        assert!(alloc.get("dynamic_requests").is_some());
+    }
+    let area = |i: usize| metrics[i].get("area_mm2").unwrap().as_f64().unwrap();
+    assert!(area(1) > 3.0 * area(0), "4x system must report ~4x area");
+
+    // Both configs aggregate separately and both land on the frontier
+    // (bigger area, fewer cycles: a genuine trade-off).
+    let report = analyze(&points, &sweep.outcomes);
+    assert_eq!(report.configs.len(), 2);
+    assert!(!report.frontier.is_empty());
+    let _ = fs::remove_dir_all(&dir);
+}

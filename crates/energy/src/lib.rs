@@ -191,8 +191,8 @@ impl AreaPowerModel {
     }
 
     /// Number of cores in the system: PEs plus one LCP per tile plus the CCP.
-    fn n_cores(cfg: &OuterSpaceConfig) -> u32 {
-        cfg.total_pes() + cfg.n_tiles + 1
+    fn n_cores(cfg: &OuterSpaceConfig) -> u64 {
+        cfg.total_pes() + cfg.n_tiles as u64 + 1
     }
 
     /// Area of one banked cache instance of `kb` kilobytes.

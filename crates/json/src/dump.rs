@@ -57,16 +57,55 @@ pub fn write_json_atomic(path: &Path, value: &Json) -> io::Result<()> {
 /// Appends `value` as one compact JSON line to `path` (creating it and any
 /// parent directories if missing). Append-safe: an interrupted write can only
 /// corrupt the final line, which [`read_jsonl`] tolerates.
+///
+/// If the file does not currently end in a newline — the torn tail of a
+/// writer that crashed mid-append — the fragment is truncated away before
+/// writing. [`read_jsonl`] would have dropped it anyway; repairing it here
+/// keeps the "every line is complete" invariant so the fragment cannot
+/// become loud *interior* corruption once this append lands after it. Like
+/// the rest of the JSONL protocol this assumes one writer at a time.
 pub fn append_jsonl(path: &Path, value: &Json) -> io::Result<()> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             fs::create_dir_all(dir)?;
         }
     }
-    let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+    let mut f = OpenOptions::new().create(true).append(true).read(true).open(path)?;
+    truncate_torn_tail(&mut f)?;
     let mut line = value.to_string_compact();
     line.push('\n');
     f.write_all(line.as_bytes())
+}
+
+/// Drops any trailing partial line (bytes after the last `\n`) from `f`.
+/// Scans backwards in chunks, so a large intact log is not re-read.
+fn truncate_torn_tail(f: &mut File) -> io::Result<()> {
+    use std::io::{Read as _, Seek as _, SeekFrom};
+    const CHUNK: u64 = 4096;
+    let len = f.seek(SeekFrom::End(0))?;
+    if len == 0 {
+        return Ok(());
+    }
+    let mut end = len;
+    loop {
+        let start = end.saturating_sub(CHUNK);
+        let mut buf = vec![0u8; (end - start) as usize];
+        f.seek(SeekFrom::Start(start))?;
+        f.read_exact(&mut buf)?;
+        if let Some(i) = buf.iter().rposition(|&b| b == b'\n') {
+            let keep = start + i as u64 + 1;
+            if keep != len {
+                f.set_len(keep)?;
+            }
+            return Ok(());
+        }
+        if start == 0 {
+            // No newline anywhere: the whole file is one torn fragment.
+            f.set_len(0)?;
+            return Ok(());
+        }
+        end = start;
+    }
 }
 
 /// Reads a JSON-lines file written by [`append_jsonl`]. Blank lines are
@@ -142,6 +181,79 @@ mod tests {
         assert_eq!(read_jsonl(&path).unwrap().len(), 2);
         fs::write(&path, "{\"i\":0}\n{bad\n{\"i\":2}\n").unwrap();
         assert!(read_jsonl(&path).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Crash-mid-append leaves a prefix of the last line. Every truncation
+    /// point of the final record must be recoverable: the earlier records
+    /// survive, the torn tail is dropped.
+    #[test]
+    fn jsonl_recovers_at_every_truncation_point_of_the_tail() {
+        let dir = scratch("truncate");
+        let path = dir.join("log.jsonl");
+        fs::create_dir_all(&dir).unwrap();
+        let intact = "{\"keep\":1}\n{\"keep\":2}\n";
+        // A tail with strings, escapes, floats, and nesting — the parser
+        // must reject every proper prefix, never mis-parse one as complete.
+        let tail = "{\"s\":\"a\\\"b\\\\\",\"f\":-1.5e3,\"arr\":[1,{\"x\":null}]}";
+        for cut in 1..tail.len() {
+            fs::write(&path, format!("{intact}{}", &tail[..cut])).unwrap();
+            let vals = read_jsonl(&path).unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+            assert_eq!(vals.len(), 2, "cut at byte {cut} lost intact records");
+            assert_eq!(vals[1].get("keep").and_then(Json::as_u64), Some(2));
+        }
+        // The full tail parses once the append completes.
+        fs::write(&path, format!("{intact}{tail}\n")).unwrap();
+        assert_eq!(read_jsonl(&path).unwrap().len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Appending after a crash resumes a readable log: the torn fragment
+    /// (a JSON prefix or plain garbage, with no trailing newline) is
+    /// repaired away and the new record lands as a complete line — so the
+    /// fragment can never resurface as loud interior corruption.
+    #[test]
+    fn jsonl_append_after_torn_tail_resumes_cleanly() {
+        let dir = scratch("resume");
+        let path = dir.join("log.jsonl");
+        fs::create_dir_all(&dir).unwrap();
+        for fragment in ["not json at all", "{\"torn\":", "{\"s\":\"half"] {
+            fs::write(&path, format!("{{\"i\":0}}\n{fragment}")).unwrap();
+            assert_eq!(read_jsonl(&path).unwrap().len(), 1);
+            append_jsonl(&path, &Json::Obj(vec![("i".into(), Json::UInt(1))])).unwrap();
+            append_jsonl(&path, &Json::Obj(vec![("i".into(), Json::UInt(2))])).unwrap();
+            let vals = read_jsonl(&path).unwrap_or_else(|e| panic!("{fragment:?}: {e}"));
+            assert_eq!(vals.len(), 3, "fragment {fragment:?} not repaired");
+            assert_eq!(vals[2].get("i").and_then(Json::as_u64), Some(2));
+        }
+        // A file that is nothing *but* a torn fragment is also repaired.
+        fs::write(&path, "garbage with no newline").unwrap();
+        append_jsonl(&path, &Json::Obj(vec![("i".into(), Json::UInt(7))])).unwrap();
+        let vals = read_jsonl(&path).unwrap();
+        assert_eq!(vals.len(), 1);
+        assert_eq!(vals[0].get("i").and_then(Json::as_u64), Some(7));
+        // An intact log is left untouched (no spurious truncation).
+        fs::write(&path, "{\"i\":0}\n").unwrap();
+        append_jsonl(&path, &Json::Obj(vec![("i".into(), Json::UInt(1))])).unwrap();
+        assert_eq!(read_jsonl(&path).unwrap().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Degenerate shapes: empty file, whitespace-only file, a file that is
+    /// nothing but one torn line, and a missing file's error kind.
+    #[test]
+    fn jsonl_degenerate_files() {
+        let dir = scratch("degenerate");
+        let path = dir.join("log.jsonl");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(&path, "").unwrap();
+        assert!(read_jsonl(&path).unwrap().is_empty());
+        fs::write(&path, "\n  \n\n").unwrap();
+        assert!(read_jsonl(&path).unwrap().is_empty());
+        fs::write(&path, "{\"only\":").unwrap();
+        assert!(read_jsonl(&path).unwrap().is_empty());
+        let missing = read_jsonl(&dir.join("nope.jsonl")).unwrap_err();
+        assert_eq!(missing.kind(), std::io::ErrorKind::NotFound);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -15,6 +15,12 @@ pub enum ConfigError {
         /// The offending value.
         got: u32,
     },
+    /// L0 or L1 associativity is not a power of two (set indexing assumes
+    /// power-of-two ways; a DSE sweep must skip such points, not panic).
+    BadAssociativity {
+        /// The offending value.
+        got: u32,
+    },
     /// HBM channel count is zero or not a power of two.
     BadChannelCount {
         /// The offending value.
@@ -26,8 +32,9 @@ pub enum ConfigError {
     CacheTooSmall {
         /// Configured L0 size in bytes.
         l0_bytes: u32,
-        /// Minimum size implied by `block_bytes * l0_ways`.
-        required: u32,
+        /// Minimum size implied by `block_bytes * l0_ways` (computed in u64
+        /// so extreme sweep points report the true requirement).
+        required: u64,
     },
     /// The PE clock is zero, negative, or non-finite.
     NonPositiveClock {
@@ -58,7 +65,7 @@ pub enum ConfigError {
         /// Requested kill count.
         kills: u32,
         /// Total PEs in the system.
-        total: u32,
+        total: u64,
     },
 }
 
@@ -75,6 +82,9 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "channel count must be a non-zero power of two, got {got}")
             }
             ConfigError::ZeroAssociativity => write!(f, "associativity must be non-zero"),
+            ConfigError::BadAssociativity { got } => {
+                write!(f, "associativity must be a power of two, got {got}")
+            }
             ConfigError::CacheTooSmall { l0_bytes, required } => {
                 write!(f, "L0 must hold at least one set: {l0_bytes} B < {required} B")
             }
@@ -351,8 +361,13 @@ impl_to_json!(OuterSpaceConfig {
 
 impl OuterSpaceConfig {
     /// Total PEs in the system (`n_tiles × pes_per_tile`; 256 by default).
-    pub fn total_pes(&self) -> u32 {
-        self.n_tiles * self.pes_per_tile
+    ///
+    /// Computed in u64: a design-space sweep may legitimately probe corner
+    /// points (e.g. `u32::MAX` tiles) whose product overflows u32, and the
+    /// derived quantities must stay exact there so `validate()` can reject
+    /// the point instead of the math silently wrapping.
+    pub fn total_pes(&self) -> u64 {
+        self.n_tiles as u64 * self.pes_per_tile as u64
     }
 
     /// Merge-phase worker pairs per tile (half the active PEs: one loader +
@@ -362,8 +377,14 @@ impl OuterSpaceConfig {
     }
 
     /// Aggregate HBM bandwidth in bytes/second (128 GB/s by default).
+    ///
+    /// Saturating: at extreme sweep bounds (u32::MAX channels of u32::MAX
+    /// MB/s) the true product exceeds u64, and a saturated ceiling is the
+    /// honest answer for a bandwidth bound — never a wrapped small number.
     pub fn hbm_total_bandwidth_bytes_per_sec(&self) -> u64 {
-        self.hbm_channels as u64 * self.hbm_channel_mb_per_sec as u64 * 1_000_000
+        (self.hbm_channels as u64)
+            .saturating_mul(self.hbm_channel_mb_per_sec as u64)
+            .saturating_mul(1_000_000)
     }
 
     /// PE cycles needed to transfer one cache block on one HBM channel.
@@ -395,9 +416,12 @@ impl OuterSpaceConfig {
     /// pseudo-channels, proportionally more L1 slices.
     pub fn interposed_4x(&self) -> Self {
         let mut cfg = self.clone();
-        cfg.n_tiles *= 4;
-        cfg.hbm_channels *= 4;
-        cfg.n_l1 *= 4;
+        // Saturating: scaling an already-extreme sweep point must not wrap
+        // (debug) or alias a small machine (release); a saturated value is
+        // caught by validate() (u32::MAX is not a power of two).
+        cfg.n_tiles = cfg.n_tiles.saturating_mul(4);
+        cfg.hbm_channels = cfg.hbm_channels.saturating_mul(4);
+        cfg.n_l1 = cfg.n_l1.saturating_mul(4);
         cfg
     }
 
@@ -412,12 +436,12 @@ impl OuterSpaceConfig {
     pub fn torus(&self, nodes: u32) -> Self {
         assert!(nodes > 0 && nodes.is_power_of_two(), "node count must be a power of two");
         let mut cfg = self.interposed_4x();
-        cfg.n_tiles *= nodes;
-        cfg.hbm_channels *= nodes;
-        cfg.n_l1 *= nodes;
+        cfg.n_tiles = cfg.n_tiles.saturating_mul(nodes);
+        cfg.hbm_channels = cfg.hbm_channels.saturating_mul(nodes);
+        cfg.n_l1 = cfg.n_l1.saturating_mul(nodes);
         // Each torus hop adds SerDes latency; mean hop count grows with the
         // ring dimension.
-        cfg.xbar_cycles += 8 * (nodes as f64).sqrt().round() as u64;
+        cfg.xbar_cycles = cfg.xbar_cycles.saturating_add(8 * (nodes as f64).sqrt().round() as u64);
         cfg
     }
 
@@ -439,10 +463,18 @@ impl OuterSpaceConfig {
         if self.l0_ways == 0 || self.l1_ways == 0 {
             return Err(ConfigError::ZeroAssociativity);
         }
-        if self.l0_multiply_bytes < self.block_bytes * self.l0_ways {
+        for ways in [self.l0_ways, self.l1_ways] {
+            if !ways.is_power_of_two() {
+                return Err(ConfigError::BadAssociativity { got: ways });
+            }
+        }
+        // u64: `block_bytes * l0_ways` can exceed u32 at sweep extremes and
+        // a wrapped product would wave an undersized cache through.
+        let required = self.block_bytes as u64 * self.l0_ways as u64;
+        if (self.l0_multiply_bytes as u64) < required {
             return Err(ConfigError::CacheTooSmall {
                 l0_bytes: self.l0_multiply_bytes,
-                required: self.block_bytes * self.l0_ways,
+                required,
             });
         }
         if self.clock_ghz <= 0.0 || self.clock_ghz.is_nan() || !self.clock_ghz.is_finite() {
@@ -468,7 +500,7 @@ impl OuterSpaceConfig {
         {
             return Err(ConfigError::BadRetryPolicy);
         }
-        if self.faults.pe_kill_count > self.total_pes() {
+        if self.faults.pe_kill_count as u64 > self.total_pes() {
             return Err(ConfigError::TooManyKilledPes {
                 kills: self.faults.pe_kill_count,
                 total: self.total_pes(),
@@ -565,6 +597,10 @@ mod tests {
         assert_eq!(c.validate(), Err(ConfigError::BadChannelCount { got: 12 }));
         let c = OuterSpaceConfig { l0_ways: 0, ..Default::default() };
         assert_eq!(c.validate(), Err(ConfigError::ZeroAssociativity));
+        let c = OuterSpaceConfig { l0_ways: 3, ..Default::default() };
+        assert_eq!(c.validate(), Err(ConfigError::BadAssociativity { got: 3 }));
+        let c = OuterSpaceConfig { l1_ways: 6, ..Default::default() };
+        assert_eq!(c.validate(), Err(ConfigError::BadAssociativity { got: 6 }));
         let c = OuterSpaceConfig { l0_multiply_bytes: 128, ..Default::default() };
         assert_eq!(
             c.validate(),
@@ -646,6 +682,44 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn torus_rejects_non_power_of_two() {
         let _ = OuterSpaceConfig::default().torus(3);
+    }
+
+    #[test]
+    fn derived_math_survives_extreme_sweep_bounds() {
+        // A DSE sweep may probe the very corner of the knob space; none of
+        // the derived quantities may overflow/panic there, and validate()
+        // must reject gracefully rather than let wrapped math pass.
+        let c = OuterSpaceConfig {
+            n_tiles: u32::MAX,
+            pes_per_tile: u32::MAX,
+            hbm_channels: 1 << 31,
+            hbm_channel_mb_per_sec: u32::MAX,
+            block_bytes: 1 << 31,
+            l0_ways: 1 << 31,
+            ..Default::default()
+        };
+        assert_eq!(c.total_pes(), u32::MAX as u64 * u32::MAX as u64);
+        // Channels × MB/s × 1e6 exceeds u64: saturate, never wrap.
+        assert_eq!(c.hbm_total_bandwidth_bytes_per_sec(), u64::MAX);
+        // block_bytes * l0_ways = 2^62 in u64; the 16 kB L0 is too small.
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::CacheTooSmall { l0_bytes: 16 * 1024, required: 1u64 << 62 })
+        );
+        // Scaling constructors saturate instead of wrapping (u32::MAX tiles
+        // stays u32::MAX), and the saturated point fails validation.
+        let scaled = c.torus(65_536);
+        assert_eq!(scaled.n_tiles, u32::MAX);
+        assert!(scaled.validate().is_err());
+        // Kill-count check happens in u64 space: a kill count that exceeds
+        // u32-wrapped total_pes but not the true total is accepted.
+        let mut big = OuterSpaceConfig {
+            n_tiles: 1 << 16,
+            pes_per_tile: 1 << 16,
+            ..Default::default()
+        };
+        big.faults.pe_kill_count = u32::MAX; // < 2^32 = total_pes, wraps to 0 in u32
+        assert!(big.validate().is_ok());
     }
 
     #[test]

@@ -282,7 +282,7 @@ mod tests {
         let (stats, _, bd) =
             simulate_multiply_with_breakdown(&cfg, &a.to_csc(), &a).unwrap();
         assert_eq!(bd.pe_class, "tile_pe");
-        assert_eq!(bd.n_pes, cfg.total_pes());
+        assert_eq!(bd.n_pes as u64, cfg.total_pes());
         assert_eq!(bd.makespan, stats.cycles);
         assert_eq!(
             bd.busy_cycles + bd.stall_cycles() + bd.idle_cycles,

@@ -172,7 +172,7 @@ fn killed_pes_are_reported_and_work_completes() {
 fn killing_every_pe_fails_typed_not_hangs() {
     let a = workload(9);
     let faults = FaultModel {
-        pe_kill_count: OuterSpaceConfig::default().total_pes(),
+        pe_kill_count: u32::try_from(OuterSpaceConfig::default().total_pes()).unwrap(),
         pe_kill_cycle: 0,
         ..FaultModel::default()
     };
