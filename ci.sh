@@ -79,4 +79,17 @@ cp "$DSE_OUT/a/dse_smoke_pareto.json" "$DSE_OUT/first_pareto.json"
 diff "$DSE_OUT/first_pareto.json" "$DSE_OUT/b/dse_smoke_pareto.json"
 diff "$DSE_OUT/first_pareto.json" "$DSE_OUT/a/dse_smoke_pareto.json"
 
+echo "==> serve --chaos (faults + overload: no panics, no hangs, airtight accounting)"
+SERVE_OUT="$(mktemp -d)"
+trap 'rm -rf "$HERMETIC_CARGO_HOME" "$SMOKE_OUT" "$ORACLE_OUT" "$DSE_OUT" "$SERVE_OUT"' EXIT
+# The chaos preset injects accelerator faults, panicking and stalling kernels,
+# and drives 2x overload through the bounded queue. The binary asserts the
+# accounting identity and zero late deliveries itself (exit 2 on violation);
+# the gate re-checks the written report and that it is well-formed JSON.
+timeout 300 ./target/release/ospace-serve --chaos --requests 96 --scale 64 \
+    --nnz 400 --deadline-ms 1000 --out "$SERVE_OUT/serve_chaos.json"
+grep -q '"accounted_ok": true' "$SERVE_OUT/serve_chaos.json"
+grep -q '"deadline_violations": 0' "$SERVE_OUT/serve_chaos.json"
+grep -q '"throughput_rps"' "$SERVE_OUT/serve_chaos.json"
+
 echo "==> ci.sh: all gates passed"

@@ -1,0 +1,13 @@
+//! Thin CLI wrapper; the load/chaos scenarios live in
+//! [`outerspace_bench::harnesses::serve`] so `runall` can drive the same
+//! code in-process with crash isolation and `--resume` checkpointing. For
+//! ad-hoc traffic shaping (rates, pareto-tuned routing, custom chaos knobs)
+//! use the `ospace-serve` binary from `outerspace-serve` instead.
+
+use outerspace_bench::harnesses::serve;
+use outerspace_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args(serve::DEFAULTS);
+    serve::run(&opts);
+}

@@ -22,6 +22,7 @@ pub mod fig12;
 pub mod sec43;
 pub mod sec73;
 pub mod sec8;
+pub mod serve;
 pub mod table1;
 pub mod table5;
 pub mod table6;
@@ -60,6 +61,7 @@ pub const ALL: &[Harness] = &[
         run: ablations::run,
     },
     Harness { name: dse::NAME, defaults: dse::DEFAULTS, smoke_scale: 32, run: dse::run },
+    Harness { name: serve::NAME, defaults: serve::DEFAULTS, smoke_scale: 4, run: serve::run },
 ];
 
 /// Looks a harness up by its artifact name.

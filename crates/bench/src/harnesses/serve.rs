@@ -1,0 +1,268 @@
+//! Service load/chaos harness: drives `outerspace::serve` through three
+//! escalating scenarios — steady traffic, overload with a tiny admission
+//! queue, and full chaos (injected accelerator faults, forced worker panics,
+//! forced mid-compute stalls) — through the crash-safe runner.
+//!
+//! Each case starts a fresh server, runs an open-loop load, drains it, and
+//! *checks the service invariants as part of the case*: the accounting
+//! identity (`completed + rejected + timed_out == submitted`, on both the
+//! client's and the server's books), zero payloads delivered past their
+//! deadline, and per-scenario expectations (overload must shed; chaos must
+//! surface failures and timeouts without losing a single request). A
+//! violated invariant is a failed case, so `runall --smoke` — and the
+//! `ci.sh` serve gate on top of it — turns robustness regressions into red
+//! builds. The full per-scenario report lands in `<out>/serve_<case>.json`.
+
+use std::time::Duration;
+
+use outerspace::serve::loadgen::{self, Arrivals, Scenario};
+use outerspace::serve::{Server, ServerConfig, Snapshot};
+use outerspace::sim::FaultModel;
+use outerspace_json::dump;
+
+use crate::runner::{CaseResult, Runner, RunSummary};
+use crate::{HarnessDefaults, HarnessOpts};
+
+/// Artifact basename.
+pub const NAME: &str = "serve";
+/// Per-binary defaults.
+pub const DEFAULTS: HarnessDefaults = HarnessDefaults { scale: 1, max_case_secs: 600.0 };
+
+/// One scenario's summary row.
+pub struct Row {
+    /// Scenario name.
+    pub case: String,
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Successful responses (including cache hits).
+    pub completed_ok: u64,
+    /// Responses served from the content-addressed cache.
+    pub cache_hits: u64,
+    /// Shed at admission (all reasons).
+    pub shed: u64,
+    /// Deadline expiries.
+    pub timed_out: u64,
+    /// Terminal failures (panics included).
+    pub failed: u64,
+    /// Transient-fault retries spent.
+    pub retries: u64,
+    /// Accelerator→software fallbacks.
+    pub fallbacks: u64,
+    /// Median latency of successful responses, ms.
+    pub p50_ms: f64,
+    /// Tail latency, ms.
+    pub p99_ms: f64,
+    /// Successful responses per second of wall clock.
+    pub throughput_rps: f64,
+    /// Both accounting identities held.
+    pub accounted_ok: bool,
+    /// Where the full report was written.
+    pub report_path: String,
+}
+
+outerspace_json::impl_to_json!(Row {
+    case,
+    submitted,
+    completed_ok,
+    cache_hits,
+    shed,
+    timed_out,
+    failed,
+    retries,
+    fallbacks,
+    p50_ms,
+    p99_ms,
+    throughput_rps,
+    accounted_ok,
+    report_path,
+});
+
+fn requests_for(opts: &HarnessOpts) -> usize {
+    if opts.full {
+        512
+    } else {
+        (96 / opts.scale.max(1) as usize).max(12)
+    }
+}
+
+/// Runs one scenario against a fresh server and verifies the invariants.
+fn drive(
+    case: &str,
+    server_cfg: ServerConfig,
+    sc: &Scenario,
+    opts: &HarnessOpts,
+    expect: impl FnOnce(&Snapshot) -> Result<(), String>,
+) -> CaseResult<Row> {
+    let server = Server::start(server_cfg);
+    let tally = loadgen::run(&server, sc);
+    let snapshot = server.shutdown();
+
+    let report_path = opts.out_dir.join(format!("serve_{case}.json"));
+    let report = loadgen::report_json(sc, &tally, &snapshot);
+    dump::write_json_atomic(&report_path, &report)
+        .map_err(|e| format!("write {}: {e}", report_path.display()))?;
+
+    // --- Invariants: failures here are failed cases, not footnotes. ---
+    if !snapshot.accounted_ok() {
+        return Err(format!(
+            "server accounting broke: ok {} + failed {} + shed {} + timed_out {} != submitted {}",
+            snapshot.completed_ok,
+            snapshot.failed,
+            snapshot.rejected(),
+            snapshot.timed_out,
+            snapshot.submitted
+        ));
+    }
+    if !tally.accounted_ok() {
+        return Err("client accounting broke: a ticket vanished".to_string());
+    }
+    if snapshot.deadline_violations > 0 {
+        return Err(format!(
+            "{} payload(s) delivered past their deadline",
+            snapshot.deadline_violations
+        ));
+    }
+    expect(&snapshot)?;
+
+    let throughput = if tally.wall_s > 0.0 { tally.ok as f64 / tally.wall_s } else { 0.0 };
+    let row = Row {
+        case: case.to_string(),
+        submitted: snapshot.submitted,
+        completed_ok: snapshot.completed_ok,
+        cache_hits: snapshot.cache_hits,
+        shed: snapshot.rejected(),
+        timed_out: snapshot.timed_out,
+        failed: snapshot.failed,
+        retries: snapshot.retries,
+        fallbacks: snapshot.fallbacks,
+        p50_ms: snapshot.p50_ms(),
+        p99_ms: snapshot.p99_ms(),
+        throughput_rps: throughput,
+        accounted_ok: true,
+        report_path: report_path.display().to_string(),
+    };
+    println!(
+        "# serve {case}: {} submitted | {} ok ({} cached) | {} shed | {} timed out | {} failed \
+         | p50 {:.1} ms p99 {:.1} ms",
+        row.submitted, row.completed_ok, row.cache_hits, row.shed, row.timed_out, row.failed,
+        row.p50_ms, row.p99_ms
+    );
+    Ok(row)
+}
+
+/// Injected memory + PE faults for the chaos case (mirrors the
+/// `ospace-serve --chaos` preset).
+fn chaos_faults(seed: u64) -> FaultModel {
+    FaultModel {
+        seed,
+        hbm_ber: 1e-7,
+        drop_rate: 0.05,
+        pe_kill_count: 1,
+        pe_kill_cycle: 1_000,
+        max_retries: 2,
+        ..FaultModel::default()
+    }
+}
+
+/// Runs the three scenarios through the crash-safe runner.
+pub fn run(opts: &HarnessOpts) -> RunSummary {
+    let mut runner = Runner::new(NAME, opts);
+    let requests = requests_for(opts);
+    println!("# serve load/chaos harness ({requests} requests per scenario)");
+
+    let base = Scenario {
+        requests,
+        pool: (requests / 4).max(4),
+        scale: 96,
+        nnz: 900,
+        spmv_fraction: 0.25,
+        seed: opts.seed,
+        arrivals: Arrivals::Burst,
+        deadline: Duration::from_secs(30),
+        chaos_panic_every: 0,
+        chaos_sleep_every: 0,
+        chaos_sleep_ms: 0,
+    };
+
+    // Healthy service under a burst: everything completes, the small op
+    // pool produces cache hits, nothing is shed or times out.
+    {
+        let (opts, sc) = (opts.clone(), base.clone());
+        runner.run_case("steady", move || {
+            let cfg = ServerConfig {
+                workers: 4,
+                queue_cap: sc.requests.max(1),
+                admission_guard: false,
+                ..ServerConfig::default()
+            };
+            drive("steady", cfg, &sc, &opts, |s| {
+                if s.completed_ok != s.submitted {
+                    return Err(format!(
+                        "steady traffic should all complete: {} of {}",
+                        s.completed_ok, s.submitted
+                    ));
+                }
+                if s.cache_hits == 0 {
+                    return Err("pooled ops produced no cache hits".to_string());
+                }
+                Ok(())
+            })
+        });
+    }
+
+    // Burst into a tiny queue: typed shedding must engage, and whatever is
+    // admitted must still complete within deadline.
+    {
+        let (opts, mut sc) = (opts.clone(), base.clone());
+        runner.run_case("overload", move || {
+            sc.arrivals = Arrivals::Burst;
+            let cfg = ServerConfig {
+                workers: 2,
+                queue_cap: 4,
+                admission_guard: false,
+                ..ServerConfig::default()
+            };
+            drive("overload", cfg, &sc, &opts, |s| {
+                if s.rejected_queue_full == 0 {
+                    return Err("a burst into a 4-deep queue must shed load".to_string());
+                }
+                Ok(())
+            })
+        });
+    }
+
+    // Full chaos: injected accelerator faults + forced panics + forced
+    // stalls past the deadline. The service must degrade, not break: every
+    // request accounted, panics isolated to failures, stalls to timeouts.
+    {
+        let (opts, mut sc) = (opts.clone(), base.clone());
+        runner.run_case("chaos", move || {
+            sc.deadline = Duration::from_millis(1_500);
+            sc.chaos_panic_every = 7;
+            sc.chaos_sleep_every = 11;
+            sc.chaos_sleep_ms = 5_000;
+            // Admit everything: shedding is the overload case's concern, and
+            // a shed panic/stall request would never reach a worker to prove
+            // containment (the `ospace-serve --chaos` gate covers the
+            // combined overload + faults regime).
+            let cfg = ServerConfig {
+                workers: 4,
+                queue_cap: sc.requests.max(4),
+                admission_guard: false,
+                fault_model: chaos_faults(sc.seed),
+                ..ServerConfig::default()
+            };
+            drive("chaos", cfg, &sc, &opts, |s| {
+                if s.failed == 0 {
+                    return Err("panic injection was on but no request failed".to_string());
+                }
+                if s.timed_out == 0 {
+                    return Err("stall injection was on but nothing timed out".to_string());
+                }
+                Ok(())
+            })
+        });
+    }
+
+    runner.finalize()
+}

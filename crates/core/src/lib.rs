@@ -41,6 +41,7 @@
 //! | [`sim`] | The accelerator timing simulator (§5–§6) + CPU/GPU models |
 //! | [`energy`] | Power & area model (Table 6) |
 //! | [`dse`] | Design-space exploration: sweeps, memo cache, Pareto frontier |
+//! | [`serve`] | Fault-tolerant request service: admission control, deadlines, degradation |
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -51,6 +52,7 @@ pub use outerspace_energy as energy;
 pub use outerspace_gen as gen;
 pub use outerspace_json as json;
 pub use outerspace_outer as outer;
+pub use outerspace_serve as serve;
 pub use outerspace_sim as sim;
 pub use outerspace_sparse as sparse;
 

@@ -67,17 +67,74 @@ pub fn key_of(material: &str) -> String {
     fnv128_hex(material.as_bytes())
 }
 
-#[derive(Debug, Clone)]
-struct Entry {
-    material: String,
-    metrics: Json,
+/// Content address of an arbitrary byte string — the same 128-bit FNV
+/// construction [`key_of`] uses, exposed so other content-addressed stores
+/// (e.g. the serving layer's result cache hashing matrix operands) share one
+/// hash family.
+pub fn content_hash(bytes: &[u8]) -> String {
+    fnv128_hex(bytes)
+}
+
+/// In-memory content-addressed store: the collision-guarded core of
+/// [`SimCache`], generalized so other subsystems (the serving layer's
+/// result cache, for one) can memoize arbitrary values under the same
+/// contract. Every entry keeps its full key *material*; a lookup whose
+/// material mismatches the stored entry — a 128-bit collision, or key
+/// forgery — is a miss, never a wrong answer.
+#[derive(Debug, Default)]
+pub struct MemoMap<V> {
+    entries: HashMap<String, (String, V)>,
+}
+
+impl<V> MemoMap<V> {
+    /// An empty map.
+    pub fn new() -> MemoMap<V> {
+        MemoMap { entries: HashMap::new() }
+    }
+
+    /// Number of entries held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the value stored for `material`. Returns `None` on a genuine
+    /// miss *and* on a hash collision whose stored material differs.
+    pub fn lookup(&self, material: &str) -> Option<&V> {
+        let (stored, value) = self.entries.get(&key_of(material))?;
+        (stored == material).then_some(value)
+    }
+
+    /// Stores `value` under `material`'s content address (last write wins on
+    /// a collision), returning the displaced value if any.
+    pub fn insert(&mut self, material: &str, value: V) -> Option<V> {
+        self.entries
+            .insert(key_of(material), (material.to_string(), value))
+            .map(|(_, old)| old)
+    }
+
+    /// Removes and returns the value stored for `material`, honouring the
+    /// same collision guard as [`MemoMap::lookup`].
+    pub fn remove(&mut self, material: &str) -> Option<V> {
+        let key = key_of(material);
+        match self.entries.get(&key) {
+            Some((stored, _)) if stored == material => {
+                self.entries.remove(&key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// The on-disk memo cache for simulated points.
 #[derive(Debug)]
 pub struct SimCache {
     path: PathBuf,
-    entries: HashMap<String, Entry>,
+    entries: MemoMap<Json>,
     /// Lines present on disk that failed to decode (diagnostics only).
     pub skipped_lines: usize,
 }
@@ -95,7 +152,7 @@ impl SimCache {
     /// I/O failure or interior (non-tail) corruption of the cache file.
     pub fn open(dir: &Path) -> io::Result<SimCache> {
         let path = dir.join(Self::FILE);
-        let mut entries = HashMap::new();
+        let mut entries = MemoMap::new();
         let mut skipped = 0usize;
         match read_jsonl(&path) {
             Ok(lines) => {
@@ -105,10 +162,7 @@ impl SimCache {
                     let metrics = line.get("metrics");
                     match (key, material, metrics) {
                         (Some(k), Some(m), Some(v)) if key_of(m) == k => {
-                            entries.insert(
-                                k.to_string(),
-                                Entry { material: m.to_string(), metrics: v.clone() },
-                            );
+                            entries.insert(m, v.clone());
                         }
                         _ => skipped += 1,
                     }
@@ -135,12 +189,7 @@ impl SimCache {
     /// that makes a 128-bit collision produce a re-simulation, not a wrong
     /// answer).
     pub fn lookup(&self, material: &str) -> Option<&Json> {
-        let e = self.entries.get(&key_of(material))?;
-        if e.material == material {
-            Some(&e.metrics)
-        } else {
-            None
-        }
+        self.entries.lookup(material)
     }
 
     /// Records `metrics` for `material`: one appended line plus the in-memory
@@ -155,12 +204,12 @@ impl SimCache {
         append_jsonl(
             &self.path,
             &Json::Obj(vec![
-                ("key".into(), Json::Str(key.clone())),
+                ("key".into(), Json::Str(key)),
                 ("material".into(), Json::Str(material.to_string())),
                 ("metrics".into(), metrics.clone()),
             ]),
         )?;
-        self.entries.insert(key, Entry { material: material.to_string(), metrics });
+        self.entries.insert(material, metrics);
         Ok(())
     }
 }
@@ -216,6 +265,23 @@ mod tests {
         }
         assert_eq!(key_of(&a), key_of(&a));
         assert_eq!(keys[0].len(), 32);
+    }
+
+    #[test]
+    fn memo_map_guards_collisions_and_supports_removal() {
+        let mut m: MemoMap<u32> = MemoMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert("alpha", 1), None);
+        assert_eq!(m.insert("beta", 2), None);
+        assert_eq!(m.lookup("alpha"), Some(&1));
+        assert_eq!(m.insert("alpha", 3), Some(1));
+        assert_eq!(m.lookup("alpha"), Some(&3));
+        assert_eq!(m.len(), 2);
+        // Removal honours the collision guard: material must match.
+        assert_eq!(m.remove("gamma"), None);
+        assert_eq!(m.remove("beta"), Some(2));
+        assert_eq!(m.len(), 1);
+        assert!(m.lookup("beta").is_none());
     }
 
     #[test]

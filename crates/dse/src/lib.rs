@@ -35,7 +35,7 @@ pub mod knobs;
 pub mod pareto;
 pub mod spec;
 
-pub use cache::SimCache;
+pub use cache::{MemoMap, SimCache};
 pub use executor::{run_sweep, PointOutcome, SweepResult};
 pub use pareto::{analyze, DefaultStatus, ParetoReport};
 pub use spec::{Axis, AxisKind, DsePoint, SpaceSpec, WorkloadSpec};

@@ -10,11 +10,36 @@
 //! JSON-lines format (one compact value per line; a torn tail line is
 //! skipped on read instead of poisoning the whole log).
 
+use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::{parse, Json};
+
+/// Per-path append locks: two in-process appenders to one JSONL file must
+/// never interleave (a torn or spliced record would poison the log for every
+/// reader). Keyed on the canonicalized path so aliases (`./log`, absolute
+/// path) share one lock. Cross-*process* writers remain single-writer by
+/// contract, as before.
+fn append_lock(path: &Path) -> Arc<Mutex<()>> {
+    static LOCKS: OnceLock<Mutex<HashMap<PathBuf, Arc<Mutex<()>>>>> = OnceLock::new();
+    // Canonicalize through the parent (the file itself may not exist yet);
+    // fall back to the raw path if the parent cannot be resolved.
+    let key = match (path.parent(), path.file_name()) {
+        (Some(dir), Some(name)) if !dir.as_os_str().is_empty() => dir
+            .canonicalize()
+            .map(|d| d.join(name))
+            .unwrap_or_else(|_| path.to_path_buf()),
+        _ => path.to_path_buf(),
+    };
+    let mut map = LOCKS
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    map.entry(key).or_default().clone()
+}
 
 /// Builds the sibling temp path used by [`write_atomic`]: same directory
 /// (renames across filesystems are not atomic), name prefixed with a dot and
@@ -62,14 +87,21 @@ pub fn write_json_atomic(path: &Path, value: &Json) -> io::Result<()> {
 /// writer that crashed mid-append — the fragment is truncated away before
 /// writing. [`read_jsonl`] would have dropped it anyway; repairing it here
 /// keeps the "every line is complete" invariant so the fragment cannot
-/// become loud *interior* corruption once this append lands after it. Like
-/// the rest of the JSONL protocol this assumes one writer at a time.
+/// become loud *interior* corruption once this append lands after it.
+///
+/// Concurrency: in-process appenders are serialized through a per-path lock
+/// (see [`append_lock`]), and each record lands as a single `O_APPEND`
+/// write of one complete line, so racing threads can never interleave a
+/// torn record or truncate each other's tails. Writers in *different
+/// processes* remain single-writer by contract.
 pub fn append_jsonl(path: &Path, value: &Json) -> io::Result<()> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             fs::create_dir_all(dir)?;
         }
     }
+    let lock = append_lock(path);
+    let _serialized = lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut f = OpenOptions::new().create(true).append(true).read(true).open(path)?;
     truncate_torn_tail(&mut f)?;
     let mut line = value.to_string_compact();
@@ -236,6 +268,68 @@ mod tests {
         fs::write(&path, "{\"i\":0}\n").unwrap();
         append_jsonl(&path, &Json::Obj(vec![("i".into(), Json::UInt(1))])).unwrap();
         assert_eq!(read_jsonl(&path).unwrap().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Racing appenders on one events file must never interleave a torn
+    /// record: every line parses, every record survives, and path aliases
+    /// (relative vs absolute) share the same lock.
+    #[test]
+    fn jsonl_concurrent_appenders_never_tear_records() {
+        const WRITERS: u64 = 8;
+        const APPENDS: u64 = 50;
+        let dir = scratch("race");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        // Seed the file with a torn tail so the repair path races too.
+        fs::write(&path, "{\"i\":").unwrap();
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(WRITERS as usize));
+        let workers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let barrier = barrier.clone();
+                // Half the writers address the file through a `..`-style
+                // alias to prove the lock keys on the resolved path.
+                let path = if w % 2 == 0 {
+                    path.clone()
+                } else {
+                    dir.join("sub/..").join("events.jsonl")
+                };
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..APPENDS {
+                        append_jsonl(
+                            &path,
+                            &Json::Obj(vec![
+                                ("w".into(), Json::UInt(w)),
+                                ("i".into(), Json::UInt(i)),
+                                // Padding makes a spliced write visibly torn.
+                                ("pad".into(), Json::Str("x".repeat(64))),
+                            ]),
+                        )
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        // Interior corruption would fail the read outright.
+        let vals = read_jsonl(&path).unwrap();
+        assert_eq!(vals.len(), (WRITERS * APPENDS) as usize);
+        // Every (writer, index) pair arrived exactly once.
+        let mut seen: Vec<(u64, u64)> = vals
+            .iter()
+            .map(|v| {
+                (
+                    v.get("w").and_then(Json::as_u64).unwrap(),
+                    v.get("i").and_then(Json::as_u64).unwrap(),
+                )
+            })
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), (WRITERS * APPENDS) as usize, "duplicate or spliced records");
         let _ = fs::remove_dir_all(&dir);
     }
 

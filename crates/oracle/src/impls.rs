@@ -124,6 +124,40 @@ pub fn spgemm_impls() -> Vec<SpgemmImpl> {
                 sim.spgemm_cc_operand(&a.to_csc(), b).map(|(c, _)| c).map_err(err)
             },
         },
+        SpgemmImpl {
+            name: "serve",
+            run: |a, b| {
+                // End-to-end through the request service: admission,
+                // classifier routing, watchdogged compute, delivery. Every
+                // kernel the router can pick is itself in this registry, so
+                // this entry checks the *service plumbing* preserves results
+                // and surfaces rejections.
+                use std::sync::Arc;
+                use outerspace_serve::{Op, OpOutput, Server, ServerConfig, SubmitOpts};
+                let server = Server::start(ServerConfig {
+                    workers: 1,
+                    cache_cap: 0,
+                    ..ServerConfig::default()
+                });
+                let op = Op::Spgemm { a: Arc::new(a.clone()), b: Arc::new(b.clone()) };
+                let opts = SubmitOpts {
+                    deadline: Some(std::time::Duration::from_secs(600)),
+                    force_kernel: None,
+                };
+                let result = match server.submit_opts(op, opts) {
+                    Ok(ticket) => match ticket.wait().result {
+                        Ok(out) => match &*out {
+                            OpOutput::Matrix(c) => Ok(c.clone()),
+                            OpOutput::Vector(_) => Err("serve returned a vector".to_string()),
+                        },
+                        Err(e) => Err(e.to_string()),
+                    },
+                    Err(rejected) => Err(rejected.to_string()),
+                };
+                server.shutdown();
+                result
+            },
+        },
     ]
 }
 
@@ -225,7 +259,22 @@ mod tests {
     fn filter_rejects_unknown_names() {
         assert!(filter_impls(spgemm_impls(), Some("outer_streaming,cusp_esc")).unwrap().len() == 2);
         assert!(filter_impls(spgemm_impls(), Some("nope")).is_err());
-        assert_eq!(filter_impls(spgemm_impls(), None).unwrap().len(), 11);
+        assert_eq!(filter_impls(spgemm_impls(), None).unwrap().len(), 12);
+    }
+
+    #[test]
+    fn serve_router_names_are_a_subset_of_this_registry() {
+        // Every kernel the service's classifier can route to must be
+        // differentially tested here — the "known-good" guarantee the
+        // degradation ladder leans on.
+        let spgemm: Vec<&str> = spgemm_impls().iter().map(|i| i.name).collect();
+        for name in outerspace_serve::kernels::SPGEMM_KERNELS {
+            assert!(spgemm.contains(name), "serve routes to unregistered kernel '{name}'");
+        }
+        let spmv: Vec<&str> = spmv_impls().iter().map(|i| i.name).collect();
+        for name in outerspace_serve::kernels::SPMV_KERNELS {
+            assert!(spmv.contains(name), "serve routes to unregistered kernel '{name}'");
+        }
     }
 
     #[test]

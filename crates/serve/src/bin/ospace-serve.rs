@@ -1,0 +1,255 @@
+//! `ospace-serve` — load-generator + chaos harness for the SpGEMM service.
+//!
+//! ```text
+//! ospace-serve [--requests N] [--pool N] [--scale N] [--nnz N] [--seed S]
+//!              [--workers N] [--queue-cap N] [--deadline-ms MS]
+//!              [--rate RPS | --burst] [--overload FACTOR]
+//!              [--faults] [--panic-every N] [--sleep-every N] [--sleep-ms MS]
+//!              [--pareto FILE] [--out FILE] [--chaos]
+//! ```
+//!
+//! `--chaos` is the CI preset: injected accelerator faults, forced worker
+//! panics, forced mid-compute stalls, and 2× overload (open-loop rate
+//! calibrated to twice what the worker pool can absorb). After the run the
+//! binary *asserts* the service invariants — every request accounted for,
+//! zero payloads delivered past their deadline — and exits non-zero if any
+//! fail, so the gate needs no external checker. The full report is written
+//! as JSON either way.
+//!
+//! Exit status: 0 invariants hold; 1 an invariant broke; 2 bad usage.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use outerspace_json::dump;
+use outerspace_serve::loadgen::{self, Arrivals, Scenario};
+use outerspace_serve::{Classifier, Server, ServerConfig};
+use outerspace_sim::FaultModel;
+
+const USAGE: &str = "usage: ospace-serve [--requests N] [--pool N] [--scale N] [--nnz N] \
+     [--seed S] [--workers N] [--queue-cap N] [--deadline-ms MS] [--rate RPS] [--burst] \
+     [--overload FACTOR] [--faults] [--panic-every N] [--sleep-every N] [--sleep-ms MS] \
+     [--pareto FILE] [--out FILE] [--chaos]";
+
+struct Cli {
+    scenario: Scenario,
+    server: ServerConfig,
+    overload: Option<f64>,
+    pareto: Option<PathBuf>,
+    out: PathBuf,
+    chaos: bool,
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
+    let mut cli = Cli {
+        scenario: Scenario {
+            requests: 120,
+            pool: 16,
+            scale: 96,
+            nnz: 900,
+            spmv_fraction: 0.25,
+            seed: 42,
+            arrivals: Arrivals::Burst,
+            deadline: Duration::from_millis(2_000),
+            chaos_panic_every: 0,
+            chaos_sleep_every: 0,
+            chaos_sleep_ms: 0,
+        },
+        server: ServerConfig::default(),
+        overload: None,
+        pareto: None,
+        out: PathBuf::from("serve_results/serve.json"),
+        chaos: false,
+    };
+    let mut args = args.into_iter();
+    fn num<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String> {
+        let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
+        v.parse().map_err(|_| format!("{flag}: '{v}' is not a valid value"))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--requests" => cli.scenario.requests = num("--requests", args.next())?,
+            "--pool" => cli.scenario.pool = num("--pool", args.next())?,
+            "--scale" => cli.scenario.scale = num("--scale", args.next())?,
+            "--nnz" => cli.scenario.nnz = num("--nnz", args.next())?,
+            "--seed" => cli.scenario.seed = num("--seed", args.next())?,
+            "--workers" => cli.server.workers = num("--workers", args.next())?,
+            "--queue-cap" => {
+                cli.server.queue_cap = num("--queue-cap", args.next())?;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = num("--deadline-ms", args.next())?;
+                cli.scenario.deadline = Duration::from_millis(ms);
+            }
+            "--rate" => {
+                cli.scenario.arrivals = Arrivals::Rate { rps: num("--rate", args.next())? };
+            }
+            "--burst" => cli.scenario.arrivals = Arrivals::Burst,
+            "--overload" => cli.overload = Some(num("--overload", args.next())?),
+            "--faults" => cli.server.fault_model = chaos_fault_model(cli.scenario.seed),
+            "--panic-every" => {
+                cli.scenario.chaos_panic_every = num("--panic-every", args.next())?;
+            }
+            "--sleep-every" => {
+                cli.scenario.chaos_sleep_every = num("--sleep-every", args.next())?;
+            }
+            "--sleep-ms" => cli.scenario.chaos_sleep_ms = num("--sleep-ms", args.next())?,
+            "--pareto" => {
+                cli.pareto =
+                    Some(PathBuf::from(args.next().ok_or("--pareto needs a file path")?));
+            }
+            "--out" => cli.out = PathBuf::from(args.next().ok_or("--out needs a file path")?),
+            "--chaos" => cli.chaos = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if cli.chaos {
+        // The CI preset: everything hostile at once, sized to finish fast.
+        cli.server.fault_model = chaos_fault_model(cli.scenario.seed);
+        if cli.scenario.chaos_panic_every == 0 {
+            cli.scenario.chaos_panic_every = 7;
+        }
+        if cli.scenario.chaos_sleep_every == 0 {
+            cli.scenario.chaos_sleep_every = 11;
+            cli.scenario.chaos_sleep_ms =
+                (3 * cli.scenario.deadline.as_millis() as u64).max(100);
+        }
+        if cli.overload.is_none() {
+            cli.overload = Some(2.0);
+        }
+    }
+    Ok(cli)
+}
+
+/// Injected memory + PE faults for chaos runs: ECC-correctable bit errors,
+/// dropped responses with a tight retry budget (so some escalate to the
+/// transient `MemoryFailure` the service retries), and one dead PE.
+fn chaos_fault_model(seed: u64) -> FaultModel {
+    FaultModel {
+        seed,
+        hbm_ber: 1e-7,
+        drop_rate: 0.05,
+        pe_kill_count: 1,
+        pe_kill_cycle: 1_000,
+        max_retries: 2,
+        ..FaultModel::default()
+    }
+}
+
+fn main() {
+    let mut cli = match parse_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    // Overload converts to an open-loop rate the pool cannot absorb.
+    if let Some(factor) = cli.overload {
+        let rps = loadgen::overload_rate(&cli.scenario, cli.server.workers, factor);
+        eprintln!("# calibrated open-loop rate: {rps:.1} rps ({factor}x capacity)");
+        cli.scenario.arrivals = Arrivals::Rate { rps };
+    }
+
+    let classifier = match &cli.pareto {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            let json = match outerspace_json::parse(&text) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("error: {} is not valid JSON: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            match Classifier::from_pareto_json(&json, cli.server.sim_nnz_cap) {
+                Ok(c) => {
+                    eprintln!("# classifier tuned from {} ({} classes)", path.display(), c.tuned_classes());
+                    c
+                }
+                Err(e) => {
+                    eprintln!("error: bad pareto report {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => Classifier::new(cli.server.sim_nnz_cap),
+    };
+
+    eprintln!(
+        "# serving {} requests ({} distinct ops) on {} workers, queue cap {}, deadline {} ms",
+        cli.scenario.requests,
+        cli.scenario.pool,
+        cli.server.workers,
+        cli.server.queue_cap,
+        cli.scenario.deadline.as_millis()
+    );
+    let server = Server::start_with_classifier(cli.server.clone(), classifier);
+    let tally = loadgen::run(&server, &cli.scenario);
+    let snapshot = server.shutdown();
+
+    let report = loadgen::report_json(&cli.scenario, &tally, &snapshot);
+    if let Err(e) = dump::write_json_atomic(&cli.out, &report) {
+        eprintln!("error: cannot write {}: {e}", cli.out.display());
+        std::process::exit(1);
+    }
+    eprintln!("(report written to {})", cli.out.display());
+    println!(
+        "# {} submitted | {} ok ({} cached) | {} shed | {} timed out | {} failed | \
+         {} retries | p50 {:.1} ms p99 {:.1} ms | {:.1} rps",
+        snapshot.submitted,
+        snapshot.completed_ok,
+        snapshot.cache_hits,
+        snapshot.rejected(),
+        snapshot.timed_out,
+        snapshot.failed,
+        snapshot.retries,
+        snapshot.p50_ms(),
+        snapshot.p99_ms(),
+        if tally.wall_s > 0.0 { tally.ok as f64 / tally.wall_s } else { 0.0 }
+    );
+
+    // --- Invariants: the chaos gate's teeth. ---
+    let mut violations = Vec::new();
+    if !snapshot.accounted_ok() {
+        violations.push(format!(
+            "server accounting broke: {} + {} + {} + {} != {}",
+            snapshot.completed_ok,
+            snapshot.failed,
+            snapshot.rejected(),
+            snapshot.timed_out,
+            snapshot.submitted
+        ));
+    }
+    if !tally.accounted_ok() {
+        violations.push("client accounting broke: a ticket vanished".into());
+    }
+    if snapshot.deadline_violations > 0 {
+        violations.push(format!(
+            "{} payload(s) delivered past their deadline",
+            snapshot.deadline_violations
+        ));
+    }
+    if cli.scenario.chaos_panic_every > 0 && snapshot.failed == 0 {
+        violations.push("panic injection was on but no request failed — hooks not exercised".into());
+    }
+    if cli.scenario.chaos_sleep_every > 0 && snapshot.timed_out == 0 {
+        violations
+            .push("stall injection was on but nothing timed out — watchdog not exercised".into());
+    }
+    if violations.is_empty() {
+        println!("# invariants: OK");
+    } else {
+        for v in &violations {
+            eprintln!("INVARIANT VIOLATED: {v}");
+        }
+        std::process::exit(1);
+    }
+}

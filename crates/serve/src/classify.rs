@@ -1,0 +1,292 @@
+//! Matrix-stats workload classifier: picks the kernel (and, for the
+//! accelerator path, the hardware config) a request should run on.
+//!
+//! The class is read off [`outerspace_sparse::stats::Profile`] — row-length
+//! Gini for skew, diagonal fraction for banded/stencil structure — and maps
+//! to a routing table over the kernel names in [`crate::kernels`]. Per-class
+//! accelerator configs are seeded from a DSE Pareto report's
+//! `best_per_workload` table ([`Classifier::from_pareto_json`]): the winning
+//! knob assignment for e.g. `rmat:*` workloads becomes the config the
+//! `Skewed` class simulates with. A degradation request (`degraded = true`)
+//! short-circuits the table to the cheapest known-good kernel.
+
+use std::collections::HashMap;
+
+use outerspace_json::Json;
+use outerspace_sim::OuterSpaceConfig;
+use outerspace_sparse::stats::{profile, Profile};
+
+use crate::kernels::{CHEAPEST_SPGEMM, CHEAPEST_SPMV};
+use crate::request::Op;
+
+/// Coarse workload shape, as seen by the router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Too small for routing to matter — serial software wins outright.
+    Tiny,
+    /// Power-law row lengths (R-MAT / scale-free graphs).
+    Skewed,
+    /// Strong diagonal structure (banded / stencil operators).
+    Regular,
+    /// Flat row-length distribution.
+    Uniform,
+}
+
+impl WorkloadClass {
+    /// Stable lowercase name used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WorkloadClass::Tiny => "tiny",
+            WorkloadClass::Skewed => "skewed",
+            WorkloadClass::Regular => "regular",
+            WorkloadClass::Uniform => "uniform",
+        }
+    }
+}
+
+/// Classifies a matrix profile. Thresholds are deliberately coarse — the
+/// router only needs the broad shape, and coarse bins keep the decision
+/// stable under small perturbations.
+pub fn classify(p: &Profile) -> WorkloadClass {
+    if p.nrows <= 64 || p.nnz <= 256 {
+        WorkloadClass::Tiny
+    } else if p.row_gini >= 0.5 {
+        WorkloadClass::Skewed
+    } else if p.diagonal_fraction >= 0.7 {
+        WorkloadClass::Regular
+    } else {
+        WorkloadClass::Uniform
+    }
+}
+
+/// The classifier's verdict for one request.
+#[derive(Debug, Clone)]
+pub struct Route {
+    /// Kernel to run (a name from [`crate::kernels`]).
+    pub kernel: &'static str,
+    /// The class the primary operand fell in.
+    pub class: WorkloadClass,
+    /// Accelerator config for the `sim`/`sim_spmv` kernels — the Pareto
+    /// winner for this class when one was loaded, the paper default
+    /// otherwise. Ignored by software kernels.
+    pub sim_config: OuterSpaceConfig,
+}
+
+/// Routing table + per-class accelerator configs.
+#[derive(Debug, Clone)]
+pub struct Classifier {
+    tuned: HashMap<WorkloadClass, OuterSpaceConfig>,
+    /// Largest primary-operand nnz the cycle-accurate accelerator model is
+    /// allowed to serve; bigger requests go to the software kernels.
+    pub sim_nnz_cap: usize,
+}
+
+/// Maps a DSE workload-label kind prefix (`"rmat:512x4096"` → `"rmat"`) to
+/// the class its Pareto-winning config should tune.
+fn class_of_kind(kind: &str) -> Option<WorkloadClass> {
+    match kind {
+        "rmat" | "powerlaw" => Some(WorkloadClass::Skewed),
+        "uniform" => Some(WorkloadClass::Uniform),
+        "banded" | "stencil" => Some(WorkloadClass::Regular),
+        _ => None,
+    }
+}
+
+impl Classifier {
+    /// An untuned classifier: every class simulates with the paper default.
+    pub fn new(sim_nnz_cap: usize) -> Classifier {
+        Classifier { tuned: HashMap::new(), sim_nnz_cap }
+    }
+
+    /// Seeds per-class accelerator configs from a `dse` Pareto report
+    /// (`pareto.json` as emitted by `ParetoReport::to_json`): for each
+    /// `best_per_workload` row, the winning config's knobs are re-applied to
+    /// the paper default and installed for the class its workload kind maps
+    /// to (first win per class; workloads of unknown kind are skipped).
+    ///
+    /// # Errors
+    ///
+    /// Malformed report shape, or a knob the registry rejects.
+    pub fn from_pareto_json(report: &Json, sim_nnz_cap: usize) -> Result<Classifier, String> {
+        let configs = report
+            .get("configs")
+            .and_then(Json::as_array)
+            .ok_or("pareto report: missing 'configs' array")?;
+        let mut knobs_by_id: HashMap<u64, Vec<(String, f64)>> = HashMap::new();
+        for c in configs {
+            let id = c
+                .get("config_id")
+                .and_then(Json::as_u64)
+                .ok_or("pareto report: config without 'config_id'")?;
+            let knob_obj = match c.get("knobs") {
+                Some(Json::Obj(pairs)) => pairs,
+                _ => return Err("pareto report: config without 'knobs' object".into()),
+            };
+            let mut knobs = Vec::with_capacity(knob_obj.len());
+            for (k, v) in knob_obj {
+                let v = v
+                    .as_f64()
+                    .ok_or_else(|| format!("pareto report: knob '{k}' is not numeric"))?;
+                knobs.push((k.clone(), v));
+            }
+            knobs_by_id.insert(id, knobs);
+        }
+
+        let best = report
+            .get("best_per_workload")
+            .and_then(Json::as_array)
+            .ok_or("pareto report: missing 'best_per_workload' array")?;
+        let mut tuned: HashMap<WorkloadClass, OuterSpaceConfig> = HashMap::new();
+        for row in best {
+            let workload = row
+                .get("workload")
+                .and_then(Json::as_str)
+                .ok_or("pareto report: best row without 'workload'")?;
+            let kind = workload.split(':').next().unwrap_or(workload);
+            let Some(class) = class_of_kind(kind) else { continue };
+            if tuned.contains_key(&class) {
+                continue;
+            }
+            let id = row
+                .get("config_id")
+                .and_then(Json::as_u64)
+                .ok_or("pareto report: best row without 'config_id'")?;
+            let knobs = knobs_by_id
+                .get(&id)
+                .ok_or_else(|| format!("pareto report: best row references unknown config {id}"))?;
+            let mut cfg = OuterSpaceConfig::default();
+            for (k, v) in knobs {
+                outerspace_dse::knobs::apply(&mut cfg, k, *v)?;
+            }
+            tuned.insert(class, cfg);
+        }
+        Ok(Classifier { tuned, sim_nnz_cap })
+    }
+
+    /// Number of classes with a Pareto-tuned accelerator config.
+    pub fn tuned_classes(&self) -> usize {
+        self.tuned.len()
+    }
+
+    fn sim_config_for(&self, class: WorkloadClass) -> OuterSpaceConfig {
+        self.tuned.get(&class).cloned().unwrap_or_default()
+    }
+
+    /// Routes `op`. With `degraded` set the request skips straight to the
+    /// cheapest known-good kernel — the bottom rung of the degradation
+    /// ladder — regardless of class.
+    pub fn route(&self, op: &Op, degraded: bool) -> Route {
+        let p = profile(op.primary());
+        let class = classify(&p);
+        let cheapest = match op {
+            Op::Spgemm { .. } => CHEAPEST_SPGEMM,
+            Op::Spmv { .. } => CHEAPEST_SPMV,
+        };
+        if degraded || class == WorkloadClass::Tiny {
+            return Route { kernel: cheapest, class, sim_config: self.sim_config_for(class) };
+        }
+        // The cycle-accurate accelerator model only gets affordable sizes;
+        // everything larger runs on the software kernel suited to the class.
+        let kernel = match op {
+            Op::Spgemm { .. } if p.nnz <= self.sim_nnz_cap => "sim",
+            Op::Spmv { .. } if p.nnz <= self.sim_nnz_cap => "sim_spmv",
+            Op::Spgemm { .. } => match class {
+                WorkloadClass::Skewed => "outer_par",
+                WorkloadClass::Regular => "mkl_gustavson_par",
+                WorkloadClass::Uniform | WorkloadClass::Tiny => "cusparse_hash",
+            },
+            Op::Spmv { .. } => match class {
+                WorkloadClass::Regular => "mkl_spmv_densified",
+                _ => "outer_spmv",
+            },
+        };
+        Route { kernel, class, sim_config: self.sim_config_for(class) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn op_for(m: outerspace_sparse::Csr) -> Op {
+        let a = Arc::new(m);
+        Op::Spgemm { a: a.clone(), b: a }
+    }
+
+    #[test]
+    fn classes_match_generator_families() {
+        let tiny = profile(&outerspace_gen::uniform::matrix(32, 32, 100, 1));
+        assert_eq!(classify(&tiny), WorkloadClass::Tiny);
+        let skew = profile(&outerspace_gen::rmat::graph500(512, 6000, 2));
+        assert_eq!(classify(&skew), WorkloadClass::Skewed);
+        let flat = profile(&outerspace_gen::uniform::matrix(512, 512, 6000, 3));
+        assert_eq!(classify(&flat), WorkloadClass::Uniform);
+        let diag = profile(&outerspace_sparse::Csr::identity(512));
+        assert_eq!(classify(&diag), WorkloadClass::Regular);
+    }
+
+    #[test]
+    fn tiny_and_degraded_go_to_the_cheapest_kernel() {
+        let cl = Classifier::new(2_000);
+        let tiny = op_for(outerspace_gen::uniform::matrix(32, 32, 100, 1));
+        assert_eq!(cl.route(&tiny, false).kernel, CHEAPEST_SPGEMM);
+        let big = op_for(outerspace_gen::rmat::graph500(512, 60_000, 2));
+        assert_eq!(cl.route(&big, true).kernel, CHEAPEST_SPGEMM);
+        assert_eq!(cl.route(&big, false).kernel, "outer_par");
+    }
+
+    #[test]
+    fn small_requests_ride_the_accelerator_model() {
+        let cl = Classifier::new(10_000);
+        let op = op_for(outerspace_gen::uniform::matrix(512, 512, 6_000, 3));
+        let route = cl.route(&op, false);
+        assert_eq!(route.kernel, "sim");
+        assert_eq!(route.class, WorkloadClass::Uniform);
+        let x = Arc::new(outerspace_gen::vector::sparse(512, 0.2, 4));
+        let a = Arc::new(outerspace_gen::uniform::matrix(512, 512, 6_000, 3));
+        assert_eq!(cl.route(&Op::Spmv { a, x }, false).kernel, "sim_spmv");
+    }
+
+    #[test]
+    fn pareto_report_seeds_per_class_configs() {
+        let report = outerspace_json::parse(
+            r#"{
+              "configs": [
+                {"config_id": 0, "knobs": {"n_tiles": 32.0, "pes_per_tile": 8.0}},
+                {"config_id": 1, "knobs": {"n_tiles": 4.0}}
+              ],
+              "best_per_workload": [
+                {"workload": "rmat:512x4096", "config_id": 0, "cycles": 10, "power_w": 1.0},
+                {"workload": "uniform:96x700", "config_id": 1, "cycles": 20, "power_w": 1.0},
+                {"workload": "mystery:1x1", "config_id": 1, "cycles": 30, "power_w": 1.0}
+              ]
+            }"#,
+        )
+        .unwrap();
+        let cl = Classifier::from_pareto_json(&report, 2_000).unwrap();
+        assert_eq!(cl.tuned_classes(), 2);
+        let skew = op_for(outerspace_gen::rmat::graph500(512, 4_000, 2));
+        let route = cl.route(&skew, false);
+        assert_eq!(route.class, WorkloadClass::Skewed);
+        assert_eq!(route.sim_config.n_tiles, 32);
+        assert_eq!(route.sim_config.pes_per_tile, 8);
+        // Untuned classes fall back to the paper default.
+        let diag = op_for(outerspace_sparse::Csr::identity(512));
+        let d = cl.route(&diag, false);
+        assert_eq!(d.sim_config, OuterSpaceConfig::default());
+    }
+
+    #[test]
+    fn malformed_report_is_rejected() {
+        let bad = outerspace_json::parse(r#"{"configs": 7}"#).unwrap();
+        assert!(Classifier::from_pareto_json(&bad, 100).is_err());
+        let dangling = outerspace_json::parse(
+            r#"{"configs": [],
+                "best_per_workload": [{"workload": "rmat:8x8", "config_id": 3,
+                                       "cycles": 1, "power_w": 1.0}]}"#,
+        )
+        .unwrap();
+        assert!(Classifier::from_pareto_json(&dangling, 100).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! The kernel table the router chooses from, with a transient/permanent
+//! error split for the retry machinery.
+//!
+//! Every name here matches the differential-testing oracle's registry
+//! (`crates/oracle`), so each choice the classifier can make is continuously
+//! cross-checked against the reference kernels — the "known-good" in
+//! "cheapest known-good implementation". (`crates/oracle` has a test pinning
+//! this name correspondence.)
+//!
+//! Faults only reach the `sim`/`sim_spmv` entries: the accelerator model is
+//! the path with an injected [`FaultModel`], so a transiently failing
+//! simulation ([`SimError::MemoryFailure`], [`SimError::WatchdogTimeout`])
+//! is retryable with a fresh per-attempt fault seed, while a dead array
+//! ([`SimError::AllPesFailed`]) is permanent and triggers the software
+//! fallback rung of the degradation ladder.
+
+use outerspace_baselines as baselines;
+use outerspace_outer as outer;
+use outerspace_sim::{OuterSpaceConfig, SimError, Simulator};
+use outerspace_sparse::{Csr, SparseVector};
+
+use crate::request::{Op, OpOutput};
+
+/// Every SpGEMM kernel the router may choose, cheapest-first within tiers.
+pub const SPGEMM_KERNELS: &[&str] = &[
+    "mkl_gustavson",
+    "mkl_gustavson_par",
+    "outer_streaming",
+    "outer_par",
+    "cusparse_hash",
+    "sim",
+];
+
+/// Every SpMV kernel the router may choose.
+pub const SPMV_KERNELS: &[&str] = &["outer_spmv", "mkl_spmv_densified", "sim_spmv"];
+
+/// The cheapest known-good rung of the degradation ladder: serial Gustavson,
+/// bounded memory, no worker threads, no simulated hardware to fault.
+pub const CHEAPEST_SPGEMM: &str = "mkl_gustavson";
+/// SpMV counterpart of [`CHEAPEST_SPGEMM`].
+pub const CHEAPEST_SPMV: &str = "mkl_spmv_densified";
+
+/// How a kernel failed, from the retry machinery's point of view.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    /// Worth retrying with a fresh fault seed (transient injected fault).
+    Transient(String),
+    /// Retrying cannot help: malformed operands, dead hardware model, or a
+    /// caught kernel panic.
+    Permanent(String),
+}
+
+impl KernelError {
+    /// The failure message regardless of class.
+    pub fn message(&self) -> &str {
+        match self {
+            KernelError::Transient(m) | KernelError::Permanent(m) => m,
+        }
+    }
+}
+
+fn classify_sim_error(e: SimError) -> KernelError {
+    match e {
+        // An exhausted HBM retry budget or a fired phase watchdog is a
+        // transient episode: a re-run draws a fresh fault stream.
+        SimError::MemoryFailure { .. } | SimError::WatchdogTimeout { .. } => {
+            KernelError::Transient(e.to_string())
+        }
+        // Dead PEs stay dead, and config/shape rejections are deterministic.
+        _ => KernelError::Permanent(e.to_string()),
+    }
+}
+
+fn perm<E: std::fmt::Display>(e: E) -> KernelError {
+    KernelError::Permanent(e.to_string())
+}
+
+/// Worker threads handed to the `*_par` kernels.
+pub const PAR_THREADS: usize = 3;
+
+/// Runs SpGEMM kernel `name`. `sim_config` only matters for `"sim"` (it
+/// carries the per-request fault seed).
+pub fn run_spgemm(
+    name: &str,
+    a: &Csr,
+    b: &Csr,
+    sim_config: &OuterSpaceConfig,
+) -> Result<Csr, KernelError> {
+    match name {
+        "mkl_gustavson" => baselines::gustavson::spgemm(a, b).map(|(c, _)| c).map_err(perm),
+        "mkl_gustavson_par" => baselines::gustavson::spgemm_parallel(a, b, PAR_THREADS)
+            .map(|(c, _)| c)
+            .map_err(perm),
+        "outer_streaming" => outer::spgemm(a, b).map_err(perm),
+        "outer_par" => {
+            outer::spgemm_parallel(a, b, PAR_THREADS).map(|(c, _)| c).map_err(perm)
+        }
+        "cusparse_hash" => baselines::hash::spgemm(a, b).map(|(c, _)| c).map_err(perm),
+        "sim" => {
+            let sim = Simulator::new(sim_config.clone()).map_err(perm)?;
+            sim.spgemm(a, b).map(|(c, _)| c).map_err(classify_sim_error)
+        }
+        other => Err(KernelError::Permanent(format!("unknown spgemm kernel '{other}'"))),
+    }
+}
+
+/// Runs SpMV kernel `name`; see [`run_spgemm`] for the `sim_config` rule.
+pub fn run_spmv(
+    name: &str,
+    a: &Csr,
+    x: &SparseVector,
+    sim_config: &OuterSpaceConfig,
+) -> Result<SparseVector, KernelError> {
+    match name {
+        "outer_spmv" => outer::spmv(&a.to_csc(), x).map(|(y, _)| y).map_err(perm),
+        "mkl_spmv_densified" => baselines::spmv::spmv_dense_vector(a, x)
+            .map(|(y, _)| SparseVector::from_dense(&y))
+            .map_err(perm),
+        "sim_spmv" => {
+            let sim = Simulator::new(sim_config.clone()).map_err(perm)?;
+            sim.spmv(&a.to_csc(), x).map(|(y, _)| y).map_err(classify_sim_error)
+        }
+        other => Err(KernelError::Permanent(format!("unknown spmv kernel '{other}'"))),
+    }
+}
+
+/// Runs `op` through kernel `name`, normalizing the output.
+///
+/// Two chaos hooks ride alongside the real kernels (reachable only by
+/// forcing the kernel name — the classifier never routes to them):
+/// `"chaos_panic"` panics unconditionally, exercising worker panic
+/// isolation, and `"chaos_sleep:<ms>"` stalls before delegating to the
+/// cheapest kernel, exercising mid-compute deadline expiry.
+pub fn run_op(name: &str, op: &Op, sim_config: &OuterSpaceConfig) -> Result<OpOutput, KernelError> {
+    if name == "chaos_panic" {
+        panic!("chaos_panic kernel fired");
+    }
+    if let Some(ms) = name.strip_prefix("chaos_sleep:") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| KernelError::Permanent(format!("bad chaos_sleep kernel '{name}'")))?;
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+        let cheapest = match op {
+            Op::Spgemm { .. } => CHEAPEST_SPGEMM,
+            Op::Spmv { .. } => CHEAPEST_SPMV,
+        };
+        return run_op(cheapest, op, sim_config);
+    }
+    match op {
+        Op::Spgemm { a, b } => run_spgemm(name, a, b, sim_config).map(OpOutput::Matrix),
+        Op::Spmv { a, x } => run_spmv(name, a, x, sim_config).map(OpOutput::Vector),
+    }
+}
+
+/// True when `name` models the accelerator (the only tier faults reach, and
+/// the only tier with a software fallback rung below it).
+pub fn is_sim_kernel(name: &str) -> bool {
+    name == "sim" || name == "sim_spmv"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn every_registered_kernel_computes_the_same_product() {
+        let a = Arc::new(outerspace_gen::uniform::matrix(48, 48, 300, 7));
+        let cfg = OuterSpaceConfig::default();
+        let golden = run_spgemm(CHEAPEST_SPGEMM, &a, &a, &cfg).unwrap();
+        for name in SPGEMM_KERNELS {
+            let c = run_spgemm(name, &a, &a, &cfg)
+                .unwrap_or_else(|e| panic!("{name}: {}", e.message()));
+            assert!(c.approx_eq(&golden, 1e-9), "{name} diverged");
+        }
+        let x = Arc::new(outerspace_gen::vector::sparse(48, 0.3, 9));
+        let golden_y = run_spmv(CHEAPEST_SPMV, &a, &x, &cfg).unwrap().to_dense();
+        for name in SPMV_KERNELS {
+            let y = run_spmv(name, &a, &x, &cfg)
+                .unwrap_or_else(|e| panic!("{name}: {}", e.message()))
+                .to_dense();
+            assert_eq!(y.len(), golden_y.len(), "{name} length diverged");
+            for (got, want) in y.iter().zip(&golden_y) {
+                assert!((got - want).abs() < 1e-9, "{name} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_permanent() {
+        let a = outerspace_gen::uniform::matrix(8, 8, 16, 1);
+        let b = outerspace_gen::uniform::matrix(9, 9, 16, 1);
+        let cfg = OuterSpaceConfig::default();
+        for name in SPGEMM_KERNELS {
+            match run_spgemm(name, &a, &b, &cfg) {
+                Err(KernelError::Permanent(_)) => {}
+                other => panic!("{name}: expected permanent rejection, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_kernel_is_permanent() {
+        let a = Csr::identity(4);
+        assert!(matches!(
+            run_spgemm("nope", &a, &a, &OuterSpaceConfig::default()),
+            Err(KernelError::Permanent(_))
+        ));
+    }
+}

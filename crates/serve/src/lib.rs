@@ -1,0 +1,62 @@
+//! `ospace serve`: a fault-tolerant SpGEMM/SpMV request service.
+//!
+//! This crate turns the repository's kernels into a long-running service
+//! with the robustness furniture a real deployment needs, built entirely on
+//! `std`:
+//!
+//! * **Bounded admission** ([`queue`]): a full queue sheds load with a typed
+//!   [`Rejected`] carrying a `retry_after_hint`, instead of queueing
+//!   unboundedly.
+//! * **Per-request deadlines** ([`server`]): a watchdogged compute thread
+//!   (`spawn` + `recv_timeout`, the same pattern as the bench runner)
+//!   converts hangs and overruns into [`ServeError::DeadlineExceeded`]
+//!   without wedging the worker pool, and a late success is never delivered.
+//! * **Retry with capped backoff**: transient injected faults from
+//!   `outerspace_sim::faults` retry under deterministic per-(request,
+//!   attempt) fault seeds; permanent accelerator failure falls back to
+//!   software.
+//! * **Graceful degradation** ([`classify`]): a matrix-stats workload
+//!   classifier routes each request to a kernel from the differential-tested
+//!   registry — and to the cheapest known-good one when queue occupancy
+//!   crosses the degradation watermark. Per-class accelerator configs can be
+//!   seeded from a DSE Pareto report.
+//! * **Content-addressed caching** ([`rcache`]): identical products are
+//!   served from an `Arc`-shared bounded cache.
+//! * **Airtight accounting** ([`metrics`]): `completed + rejected +
+//!   timed_out == submitted` is checked after every run — chaos included.
+//!
+//! The [`loadgen`] module drives open-loop traffic with injected panics,
+//! stalls, and overload; the `ospace-serve` binary wraps it into the chaos
+//! harness the CI gate runs.
+//!
+//! ```
+//! use outerspace_serve::{Op, Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let server = Server::start(ServerConfig::default());
+//! let a = Arc::new(outerspace_gen::uniform::matrix(64, 64, 400, 7));
+//! let ticket = server.submit(Op::Spgemm { a: a.clone(), b: a }).unwrap();
+//! let response = ticket.wait();
+//! assert!(response.result.is_ok());
+//! assert!(server.shutdown().accounted_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod kernels;
+pub mod loadgen;
+pub mod metrics;
+pub mod queue;
+pub mod rcache;
+pub mod request;
+pub mod server;
+
+pub use classify::{classify, Classifier, Route, WorkloadClass};
+pub use metrics::{Metrics, Snapshot};
+pub use queue::{AdmissionQueue, AdmitError, Popped};
+pub use rcache::{op_material, ResultCache};
+pub use request::{
+    Op, OpOutput, Rejected, RejectReason, Response, ResponseMeta, ServeError, Ticket,
+};
+pub use server::{Server, ServerConfig, SubmitOpts};

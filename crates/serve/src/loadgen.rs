@@ -1,0 +1,277 @@
+//! Load generator and chaos harness driver.
+//!
+//! Traffic is **open loop**: arrivals follow a fixed schedule (a Poisson-ish
+//! constant rate, or one burst) regardless of how the server is coping, which
+//! is what makes overload and shedding observable — a closed loop would
+//! politely slow down instead. The op pool is smaller than the request count
+//! on purpose, so repeated products exercise the content-addressed cache the
+//! way real traffic would.
+//!
+//! Chaos knobs force every Nth request onto the `chaos_panic` /
+//! `chaos_sleep:<ms>` hook kernels, injecting worker panics and guaranteed
+//! mid-compute deadline expiries on top of whatever `FaultModel` the server
+//! itself injects into the accelerator path.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use outerspace_gen::{powerlaw, rmat, uniform, vector};
+use outerspace_json::Json;
+
+use crate::metrics::Snapshot;
+use crate::request::{Op, ServeError, Ticket};
+use crate::server::{Server, SubmitOpts};
+
+/// Arrival process for the open-loop schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrivals {
+    /// Constant-rate arrivals: request `k` is submitted at `k / rps`.
+    Rate {
+        /// Requests per second.
+        rps: f64,
+    },
+    /// Everything at once — guarantees queue pressure and shedding.
+    Burst,
+}
+
+/// One load/chaos run, fully described (and so fully reproducible).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Total requests submitted.
+    pub requests: usize,
+    /// Distinct ops in the pool (requests cycle through it; smaller pool →
+    /// more cache hits).
+    pub pool: usize,
+    /// Matrix dimension of generated operands.
+    pub scale: u32,
+    /// Non-zeros per generated operand.
+    pub nnz: usize,
+    /// Fraction of the pool that is SpMV (the rest is SpGEMM).
+    pub spmv_fraction: f64,
+    /// Base seed for operand generation.
+    pub seed: u64,
+    /// Arrival process.
+    pub arrivals: Arrivals,
+    /// Per-request deadline.
+    pub deadline: Duration,
+    /// Every Nth request runs the always-panicking hook kernel (0 = off).
+    pub chaos_panic_every: usize,
+    /// Every Nth request runs the stalling hook kernel (0 = off).
+    pub chaos_sleep_every: usize,
+    /// Stall length for the sleep hook — set it beyond `deadline` to force
+    /// mid-compute expiry.
+    pub chaos_sleep_ms: u64,
+}
+
+impl Default for Scenario {
+    fn default() -> Scenario {
+        Scenario {
+            requests: 64,
+            pool: 12,
+            scale: 96,
+            nnz: 900,
+            spmv_fraction: 0.25,
+            seed: 1,
+            arrivals: Arrivals::Burst,
+            deadline: Duration::from_secs(2),
+            chaos_panic_every: 0,
+            chaos_sleep_every: 0,
+            chaos_sleep_ms: 0,
+        }
+    }
+}
+
+/// Builds the deterministic op pool for a scenario.
+pub fn make_pool(sc: &Scenario) -> Vec<Op> {
+    let pool = sc.pool.max(1);
+    let spmv_count = (sc.spmv_fraction * pool as f64).round() as usize;
+    (0..pool)
+        .map(|i| {
+            let seed = sc.seed.wrapping_add(1 + i as u64);
+            let a = Arc::new(match i % 3 {
+                0 => uniform::matrix(sc.scale, sc.scale, sc.nnz, seed),
+                1 => rmat::graph500(sc.scale, sc.nnz, seed),
+                _ => powerlaw::graph(sc.scale, sc.nnz, seed),
+            });
+            if i < spmv_count {
+                let x = Arc::new(vector::sparse(sc.scale, 0.3, seed));
+                Op::Spmv { a, x }
+            } else {
+                let b = Arc::new(uniform::matrix(sc.scale, sc.scale, sc.nnz, seed ^ 0x9e37));
+                Op::Spgemm { a, b }
+            }
+        })
+        .collect()
+}
+
+/// Client-side view of one run (the server keeps its own counters; the two
+/// are cross-checked in the report).
+#[derive(Debug, Clone, Default)]
+pub struct ClientTally {
+    /// Requests the client attempted to submit.
+    pub submitted: u64,
+    /// Admission-time sheds observed by the client.
+    pub rejected: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Terminal failures.
+    pub failed: u64,
+    /// Deadline expiries (and post-admission sheds).
+    pub timed_out: u64,
+    /// Post-admission sheds (abort-mode leftovers), a subset bucket.
+    pub late_rejected: u64,
+    /// Wall-clock of the whole run (submission through collection).
+    pub wall_s: f64,
+}
+
+/// Drives `sc` against a running server and collects every ticket.
+pub fn run(server: &Server, sc: &Scenario) -> ClientTally {
+    let pool = make_pool(sc);
+    let started = Instant::now();
+    let mut tally = ClientTally::default();
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(sc.requests);
+    for k in 0..sc.requests {
+        if let Arrivals::Rate { rps } = sc.arrivals {
+            if rps > 0.0 {
+                let due = Duration::from_secs_f64(k as f64 / rps);
+                let now = started.elapsed();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+            }
+        }
+        let mut opts = SubmitOpts { deadline: Some(sc.deadline), force_kernel: None };
+        if sc.chaos_panic_every > 0 && k % sc.chaos_panic_every == sc.chaos_panic_every - 1 {
+            opts.force_kernel = Some("chaos_panic".into());
+        } else if sc.chaos_sleep_every > 0 && k % sc.chaos_sleep_every == sc.chaos_sleep_every - 1
+        {
+            opts.force_kernel = Some(format!("chaos_sleep:{}", sc.chaos_sleep_ms));
+        }
+        tally.submitted += 1;
+        match server.submit_opts(pool[k % pool.len()].clone(), opts) {
+            Ok(t) => tickets.push(t),
+            Err(_rejected) => tally.rejected += 1,
+        }
+    }
+    for t in tickets {
+        match t.wait().result {
+            Ok(_) => tally.ok += 1,
+            Err(ServeError::DeadlineExceeded { .. }) => tally.timed_out += 1,
+            Err(ServeError::Rejected(_)) => tally.late_rejected += 1,
+            Err(ServeError::Failed { .. }) => tally.failed += 1,
+        }
+    }
+    tally.wall_s = started.elapsed().as_secs_f64();
+    tally
+}
+
+impl ClientTally {
+    /// Every submission came back as exactly one terminal outcome.
+    pub fn accounted_ok(&self) -> bool {
+        self.ok + self.failed + self.rejected + self.late_rejected + self.timed_out
+            == self.submitted
+    }
+}
+
+/// Assembles the run artifact: client tallies, server counters, and the
+/// cross-check verdicts the CI gate greps for. Key order is fixed.
+pub fn report_json(sc: &Scenario, tally: &ClientTally, snapshot: &Snapshot) -> Json {
+    let throughput = if tally.wall_s > 0.0 { tally.ok as f64 / tally.wall_s } else { 0.0 };
+    let scenario = Json::Obj(vec![
+        ("requests".into(), Json::UInt(sc.requests as u64)),
+        ("pool".into(), Json::UInt(sc.pool as u64)),
+        ("scale".into(), Json::UInt(sc.scale as u64)),
+        ("nnz".into(), Json::UInt(sc.nnz as u64)),
+        ("spmv_fraction".into(), Json::Float(sc.spmv_fraction)),
+        ("seed".into(), Json::UInt(sc.seed)),
+        (
+            "arrivals".into(),
+            match sc.arrivals {
+                Arrivals::Rate { rps } => Json::Obj(vec![("rps".into(), Json::Float(rps))]),
+                Arrivals::Burst => Json::Str("burst".into()),
+            },
+        ),
+        ("deadline_ms".into(), Json::Float(sc.deadline.as_secs_f64() * 1e3)),
+        ("chaos_panic_every".into(), Json::UInt(sc.chaos_panic_every as u64)),
+        ("chaos_sleep_every".into(), Json::UInt(sc.chaos_sleep_every as u64)),
+        ("chaos_sleep_ms".into(), Json::UInt(sc.chaos_sleep_ms)),
+    ]);
+    let client = Json::Obj(vec![
+        ("submitted".into(), Json::UInt(tally.submitted)),
+        ("ok".into(), Json::UInt(tally.ok)),
+        ("rejected".into(), Json::UInt(tally.rejected)),
+        ("late_rejected".into(), Json::UInt(tally.late_rejected)),
+        ("failed".into(), Json::UInt(tally.failed)),
+        ("timed_out".into(), Json::UInt(tally.timed_out)),
+        ("wall_s".into(), Json::Float(tally.wall_s)),
+        ("throughput_rps".into(), Json::Float(throughput)),
+        ("accounted_ok".into(), Json::Bool(tally.accounted_ok())),
+    ]);
+    Json::Obj(vec![
+        ("scenario".into(), scenario),
+        ("client".into(), client),
+        ("server".into(), snapshot.to_json()),
+        (
+            "accounted_ok".into(),
+            Json::Bool(tally.accounted_ok() && snapshot.accounted_ok()),
+        ),
+    ])
+}
+
+/// Times the cheapest SpGEMM kernel on a pool-representative operand and
+/// returns a request rate that oversubscribes `workers` by `factor` — the
+/// "2× overload" dial of the chaos recipe.
+pub fn overload_rate(sc: &Scenario, workers: usize, factor: f64) -> f64 {
+    let a = Arc::new(uniform::matrix(sc.scale, sc.scale, sc.nnz, sc.seed));
+    let started = Instant::now();
+    let iters = 3;
+    for _ in 0..iters {
+        let _ = outerspace_baselines::gustavson::spgemm(&a, &a);
+    }
+    let per = started.elapsed().as_secs_f64() / iters as f64;
+    (workers as f64 / per.max(1e-6)) * factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+
+    #[test]
+    fn pool_is_deterministic_and_mixed() {
+        let sc = Scenario { pool: 8, spmv_fraction: 0.25, ..Scenario::default() };
+        let p1 = make_pool(&sc);
+        let p2 = make_pool(&sc);
+        assert_eq!(p1.len(), 8);
+        let spmv = p1.iter().filter(|o| o.kind() == "spmv").count();
+        assert_eq!(spmv, 2);
+        for (a, b) in p1.iter().zip(&p2) {
+            assert_eq!(crate::rcache::op_material(a), crate::rcache::op_material(b));
+        }
+    }
+
+    #[test]
+    fn burst_run_accounts_every_request() {
+        let server = Server::start(ServerConfig {
+            workers: 2,
+            queue_cap: 4,
+            admission_guard: false,
+            ..ServerConfig::default()
+        });
+        let sc = Scenario {
+            requests: 24,
+            pool: 4,
+            scale: 48,
+            nnz: 300,
+            arrivals: Arrivals::Burst,
+            ..Scenario::default()
+        };
+        let tally = run(&server, &sc);
+        let snap = server.shutdown();
+        assert!(tally.accounted_ok(), "client accounting broke: {tally:?}");
+        assert!(snap.accounted_ok(), "server accounting broke");
+        assert_eq!(tally.submitted, 24);
+        let j = report_json(&sc, &tally, &snap);
+        assert_eq!(j.get("accounted_ok"), Some(&Json::Bool(true)));
+    }
+}

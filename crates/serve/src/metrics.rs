@@ -1,0 +1,276 @@
+//! Service counters and the accounting identity.
+//!
+//! Every submitted request must reach exactly one terminal bucket:
+//!
+//! ```text
+//! submitted == completed_ok + failed + rejected + timed_out
+//! ```
+//!
+//! [`Snapshot::accounted_ok`] checks that identity; the chaos harness and
+//! the CI gate assert it after every run, so a request silently dropped by a
+//! bug anywhere in the pipeline turns into a loud failure instead of a
+//! missing row. Counters are atomics (workers bump them lock-free); latency
+//! samples take a mutex only at terminal-outcome time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use outerspace_json::Json;
+
+use crate::request::RejectReason;
+
+/// Live counters, shared by the server front door and its workers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    submitted: AtomicU64,
+    completed_ok: AtomicU64,
+    failed: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_shutting_down: AtomicU64,
+    timed_out: AtomicU64,
+    retries: AtomicU64,
+    fallbacks: AtomicU64,
+    degraded_served: AtomicU64,
+    cache_hits: AtomicU64,
+    /// Results that were *delivered* after their deadline — the invariant
+    /// the watchdog exists to keep at zero.
+    deadline_violations: AtomicU64,
+    latencies_ms: Mutex<Vec<f64>>,
+}
+
+impl Metrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    pub(crate) fn on_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_rejected(&self, reason: RejectReason) {
+        let c = match reason {
+            RejectReason::QueueFull => &self.rejected_queue_full,
+            RejectReason::Overloaded => &self.rejected_overloaded,
+            RejectReason::ShuttingDown => &self.rejected_shutting_down,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_completed_ok(&self, total_ms: f64) {
+        self.completed_ok.fetch_add(1, Ordering::Relaxed);
+        self.latencies_ms.lock().unwrap_or_else(PoisonError::into_inner).push(total_ms);
+    }
+
+    pub(crate) fn on_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_timed_out(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_degraded_served(&self) {
+        self.degraded_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_deadline_violation(&self) {
+        self.deadline_violations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent point-in-time copy. Take it only when the server is
+    /// quiescent (drained) if the identity must hold exactly.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut latencies =
+            self.latencies_ms.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        latencies.sort_by(f64::total_cmp);
+        Snapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed_ok: self.completed_ok.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
+            rejected_shutting_down: self.rejected_shutting_down.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            degraded_served: self.degraded_served.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            deadline_violations: self.deadline_violations.load(Ordering::Relaxed),
+            latencies_ms: latencies,
+        }
+    }
+}
+
+/// Point-in-time counter copy with derived statistics.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Requests that entered `submit`.
+    pub submitted: u64,
+    /// Delivered a successful payload before the deadline.
+    pub completed_ok: u64,
+    /// Terminal kernel failure (after retries/fallbacks).
+    pub failed: u64,
+    /// Shed at admission: bounded queue full.
+    pub rejected_queue_full: u64,
+    /// Shed at admission: predicted wait exceeds the deadline.
+    pub rejected_overloaded: u64,
+    /// Shed at or after admission because the server was stopping.
+    pub rejected_shutting_down: u64,
+    /// Deadline passed before a payload could be delivered.
+    pub timed_out: u64,
+    /// Transient-fault retries across all requests.
+    pub retries: u64,
+    /// Accelerator-path permanent failures served by a software kernel.
+    pub fallbacks: u64,
+    /// Requests served on the degraded (cheapest-kernel) tier.
+    pub degraded_served: u64,
+    /// Results served from the content-addressed cache.
+    pub cache_hits: u64,
+    /// Payloads delivered after their deadline (must stay 0).
+    pub deadline_violations: u64,
+    /// Sorted completed-ok latencies, milliseconds.
+    pub latencies_ms: Vec<f64>,
+}
+
+/// Nearest-rank percentile over an already-sorted sample (`q` in 0..=1).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl Snapshot {
+    /// Total shed at admission, all reasons.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue_full + self.rejected_overloaded + self.rejected_shutting_down
+    }
+
+    /// The accounting identity: every submission reached exactly one
+    /// terminal bucket.
+    pub fn accounted_ok(&self) -> bool {
+        self.completed_ok + self.failed + self.rejected() + self.timed_out == self.submitted
+    }
+
+    /// Fraction of submissions shed at admission.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        self.rejected() as f64 / self.submitted as f64
+    }
+
+    /// Median completed-ok latency, ms.
+    pub fn p50_ms(&self) -> f64 {
+        percentile(&self.latencies_ms, 0.50)
+    }
+
+    /// Tail completed-ok latency, ms.
+    pub fn p99_ms(&self) -> f64 {
+        percentile(&self.latencies_ms, 0.99)
+    }
+
+    /// Fixed-key-order JSON for reports and the CI gate.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("submitted".into(), Json::UInt(self.submitted)),
+            ("completed_ok".into(), Json::UInt(self.completed_ok)),
+            ("failed".into(), Json::UInt(self.failed)),
+            (
+                "rejected".into(),
+                Json::Obj(vec![
+                    ("queue_full".into(), Json::UInt(self.rejected_queue_full)),
+                    ("overloaded".into(), Json::UInt(self.rejected_overloaded)),
+                    ("shutting_down".into(), Json::UInt(self.rejected_shutting_down)),
+                ]),
+            ),
+            ("timed_out".into(), Json::UInt(self.timed_out)),
+            ("retries".into(), Json::UInt(self.retries)),
+            ("fallbacks".into(), Json::UInt(self.fallbacks)),
+            ("degraded_served".into(), Json::UInt(self.degraded_served)),
+            ("cache_hits".into(), Json::UInt(self.cache_hits)),
+            ("deadline_violations".into(), Json::UInt(self.deadline_violations)),
+            ("shed_rate".into(), Json::Float(self.shed_rate())),
+            ("p50_ms".into(), Json::Float(self.p50_ms())),
+            ("p99_ms".into(), Json::Float(self.p99_ms())),
+            ("accounted_ok".into(), Json::Bool(self.accounted_ok())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_holds_when_every_request_terminates() {
+        let m = Metrics::new();
+        for _ in 0..10 {
+            m.on_submitted();
+        }
+        for i in 0..4 {
+            m.on_completed_ok(1.0 + i as f64);
+        }
+        m.on_failed();
+        m.on_rejected(RejectReason::QueueFull);
+        m.on_rejected(RejectReason::QueueFull);
+        m.on_rejected(RejectReason::Overloaded);
+        m.on_timed_out();
+        m.on_timed_out();
+        let s = m.snapshot();
+        assert!(s.accounted_ok(), "identity must hold: {s:?}");
+        assert_eq!(s.rejected(), 3);
+        assert!((s.shed_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_detects_a_dropped_request() {
+        let m = Metrics::new();
+        m.on_submitted();
+        m.on_submitted();
+        m.on_completed_ok(1.0);
+        // The second request vanished — the identity must catch it.
+        assert!(!m.snapshot().accounted_ok());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let m = Metrics::new();
+        for i in 1..=100 {
+            m.on_submitted();
+            m.on_completed_ok(i as f64);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.p50_ms(), 50.0);
+        assert_eq!(s.p99_ms(), 99.0);
+        // Empty snapshot: percentiles degrade to 0, not a panic.
+        let empty = Metrics::new().snapshot();
+        assert_eq!(empty.p50_ms(), 0.0);
+    }
+
+    #[test]
+    fn json_snapshot_carries_the_identity_verdict() {
+        let m = Metrics::new();
+        m.on_submitted();
+        m.on_completed_ok(2.0);
+        let j = m.snapshot().to_json();
+        assert_eq!(j.get("accounted_ok"), Some(&Json::Bool(true)));
+        assert_eq!(j.get("submitted").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("rejected").and_then(|r| r.get("queue_full")).and_then(Json::as_u64), Some(0));
+    }
+}

@@ -1,0 +1,219 @@
+//! The bounded admission queue: load is shed at the door with a typed
+//! rejection instead of queuing unboundedly.
+//!
+//! Semantics the service (and its tests) rely on:
+//!
+//! * [`AdmissionQueue::try_push`] never blocks: a full queue hands the item
+//!   *back* inside the error, so the caller can build a typed
+//!   [`Rejected`](crate::Rejected) without cloning the request.
+//! * [`AdmissionQueue::pop`] blocks until an item arrives or shutdown is
+//!   observed — but a **draining** shutdown keeps handing out queued items
+//!   until the queue is empty, so nothing admitted is ever dropped on the
+//!   floor.
+//! * [`AdmissionQueue::abort`] is the non-draining variant: it returns the
+//!   leftover items so the caller can terminally reject each one — again,
+//!   zero silent drops.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why an item could not be admitted. The item rides back in the error.
+#[derive(Debug)]
+pub enum AdmitError<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// The queue has been shut down.
+    ShuttingDown(T),
+}
+
+/// What a blocking [`AdmissionQueue::pop`] produced.
+#[derive(Debug)]
+pub enum Popped<T> {
+    /// The next item, FIFO order.
+    Item(T),
+    /// Shutdown observed and the queue fully drained: the worker should exit.
+    Shutdown,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    shutdown: bool,
+}
+
+/// A bounded MPMC queue with draining shutdown.
+pub struct AdmissionQueue<T> {
+    state: Mutex<State<T>>,
+    notify: Condvar,
+    cap: usize,
+}
+
+impl<T> std::fmt::Debug for AdmissionQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionQueue")
+            .field("cap", &self.cap)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `cap` items (clamped to at least 1).
+    pub fn new(cap: usize) -> AdmissionQueue<T> {
+        AdmissionQueue {
+            state: Mutex::new(State { items: VecDeque::new(), shutdown: false }),
+            notify: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admission capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Items currently queued (not counting in-flight work).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Queue depth as a fraction of capacity — the pressure signal the
+    /// degradation ladder reads.
+    pub fn occupancy(&self) -> f64 {
+        self.len() as f64 / self.cap as f64
+    }
+
+    /// Non-blocking admission. On success returns the depth *after* the
+    /// push; on rejection the item comes back inside the error.
+    pub fn try_push(&self, item: T) -> Result<usize, AdmitError<T>> {
+        let mut st = self.lock();
+        if st.shutdown {
+            return Err(AdmitError::ShuttingDown(item));
+        }
+        if st.items.len() >= self.cap {
+            return Err(AdmitError::Full(item));
+        }
+        st.items.push_back(item);
+        let depth = st.items.len();
+        drop(st);
+        self.notify.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available or shutdown has drained the queue.
+    pub fn pop(&self) -> Popped<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Popped::Item(item);
+            }
+            if st.shutdown {
+                return Popped::Shutdown;
+            }
+            st = self.notify.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Draining shutdown: no further admissions, but queued items continue
+    /// to be handed to [`AdmissionQueue::pop`] until the queue is empty.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.notify.notify_all();
+    }
+
+    /// Aborting shutdown: no further admissions, and the still-queued items
+    /// are returned to the caller for terminal rejection.
+    pub fn abort(&self) -> Vec<T> {
+        let mut st = self.lock();
+        st.shutdown = true;
+        let leftovers = st.items.drain(..).collect();
+        drop(st);
+        self.notify.notify_all();
+        leftovers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_when_full_and_returns_the_item() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(2);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        match q.try_push(3) {
+            Err(AdmitError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+        assert!((q.occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pops_fifo_and_drains_on_shutdown() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(8);
+        for i in 0..3 {
+            q.try_push(i).unwrap();
+        }
+        q.shutdown();
+        // Draining: the queued items still come out, in order, then Shutdown.
+        for expect in 0..3 {
+            match q.pop() {
+                Popped::Item(i) => assert_eq!(i, expect),
+                Popped::Shutdown => panic!("drained too early"),
+            }
+        }
+        assert!(matches!(q.pop(), Popped::Shutdown));
+        // And nothing new gets in.
+        assert!(matches!(q.try_push(9), Err(AdmitError::ShuttingDown(9))));
+    }
+
+    #[test]
+    fn abort_returns_leftovers_for_terminal_rejection() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(8);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        let leftovers = q.abort();
+        assert_eq!(leftovers, vec![0, 1, 2, 3]);
+        assert!(matches!(q.pop(), Popped::Shutdown));
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_shutdown() {
+        let q: Arc<AdmissionQueue<u32>> = Arc::new(AdmissionQueue::new(4));
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || match q.pop() {
+                    Popped::Item(_) => 1u32,
+                    Popped::Shutdown => 0u32,
+                })
+            })
+            .collect();
+        q.try_push(7).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.shutdown();
+        let got: u32 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        // Exactly one worker got the item; the rest observed shutdown.
+        assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(0);
+        assert_eq!(q.cap(), 1);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err(AdmitError::Full(2))));
+    }
+}

@@ -1,0 +1,218 @@
+//! Request/response vocabulary of the service: operations, typed rejection,
+//! terminal errors, and the ticket a client waits on.
+//!
+//! Every submitted request reaches exactly one terminal outcome — a
+//! [`Response`] carrying a result or a [`ServeError`], or a synchronous
+//! [`Rejected`] at admission time — so the service's accounting identity
+//! (`completed + rejected + timed_out == submitted`) is a structural
+//! property, not a bookkeeping convention.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use outerspace_sparse::{Csr, SparseVector};
+
+/// One sparse-kernel request. Operands are `Arc`-shared so repeated products
+/// (the cache-hit traffic a service actually sees) cost no copies.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// `C = A × B`.
+    Spgemm {
+        /// Left operand, CR.
+        a: Arc<Csr>,
+        /// Right operand, CR.
+        b: Arc<Csr>,
+    },
+    /// `y = A × x` with sparse `x`.
+    Spmv {
+        /// The matrix, CR.
+        a: Arc<Csr>,
+        /// The sparse vector.
+        x: Arc<SparseVector>,
+    },
+}
+
+impl Op {
+    /// Stable kind tag used in cache keys and per-impl metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::Spgemm { .. } => "spgemm",
+            Op::Spmv { .. } => "spmv",
+        }
+    }
+
+    /// The matrix whose structure drives workload classification.
+    pub fn primary(&self) -> &Csr {
+        match self {
+            Op::Spgemm { a, .. } => a,
+            Op::Spmv { a, .. } => a,
+        }
+    }
+}
+
+/// A computed result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpOutput {
+    /// SpGEMM product.
+    Matrix(Csr),
+    /// SpMV product.
+    Vector(SparseVector),
+}
+
+/// Why admission control turned a request away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded admission queue is at capacity.
+    QueueFull,
+    /// The estimated queueing delay already exceeds the request's deadline —
+    /// accepting it would only burn a worker on a guaranteed timeout.
+    Overloaded,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl RejectReason {
+    /// Stable lowercase name used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::Overloaded => "overloaded",
+            RejectReason::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// Typed load-shed: the request was *not* admitted, and the client should
+/// retry no sooner than `retry_after_hint` (derived from the current backlog
+/// and the measured service time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected {
+    /// Why the request was shed.
+    pub reason: RejectReason,
+    /// Client backoff hint.
+    pub retry_after_hint: Duration,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rejected ({}); retry after {:.0} ms",
+            self.reason.as_str(),
+            self.retry_after_hint.as_secs_f64() * 1e3
+        )
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Terminal failure of an *admitted* request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Shed after admission (abort-mode shutdown drained the queue).
+    Rejected(Rejected),
+    /// The deadline passed before a result could be delivered — whether the
+    /// request was still queued, mid-compute, or its compute thread hung.
+    /// The service never delivers a payload after its deadline.
+    DeadlineExceeded {
+        /// The request's deadline budget.
+        deadline: Duration,
+        /// How long the request had been in the system when it was cut off.
+        waited: Duration,
+    },
+    /// The kernel rejected the operands or failed irrecoverably (after any
+    /// retries and fallbacks).
+    Failed {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected(r) => write!(f, "{r}"),
+            ServeError::DeadlineExceeded { deadline, waited } => write!(
+                f,
+                "deadline exceeded: {:.0} ms budget, cut off after {:.0} ms",
+                deadline.as_secs_f64() * 1e3,
+                waited.as_secs_f64() * 1e3
+            ),
+            ServeError::Failed { message } => write!(f, "failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// How a response was produced.
+#[derive(Debug, Clone)]
+pub struct ResponseMeta {
+    /// Kernel that produced the result (`"cache"` for a cache hit).
+    pub impl_name: String,
+    /// True when the degradation ladder routed this request to the cheapest
+    /// known-good kernel instead of the classifier's first choice.
+    pub degraded: bool,
+    /// True when the accelerator path failed permanently and a software
+    /// kernel served the request instead.
+    pub fallback: bool,
+    /// True when the result came from the content-addressed cache.
+    pub cache_hit: bool,
+    /// Transient-fault retries spent on this request.
+    pub retries: u32,
+    /// Milliseconds spent queued before a worker picked the request up.
+    pub queue_ms: f64,
+    /// Milliseconds from submission to terminal outcome.
+    pub total_ms: f64,
+}
+
+/// Terminal outcome delivered through a [`Ticket`].
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The request id assigned at submission.
+    pub id: u64,
+    /// The result, or the terminal error.
+    pub result: Result<Arc<OpOutput>, ServeError>,
+    /// Provenance and timing.
+    pub meta: ResponseMeta,
+}
+
+/// A claim on one admitted request's eventual [`Response`].
+#[derive(Debug)]
+pub struct Ticket {
+    /// Request id (matches [`Response::id`]).
+    pub id: u64,
+    pub(crate) rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// Blocks until the terminal outcome arrives. The server guarantees a
+    /// response for every admitted request; if its end of the channel is
+    /// ever dropped without one (a bug), this degrades to a `Failed`
+    /// response rather than a hang.
+    pub fn wait(self) -> Response {
+        let id = self.id;
+        self.rx.recv().unwrap_or_else(|_| Response {
+            id,
+            result: Err(ServeError::Failed {
+                message: "server dropped the request without a response".into(),
+            }),
+            meta: ResponseMeta {
+                impl_name: "none".into(),
+                degraded: false,
+                fallback: false,
+                cache_hit: false,
+                retries: 0,
+                queue_ms: 0.0,
+                total_ms: 0.0,
+            },
+        })
+    }
+
+    /// Waits up to `timeout`; `None` if no outcome arrived in time (the
+    /// ticket remains valid).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Response> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}

@@ -1,0 +1,584 @@
+//! The service: a worker pool behind the bounded admission queue, with
+//! per-request deadlines, retry-with-backoff around injected faults, a
+//! degradation ladder, and structurally airtight accounting.
+//!
+//! Life of a request:
+//!
+//! 1. **Admission** ([`Server::submit`]): shed with a typed
+//!    [`Rejected`] when the bounded queue is full, when the predicted
+//!    queueing delay already exceeds the deadline (`Overloaded`), or when
+//!    the server is stopping. Admitted requests get a [`Ticket`].
+//! 2. **Pickup**: a worker pops the queue, refreshes the degradation flag
+//!    from queue occupancy (high/low watermarks with hysteresis), and
+//!    expires requests whose deadline passed while queued.
+//! 3. **Cache**: a content-addressed hit returns immediately.
+//! 4. **Routing**: the workload classifier picks a kernel — the cheapest
+//!    known-good one when degraded.
+//! 5. **Compute**: on a watchdogged thread (the PR-2 runner pattern —
+//!    `spawn` + `recv_timeout`) so a hung or slow kernel times the request
+//!    out instead of wedging the worker. Panics are caught. Transient
+//!    injected faults retry with capped exponential backoff under a
+//!    deterministic per-(request, attempt) fault seed; permanent
+//!    accelerator failure falls back to the cheapest software kernel.
+//! 6. **Delivery**: results are never delivered after the deadline — a late
+//!    success is converted to `DeadlineExceeded`, keeping the
+//!    `deadline_violations` counter at zero by construction.
+//!
+//! Every admitted request reaches exactly one terminal outcome even across
+//! draining (`shutdown`) and aborting (`abort`) stops, so
+//! [`Snapshot::accounted_ok`] holds whenever the server is quiescent.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use outerspace_sim::faults::split_seed;
+use outerspace_sim::FaultModel;
+
+use crate::classify::Classifier;
+use crate::kernels::{self, KernelError};
+use crate::metrics::{Metrics, Snapshot};
+use crate::queue::{AdmissionQueue, AdmitError, Popped};
+use crate::rcache::{op_material, ResultCache};
+use crate::request::{
+    Op, OpOutput, Rejected, RejectReason, Response, ResponseMeta, ServeError, Ticket,
+};
+
+/// Server tuning. [`ServerConfig::default`] is sized for tests and smoke
+/// runs; the chaos harness scales it up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Bounded admission-queue capacity.
+    pub queue_cap: usize,
+    /// Deadline applied when a submission does not carry its own.
+    pub default_deadline: Duration,
+    /// Transient-fault retries per request (attempts = retries + 1).
+    pub max_retries: u32,
+    /// First retry backoff; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Result-cache capacity in entries (0 disables).
+    pub cache_cap: usize,
+    /// Largest primary-operand nnz routed to the accelerator model.
+    pub sim_nnz_cap: usize,
+    /// Queue occupancy at or above which the degraded tier engages.
+    pub degrade_hi: f64,
+    /// Queue occupancy at or below which it disengages (hysteresis).
+    pub degrade_lo: f64,
+    /// When set, admission sheds `Overloaded` requests whose predicted
+    /// queueing delay already exceeds their deadline.
+    pub admission_guard: bool,
+    /// Faults injected into the accelerator-model kernels. The seed is the
+    /// *base*: each request attempt draws
+    /// `split_seed(split_seed(base, request_id), attempt)`.
+    pub fault_model: FaultModel,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue_cap: 32,
+            default_deadline: Duration::from_secs(2),
+            max_retries: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(20),
+            cache_cap: 256,
+            sim_nnz_cap: 20_000,
+            degrade_hi: 0.75,
+            degrade_lo: 0.25,
+            admission_guard: true,
+            fault_model: FaultModel::default(),
+        }
+    }
+}
+
+/// Per-submission options beyond the op itself.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOpts {
+    /// Deadline override (defaults to [`ServerConfig::default_deadline`]).
+    pub deadline: Option<Duration>,
+    /// Pin the kernel by name, bypassing the classifier (still subject to
+    /// deadline, retries, and fallback). This is how the chaos harness
+    /// reaches the `chaos_*` hooks.
+    pub force_kernel: Option<String>,
+}
+
+struct Job {
+    id: u64,
+    op: Op,
+    deadline: Duration,
+    submitted_at: Instant,
+    force_kernel: Option<String>,
+    tx: mpsc::Sender<Response>,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    queue: AdmissionQueue<Job>,
+    classifier: Classifier,
+    cache: ResultCache,
+    metrics: Metrics,
+    degraded: AtomicBool,
+    stopping: AtomicBool,
+    next_id: AtomicU64,
+    /// EWMA of successful compute time, milliseconds, as f64 bits.
+    ewma_ms_bits: AtomicU64,
+}
+
+impl Shared {
+    fn ewma_ms(&self) -> f64 {
+        f64::from_bits(self.ewma_ms_bits.load(Ordering::Relaxed))
+    }
+
+    fn observe_service_ms(&self, ms: f64) {
+        // Lossy read-modify-write is fine: this is a smoothing estimate.
+        let prev = self.ewma_ms();
+        let next = if prev == 0.0 { ms } else { 0.7 * prev + 0.3 * ms };
+        self.ewma_ms_bits.store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Predicted queueing delay for a request admitted now.
+    fn predicted_wait(&self) -> Duration {
+        let ewma = self.ewma_ms();
+        if ewma == 0.0 {
+            return Duration::ZERO;
+        }
+        let depth = self.queue.len() as f64;
+        Duration::from_secs_f64((depth * ewma / self.cfg.workers.max(1) as f64) / 1e3)
+    }
+
+    fn retry_after_hint(&self) -> Duration {
+        let est = self.predicted_wait();
+        est.clamp(Duration::from_millis(1), Duration::from_secs(2))
+    }
+}
+
+/// The running service. Dropping it without calling [`Server::shutdown`] /
+/// [`Server::abort`] aborts outstanding work.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.workers.len())
+            .field("queue", &self.shared.queue)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Starts the worker pool with an untuned classifier.
+    pub fn start(cfg: ServerConfig) -> Server {
+        let classifier = Classifier::new(cfg.sim_nnz_cap);
+        Server::start_with_classifier(cfg, classifier)
+    }
+
+    /// Starts the worker pool with a classifier the caller seeded (e.g. via
+    /// [`Classifier::from_pareto_json`]).
+    pub fn start_with_classifier(cfg: ServerConfig, classifier: Classifier) -> Server {
+        let shared = Arc::new(Shared {
+            queue: AdmissionQueue::new(cfg.queue_cap),
+            cache: ResultCache::new(cfg.cache_cap),
+            metrics: Metrics::new(),
+            degraded: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            ewma_ms_bits: AtomicU64::new(0f64.to_bits()),
+            classifier,
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// Submits with the default deadline. See [`Server::submit_opts`].
+    pub fn submit(&self, op: Op) -> Result<Ticket, Rejected> {
+        self.submit_opts(op, SubmitOpts::default())
+    }
+
+    /// Submits a request. `Ok` carries a [`Ticket`] redeemable for exactly
+    /// one [`Response`]; `Err` is a typed synchronous shed (the request
+    /// never entered the queue).
+    pub fn submit_opts(&self, op: Op, opts: SubmitOpts) -> Result<Ticket, Rejected> {
+        let sh = &*self.shared;
+        sh.metrics.on_submitted();
+        let reject = |reason: RejectReason| {
+            sh.metrics.on_rejected(reason);
+            Rejected { reason, retry_after_hint: sh.retry_after_hint() }
+        };
+        if sh.stopping.load(Ordering::SeqCst) {
+            return Err(reject(RejectReason::ShuttingDown));
+        }
+        let deadline = opts.deadline.unwrap_or(sh.cfg.default_deadline);
+        if sh.cfg.admission_guard && sh.predicted_wait() > deadline {
+            return Err(reject(RejectReason::Overloaded));
+        }
+        let id = sh.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            id,
+            op,
+            deadline,
+            submitted_at: Instant::now(),
+            force_kernel: opts.force_kernel,
+            tx,
+        };
+        match sh.queue.try_push(job) {
+            Ok(_) => Ok(Ticket { id, rx }),
+            Err(AdmitError::Full(_)) => Err(reject(RejectReason::QueueFull)),
+            Err(AdmitError::ShuttingDown(_)) => Err(reject(RejectReason::ShuttingDown)),
+        }
+    }
+
+    /// True while the degradation ladder has the service on its cheapest
+    /// tier.
+    pub fn is_degraded(&self) -> bool {
+        self.shared.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time counters (exact only when quiescent).
+    pub fn metrics(&self) -> Snapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Result-cache `(entries, hits, misses)`.
+    pub fn cache_stats(&self) -> (usize, u64, u64) {
+        self.shared.cache.stats()
+    }
+
+    /// Draining stop: no further admissions, queued requests run to a
+    /// terminal outcome, workers join. Returns the final counters.
+    pub fn shutdown(self) -> Snapshot {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        self.shared.queue.shutdown();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        self.shared.metrics.snapshot()
+    }
+
+    /// Aborting stop: queued-but-unstarted requests are terminally rejected
+    /// (`ShuttingDown`) instead of run; in-flight requests still finish.
+    pub fn abort(self) -> Snapshot {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        let leftovers = self.shared.queue.abort();
+        for job in leftovers {
+            self.shared.metrics.on_rejected(RejectReason::ShuttingDown);
+            let rejected = Rejected {
+                reason: RejectReason::ShuttingDown,
+                retry_after_hint: self.shared.retry_after_hint(),
+            };
+            deliver(
+                &job,
+                Err(ServeError::Rejected(rejected)),
+                ResponseMeta {
+                    impl_name: "none".into(),
+                    degraded: false,
+                    fallback: false,
+                    cache_hit: false,
+                    retries: 0,
+                    queue_ms: job.submitted_at.elapsed().as_secs_f64() * 1e3,
+                    total_ms: job.submitted_at.elapsed().as_secs_f64() * 1e3,
+                },
+            );
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+        self.shared.metrics.snapshot()
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Popped::Item(job) = shared.queue.pop() {
+        process(shared, job);
+    }
+}
+
+fn deliver(job: &Job, result: Result<Arc<OpOutput>, ServeError>, meta: ResponseMeta) {
+    // A gone client (dropped Ticket) is not an error.
+    let _ = job.tx.send(Response { id: job.id, result, meta });
+}
+
+fn meta(job: &Job, queue_ms: f64) -> ResponseMeta {
+    ResponseMeta {
+        impl_name: String::new(),
+        degraded: false,
+        fallback: false,
+        cache_hit: false,
+        retries: 0,
+        queue_ms,
+        total_ms: job.submitted_at.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn expire(shared: &Shared, job: &Job, queue_ms: f64) {
+    shared.metrics.on_timed_out();
+    let waited = job.submitted_at.elapsed();
+    deliver(
+        job,
+        Err(ServeError::DeadlineExceeded { deadline: job.deadline, waited }),
+        meta(job, queue_ms),
+    );
+}
+
+/// What the watchdogged compute thread reports back.
+struct ComputeOutcome {
+    result: Result<OpOutput, String>,
+    kernel: String,
+    retries: u32,
+    fallback: bool,
+    compute_ms: f64,
+}
+
+fn process(shared: &Arc<Shared>, job: Job) {
+    let queue_ms = job.submitted_at.elapsed().as_secs_f64() * 1e3;
+
+    // Degradation ladder: flip on the occupancy watermarks (hysteresis —
+    // engage high, release low — so the tier doesn't flap at the boundary).
+    let occ = shared.queue.occupancy();
+    if occ >= shared.cfg.degrade_hi {
+        shared.degraded.store(true, Ordering::Relaxed);
+    } else if occ <= shared.cfg.degrade_lo {
+        shared.degraded.store(false, Ordering::Relaxed);
+    }
+
+    // Expired while queued.
+    if job.submitted_at.elapsed() >= job.deadline {
+        expire(shared, &job, queue_ms);
+        return;
+    }
+
+    // Content-addressed cache. A forced kernel bypasses it: the override
+    // means "actually execute this kernel" (chaos injection, A/B probes),
+    // and a hit would silently serve the result from whatever kernel ran
+    // the operands first.
+    let material = op_material(&job.op);
+    if job.force_kernel.is_none() {
+        if let Some(hit) = shared.cache.lookup(&material) {
+            shared.metrics.on_cache_hit();
+            let total_ms = job.submitted_at.elapsed().as_secs_f64() * 1e3;
+            shared.metrics.on_completed_ok(total_ms);
+            let m =
+                ResponseMeta { impl_name: "cache".into(), cache_hit: true, ..meta(&job, queue_ms) };
+            deliver(&job, Ok(hit), m);
+            return;
+        }
+    }
+
+    // Route: forced kernel, or classifier (degraded tier short-circuits to
+    // the cheapest known-good kernel inside `route`).
+    let degraded = shared.degraded.load(Ordering::Relaxed);
+    let route = shared.classifier.route(&job.op, degraded);
+    let kernel = job.force_kernel.clone().unwrap_or_else(|| route.kernel.to_string());
+    if degraded {
+        shared.metrics.on_degraded_served();
+    }
+
+    // Watchdogged compute (PR-2 pattern): the worker never blocks past the
+    // request's remaining budget; a hung kernel strands only the abandoned
+    // compute thread.
+    let (tx, rx) = mpsc::channel();
+    {
+        let shared = shared.clone();
+        let op = job.op.clone();
+        let sim_config = route.sim_config.clone();
+        let kernel = kernel.clone();
+        let id = job.id;
+        std::thread::Builder::new()
+            .name(format!("serve-compute-{id}"))
+            .spawn(move || {
+                let _ = tx.send(compute_with_retries(&shared, id, &kernel, &op, sim_config));
+            })
+            .expect("spawn compute thread");
+    }
+    let remaining = job.deadline.saturating_sub(job.submitted_at.elapsed());
+    let outcome = match rx.recv_timeout(remaining) {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            // Mid-compute expiry (or a hung kernel): abandon the thread.
+            expire(shared, &job, queue_ms);
+            return;
+        }
+    };
+
+    let total = job.submitted_at.elapsed();
+    let total_ms = total.as_secs_f64() * 1e3;
+    // Never deliver a payload after the deadline: a late success becomes
+    // DeadlineExceeded. This conversion is what keeps `deadline_violations`
+    // at zero; the tripwire below catches the conversion ever being lost.
+    if total >= job.deadline {
+        if outcome.result.is_ok() {
+            shared.metrics.on_deadline_violation();
+        }
+        expire(shared, &job, queue_ms);
+        return;
+    }
+    let m = ResponseMeta {
+        impl_name: outcome.kernel,
+        degraded,
+        fallback: outcome.fallback,
+        cache_hit: false,
+        retries: outcome.retries,
+        queue_ms,
+        total_ms,
+    };
+    match outcome.result {
+        Ok(out) => {
+            shared.observe_service_ms(outcome.compute_ms);
+            let out = Arc::new(out);
+            shared.cache.insert(&material, out.clone());
+            shared.metrics.on_completed_ok(total_ms);
+            deliver(&job, Ok(out), m);
+        }
+        Err(message) => {
+            shared.metrics.on_failed();
+            deliver(&job, Err(ServeError::Failed { message }), m);
+        }
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn compute_once(
+    kernel: &str,
+    op: &Op,
+    cfg: &outerspace_sim::OuterSpaceConfig,
+) -> Result<OpOutput, KernelError> {
+    catch_unwind(AssertUnwindSafe(|| kernels::run_op(kernel, op, cfg)))
+        .unwrap_or_else(|p| Err(KernelError::Permanent(format!(
+            "kernel panicked: {}",
+            panic_message(p)
+        ))))
+}
+
+fn compute_with_retries(
+    shared: &Shared,
+    request_id: u64,
+    kernel: &str,
+    op: &Op,
+    sim_config: outerspace_sim::OuterSpaceConfig,
+) -> ComputeOutcome {
+    let started = Instant::now();
+    let fault_base = split_seed(shared.cfg.fault_model.seed, request_id);
+    let mut retries: u32 = 0;
+    let mut fallback = false;
+    let mut active = kernel.to_string();
+    let result = loop {
+        let mut cfg = sim_config.clone();
+        if kernels::is_sim_kernel(&active) && shared.cfg.fault_model.is_active() {
+            // Deterministic per-(request, attempt) fault stream: reruns of
+            // the same request replay the same fault schedule, while
+            // attempts within a request draw fresh faults.
+            cfg.faults = shared.cfg.fault_model.clone();
+            cfg.faults.seed = split_seed(fault_base, retries as u64);
+        }
+        match compute_once(&active, op, &cfg) {
+            Ok(out) => break Ok(out),
+            Err(KernelError::Transient(_)) if retries < shared.cfg.max_retries => {
+                shared.metrics.on_retry();
+                let exp = retries.min(16);
+                let backoff = shared
+                    .cfg
+                    .backoff_base
+                    .saturating_mul(1u32 << exp)
+                    .min(shared.cfg.backoff_cap);
+                std::thread::sleep(backoff);
+                retries += 1;
+            }
+            Err(e) => {
+                // Permanent accelerator failure (dead PEs, exhausted
+                // retries, panic): one rung down to the cheapest software
+                // kernel. Software failures are terminal.
+                if kernels::is_sim_kernel(&active) && !fallback {
+                    fallback = true;
+                    shared.metrics.on_fallback();
+                    active = match op {
+                        Op::Spgemm { .. } => kernels::CHEAPEST_SPGEMM.to_string(),
+                        Op::Spmv { .. } => kernels::CHEAPEST_SPMV.to_string(),
+                    };
+                    continue;
+                }
+                break Err(e.message().to_string());
+            }
+        }
+    };
+    ComputeOutcome {
+        result,
+        kernel: active,
+        retries,
+        fallback,
+        compute_ms: started.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outerspace_gen::uniform;
+
+    fn small_op(seed: u64) -> Op {
+        let a = Arc::new(uniform::matrix(48, 48, 300, seed));
+        Op::Spgemm { a: a.clone(), b: a }
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let server = Server::start(ServerConfig { workers: 2, ..ServerConfig::default() });
+        let ticket = server.submit(small_op(1)).unwrap();
+        let resp = ticket.wait();
+        let out = resp.result.expect("should compute");
+        assert!(matches!(&*out, OpOutput::Matrix(_)));
+        assert!(!resp.meta.cache_hit);
+        // Same content again: served from the cache.
+        let resp2 = server.submit(small_op(1)).unwrap().wait();
+        assert!(resp2.meta.cache_hit);
+        assert_eq!(resp2.meta.impl_name, "cache");
+        assert_eq!(resp2.result.unwrap(), out);
+        let snap = server.shutdown();
+        assert!(snap.accounted_ok());
+        assert_eq!(snap.completed_ok, 2);
+        assert_eq!(snap.cache_hits, 1);
+    }
+
+    #[test]
+    fn forced_kernel_and_fault_retries_are_deterministic() {
+        let fm = FaultModel { seed: 42, ..FaultModel::default() };
+        let cfg = ServerConfig { workers: 1, fault_model: fm, ..ServerConfig::default() };
+        let server = Server::start(cfg);
+        let resp = server
+            .submit_opts(
+                small_op(3),
+                SubmitOpts { force_kernel: Some("outer_streaming".into()), ..Default::default() },
+            )
+            .unwrap()
+            .wait();
+        assert_eq!(resp.meta.impl_name, "outer_streaming");
+        assert!(server.shutdown().accounted_ok());
+    }
+}
