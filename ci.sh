@@ -92,4 +92,19 @@ grep -q '"accounted_ok": true' "$SERVE_OUT/serve_chaos.json"
 grep -q '"deadline_violations": 0' "$SERVE_OUT/serve_chaos.json"
 grep -q '"throughput_rps"' "$SERVE_OUT/serve_chaos.json"
 
+echo "==> serve --chaos-sdc (silent corruption: detected, quarantined, breaker recovers)"
+# The SDC preset injects ECC-escape faults and forced corruption traffic at
+# 2x overload, judges every delivered payload against an independent golden
+# answer, then drills a breaker through trip -> half-open canary -> close.
+# The binary asserts detection >= 99%, zero corrupted deliveries, the
+# delivery accounting identity, and full breaker recovery (exit 1 on any
+# violation); the gate re-checks the written report.
+timeout 300 ./target/release/ospace-serve --chaos-sdc --requests 72 --scale 64 \
+    --nnz 400 --deadline-ms 1500 --out "$SERVE_OUT/serve_sdc.json"
+grep -q '"accounted_ok": true' "$SERVE_OUT/serve_sdc.json"
+grep -q '"delivery_accounted_ok": true' "$SERVE_OUT/serve_sdc.json"
+grep -q '"corrupted_deliveries": 0' "$SERVE_OUT/serve_sdc.json"
+grep -q '"sdc_containment_ok": true' "$SERVE_OUT/serve_sdc.json"
+grep -q '"breaker_recovered": true' "$SERVE_OUT/serve_sdc.json"
+
 echo "==> ci.sh: all gates passed"

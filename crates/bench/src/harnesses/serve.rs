@@ -182,6 +182,8 @@ pub fn run(opts: &HarnessOpts) -> RunSummary {
         chaos_panic_every: 0,
         chaos_sleep_every: 0,
         chaos_sleep_ms: 0,
+        chaos_sdc_every: 0,
+        golden_check: false,
     };
 
     // Healthy service under a burst: everything completes, the small op

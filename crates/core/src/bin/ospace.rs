@@ -11,7 +11,8 @@
 //!
 //! `simulate` and `spmv` accept fault-injection knobs (all default off):
 //! `--fault-seed N` (RNG seed), `--hbm-ber R` (per-bit HBM error rate),
-//! `--drop-rate R` (per-read response-drop probability), and
+//! `--drop-rate R` (per-read response-drop probability), `--ber-silent R`
+//! (per-bit ECC-escape rate: corrupts result values, raises no error), and
 //! `--pe-kill N[@CYCLE]` (hard-fail N PEs at CYCLE, default cycle 0).
 //!
 //! Matrix files: `.mtx` (Matrix Market) or anything else is parsed as a
@@ -95,6 +96,9 @@ fn fault_model(args: &[String]) -> Result<FaultModel, String> {
     if let Some(s) = flag_value(args, "--drop-rate") {
         m.drop_rate = s.parse().map_err(|_| "--drop-rate needs a number")?;
     }
+    if let Some(s) = flag_value(args, "--ber-silent") {
+        m.ber_silent = s.parse().map_err(|_| "--ber-silent needs a number")?;
+    }
     if let Some(s) = flag_value(args, "--pe-kill") {
         let (count, cycle) = match s.split_once('@') {
             Some((c, at)) => (c, at.parse().map_err(|_| "--pe-kill cycle must be an integer")?),
@@ -117,6 +121,13 @@ fn print_fault_summary(rep: &SimReport) {
         println!(
             "  {name:<8}: {} ECC retries, {} dropped responses, {} penalty cycles, {} PEs killed, {} work items requeued",
             p.ecc_retries, p.dropped_responses, p.fault_penalty_cycles, p.killed_pes, p.requeued_work_items
+        );
+    }
+    let silent = rep.silent_corruptions();
+    if silent > 0 {
+        println!(
+            "  WARNING: {silent} silent (ECC-escaped) corruption(s) — result values are \
+             unreliable; timing is unaffected"
         );
     }
 }

@@ -12,65 +12,11 @@
 use crate::canon::CanonMatrix;
 use outerspace_sparse::{Index, Value};
 
-/// The tolerance policy (documented in DESIGN.md §8).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Tolerance {
-    /// Absolute slack, covering sums that cancel toward zero.
-    pub abs: f64,
-    /// Relative slack against the larger magnitude.
-    pub rel: f64,
-    /// Maximum units-in-the-last-place distance.
-    pub max_ulps: u64,
-}
-
-impl Default for Tolerance {
-    fn default() -> Self {
-        // rel mirrors the 1e-9 the repo's hand-written differential tests
-        // use; 256 ULPs ≈ 6e-14 relative for f64, a strictly tighter backstop
-        // that exists for magnitudes where abs/rel are miscalibrated.
-        Tolerance { abs: 1e-12, rel: 1e-9, max_ulps: 256 }
-    }
-}
-
-impl Tolerance {
-    /// Are `x` and `y` equal under this policy?
-    pub fn close(&self, x: Value, y: Value) -> bool {
-        if x == y {
-            return true; // covers ±0.0 and exact equality
-        }
-        if x.is_nan() || y.is_nan() {
-            return false;
-        }
-        let diff = (x - y).abs();
-        if diff <= self.abs {
-            return true;
-        }
-        if diff <= self.rel * x.abs().max(y.abs()) {
-            return true;
-        }
-        ulp_distance(x, y) <= self.max_ulps
-    }
-}
-
-/// Units-in-the-last-place distance between two finite doubles, via the
-/// standard monotone mapping of IEEE-754 bit patterns onto a signed integer
-/// line. Opposite-sign pairs measure through zero; non-finite operands
-/// return `u64::MAX`.
-pub fn ulp_distance(x: f64, y: f64) -> u64 {
-    if !x.is_finite() || !y.is_finite() {
-        return u64::MAX;
-    }
-    fn ordered(v: f64) -> i64 {
-        let bits = v.to_bits() as i64;
-        if bits < 0 {
-            i64::MIN.wrapping_add(bits.wrapping_neg()) // map negatives below zero
-        } else {
-            bits
-        }
-    }
-    let (a, b) = (ordered(x), ordered(y));
-    a.abs_diff(b)
-}
+// The tolerance policy and the ULP metric moved to the leaf `verify` crate
+// (PR 7) so the service's verification tier can share them without a
+// dependency cycle (`oracle → serve → verify`). Re-exported here so every
+// existing `oracle::compare::Tolerance` call site keeps working.
+pub use outerspace_verify::{ulp_distance, Tolerance};
 
 /// One coordinate where two results disagree. Missing entries are reported
 /// with value `0.0` on the absent side.
@@ -208,26 +154,8 @@ pub fn compare(
 mod tests {
     use super::*;
 
-    #[test]
-    fn ulp_distance_basics() {
-        assert_eq!(ulp_distance(1.0, 1.0), 0);
-        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
-        assert_eq!(ulp_distance(0.0, -0.0), 0);
-        // Distance across zero measures through both subnormal ranges.
-        assert_eq!(ulp_distance(f64::MIN_POSITIVE, -f64::MIN_POSITIVE), ulp_distance(f64::MIN_POSITIVE, 0.0) * 2);
-        assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
-        assert_eq!(ulp_distance(f64::INFINITY, 1.0), u64::MAX);
-    }
-
-    #[test]
-    fn tolerance_accepts_reordered_sums() {
-        let tol = Tolerance::default();
-        let forward: f64 = (1..=1000).map(|i| 1.0 / i as f64).sum();
-        let backward: f64 = (1..=1000).rev().map(|i| 1.0 / i as f64).sum();
-        assert!(tol.close(forward, backward));
-        assert!(!tol.close(forward, forward + 1e-3));
-        assert!(!tol.close(1.0, f64::NAN));
-    }
+    // `ulp_distance_basics` and `tolerance_accepts_reordered_sums` moved to
+    // `verify::tol` along with the implementation.
 
     #[test]
     fn compare_reports_missing_and_mismatched_entries() {

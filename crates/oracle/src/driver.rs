@@ -57,6 +57,12 @@ struct CaseRow {
     expect_reject: bool,
     a_nnz: u64,
     b_nnz: u64,
+    /// Successful kernel results additionally probed by the Freivalds /
+    /// residual secondary checker (`verify` crate).
+    freivalds_checks: u64,
+    /// Secondary-checker rejections. A rejection the canonical compare
+    /// *missed* is counted as a mismatch (checker inconsistency).
+    freivalds_rejects: u64,
     repros: Vec<String>,
 }
 
@@ -69,6 +75,8 @@ outerspace_json::impl_to_json!(CaseRow {
     expect_reject,
     a_nnz,
     b_nnz,
+    freivalds_checks,
+    freivalds_rejects,
     repros,
 });
 
@@ -111,6 +119,8 @@ fn run_spgemm_case(
         expect_reject: case.expect_reject,
         a_nnz: case.a.nnz() as u64,
         b_nnz: case.b.nnz() as u64,
+        freivalds_checks: 0,
+        freivalds_rejects: 0,
         repros: Vec::new(),
     };
     let mut failures: Vec<(String, String)> = Vec::new();
@@ -124,8 +134,22 @@ fn run_spgemm_case(
     if case.expect_reject && reference.is_ok() {
         failures.push(("reference".into(), "reference accepted malformed operands".into()));
     }
+    // The Freivalds probe rides along as a cheap secondary checker: it must
+    // agree with the canonical compare on every successful result.
+    let vcfg = outerspace_verify::VerifyConfig { seed: case.seed, ..Default::default() };
     for imp in registry {
-        let candidate = (imp.run)(&case.a, &case.b).map(|c| CanonMatrix::from_csr(&c));
+        let raw = (imp.run)(&case.a, &case.b);
+        let probe_reject = match &raw {
+            Ok(c) => {
+                row.freivalds_checks += 1;
+                outerspace_verify::freivalds_spgemm(&case.a, &case.b, c, &vcfg).err()
+            }
+            Err(_) => None,
+        };
+        if probe_reject.is_some() {
+            row.freivalds_rejects += 1;
+        }
+        let candidate = raw.map(|c| CanonMatrix::from_csr(&c));
         if let Err(e) = diff_results(imp.name, reference.clone(), candidate, &cfg.tol) {
             let run = imp.run;
             let tol = cfg.tol;
@@ -164,6 +188,14 @@ fn run_spgemm_case(
                 },
                 cfg,
             );
+        } else if let Some(p) = probe_reject {
+            // The canonical compare accepted what the probe rejected — a
+            // checker inconsistency that must fail the run loudly.
+            failures.push((
+                imp.name.to_string(),
+                format!("freivalds probe rejected a canon-equal result: {p}"),
+            ));
+            row.mismatches += 1;
         }
     }
     report_failures(&mut row, name, failures);
@@ -186,6 +218,8 @@ fn run_spmv_case(
         expect_reject: case.expect_reject,
         a_nnz: case.a.nnz() as u64,
         b_nnz: case.x.nnz() as u64,
+        freivalds_checks: 0,
+        freivalds_rejects: 0,
         repros: Vec::new(),
     };
     let mut failures: Vec<(String, String)> = Vec::new();
@@ -199,9 +233,20 @@ fn run_spmv_case(
         xcol.push(i, 0, v);
     }
     let xcol = xcol.to_csr();
+    let vcfg = outerspace_verify::VerifyConfig { seed: case.seed, ..Default::default() };
     for imp in impls::spmv_impls() {
-        let candidate =
-            (imp.run)(&case.a, &case.x).map(|y| CanonMatrix::from_sparse_vector(&y));
+        let raw = (imp.run)(&case.a, &case.x);
+        let probe_reject = match &raw {
+            Ok(y) => {
+                row.freivalds_checks += 1;
+                outerspace_verify::spmv_residual(&case.a, &case.x, y, &vcfg).err()
+            }
+            Err(_) => None,
+        };
+        if probe_reject.is_some() {
+            row.freivalds_rejects += 1;
+        }
+        let candidate = raw.map(|y| CanonMatrix::from_sparse_vector(&y));
         if let Err(e) = diff_results(imp.name, reference.clone(), candidate, &cfg.tol) {
             let run = imp.run;
             let tol = cfg.tol;
@@ -234,6 +279,12 @@ fn run_spmv_case(
                 },
                 cfg,
             );
+        } else if let Some(p) = probe_reject {
+            failures.push((
+                imp.name.to_string(),
+                format!("residual probe rejected a canon-equal result: {p}"),
+            ));
+            row.mismatches += 1;
         }
     }
     report_failures(&mut row, name, failures);

@@ -1,0 +1,156 @@
+//! Adversarial case families for the Freivalds secondary checker, pinning
+//! the false-negative bound empirically.
+//!
+//! Three corruption shapes, chosen to cover both detection regimes the
+//! `verify` crate documents:
+//!
+//! * **single-entry perturbation** — one product entry scaled by (1 + δ).
+//!   The probe difference at that row is `δ·c_ij·x_j` with `|x_j| = 1`, so
+//!   detection probability is 1 per round: the checker must catch it for
+//!   *every* seed even with a single round.
+//! * **sign flip** — the magnitude-dominant entry negated. Same argument:
+//!   zero misses allowed.
+//! * **duplicate-index aliasing** — `+δ` and `−δ` written into two columns
+//!   of the *same* row, the shape an aliased scatter-accumulate bug
+//!   produces. The probe misses a round iff `x_{j1} = x_{j2}` (probability
+//!   exactly 1/2), making this the worst case that attains the `2^-rounds`
+//!   bound — the property this suite pins from both sides.
+//!
+//! Everything is seed-deterministic, so the observed miss counts are stable
+//! across runs; the assertions are not flaky.
+
+use outerspace_gen::{powerlaw, rmat, uniform};
+use outerspace_sparse::{ops, Csr};
+use outerspace_verify::{false_negative_bound, freivalds_spgemm, VerifyConfig};
+
+/// One (operands, clean product) triple per seed, rotating generator
+/// families like the oracle's case tables do.
+fn clean_case(seed: u64) -> (Csr, Csr, Csr) {
+    let n = 48;
+    let nnz = 300;
+    let a = match seed % 3 {
+        0 => uniform::matrix(n, n, nnz, seed),
+        1 => rmat::graph500(n, nnz, seed),
+        _ => powerlaw::graph(n, nnz, seed),
+    };
+    let b = uniform::matrix(n, n, nnz, seed ^ 0x9e37);
+    let c = ops::spgemm_reference(&a, &b).expect("clean product");
+    (a, b, c)
+}
+
+/// Corrupts one stored entry multiplicatively, seed-deterministically.
+fn perturb_single_entry(c: &mut Csr, seed: u64) -> bool {
+    let nnz = c.nnz();
+    if nnz == 0 {
+        return false;
+    }
+    let idx = (seed as usize).wrapping_mul(0x9e37_79b9) % nnz;
+    c.values_mut()[idx] *= 1.0 + 3e-2;
+    true
+}
+
+/// Flips the sign of the magnitude-dominant entry.
+fn flip_dominant_sign(c: &mut Csr) -> bool {
+    let vals = c.values_mut();
+    if vals.is_empty() {
+        return false;
+    }
+    let (idx, _) = vals
+        .iter()
+        .enumerate()
+        .max_by(|(_, x), (_, y)| x.abs().total_cmp(&y.abs()))
+        .expect("non-empty");
+    vals[idx] = -vals[idx];
+    true
+}
+
+/// Writes a cancelling `+δ/−δ` pair into two entries of one row — the
+/// aliasing shape whose per-round detection probability is exactly 1/2.
+fn alias_cancelling_pair(c: &mut Csr, delta: f64) -> bool {
+    // Find a row with at least two stored entries.
+    let row = (0..c.nrows()).find(|&i| c.row_nnz(i) >= 2);
+    let Some(row) = row else { return false };
+    let start = c.row_ptr()[row as usize];
+    let vals = c.values_mut();
+    vals[start] += delta;
+    vals[start + 1] -= delta;
+    true
+}
+
+#[test]
+fn single_entry_perturbations_never_survive() {
+    let cfg = VerifyConfig { rounds: 1, ..VerifyConfig::default() };
+    let mut corrupted = 0;
+    for seed in 0..48 {
+        let (a, b, mut c) = clean_case(seed);
+        if !perturb_single_entry(&mut c, seed) {
+            continue;
+        }
+        corrupted += 1;
+        assert!(
+            freivalds_spgemm(&a, &b, &c, &cfg).is_err(),
+            "seed {seed}: single-entry perturbation survived a probe round"
+        );
+    }
+    assert!(corrupted >= 40, "families must produce non-empty products");
+}
+
+#[test]
+fn sign_flips_never_survive() {
+    let cfg = VerifyConfig { rounds: 1, ..VerifyConfig::default() };
+    for seed in 0..48 {
+        let (a, b, mut c) = clean_case(seed);
+        if !flip_dominant_sign(&mut c) {
+            continue;
+        }
+        assert!(
+            freivalds_spgemm(&a, &b, &c, &cfg).is_err(),
+            "seed {seed}: sign flip survived a probe round"
+        );
+    }
+}
+
+/// Observed miss rate of the worst-case aliasing family at a given round
+/// count, over `trials` deterministic trials.
+fn aliasing_misses(rounds: u32, trials: u64) -> u64 {
+    let mut misses = 0;
+    for seed in 0..trials {
+        let (a, b, mut c) = clean_case(seed);
+        if !alias_cancelling_pair(&mut c, 0.37) {
+            continue;
+        }
+        let cfg = VerifyConfig { rounds, seed: seed ^ 0xa11a5, ..VerifyConfig::default() };
+        if freivalds_spgemm(&a, &b, &c, &cfg).is_ok() {
+            misses += 1;
+        }
+    }
+    misses
+}
+
+#[test]
+fn aliasing_pins_the_false_negative_bound() {
+    let trials = 128;
+
+    // At one round the miss probability is exactly 1/2: the observed rate
+    // must be consistent with that (pinning the bound from *below* — the
+    // bound is attained, not just an upper estimate).
+    let one_round = aliasing_misses(1, trials);
+    assert!(
+        one_round >= trials / 4 && one_round <= 3 * trials / 4,
+        "1-round aliasing miss rate {one_round}/{trials} inconsistent with the 1/2 worst case"
+    );
+
+    // At the default round count the miss rate must respect the 2^-rounds
+    // bound (generous 4x slack over the expectation of ~1 in 128 trials;
+    // deterministic seeds keep this stable).
+    let bound = false_negative_bound(outerspace_verify::DEFAULT_ROUNDS);
+    let default_rounds = aliasing_misses(outerspace_verify::DEFAULT_ROUNDS, trials);
+    let allowed = (4.0 * bound * trials as f64).ceil() as u64;
+    assert!(
+        default_rounds <= allowed,
+        "{default_rounds}/{trials} misses exceeds 4x the {bound} bound"
+    );
+
+    // And with a deep probe the family is extinguished entirely.
+    assert_eq!(aliasing_misses(16, trials), 0);
+}

@@ -5,7 +5,8 @@
 //!              [--workers N] [--queue-cap N] [--deadline-ms MS]
 //!              [--rate RPS | --burst] [--overload FACTOR]
 //!              [--faults] [--panic-every N] [--sleep-every N] [--sleep-ms MS]
-//!              [--pareto FILE] [--out FILE] [--chaos]
+//!              [--sdc-every N] [--pareto FILE] [--out FILE]
+//!              [--chaos | --chaos-sdc]
 //! ```
 //!
 //! `--chaos` is the CI preset: injected accelerator faults, forced worker
@@ -16,12 +17,21 @@
 //! fail, so the gate needs no external checker. The full report is written
 //! as JSON either way.
 //!
+//! `--chaos-sdc` is the silent-data-corruption gate: ECC-escape faults on
+//! the accelerator path, forced `chaos_sdc` corruption traffic, sampled
+//! scrubbing of software kernels, and 2× overload — with every delivered
+//! payload judged against an independently computed golden answer. It then
+//! runs a breaker drill (trip a kernel with a corruption burst, wait for the
+//! half-open canary probes to restore it) and asserts: zero corrupted
+//! deliveries, the delivery accounting identity, chaos detection ≥ 99%, at
+//! least one breaker trip, and full breaker recovery.
+//!
 //! Exit status: 0 invariants hold; 1 an invariant broke; 2 bad usage.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
-use outerspace_json::dump;
+use outerspace_json::{dump, Json};
 use outerspace_serve::loadgen::{self, Arrivals, Scenario};
 use outerspace_serve::{Classifier, Server, ServerConfig};
 use outerspace_sim::FaultModel;
@@ -29,7 +39,7 @@ use outerspace_sim::FaultModel;
 const USAGE: &str = "usage: ospace-serve [--requests N] [--pool N] [--scale N] [--nnz N] \
      [--seed S] [--workers N] [--queue-cap N] [--deadline-ms MS] [--rate RPS] [--burst] \
      [--overload FACTOR] [--faults] [--panic-every N] [--sleep-every N] [--sleep-ms MS] \
-     [--pareto FILE] [--out FILE] [--chaos]";
+     [--sdc-every N] [--pareto FILE] [--out FILE] [--chaos] [--chaos-sdc]";
 
 struct Cli {
     scenario: Scenario,
@@ -38,6 +48,7 @@ struct Cli {
     pareto: Option<PathBuf>,
     out: PathBuf,
     chaos: bool,
+    chaos_sdc: bool,
 }
 
 fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
@@ -54,12 +65,15 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
             chaos_panic_every: 0,
             chaos_sleep_every: 0,
             chaos_sleep_ms: 0,
+            chaos_sdc_every: 0,
+            golden_check: false,
         },
         server: ServerConfig::default(),
         overload: None,
         pareto: None,
         out: PathBuf::from("serve_results/serve.json"),
         chaos: false,
+        chaos_sdc: false,
     };
     let mut args = args.into_iter();
     fn num<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String> {
@@ -94,14 +108,39 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
                 cli.scenario.chaos_sleep_every = num("--sleep-every", args.next())?;
             }
             "--sleep-ms" => cli.scenario.chaos_sleep_ms = num("--sleep-ms", args.next())?,
+            "--sdc-every" => {
+                cli.scenario.chaos_sdc_every = num("--sdc-every", args.next())?;
+            }
             "--pareto" => {
                 cli.pareto =
                     Some(PathBuf::from(args.next().ok_or("--pareto needs a file path")?));
             }
             "--out" => cli.out = PathBuf::from(args.next().ok_or("--out needs a file path")?),
             "--chaos" => cli.chaos = true,
+            "--chaos-sdc" => cli.chaos_sdc = true,
             other => return Err(format!("unknown argument '{other}'")),
         }
+    }
+    if cli.chaos_sdc {
+        // The SDC gate preset: silent ECC escapes on the accelerator path,
+        // forced corruption traffic, sampled software scrubbing, fast
+        // breaker timings (so the recovery drill finishes quickly), 2×
+        // overload, and golden-answer judging of every delivery.
+        cli.server.fault_model = FaultModel {
+            seed: cli.scenario.seed,
+            ber_silent: 3e-7,
+            ..FaultModel::default()
+        };
+        cli.server.verify.scrub_every = 4;
+        cli.server.breaker.cooldown = Duration::from_millis(150);
+        cli.server.breaker.canary_interval = Duration::from_millis(25);
+        if cli.scenario.chaos_sdc_every == 0 {
+            cli.scenario.chaos_sdc_every = 5;
+        }
+        if cli.overload.is_none() {
+            cli.overload = Some(2.0);
+        }
+        cli.scenario.golden_check = true;
     }
     if cli.chaos {
         // The CI preset: everything hostile at once, sized to finish fast.
@@ -193,9 +232,27 @@ fn main() {
     );
     let server = Server::start_with_classifier(cli.server.clone(), classifier);
     let tally = loadgen::run(&server, &cli.scenario);
+    // The breaker drill runs on the drained server, after the main load:
+    // trip a kernel family with a corruption burst, then wait for the
+    // half-open canary probes to prove it clean and close the breaker.
+    let breaker_recovered = cli.chaos_sdc && loadgen::exercise_breaker_recovery(&server);
+    let breaker = server.breaker_snapshot();
     let snapshot = server.shutdown();
 
-    let report = loadgen::report_json(&cli.scenario, &tally, &snapshot);
+    let mut report = loadgen::report_json(&cli.scenario, &tally, &snapshot);
+    let sdc_containment_ok = tally.corrupted_deliveries == 0 && snapshot.delivery_accounted_ok();
+    let detection_rate = snapshot.chaos_sdc_detection_rate();
+    if let Json::Obj(fields) = &mut report {
+        fields.push((
+            "sdc".into(),
+            Json::Obj(vec![
+                ("detection_rate".into(), Json::Float(detection_rate)),
+                ("sdc_containment_ok".into(), Json::Bool(sdc_containment_ok)),
+                ("breaker_recovered".into(), Json::Bool(breaker_recovered)),
+                ("breaker".into(), breaker.to_json()),
+            ]),
+        ));
+    }
     if let Err(e) = dump::write_json_atomic(&cli.out, &report) {
         eprintln!("error: cannot write {}: {e}", cli.out.display());
         std::process::exit(1);
@@ -243,6 +300,54 @@ fn main() {
     if cli.scenario.chaos_sleep_every > 0 && snapshot.timed_out == 0 {
         violations
             .push("stall injection was on but nothing timed out — watchdog not exercised".into());
+    }
+    if cli.chaos_sdc {
+        if tally.corrupted_deliveries > 0 {
+            violations.push(format!(
+                "{} corrupted payload(s) escaped to clients",
+                tally.corrupted_deliveries
+            ));
+        }
+        if !snapshot.delivery_accounted_ok() {
+            violations.push(format!(
+                "delivery accounting broke: {} verified + {} unverified + {} cached != {} ok",
+                snapshot.verified_ok,
+                snapshot.unverified_pass,
+                snapshot.cache_hits,
+                snapshot.completed_ok
+            ));
+        }
+        if snapshot.chaos_sdc_executed == 0 {
+            violations.push(
+                "SDC injection was on but no corruption drill executed — hooks not exercised"
+                    .into(),
+            );
+        }
+        if detection_rate < 0.99 {
+            violations.push(format!(
+                "SDC detection rate {:.4} below the 0.99 gate ({} detected / {} executed)",
+                detection_rate, snapshot.chaos_sdc_detected, snapshot.chaos_sdc_executed
+            ));
+        }
+        if breaker.counters.trips == 0 {
+            violations.push("no circuit breaker ever tripped — breaker path not exercised".into());
+        }
+        if !breaker_recovered {
+            violations.push(
+                "breaker drill failed: tripped kernel was not restored by canary probes".into(),
+            );
+        }
+        println!(
+            "# sdc: {} detected / {} executed (rate {:.4}) | {} quarantine recoveries | \
+             breaker trips {} closes {} | corrupted deliveries {}",
+            snapshot.chaos_sdc_detected,
+            snapshot.chaos_sdc_executed,
+            detection_rate,
+            snapshot.quarantined_recoveries,
+            breaker.counters.trips,
+            breaker.counters.closes,
+            tally.corrupted_deliveries
+        );
     }
     if violations.is_empty() {
         println!("# invariants: OK");

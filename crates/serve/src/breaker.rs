@@ -1,0 +1,401 @@
+//! Per-kernel circuit breakers driven by the verification tier.
+//!
+//! A kernel that keeps producing results that fail verification is worse
+//! than a kernel that errors: every bad result burns a verification pass, a
+//! quarantine, and a software re-execution. The breaker takes such a kernel
+//! out of the routing table entirely:
+//!
+//! ```text
+//! Closed ──(trip_threshold consecutive verification failures)──▶ Open
+//! Open   ──(cooldown elapses; canary thread starts probing)────▶ HalfOpen
+//! HalfOpen ──(canary_successes known-answer probes pass)───────▶ Closed
+//! HalfOpen ──(a canary probe fails)─────────────────────────────▶ Open
+//! ```
+//!
+//! Kernels are keyed by their *base* name (the part before `:`), so the
+//! parameterized chaos hooks (`chaos_sdc_burst:3`) share one breaker per
+//! family while remembering the full name for canary probes. While a
+//! breaker is not closed, [`CircuitBreaker::check_route`] refuses the kernel
+//! and the server reroutes to the software tier; the canary probes
+//! (known-answer products run off the request path) are the only traffic
+//! the kernel sees until it proves itself healthy again.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use outerspace_json::Json;
+
+/// Breaker tuning.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Master switch. Off = verification failures still quarantine results
+    /// but never remove a kernel from routing.
+    pub enabled: bool,
+    /// Consecutive verification failures that open the breaker.
+    pub trip_threshold: u32,
+    /// Time a breaker stays open before canary probing begins.
+    pub cooldown: Duration,
+    /// Consecutive canary passes that close a half-open breaker.
+    pub canary_successes: u32,
+    /// Spacing between canary probes of one half-open kernel.
+    pub canary_interval: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            enabled: true,
+            trip_threshold: 3,
+            cooldown: Duration::from_millis(250),
+            canary_successes: 2,
+            canary_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed,
+    Open { since: Instant },
+    HalfOpen { passes: u32, last_probe: Instant },
+}
+
+#[derive(Debug)]
+struct KernelEntry {
+    state: State,
+    consecutive_failures: u32,
+    /// Full kernel name as last routed (`chaos_sdc_burst:3`), what the
+    /// canary thread must actually execute to probe this family.
+    full_name: String,
+}
+
+/// Monotonic counters, exposed for reports and the chaos gate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerCounters {
+    /// Closed → Open transitions.
+    pub trips: u64,
+    /// HalfOpen → Open transitions (a canary probe failed).
+    pub reopens: u64,
+    /// HalfOpen → Closed transitions (recovery).
+    pub closes: u64,
+    /// Requests refused a non-closed kernel and rerouted.
+    pub skips: u64,
+    /// Canary probes executed.
+    pub canary_probes: u64,
+    /// Canary probes that passed.
+    pub canary_passes: u64,
+}
+
+/// Point-in-time breaker view.
+#[derive(Debug, Clone)]
+pub struct BreakerSnapshot {
+    /// The monotonic counters.
+    pub counters: BreakerCounters,
+    /// Base names currently not closed (open or half-open).
+    pub tripped: Vec<String>,
+}
+
+impl BreakerSnapshot {
+    /// Fixed-key-order JSON for reports.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("trips".into(), Json::UInt(self.counters.trips)),
+            ("reopens".into(), Json::UInt(self.counters.reopens)),
+            ("closes".into(), Json::UInt(self.counters.closes)),
+            ("skips".into(), Json::UInt(self.counters.skips)),
+            ("canary_probes".into(), Json::UInt(self.counters.canary_probes)),
+            ("canary_passes".into(), Json::UInt(self.counters.canary_passes)),
+            (
+                "tripped".into(),
+                Json::Arr(self.tripped.iter().map(|k| Json::Str(k.clone())).collect()),
+            ),
+        ])
+    }
+}
+
+struct Inner {
+    kernels: HashMap<String, KernelEntry>,
+    counters: BreakerCounters,
+}
+
+/// The breaker bank: one state machine per kernel family.
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for CircuitBreaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("CircuitBreaker")
+            .field("cfg", &self.cfg)
+            .field("counters", &snap.counters)
+            .field("tripped", &snap.tripped)
+            .finish()
+    }
+}
+
+/// The breaker key for a kernel name: everything before the first `:`.
+pub fn base_of(kernel: &str) -> &str {
+    kernel.split(':').next().unwrap_or(kernel)
+}
+
+impl CircuitBreaker {
+    /// A bank with every kernel implicitly closed.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            inner: Mutex::new(Inner { kernels: HashMap::new(), counters: BreakerCounters::default() }),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.cfg
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// May `kernel` serve a request right now? `false` counts a skip: the
+    /// caller must reroute. Always `true` when the breaker is disabled.
+    pub fn check_route(&self, kernel: &str) -> bool {
+        if !self.cfg.enabled {
+            return true;
+        }
+        let mut inner = self.lock();
+        match inner.kernels.get(base_of(kernel)) {
+            Some(e) if e.state != State::Closed => {
+                inner.counters.skips += 1;
+                false
+            }
+            _ => true,
+        }
+    }
+
+    /// A verified-ok result from `kernel`: clears the consecutive-failure
+    /// streak (only meaningful while closed; canary passes drive recovery).
+    pub fn on_verified_ok(&self, kernel: &str) {
+        let mut inner = self.lock();
+        if let Some(e) = inner.kernels.get_mut(base_of(kernel)) {
+            if e.state == State::Closed {
+                e.consecutive_failures = 0;
+            }
+        }
+    }
+
+    /// A verification failure from `kernel`. Returns `true` when this
+    /// failure tripped the breaker open.
+    pub fn on_verification_failure(&self, kernel: &str) -> bool {
+        if !self.cfg.enabled {
+            return false;
+        }
+        let threshold = self.cfg.trip_threshold.max(1);
+        let mut inner = self.lock();
+        let e = inner
+            .kernels
+            .entry(base_of(kernel).to_string())
+            .or_insert_with(|| KernelEntry {
+                state: State::Closed,
+                consecutive_failures: 0,
+                full_name: kernel.to_string(),
+            });
+        e.full_name = kernel.to_string();
+        if e.state != State::Closed {
+            return false;
+        }
+        e.consecutive_failures += 1;
+        if e.consecutive_failures >= threshold {
+            e.state = State::Open { since: Instant::now() };
+            e.consecutive_failures = 0;
+            inner.counters.trips += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Full kernel names due for a canary probe: open breakers past their
+    /// cooldown (transitioned to half-open here) and half-open breakers past
+    /// their probe interval. Each returned name is charged as one probe.
+    pub fn due_probes(&self) -> Vec<String> {
+        if !self.cfg.enabled {
+            return Vec::new();
+        }
+        let now = Instant::now();
+        let mut inner = self.lock();
+        let mut due = Vec::new();
+        for e in inner.kernels.values_mut() {
+            let ready = match e.state {
+                State::Open { since } => now.duration_since(since) >= self.cfg.cooldown,
+                State::HalfOpen { last_probe, .. } => {
+                    now.duration_since(last_probe) >= self.cfg.canary_interval
+                }
+                State::Closed => false,
+            };
+            if ready {
+                let passes = match e.state {
+                    State::HalfOpen { passes, .. } => passes,
+                    _ => 0,
+                };
+                e.state = State::HalfOpen { passes, last_probe: now };
+                due.push(e.full_name.clone());
+            }
+        }
+        inner.counters.canary_probes += due.len() as u64;
+        due
+    }
+
+    /// A canary probe of `kernel` returned the known answer. Returns `true`
+    /// when this pass closed the breaker.
+    pub fn on_canary_pass(&self, kernel: &str) -> bool {
+        let needed = self.cfg.canary_successes.max(1);
+        let mut inner = self.lock();
+        inner.counters.canary_passes += 1;
+        let Some(e) = inner.kernels.get_mut(base_of(kernel)) else { return false };
+        if let State::HalfOpen { passes, last_probe } = e.state {
+            let passes = passes + 1;
+            if passes >= needed {
+                e.state = State::Closed;
+                e.consecutive_failures = 0;
+                inner.counters.closes += 1;
+                return true;
+            }
+            e.state = State::HalfOpen { passes, last_probe };
+        }
+        false
+    }
+
+    /// A canary probe of `kernel` failed: back to fully open, cooldown
+    /// restarts.
+    pub fn on_canary_fail(&self, kernel: &str) {
+        let mut inner = self.lock();
+        if let Some(e) = inner.kernels.get_mut(base_of(kernel)) {
+            if matches!(e.state, State::HalfOpen { .. }) {
+                e.state = State::Open { since: Instant::now() };
+                inner.counters.reopens += 1;
+            }
+        }
+    }
+
+    /// `"closed"`, `"open"`, or `"half_open"` for a base kernel name
+    /// (kernels never seen are closed).
+    pub fn state_of(&self, base: &str) -> &'static str {
+        match self.lock().kernels.get(base).map(|e| e.state) {
+            None | Some(State::Closed) => "closed",
+            Some(State::Open { .. }) => "open",
+            Some(State::HalfOpen { .. }) => "half_open",
+        }
+    }
+
+    /// Counters plus the currently tripped kernel families.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        let inner = self.lock();
+        let mut tripped: Vec<String> = inner
+            .kernels
+            .iter()
+            .filter(|(_, e)| e.state != State::Closed)
+            .map(|(k, _)| k.clone())
+            .collect();
+        tripped.sort();
+        BreakerSnapshot { counters: inner.counters, tripped }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> BreakerConfig {
+        BreakerConfig {
+            trip_threshold: 3,
+            cooldown: Duration::from_millis(1),
+            canary_successes: 2,
+            canary_interval: Duration::from_millis(1),
+            ..BreakerConfig::default()
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let br = CircuitBreaker::new(fast_cfg());
+        assert!(br.check_route("sim"));
+        assert!(!br.on_verification_failure("sim"));
+        assert!(!br.on_verification_failure("sim"));
+        // A verified-ok result resets the streak.
+        br.on_verified_ok("sim");
+        assert!(!br.on_verification_failure("sim"));
+        assert!(!br.on_verification_failure("sim"));
+        assert!(br.on_verification_failure("sim"), "third consecutive failure must trip");
+        assert_eq!(br.state_of("sim"), "open");
+        assert!(!br.check_route("sim"), "open kernel must be refused");
+        let snap = br.snapshot();
+        assert_eq!(snap.counters.trips, 1);
+        assert_eq!(snap.counters.skips, 1);
+        assert_eq!(snap.tripped, vec!["sim".to_string()]);
+    }
+
+    #[test]
+    fn half_open_recovery_needs_consecutive_canary_passes() {
+        let br = CircuitBreaker::new(fast_cfg());
+        for _ in 0..3 {
+            br.on_verification_failure("chaos_sdc_burst:3");
+        }
+        assert_eq!(br.state_of("chaos_sdc_burst"), "open");
+        std::thread::sleep(Duration::from_millis(2));
+        let due = br.due_probes();
+        assert_eq!(due, vec!["chaos_sdc_burst:3".to_string()], "probe uses the full name");
+        assert_eq!(br.state_of("chaos_sdc_burst"), "half_open");
+        assert!(!br.on_canary_pass("chaos_sdc_burst:3"));
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(br.due_probes().len(), 1);
+        assert!(br.on_canary_pass("chaos_sdc_burst:3"), "second pass closes");
+        assert_eq!(br.state_of("chaos_sdc_burst"), "closed");
+        assert!(br.check_route("chaos_sdc_burst:3"));
+        assert_eq!(br.snapshot().counters.closes, 1);
+    }
+
+    #[test]
+    fn canary_failure_reopens_and_restarts_cooldown() {
+        let br = CircuitBreaker::new(fast_cfg());
+        for _ in 0..3 {
+            br.on_verification_failure("sim");
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(br.due_probes().len(), 1);
+        br.on_canary_fail("sim");
+        assert_eq!(br.state_of("sim"), "open");
+        assert_eq!(br.snapshot().counters.reopens, 1);
+        // Immediately after reopening, the cooldown has not elapsed.
+        assert!(br.due_probes().is_empty());
+    }
+
+    #[test]
+    fn failures_while_open_do_not_restack() {
+        let br = CircuitBreaker::new(fast_cfg());
+        for _ in 0..3 {
+            br.on_verification_failure("sim");
+        }
+        assert!(!br.on_verification_failure("sim"), "already open: no second trip");
+        assert_eq!(br.snapshot().counters.trips, 1);
+    }
+
+    #[test]
+    fn disabled_breaker_never_blocks() {
+        let br = CircuitBreaker::new(BreakerConfig { enabled: false, ..fast_cfg() });
+        for _ in 0..10 {
+            br.on_verification_failure("sim");
+        }
+        assert!(br.check_route("sim"));
+        assert_eq!(br.snapshot().counters.trips, 0);
+        assert!(br.due_probes().is_empty());
+    }
+
+    #[test]
+    fn base_name_splits_parameterized_kernels() {
+        assert_eq!(base_of("chaos_sdc_burst:3"), "chaos_sdc_burst");
+        assert_eq!(base_of("sim"), "sim");
+        assert_eq!(base_of("chaos_sleep:500"), "chaos_sleep");
+    }
+}

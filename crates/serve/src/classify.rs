@@ -202,6 +202,40 @@ impl Classifier {
         };
         Route { kernel, class, sim_config: self.sim_config_for(class) }
     }
+
+    /// [`Classifier::route`], minus any kernel whose circuit breaker is
+    /// open. `blocked` holds *base* kernel names (see
+    /// [`crate::breaker::base_of`]). Falls from the preferred kernel to the
+    /// class's software kernel to the cheapest known-good rung; the cheapest
+    /// rung is never blocked — it is the quarantine re-execution tier, and
+    /// its results are still verified before delivery.
+    pub fn route_avoiding(&self, op: &Op, degraded: bool, blocked: &[String]) -> Route {
+        let mut route = self.route(op, degraded);
+        if blocked.is_empty() || !blocked.iter().any(|b| b == route.kernel) {
+            return route;
+        }
+        // Preferred kernel is tripped: the class's software kernel.
+        let software = match op {
+            Op::Spgemm { .. } => match route.class {
+                WorkloadClass::Skewed => "outer_par",
+                WorkloadClass::Regular => "mkl_gustavson_par",
+                WorkloadClass::Uniform | WorkloadClass::Tiny => "cusparse_hash",
+            },
+            Op::Spmv { .. } => match route.class {
+                WorkloadClass::Regular => "mkl_spmv_densified",
+                _ => "outer_spmv",
+            },
+        };
+        route.kernel = if blocked.iter().any(|b| b == software) {
+            match op {
+                Op::Spgemm { .. } => CHEAPEST_SPGEMM,
+                Op::Spmv { .. } => CHEAPEST_SPMV,
+            }
+        } else {
+            software
+        };
+        route
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +280,23 @@ mod tests {
         let x = Arc::new(outerspace_gen::vector::sparse(512, 0.2, 4));
         let a = Arc::new(outerspace_gen::uniform::matrix(512, 512, 6_000, 3));
         assert_eq!(cl.route(&Op::Spmv { a, x }, false).kernel, "sim_spmv");
+    }
+
+    #[test]
+    fn tripped_kernels_are_routed_around() {
+        let cl = Classifier::new(10_000);
+        let op = op_for(outerspace_gen::uniform::matrix(512, 512, 6_000, 3));
+        assert_eq!(cl.route_avoiding(&op, false, &[]).kernel, "sim");
+        let blocked = vec!["sim".to_string()];
+        assert_eq!(cl.route_avoiding(&op, false, &blocked).kernel, "cusparse_hash");
+        let both = vec!["sim".to_string(), "cusparse_hash".to_string()];
+        assert_eq!(cl.route_avoiding(&op, false, &both).kernel, CHEAPEST_SPGEMM);
+        // SpMV falls the same ladder.
+        let a = Arc::new(outerspace_gen::uniform::matrix(512, 512, 6_000, 3));
+        let x = Arc::new(outerspace_gen::vector::sparse(512, 0.2, 4));
+        let mv = Op::Spmv { a, x };
+        let spmv_blocked = vec!["sim_spmv".to_string()];
+        assert_eq!(cl.route_avoiding(&mv, false, &spmv_blocked).kernel, "outer_spmv");
     }
 
     #[test]

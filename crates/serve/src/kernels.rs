@@ -14,9 +14,11 @@
 //! ([`SimError::AllPesFailed`]) is permanent and triggers the software
 //! fallback rung of the degradation ladder.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use outerspace_baselines as baselines;
 use outerspace_outer as outer;
-use outerspace_sim::{OuterSpaceConfig, SimError, Simulator};
+use outerspace_sim::{faults, OuterSpaceConfig, SimError, Simulator};
 use outerspace_sparse::{Csr, SparseVector};
 
 use crate::request::{Op, OpOutput};
@@ -124,13 +126,47 @@ pub fn run_spmv(
     }
 }
 
+/// Process-global execution counter for the `chaos_sdc*` hooks: the
+/// `chaos_sdc_burst:<n>` variant corrupts only its first `n` executions, so
+/// a drill can trip a breaker and then let the canary probes observe a
+/// healthy kernel again.
+static CHAOS_SDC_EXECUTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Rewinds the [`chaos_sdc_burst`](run_op) execution counter so a fresh
+/// drill gets a fresh corruption budget.
+pub fn reset_chaos_sdc_counter() {
+    CHAOS_SDC_EXECUTIONS.store(0, Ordering::SeqCst);
+}
+
+/// Flips one mantissa bit of the first value of non-negligible magnitude —
+/// the exact corruption shape `FaultModel::ber_silent` produces, but
+/// deterministic and guaranteed, so the verification tier's detection rate
+/// can be asserted instead of sampled.
+fn corrupt_one_value(values: &mut [f64], salt: u64) {
+    match values.iter().position(|v| v.abs() >= 1e-3) {
+        Some(i) => values[i] = faults::corrupt_value(values[i], salt),
+        // All-tiny results: an additive hit keeps the corruption visible
+        // above any magnitude-scaled tolerance.
+        None => {
+            if let Some(v) = values.first_mut() {
+                *v += 1.0;
+            }
+        }
+    }
+}
+
 /// Runs `op` through kernel `name`, normalizing the output.
 ///
-/// Two chaos hooks ride alongside the real kernels (reachable only by
-/// forcing the kernel name — the classifier never routes to them):
-/// `"chaos_panic"` panics unconditionally, exercising worker panic
-/// isolation, and `"chaos_sleep:<ms>"` stalls before delegating to the
-/// cheapest kernel, exercising mid-compute deadline expiry.
+/// Chaos hooks ride alongside the real kernels (reachable only by forcing
+/// the kernel name — the classifier never routes to them): `"chaos_panic"`
+/// panics unconditionally, exercising worker panic isolation;
+/// `"chaos_sleep:<ms>"` stalls before delegating to the cheapest kernel,
+/// exercising mid-compute deadline expiry; `"chaos_sdc"` computes the
+/// correct product and then silently corrupts one value — the accelerator's
+/// `ber_silent` failure mode made deterministic — exercising the
+/// verification tier; `"chaos_sdc_burst:<n>"` does the same for its first
+/// `n` executions process-wide and then runs clean, exercising breaker
+/// recovery through half-open canary probes.
 pub fn run_op(name: &str, op: &Op, sim_config: &OuterSpaceConfig) -> Result<OpOutput, KernelError> {
     if name == "chaos_panic" {
         panic!("chaos_panic kernel fired");
@@ -145,6 +181,37 @@ pub fn run_op(name: &str, op: &Op, sim_config: &OuterSpaceConfig) -> Result<OpOu
             Op::Spmv { .. } => CHEAPEST_SPMV,
         };
         return run_op(cheapest, op, sim_config);
+    }
+    if let Some(rest) = name.strip_prefix("chaos_sdc") {
+        let burst: Option<u64> = match rest.strip_prefix("_burst:") {
+            Some(n) => Some(n.parse().map_err(|_| {
+                KernelError::Permanent(format!("bad chaos_sdc_burst kernel '{name}'"))
+            })?),
+            None if rest.is_empty() => None,
+            None => return Err(KernelError::Permanent(format!("unknown kernel '{name}'"))),
+        };
+        let cheapest = match op {
+            Op::Spgemm { .. } => CHEAPEST_SPGEMM,
+            Op::Spmv { .. } => CHEAPEST_SPMV,
+        };
+        let mut out = run_op(cheapest, op, sim_config)?;
+        // Only the burst variant consumes the process-global counter: the
+        // plain hook corrupts unconditionally, so it must not race a
+        // concurrent breaker drill's corruption budget.
+        let (corrupt, salt) = match burst {
+            None => (true, 0),
+            Some(n) => {
+                let k = CHAOS_SDC_EXECUTIONS.fetch_add(1, Ordering::SeqCst);
+                (k < n, k)
+            }
+        };
+        if corrupt {
+            match &mut out {
+                OpOutput::Matrix(c) => corrupt_one_value(c.values_mut(), salt),
+                OpOutput::Vector(y) => corrupt_one_value(&mut y.values, salt),
+            }
+        }
+        return Ok(out);
     }
     match op {
         Op::Spgemm { a, b } => run_spgemm(name, a, b, sim_config).map(OpOutput::Matrix),
@@ -197,6 +264,41 @@ mod tests {
                 other => panic!("{name}: expected permanent rejection, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn chaos_sdc_corrupts_and_burst_runs_dry() {
+        let a = Arc::new(outerspace_gen::uniform::matrix(48, 48, 300, 5));
+        let op = Op::Spgemm { a: a.clone(), b: a.clone() };
+        let cfg = OuterSpaceConfig::default();
+        let golden = run_op(CHEAPEST_SPGEMM, &op, &cfg).unwrap();
+        reset_chaos_sdc_counter();
+        // The plain hook corrupts every execution.
+        for _ in 0..3 {
+            let out = run_op("chaos_sdc", &op, &cfg).unwrap();
+            assert_ne!(out, golden, "chaos_sdc must corrupt the result");
+        }
+        // The burst hook corrupts exactly its first n executions.
+        reset_chaos_sdc_counter();
+        for k in 0..5 {
+            let out = run_op("chaos_sdc_burst:2", &op, &cfg).unwrap();
+            if k < 2 {
+                assert_ne!(out, golden, "execution {k} should be corrupted");
+            } else {
+                assert_eq!(out, golden, "execution {k} should be clean");
+            }
+        }
+        reset_chaos_sdc_counter();
+        assert!(matches!(
+            run_op("chaos_sdc_burst:x", &op, &cfg),
+            Err(KernelError::Permanent(_))
+        ));
+        // SpMV outputs are corrupted too.
+        let x = Arc::new(outerspace_gen::vector::sparse(48, 0.3, 9));
+        let mv = Op::Spmv { a, x };
+        let clean = run_op(CHEAPEST_SPMV, &mv, &cfg).unwrap();
+        assert_ne!(run_op("chaos_sdc", &mv, &cfg).unwrap(), clean);
+        reset_chaos_sdc_counter();
     }
 
     #[test]

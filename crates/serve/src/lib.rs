@@ -20,8 +20,17 @@
 //!   registry — and to the cheapest known-good one when queue occupancy
 //!   crosses the degradation watermark. Per-class accelerator configs can be
 //!   seeded from a DSE Pareto report.
+//! * **Result verification** ([`verifier`]): accelerator-class results are
+//!   checked against their own operands (Freivalds probes for SpGEMM, a
+//!   residual recomputation for SpMV) before delivery; failures are
+//!   quarantined and re-executed on the software tier, never delivered.
+//! * **Kernel circuit breakers** ([`breaker`]): kernels that repeatedly fail
+//!   verification are removed from routing, then restored only after
+//!   half-open known-answer canary probes pass.
 //! * **Content-addressed caching** ([`rcache`]): identical products are
-//!   served from an `Arc`-shared bounded cache.
+//!   served from an `Arc`-shared bounded cache; inserts are
+//!   verify-before-insert (the [`Attested`] witness), so a corrupted result
+//!   can never poison the cache.
 //! * **Airtight accounting** ([`metrics`]): `completed + rejected +
 //!   timed_out == submitted` is checked after every run — chaos included.
 //!
@@ -43,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod classify;
 pub mod kernels;
 pub mod loadgen;
@@ -51,7 +61,9 @@ pub mod queue;
 pub mod rcache;
 pub mod request;
 pub mod server;
+pub mod verifier;
 
+pub use breaker::{BreakerConfig, BreakerSnapshot, CircuitBreaker};
 pub use classify::{classify, Classifier, Route, WorkloadClass};
 pub use metrics::{Metrics, Snapshot};
 pub use queue::{AdmissionQueue, AdmitError, Popped};
@@ -60,3 +72,4 @@ pub use request::{
     Op, OpOutput, Rejected, RejectReason, Response, ResponseMeta, ServeError, Ticket,
 };
 pub use server::{Server, ServerConfig, SubmitOpts};
+pub use verifier::{Attested, VerifyPolicy};

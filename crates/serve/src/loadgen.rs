@@ -8,18 +8,23 @@
 //! way real traffic would.
 //!
 //! Chaos knobs force every Nth request onto the `chaos_panic` /
-//! `chaos_sleep:<ms>` hook kernels, injecting worker panics and guaranteed
-//! mid-compute deadline expiries on top of whatever `FaultModel` the server
-//! itself injects into the accelerator path.
+//! `chaos_sleep:<ms>` / `chaos_sdc` hook kernels, injecting worker panics,
+//! guaranteed mid-compute deadline expiries, and silent data corruption on
+//! top of whatever `FaultModel` the server itself injects into the
+//! accelerator path. With `golden_check` on, every delivered payload is
+//! compared against an independently computed golden answer — the
+//! ground-truth judge for the "zero corrupted deliveries" containment gate.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use outerspace_gen::{powerlaw, rmat, uniform, vector};
 use outerspace_json::Json;
+use outerspace_sim::OuterSpaceConfig;
 
+use crate::kernels;
 use crate::metrics::Snapshot;
-use crate::request::{Op, ServeError, Ticket};
+use crate::request::{Op, OpOutput, ServeError, Ticket};
 use crate::server::{Server, SubmitOpts};
 
 /// Arrival process for the open-loop schedule.
@@ -61,6 +66,12 @@ pub struct Scenario {
     /// Stall length for the sleep hook — set it beyond `deadline` to force
     /// mid-compute expiry.
     pub chaos_sleep_ms: u64,
+    /// Every Nth request runs the silently-corrupting hook kernel (0 = off).
+    /// Panic and sleep forcing take precedence on colliding indices.
+    pub chaos_sdc_every: usize,
+    /// Compare every delivered payload against an independently computed
+    /// golden answer and count mismatches as `corrupted_deliveries`.
+    pub golden_check: bool,
 }
 
 impl Default for Scenario {
@@ -77,6 +88,8 @@ impl Default for Scenario {
             chaos_panic_every: 0,
             chaos_sleep_every: 0,
             chaos_sleep_ms: 0,
+            chaos_sdc_every: 0,
+            golden_check: false,
         }
     }
 }
@@ -120,16 +133,60 @@ pub struct ClientTally {
     pub timed_out: u64,
     /// Post-admission sheds (abort-mode leftovers), a subset bucket.
     pub late_rejected: u64,
+    /// Successful responses whose payload carried a verification attestation.
+    pub verified: u64,
+    /// Successful responses delivered without verification (sampled scrub
+    /// skips on software kernels).
+    pub unverified: u64,
+    /// Delivered payloads that disagreed with the independently computed
+    /// golden answer. Only counted when [`Scenario::golden_check`] is on;
+    /// the SDC containment gate requires this to be exactly zero.
+    pub corrupted_deliveries: u64,
     /// Wall-clock of the whole run (submission through collection).
     pub wall_s: f64,
+}
+
+/// Computes the ground-truth answer for each pool op on the cheapest
+/// software kernel with a clean (fault-free) configuration.
+fn make_goldens(pool: &[Op]) -> Vec<Option<OpOutput>> {
+    let clean = OuterSpaceConfig::default();
+    pool.iter()
+        .map(|op| {
+            let kernel = match op {
+                Op::Spgemm { .. } => kernels::CHEAPEST_SPGEMM,
+                Op::Spmv { .. } => kernels::CHEAPEST_SPMV,
+            };
+            kernels::run_op(kernel, op, &clean).ok()
+        })
+        .collect()
+}
+
+/// Loose elementwise agreement with the golden answer. The tolerance is far
+/// wider than any legitimate cross-kernel float drift and far tighter than
+/// the mantissa-bit flips the silent fault model injects, so it cleanly
+/// separates "different summation order" from "corrupted".
+fn matches_golden(got: &OpOutput, want: &OpOutput) -> bool {
+    match (got, want) {
+        (OpOutput::Matrix(c), OpOutput::Matrix(g)) => c.approx_eq(g, 1e-6),
+        (OpOutput::Vector(y), OpOutput::Vector(g)) => {
+            let (yd, gd) = (y.to_dense(), g.to_dense());
+            yd.len() == gd.len()
+                && yd
+                    .iter()
+                    .zip(&gd)
+                    .all(|(p, q)| (p - q).abs() <= 1e-6 * q.abs().max(1.0))
+        }
+        _ => false,
+    }
 }
 
 /// Drives `sc` against a running server and collects every ticket.
 pub fn run(server: &Server, sc: &Scenario) -> ClientTally {
     let pool = make_pool(sc);
+    let goldens = if sc.golden_check { make_goldens(&pool) } else { Vec::new() };
     let started = Instant::now();
     let mut tally = ClientTally::default();
-    let mut tickets: Vec<Ticket> = Vec::with_capacity(sc.requests);
+    let mut tickets: Vec<(Ticket, usize)> = Vec::with_capacity(sc.requests);
     for k in 0..sc.requests {
         if let Arrivals::Rate { rps } = sc.arrivals {
             if rps > 0.0 {
@@ -146,16 +203,32 @@ pub fn run(server: &Server, sc: &Scenario) -> ClientTally {
         } else if sc.chaos_sleep_every > 0 && k % sc.chaos_sleep_every == sc.chaos_sleep_every - 1
         {
             opts.force_kernel = Some(format!("chaos_sleep:{}", sc.chaos_sleep_ms));
+        } else if sc.chaos_sdc_every > 0 && k % sc.chaos_sdc_every == sc.chaos_sdc_every - 1 {
+            opts.force_kernel = Some("chaos_sdc".into());
         }
         tally.submitted += 1;
-        match server.submit_opts(pool[k % pool.len()].clone(), opts) {
-            Ok(t) => tickets.push(t),
+        let pool_idx = k % pool.len();
+        match server.submit_opts(pool[pool_idx].clone(), opts) {
+            Ok(t) => tickets.push((t, pool_idx)),
             Err(_rejected) => tally.rejected += 1,
         }
     }
-    for t in tickets {
-        match t.wait().result {
-            Ok(_) => tally.ok += 1,
+    for (t, pool_idx) in tickets {
+        let resp = t.wait();
+        match resp.result {
+            Ok(out) => {
+                tally.ok += 1;
+                if resp.meta.verified {
+                    tally.verified += 1;
+                } else {
+                    tally.unverified += 1;
+                }
+                if let Some(Some(golden)) = goldens.get(pool_idx) {
+                    if !matches_golden(&out, golden) {
+                        tally.corrupted_deliveries += 1;
+                    }
+                }
+            }
             Err(ServeError::DeadlineExceeded { .. }) => tally.timed_out += 1,
             Err(ServeError::Rejected(_)) => tally.late_rejected += 1,
             Err(ServeError::Failed { .. }) => tally.failed += 1,
@@ -163,6 +236,49 @@ pub fn run(server: &Server, sc: &Scenario) -> ClientTally {
     }
     tally.wall_s = started.elapsed().as_secs_f64();
     tally
+}
+
+/// End-to-end breaker drill: trips the `chaos_sdc_burst` kernel family with
+/// a burst of guaranteed silent corruptions, then waits for the half-open
+/// canary probes to observe the (now dry) kernel answering correctly and
+/// close the breaker again. Returns `true` only if the breaker *tripped* and
+/// subsequently *recovered* — the full open → half-open → closed arc.
+///
+/// Run this after the main load, on an otherwise idle server: the burst
+/// counter is process-global, so only one drill per process is meaningful.
+pub fn exercise_breaker_recovery(server: &Server) -> bool {
+    let trip_threshold = server.breaker_trip_threshold();
+    kernels::reset_chaos_sdc_counter();
+    let a = Arc::new(uniform::matrix(32, 32, 160, 0xD1));
+    let op = Op::Spgemm { a: a.clone(), b: a };
+    // Exactly `trip_threshold` corruptions, then the hook runs dry — so the
+    // breaker trips on the last forced request and every canary probe
+    // afterwards sees correct answers.
+    for _ in 0..trip_threshold {
+        let opts = SubmitOpts {
+            deadline: Some(Duration::from_secs(10)),
+            force_kernel: Some(format!("chaos_sdc_burst:{trip_threshold}")),
+        };
+        match server.submit_opts(op.clone(), opts) {
+            Ok(t) => {
+                // Serial waits: each verification failure must land on the
+                // breaker before the next request routes.
+                let _ = t.wait();
+            }
+            Err(_) => return false,
+        }
+    }
+    if server.breaker_state("chaos_sdc_burst") == "closed" {
+        return false; // never tripped — the drill proved nothing
+    }
+    let give_up = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < give_up {
+        if server.breaker_state("chaos_sdc_burst") == "closed" {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
 }
 
 impl ClientTally {
@@ -195,6 +311,8 @@ pub fn report_json(sc: &Scenario, tally: &ClientTally, snapshot: &Snapshot) -> J
         ("chaos_panic_every".into(), Json::UInt(sc.chaos_panic_every as u64)),
         ("chaos_sleep_every".into(), Json::UInt(sc.chaos_sleep_every as u64)),
         ("chaos_sleep_ms".into(), Json::UInt(sc.chaos_sleep_ms)),
+        ("chaos_sdc_every".into(), Json::UInt(sc.chaos_sdc_every as u64)),
+        ("golden_check".into(), Json::Bool(sc.golden_check)),
     ]);
     let client = Json::Obj(vec![
         ("submitted".into(), Json::UInt(tally.submitted)),
@@ -203,6 +321,9 @@ pub fn report_json(sc: &Scenario, tally: &ClientTally, snapshot: &Snapshot) -> J
         ("late_rejected".into(), Json::UInt(tally.late_rejected)),
         ("failed".into(), Json::UInt(tally.failed)),
         ("timed_out".into(), Json::UInt(tally.timed_out)),
+        ("verified".into(), Json::UInt(tally.verified)),
+        ("unverified".into(), Json::UInt(tally.unverified)),
+        ("corrupted_deliveries".into(), Json::UInt(tally.corrupted_deliveries)),
         ("wall_s".into(), Json::Float(tally.wall_s)),
         ("throughput_rps".into(), Json::Float(throughput)),
         ("accounted_ok".into(), Json::Bool(tally.accounted_ok())),

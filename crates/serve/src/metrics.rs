@@ -1,4 +1,4 @@
-//! Service counters and the accounting identity.
+//! Service counters and the accounting identities.
 //!
 //! Every submitted request must reach exactly one terminal bucket:
 //!
@@ -6,11 +6,21 @@
 //! submitted == completed_ok + failed + rejected + timed_out
 //! ```
 //!
-//! [`Snapshot::accounted_ok`] checks that identity; the chaos harness and
-//! the CI gate assert it after every run, so a request silently dropped by a
-//! bug anywhere in the pipeline turns into a loud failure instead of a
-//! missing row. Counters are atomics (workers bump them lock-free); latency
-//! samples take a mutex only at terminal-outcome time.
+//! and every *delivered* success must come out of exactly one provenance
+//! bucket of the verification tier:
+//!
+//! ```text
+//! completed_ok == verified_ok + unverified_pass + cache_hits
+//! ```
+//!
+//! (cache hits are attested at insert time — see `rcache` — so the cache
+//! bucket is verified by construction). [`Snapshot::accounted_ok`] and
+//! [`Snapshot::delivery_accounted_ok`] check the identities; the chaos
+//! harness and the CI gate assert both after every run, so a request — or a
+//! result that skipped verification — silently dropped by a bug anywhere in
+//! the pipeline turns into a loud failure instead of a missing row.
+//! Counters are atomics (workers bump them lock-free); latency samples take
+//! a mutex only at terminal-outcome time.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -36,6 +46,12 @@ pub struct Metrics {
     /// Results that were *delivered* after their deadline — the invariant
     /// the watchdog exists to keep at zero.
     deadline_violations: AtomicU64,
+    verified_ok: AtomicU64,
+    unverified_pass: AtomicU64,
+    sdc_detected: AtomicU64,
+    quarantined_recoveries: AtomicU64,
+    chaos_sdc_executed: AtomicU64,
+    chaos_sdc_detected: AtomicU64,
     latencies_ms: Mutex<Vec<f64>>,
 }
 
@@ -91,6 +107,30 @@ impl Metrics {
         self.deadline_violations.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn on_delivered_verified(&self) {
+        self.verified_ok.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_delivered_unverified(&self) {
+        self.unverified_pass.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_sdc_detected(&self) {
+        self.sdc_detected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_quarantined_recovery(&self) {
+        self.quarantined_recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_chaos_sdc_executed(&self) {
+        self.chaos_sdc_executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_chaos_sdc_detected(&self) {
+        self.chaos_sdc_detected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent point-in-time copy. Take it only when the server is
     /// quiescent (drained) if the identity must hold exactly.
     pub fn snapshot(&self) -> Snapshot {
@@ -110,6 +150,12 @@ impl Metrics {
             degraded_served: self.degraded_served.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             deadline_violations: self.deadline_violations.load(Ordering::Relaxed),
+            verified_ok: self.verified_ok.load(Ordering::Relaxed),
+            unverified_pass: self.unverified_pass.load(Ordering::Relaxed),
+            sdc_detected: self.sdc_detected.load(Ordering::Relaxed),
+            quarantined_recoveries: self.quarantined_recoveries.load(Ordering::Relaxed),
+            chaos_sdc_executed: self.chaos_sdc_executed.load(Ordering::Relaxed),
+            chaos_sdc_detected: self.chaos_sdc_detected.load(Ordering::Relaxed),
             latencies_ms: latencies,
         }
     }
@@ -142,6 +188,20 @@ pub struct Snapshot {
     pub cache_hits: u64,
     /// Payloads delivered after their deadline (must stay 0).
     pub deadline_violations: u64,
+    /// Deliveries whose payload passed verification against its operands.
+    pub verified_ok: u64,
+    /// Deliveries the scrub sampler skipped (software-kernel results only;
+    /// accelerator-class results are never delivered unverified).
+    pub unverified_pass: u64,
+    /// Results that failed verification and were quarantined — never
+    /// delivered, never cached.
+    pub sdc_detected: u64,
+    /// Quarantined requests rescued by a verified software re-execution.
+    pub quarantined_recoveries: u64,
+    /// `chaos_sdc*` hook executions whose result reached verification.
+    pub chaos_sdc_executed: u64,
+    /// `chaos_sdc*` hook results verification caught.
+    pub chaos_sdc_detected: u64,
     /// Sorted completed-ok latencies, milliseconds.
     pub latencies_ms: Vec<f64>,
 }
@@ -165,6 +225,21 @@ impl Snapshot {
     /// terminal bucket.
     pub fn accounted_ok(&self) -> bool {
         self.completed_ok + self.failed + self.rejected() + self.timed_out == self.submitted
+    }
+
+    /// The delivery identity: every successful delivery is verified, a
+    /// sampled scrub skip, or an (attested-at-insert) cache hit.
+    pub fn delivery_accounted_ok(&self) -> bool {
+        self.verified_ok + self.unverified_pass + self.cache_hits == self.completed_ok
+    }
+
+    /// Detected-over-executed for the `chaos_sdc*` drills; 1.0 with no
+    /// drill traffic (vacuously perfect detection).
+    pub fn chaos_sdc_detection_rate(&self) -> f64 {
+        if self.chaos_sdc_executed == 0 {
+            return 1.0;
+        }
+        self.chaos_sdc_detected as f64 / self.chaos_sdc_executed as f64
     }
 
     /// Fraction of submissions shed at admission.
@@ -205,10 +280,17 @@ impl Snapshot {
             ("degraded_served".into(), Json::UInt(self.degraded_served)),
             ("cache_hits".into(), Json::UInt(self.cache_hits)),
             ("deadline_violations".into(), Json::UInt(self.deadline_violations)),
+            ("verified_ok".into(), Json::UInt(self.verified_ok)),
+            ("unverified_pass".into(), Json::UInt(self.unverified_pass)),
+            ("sdc_detected".into(), Json::UInt(self.sdc_detected)),
+            ("quarantined_recoveries".into(), Json::UInt(self.quarantined_recoveries)),
+            ("chaos_sdc_executed".into(), Json::UInt(self.chaos_sdc_executed)),
+            ("chaos_sdc_detected".into(), Json::UInt(self.chaos_sdc_detected)),
             ("shed_rate".into(), Json::Float(self.shed_rate())),
             ("p50_ms".into(), Json::Float(self.p50_ms())),
             ("p99_ms".into(), Json::Float(self.p99_ms())),
             ("accounted_ok".into(), Json::Bool(self.accounted_ok())),
+            ("delivery_accounted_ok".into(), Json::Bool(self.delivery_accounted_ok())),
         ])
     }
 }
@@ -246,6 +328,51 @@ mod tests {
         m.on_completed_ok(1.0);
         // The second request vanished — the identity must catch it.
         assert!(!m.snapshot().accounted_ok());
+    }
+
+    #[test]
+    fn delivery_identity_partitions_successes() {
+        let m = Metrics::new();
+        for _ in 0..6 {
+            m.on_submitted();
+        }
+        // 3 verified, 1 sampled skip, 1 cache hit, 1 quarantine-recovered
+        // (which still delivers verified).
+        for _ in 0..3 {
+            m.on_completed_ok(1.0);
+            m.on_delivered_verified();
+        }
+        m.on_completed_ok(1.0);
+        m.on_delivered_unverified();
+        m.on_cache_hit();
+        m.on_completed_ok(0.1);
+        m.on_sdc_detected();
+        m.on_quarantined_recovery();
+        m.on_completed_ok(2.0);
+        m.on_delivered_verified();
+        let s = m.snapshot();
+        assert!(s.accounted_ok());
+        assert!(s.delivery_accounted_ok(), "delivery identity must hold: {s:?}");
+        assert_eq!(s.verified_ok, 4);
+        assert_eq!(s.unverified_pass, 1);
+        assert_eq!(s.sdc_detected, 1);
+        // A delivery that skipped every provenance bucket breaks it.
+        m.on_submitted();
+        m.on_completed_ok(1.0);
+        assert!(!m.snapshot().delivery_accounted_ok());
+    }
+
+    #[test]
+    fn chaos_detection_rate_is_detected_over_executed() {
+        let m = Metrics::new();
+        assert_eq!(m.snapshot().chaos_sdc_detection_rate(), 1.0);
+        for _ in 0..4 {
+            m.on_chaos_sdc_executed();
+        }
+        for _ in 0..3 {
+            m.on_chaos_sdc_detected();
+        }
+        assert!((m.snapshot().chaos_sdc_detection_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -8,6 +8,13 @@
 //! here with a mutex and FIFO capacity eviction so a long-running service
 //! cannot grow without bound. Results are `Arc`-shared: a hit is a clone of
 //! the pointer, not of the matrix.
+//!
+//! Insertion is **verify-before-insert**: [`ResultCache::insert`] demands
+//! the [`Attested`] token only [`crate::verifier::check`] can mint, so a
+//! silently corrupted result cannot poison the cache — structurally, not by
+//! reviewer diligence. A poisoned cache is the worst SDC amplifier a
+//! service has (one bad compute served to every future client), which is
+//! why the guarantee lives in the type system.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -17,6 +24,7 @@ use outerspace_dse::MemoMap;
 use outerspace_sparse::{Csr, SparseVector};
 
 use crate::request::{Op, OpOutput};
+use crate::verifier::Attested;
 
 fn push_usize(bytes: &mut Vec<u8>, v: usize) {
     bytes.extend_from_slice(&(v as u64).to_le_bytes());
@@ -118,9 +126,11 @@ impl ResultCache {
         }
     }
 
-    /// Stores a result, evicting the oldest entry when full. A no-op on a
-    /// zero-capacity cache.
-    pub fn insert(&self, material: &str, value: Arc<OpOutput>) {
+    /// Stores a *verified* result, evicting the oldest entry when full. A
+    /// no-op on a zero-capacity cache. The [`Attested`] witness is the
+    /// verify-before-insert guarantee: only results that passed
+    /// [`crate::verifier::check`] against their own operands can get here.
+    pub fn insert(&self, material: &str, value: Arc<OpOutput>, _attested: &Attested) {
         if self.cap == 0 {
             return;
         }
@@ -152,6 +162,17 @@ mod tests {
         Op::Spgemm { a: a.clone(), b: a }
     }
 
+    /// The only way tests can mint an [`Attested`]: actually verify a
+    /// result. `I × I = I` keeps it trivial.
+    fn attested() -> Attested {
+        let a = Arc::new(outerspace_sparse::Csr::identity(4));
+        let op = Op::Spgemm { a: a.clone(), b: a.clone() };
+        let out = OpOutput::Matrix(outerspace_sparse::Csr::identity(4));
+        let policy = crate::verifier::VerifyPolicy::default();
+        crate::verifier::check(&op, &out, &crate::verifier::config_for(&policy, 0))
+            .expect("identity product must verify")
+    }
+
     #[test]
     fn material_is_content_addressed() {
         // Same content in distinct allocations → same key.
@@ -178,13 +199,14 @@ mod tests {
     #[test]
     fn hit_after_insert_and_fifo_eviction() {
         let cache = ResultCache::new(2);
+        let att = attested();
         let out = |n| Arc::new(OpOutput::Matrix(outerspace_sparse::Csr::identity(n)));
         let (k1, k2, k3) = ("k1", "k2", "k3");
         assert!(cache.lookup(k1).is_none());
-        cache.insert(k1, out(1));
-        cache.insert(k2, out(2));
+        cache.insert(k1, out(1), &att);
+        cache.insert(k2, out(2), &att);
         assert!(cache.lookup(k1).is_some());
-        cache.insert(k3, out(3)); // evicts k1, the oldest
+        cache.insert(k3, out(3), &att); // evicts k1, the oldest
         assert!(cache.lookup(k1).is_none());
         assert!(cache.lookup(k2).is_some());
         assert!(cache.lookup(k3).is_some());
@@ -197,10 +219,11 @@ mod tests {
     #[test]
     fn reinsert_does_not_double_count_fifo() {
         let cache = ResultCache::new(2);
+        let att = attested();
         let out = Arc::new(OpOutput::Matrix(outerspace_sparse::Csr::identity(1)));
-        cache.insert("k", out.clone());
-        cache.insert("k", out.clone());
-        cache.insert("j", out.clone());
+        cache.insert("k", out.clone(), &att);
+        cache.insert("k", out.clone(), &att);
+        cache.insert("j", out.clone(), &att);
         // Both still present: the duplicate insert must not have pushed a
         // second FIFO slot for "k" that would evict early.
         assert!(cache.lookup("k").is_some());
@@ -210,7 +233,8 @@ mod tests {
     #[test]
     fn zero_capacity_disables_caching() {
         let cache = ResultCache::new(0);
-        cache.insert("k", Arc::new(OpOutput::Matrix(outerspace_sparse::Csr::identity(1))));
+        let att = attested();
+        cache.insert("k", Arc::new(OpOutput::Matrix(outerspace_sparse::Csr::identity(1))), &att);
         assert!(cache.lookup("k").is_none());
     }
 }

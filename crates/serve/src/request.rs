@@ -159,6 +159,11 @@ pub struct ResponseMeta {
     pub fallback: bool,
     /// True when the result came from the content-addressed cache.
     pub cache_hit: bool,
+    /// True when the delivered payload passed result verification (Freivalds
+    /// probes / residual recomputation) against its operands — directly, or
+    /// at insert time for cache hits. False for sampled scrub skips and for
+    /// error responses.
+    pub verified: bool,
     /// Transient-fault retries spent on this request.
     pub retries: u32,
     /// Milliseconds spent queued before a worker picked the request up.
@@ -203,6 +208,7 @@ impl Ticket {
                 degraded: false,
                 fallback: false,
                 cache_hit: false,
+                verified: false,
                 retries: 0,
                 queue_ms: 0.0,
                 total_ms: 0.0,

@@ -37,6 +37,7 @@ use std::time::{Duration, Instant};
 use outerspace_sim::faults::split_seed;
 use outerspace_sim::FaultModel;
 
+use crate::breaker::{base_of, BreakerConfig, BreakerSnapshot, CircuitBreaker};
 use crate::classify::Classifier;
 use crate::kernels::{self, KernelError};
 use crate::metrics::{Metrics, Snapshot};
@@ -45,6 +46,7 @@ use crate::rcache::{op_material, ResultCache};
 use crate::request::{
     Op, OpOutput, Rejected, RejectReason, Response, ResponseMeta, ServeError, Ticket,
 };
+use crate::verifier::{self, Attested, VerifyPolicy};
 
 /// Server tuning. [`ServerConfig::default`] is sized for tests and smoke
 /// runs; the chaos harness scales it up.
@@ -77,6 +79,11 @@ pub struct ServerConfig {
     /// *base*: each request attempt draws
     /// `split_seed(split_seed(base, request_id), attempt)`.
     pub fault_model: FaultModel,
+    /// Result-verification tier: when and how hard to check delivered
+    /// payloads against their operands.
+    pub verify: VerifyPolicy,
+    /// Per-kernel circuit breakers fed by verification failures.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +101,8 @@ impl Default for ServerConfig {
             degrade_lo: 0.25,
             admission_guard: true,
             fault_model: FaultModel::default(),
+            verify: VerifyPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -124,6 +133,7 @@ struct Shared {
     classifier: Classifier,
     cache: ResultCache,
     metrics: Metrics,
+    breaker: CircuitBreaker,
     degraded: AtomicBool,
     stopping: AtomicBool,
     next_id: AtomicU64,
@@ -164,6 +174,7 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    canary: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Server {
@@ -189,6 +200,7 @@ impl Server {
             queue: AdmissionQueue::new(cfg.queue_cap),
             cache: ResultCache::new(cfg.cache_cap),
             metrics: Metrics::new(),
+            breaker: CircuitBreaker::new(cfg.breaker.clone()),
             degraded: AtomicBool::new(false),
             stopping: AtomicBool::new(false),
             next_id: AtomicU64::new(1),
@@ -205,7 +217,14 @@ impl Server {
                     .expect("spawn serve worker")
             })
             .collect();
-        Server { shared, workers }
+        let canary = shared.cfg.breaker.enabled.then(|| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("serve-canary".to_string())
+                .spawn(move || canary_loop(&shared))
+                .expect("spawn serve canary")
+        });
+        Server { shared, workers, canary }
     }
 
     /// Submits with the default deadline. See [`Server::submit_opts`].
@@ -263,6 +282,21 @@ impl Server {
         self.shared.cache.stats()
     }
 
+    /// Circuit-breaker counters and currently tripped kernel families.
+    pub fn breaker_snapshot(&self) -> BreakerSnapshot {
+        self.shared.breaker.snapshot()
+    }
+
+    /// `"closed"` / `"open"` / `"half_open"` for one base kernel name.
+    pub fn breaker_state(&self, base: &str) -> &'static str {
+        self.shared.breaker.state_of(base)
+    }
+
+    /// Consecutive verification failures that trip a kernel's breaker.
+    pub fn breaker_trip_threshold(&self) -> u32 {
+        self.shared.cfg.breaker.trip_threshold
+    }
+
     /// Draining stop: no further admissions, queued requests run to a
     /// terminal outcome, workers join. Returns the final counters.
     pub fn shutdown(self) -> Snapshot {
@@ -270,6 +304,9 @@ impl Server {
         self.shared.queue.shutdown();
         for w in self.workers {
             let _ = w.join();
+        }
+        if let Some(c) = self.canary {
+            let _ = c.join();
         }
         self.shared.metrics.snapshot()
     }
@@ -293,6 +330,7 @@ impl Server {
                     degraded: false,
                     fallback: false,
                     cache_hit: false,
+                    verified: false,
                     retries: 0,
                     queue_ms: job.submitted_at.elapsed().as_secs_f64() * 1e3,
                     total_ms: job.submitted_at.elapsed().as_secs_f64() * 1e3,
@@ -301,6 +339,9 @@ impl Server {
         }
         for w in self.workers {
             let _ = w.join();
+        }
+        if let Some(c) = self.canary {
+            let _ = c.join();
         }
         self.shared.metrics.snapshot()
     }
@@ -323,6 +364,7 @@ fn meta(job: &Job, queue_ms: f64) -> ResponseMeta {
         degraded: false,
         fallback: false,
         cache_hit: false,
+        verified: false,
         retries: 0,
         queue_ms,
         total_ms: job.submitted_at.elapsed().as_secs_f64() * 1e3,
@@ -342,6 +384,10 @@ fn expire(shared: &Shared, job: &Job, queue_ms: f64) {
 /// What the watchdogged compute thread reports back.
 struct ComputeOutcome {
     result: Result<OpOutput, String>,
+    /// Verification witness for `result` when the tier checked it (present
+    /// for every accelerator-class result); its presence is what authorizes
+    /// a cache insert and sets `ResponseMeta::verified`.
+    attested: Option<Attested>,
     kernel: String,
     retries: u32,
     fallback: bool,
@@ -369,25 +415,38 @@ fn process(shared: &Arc<Shared>, job: Job) {
     // Content-addressed cache. A forced kernel bypasses it: the override
     // means "actually execute this kernel" (chaos injection, A/B probes),
     // and a hit would silently serve the result from whatever kernel ran
-    // the operands first.
+    // the operands first. Every cached entry carried an Attested witness at
+    // insert time, so a hit is a verified delivery.
     let material = op_material(&job.op);
     if job.force_kernel.is_none() {
         if let Some(hit) = shared.cache.lookup(&material) {
             shared.metrics.on_cache_hit();
             let total_ms = job.submitted_at.elapsed().as_secs_f64() * 1e3;
             shared.metrics.on_completed_ok(total_ms);
-            let m =
-                ResponseMeta { impl_name: "cache".into(), cache_hit: true, ..meta(&job, queue_ms) };
+            let m = ResponseMeta {
+                impl_name: "cache".into(),
+                cache_hit: true,
+                verified: true,
+                ..meta(&job, queue_ms)
+            };
             deliver(&job, Ok(hit), m);
             return;
         }
     }
 
     // Route: forced kernel, or classifier (degraded tier short-circuits to
-    // the cheapest known-good kernel inside `route`).
+    // the cheapest known-good kernel inside `route`). Either choice is then
+    // held against the circuit breakers: a kernel family tripped by repeated
+    // verification failures is refused and the request reroutes down the
+    // software ladder instead.
     let degraded = shared.degraded.load(Ordering::Relaxed);
-    let route = shared.classifier.route(&job.op, degraded);
-    let kernel = job.force_kernel.clone().unwrap_or_else(|| route.kernel.to_string());
+    let mut route = shared.classifier.route(&job.op, degraded);
+    let mut kernel = job.force_kernel.clone().unwrap_or_else(|| route.kernel.to_string());
+    if !shared.breaker.check_route(&kernel) {
+        let tripped = shared.breaker.snapshot().tripped;
+        route = shared.classifier.route_avoiding(&job.op, degraded, &tripped);
+        kernel = route.kernel.to_string();
+    }
     if degraded {
         shared.metrics.on_degraded_served();
     }
@@ -436,6 +495,7 @@ fn process(shared: &Arc<Shared>, job: Job) {
         degraded,
         fallback: outcome.fallback,
         cache_hit: false,
+        verified: outcome.attested.is_some(),
         retries: outcome.retries,
         queue_ms,
         total_ms,
@@ -444,8 +504,17 @@ fn process(shared: &Arc<Shared>, job: Job) {
         Ok(out) => {
             shared.observe_service_ms(outcome.compute_ms);
             let out = Arc::new(out);
-            shared.cache.insert(&material, out.clone());
+            // Verify-before-insert: only attested results may populate the
+            // cache. A sampled scrub skip is delivered but never cached.
+            if let Some(att) = &outcome.attested {
+                shared.cache.insert(&material, out.clone(), att);
+            }
             shared.metrics.on_completed_ok(total_ms);
+            if outcome.attested.is_some() {
+                shared.metrics.on_delivered_verified();
+            } else {
+                shared.metrics.on_delivered_unverified();
+            }
             deliver(&job, Ok(out), m);
         }
         Err(message) => {
@@ -528,12 +597,151 @@ fn compute_with_retries(
             }
         }
     };
+    // Verification tier: runs on the compute thread so probe time counts
+    // against the request's deadline through the same recv_timeout watchdog,
+    // and so an abandoned (timed-out) computation still feeds the breaker
+    // and the detection counters without touching the delivery buckets
+    // (those are bumped only at delivery, in `process`).
+    let (result, attested, quarantine_fallback) = match result {
+        Ok(out) => verify_outcome(shared, request_id, &active, op, out),
+        Err(m) => (Err(m), None, false),
+    };
     ComputeOutcome {
         result,
+        attested,
         kernel: active,
         retries,
-        fallback,
+        fallback: fallback || quarantine_fallback,
         compute_ms: started.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Applies the [`VerifyPolicy`] to a computed result: pass it through
+/// (sampled skip), attest it, or quarantine it — the corrupted payload is
+/// dropped, the breaker fed, and the request re-executed on the cheapest
+/// software kernel, whose result must itself verify before delivery.
+/// Returns `(result, attested, fallback)`.
+fn verify_outcome(
+    shared: &Shared,
+    request_id: u64,
+    kernel: &str,
+    op: &Op,
+    out: OpOutput,
+) -> (Result<OpOutput, String>, Option<Attested>, bool) {
+    if !verifier::must_verify(&shared.cfg.verify, kernel, request_id) {
+        return (Ok(out), None, false);
+    }
+    let vcfg = verifier::config_for(&shared.cfg.verify, request_id);
+    let chaos_drill = base_of(kernel).starts_with("chaos_sdc");
+    if chaos_drill {
+        shared.metrics.on_chaos_sdc_executed();
+    }
+    match verifier::check(op, &out, &vcfg) {
+        Ok(att) => {
+            shared.breaker.on_verified_ok(kernel);
+            (Ok(out), Some(att), false)
+        }
+        Err(e) => {
+            // Quarantine: the corrupted result is never delivered and never
+            // cached. `out` is dropped here, deliberately.
+            shared.metrics.on_sdc_detected();
+            if chaos_drill {
+                shared.metrics.on_chaos_sdc_detected();
+            }
+            shared.breaker.on_verification_failure(kernel);
+            let cheapest = match op {
+                Op::Spgemm { .. } => kernels::CHEAPEST_SPGEMM,
+                Op::Spmv { .. } => kernels::CHEAPEST_SPMV,
+            };
+            if base_of(kernel) == cheapest {
+                // The quarantine tier itself produced a bad result: there is
+                // no rung left to trust.
+                return (
+                    Err(format!("result failed verification on the fallback tier: {e}")),
+                    None,
+                    false,
+                );
+            }
+            let recomputed = compute_once(cheapest, op, &outerspace_sim::OuterSpaceConfig::default());
+            match recomputed {
+                Ok(clean) => match verifier::check(op, &clean, &vcfg) {
+                    Ok(att) => {
+                        shared.metrics.on_quarantined_recovery();
+                        (Ok(clean), Some(att), true)
+                    }
+                    Err(e2) => (
+                        Err(format!(
+                            "quarantined ({e}); software re-execution also failed verification: {e2}"
+                        )),
+                        None,
+                        true,
+                    ),
+                },
+                Err(e2) => (
+                    Err(format!(
+                        "quarantined ({e}); software re-execution failed: {}",
+                        e2.message()
+                    )),
+                    None,
+                    true,
+                ),
+            }
+        }
+    }
+}
+
+/// The canary thread: probes tripped kernel families with a known-answer
+/// product once their cooldown elapses, closing a breaker only after the
+/// configured number of consecutive correct answers. Probes run entirely
+/// off the request path — no metrics buckets, no cache, a clean (fault-free)
+/// accelerator config — so a flapping kernel cannot distort the service's
+/// accounting while it convalesces.
+fn canary_loop(shared: &Arc<Shared>) {
+    use outerspace_gen::{uniform, vector};
+
+    let a = Arc::new(uniform::matrix(24, 24, 90, 0xCA));
+    let b = Arc::new(uniform::matrix(24, 24, 90, 0xFE));
+    let mm_op = Op::Spgemm { a: a.clone(), b };
+    let x = Arc::new(vector::sparse(24, 0.4, 0x0D));
+    let mv_op = Op::Spmv { a, x };
+    let clean_cfg = outerspace_sim::OuterSpaceConfig::default();
+    let mm_golden = compute_once(kernels::CHEAPEST_SPGEMM, &mm_op, &clean_cfg).ok();
+    let mv_golden = compute_once(kernels::CHEAPEST_SPMV, &mv_op, &clean_cfg).ok();
+
+    while !shared.stopping.load(Ordering::SeqCst) {
+        for kernel in shared.breaker.due_probes() {
+            let (op, golden) = if kernel.contains("spmv") {
+                (&mv_op, &mv_golden)
+            } else {
+                (&mm_op, &mm_golden)
+            };
+            let pass = match (compute_once(&kernel, op, &clean_cfg), golden) {
+                (Ok(got), Some(want)) => canary_answer_matches(&got, want),
+                _ => false,
+            };
+            if pass {
+                shared.breaker.on_canary_pass(&kernel);
+            } else {
+                shared.breaker.on_canary_fail(&kernel);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(3));
+    }
+}
+
+/// Known-answer comparison for canary probes.
+fn canary_answer_matches(got: &OpOutput, want: &OpOutput) -> bool {
+    match (got, want) {
+        (OpOutput::Matrix(c), OpOutput::Matrix(g)) => c.approx_eq(g, 1e-9),
+        (OpOutput::Vector(y), OpOutput::Vector(g)) => {
+            let (yd, gd) = (y.to_dense(), g.to_dense());
+            yd.len() == gd.len()
+                && yd
+                    .iter()
+                    .zip(&gd)
+                    .all(|(p, q)| (p - q).abs() <= 1e-9 * q.abs().max(1.0))
+        }
+        _ => false,
     }
 }
 

@@ -1,15 +1,17 @@
 //! End-to-end robustness tests for the request service: typed shedding at a
 //! full queue, deadline expiry while queued and mid-compute, panicking
 //! worker isolation, draining and aborting shutdown with zero dropped
-//! requests, and deterministic fault-retry accounting.
+//! requests, deterministic fault-retry accounting, and the silent-data-
+//! corruption defense (quarantine, cache hygiene, circuit breakers).
 
 use std::sync::Arc;
 use std::time::Duration;
 
+use outerspace_serve::kernels;
 use outerspace_serve::{
-    Op, Rejected, RejectReason, Server, ServerConfig, ServeError, SubmitOpts, Ticket,
+    Op, OpOutput, Rejected, RejectReason, Server, ServerConfig, ServeError, SubmitOpts, Ticket,
 };
-use outerspace_sim::FaultModel;
+use outerspace_sim::{FaultModel, OuterSpaceConfig};
 
 fn op(seed: u64) -> Op {
     let a = Arc::new(outerspace_gen::uniform::matrix(48, 48, 300, seed));
@@ -232,6 +234,148 @@ fn fault_retries_are_deterministic_per_request() {
         first.iter().sum::<u32>() > 0,
         "fault model too gentle — no retries fired, the test is vacuous"
     );
+}
+
+fn sdc_opts() -> SubmitOpts {
+    SubmitOpts {
+        deadline: Some(Duration::from_secs(30)),
+        force_kernel: Some("chaos_sdc".into()),
+    }
+}
+
+fn golden_for(op: &Op) -> OpOutput {
+    let kernel = match op {
+        Op::Spgemm { .. } => kernels::CHEAPEST_SPGEMM,
+        Op::Spmv { .. } => kernels::CHEAPEST_SPMV,
+    };
+    kernels::run_op(kernel, op, &OuterSpaceConfig::default()).unwrap()
+}
+
+#[test]
+fn corrupted_result_is_quarantined_and_clean_fallback_delivered() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        admission_guard: false,
+        ..ServerConfig::default()
+    });
+    // The chaos_sdc hook computes the right answer and silently flips a
+    // mantissa bit. Verification must catch it, the corrupted payload must
+    // never surface, and the software re-execution must be what's delivered.
+    let request = op(3);
+    let golden = golden_for(&request);
+    let resp = server.submit_opts(request, sdc_opts()).unwrap().wait();
+    let out = resp.result.expect("quarantine must recover, not fail");
+    assert_eq!(*out, golden, "a corrupted payload escaped to the client");
+    assert!(resp.meta.verified, "the delivered payload must carry an attestation");
+    assert!(resp.meta.fallback, "recovery must be marked as a fallback");
+    let snap = server.shutdown();
+    assert!(snap.accounted_ok());
+    assert!(snap.delivery_accounted_ok(), "delivery identity broke: {snap:?}");
+    assert_eq!(snap.sdc_detected, 1);
+    assert_eq!(snap.quarantined_recoveries, 1);
+    assert_eq!(snap.chaos_sdc_executed, 1);
+    assert_eq!(snap.chaos_sdc_detected, 1);
+    assert_eq!(snap.chaos_sdc_detection_rate(), 1.0);
+}
+
+#[test]
+fn corrupted_result_never_poisons_the_cache() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        admission_guard: false,
+        ..ServerConfig::default()
+    });
+    let request = op(4);
+    let golden = golden_for(&request);
+    // First submission is forced through the corrupting hook; whatever lands
+    // in the cache must be the verified clean recovery, not the corruption.
+    let first = server.submit_opts(request.clone(), sdc_opts()).unwrap().wait();
+    assert_eq!(*first.result.unwrap(), golden);
+    // Second submission of the identical op takes the normal path — if the
+    // corrupted result had been cached, this is where it would be served.
+    let second = server.submit(request).unwrap().wait();
+    let resp = second;
+    assert_eq!(*resp.result.unwrap(), golden, "the cache served a poisoned entry");
+    assert!(resp.meta.verified, "cached entries are attested at insert time");
+    let snap = server.shutdown();
+    assert!(snap.delivery_accounted_ok());
+    assert_eq!(snap.cache_hits, 1, "the clean recovery should have been cached");
+}
+
+#[test]
+fn breaker_trips_reroutes_and_half_open_canary_recovers() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        admission_guard: false,
+        breaker: outerspace_serve::BreakerConfig {
+            cooldown: Duration::from_millis(40),
+            canary_interval: Duration::from_millis(10),
+            ..outerspace_serve::BreakerConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    // Trip the always-corrupting family: every forced request fails
+    // verification, so the third one opens the breaker.
+    for i in 0..3 {
+        let resp = server.submit_opts(op(10 + i), sdc_opts()).unwrap().wait();
+        assert!(resp.result.is_ok(), "quarantine should recover each request");
+    }
+    assert_ne!(server.breaker_state("chaos_sdc"), "closed", "3 failures must trip");
+    // While tripped, even a forced request is routed around the kernel — it
+    // computes on a healthy kernel and verifies cleanly.
+    let rerouted = server.submit_opts(op(20), sdc_opts()).unwrap().wait();
+    assert!(rerouted.result.is_ok());
+    assert!(
+        !rerouted.meta.impl_name.starts_with("chaos_sdc"),
+        "tripped kernel still routed: {}",
+        rerouted.meta.impl_name
+    );
+    // chaos_sdc corrupts unconditionally, so its canaries keep failing and it
+    // must never re-close — the breaker stays open/half-open indefinitely.
+    std::thread::sleep(Duration::from_millis(150));
+    assert_ne!(server.breaker_state("chaos_sdc"), "closed");
+    // The burst drill proves the full arc on a kernel that *does* heal:
+    // trip via a corruption burst, run dry, canaries close the breaker.
+    assert!(
+        outerspace_serve::loadgen::exercise_breaker_recovery(&server),
+        "breaker drill failed: trip -> half-open -> close did not complete"
+    );
+    assert_eq!(server.breaker_state("chaos_sdc_burst"), "closed");
+    let breaker = server.breaker_snapshot();
+    assert!(breaker.counters.trips >= 2);
+    assert!(breaker.counters.closes >= 1);
+    assert!(breaker.counters.canary_passes >= 2);
+    let snap = server.shutdown();
+    assert!(snap.accounted_ok());
+    assert!(snap.delivery_accounted_ok());
+}
+
+#[test]
+fn sampled_scrubbing_partitions_deliveries() {
+    // Software kernels are only scrub-verified every Nth request; both
+    // delivery buckets must fill and their sum must equal the successes.
+    let mut cfg = ServerConfig {
+        workers: 1,
+        cache_cap: 0,
+        admission_guard: false,
+        ..ServerConfig::default()
+    };
+    cfg.verify.scrub_every = 4;
+    let server = Server::start(cfg);
+    let software = SubmitOpts {
+        deadline: Some(Duration::from_secs(30)),
+        force_kernel: Some(kernels::CHEAPEST_SPGEMM.to_string()),
+    };
+    for i in 0..8 {
+        let resp = server.submit_opts(op(30 + i), software.clone()).unwrap().wait();
+        assert!(resp.result.is_ok());
+    }
+    let snap = server.shutdown();
+    assert_eq!(snap.completed_ok, 8);
+    assert!(snap.delivery_accounted_ok(), "delivery identity broke: {snap:?}");
+    assert!(snap.verified_ok > 0, "scrubbing never sampled: {snap:?}");
+    assert!(snap.unverified_pass > 0, "every request verified despite sampling: {snap:?}");
+    assert_eq!(snap.sdc_detected, 0);
 }
 
 #[test]

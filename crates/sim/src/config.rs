@@ -52,7 +52,7 @@ pub enum ConfigError {
     ZeroQueueCapacity,
     /// A fault-model probability knob is outside `[0, 1]` or non-finite.
     BadFaultProbability {
-        /// Which knob (`"hbm_ber"` or `"drop_rate"`).
+        /// Which knob (`"hbm_ber"`, `"drop_rate"`, or `"ber_silent"`).
         knob: &'static str,
         /// The offending value.
         got: f64,
@@ -131,6 +131,12 @@ pub struct FaultModel {
     /// Probability that one attempt of an HBM read response is dropped in
     /// the network and must be recovered by timeout + retry.
     pub drop_rate: f64,
+    /// Silent bit-error rate: probability that a bit of an HBM block flips
+    /// *and escapes ECC*. No error is raised, no latency is charged — the
+    /// delivered value is simply wrong. This is the SDC knob the serve
+    /// layer's verification tier exists to catch; the event count surfaces
+    /// as `silent_corruptions` in [`crate::stats::PhaseStats`].
+    pub ber_silent: f64,
     /// Number of PEs that fail hard during the run (0 = none).
     pub pe_kill_count: u32,
     /// Cycle at which the killed PEs die.
@@ -155,6 +161,7 @@ impl Default for FaultModel {
             seed: 0,
             hbm_ber: 0.0,
             drop_rate: 0.0,
+            ber_silent: 0.0,
             pe_kill_count: 0,
             pe_kill_cycle: 0,
             max_retries: 4,
@@ -170,7 +177,7 @@ impl Default for FaultModel {
 impl FaultModel {
     /// True when any injection mechanism can fire.
     pub fn is_active(&self) -> bool {
-        self.hbm_ber > 0.0 || self.drop_rate > 0.0 || self.pe_kill_count > 0
+        self.hbm_ber > 0.0 || self.drop_rate > 0.0 || self.ber_silent > 0.0 || self.pe_kill_count > 0
     }
 
     fn get_or_default(j: &Json, key: &str, default: f64) -> f64 {
@@ -185,6 +192,7 @@ impl FaultModel {
             seed: j.get("seed").and_then(Json::as_u64).unwrap_or(d.seed),
             hbm_ber: Self::get_or_default(j, "hbm_ber", d.hbm_ber),
             drop_rate: Self::get_or_default(j, "drop_rate", d.drop_rate),
+            ber_silent: Self::get_or_default(j, "ber_silent", d.ber_silent),
             pe_kill_count: j.get("pe_kill_count").and_then(Json::as_u64).unwrap_or(0) as u32,
             pe_kill_cycle: j.get("pe_kill_cycle").and_then(Json::as_u64).unwrap_or(0),
             max_retries: j
@@ -211,6 +219,7 @@ impl_to_json!(FaultModel {
     seed,
     hbm_ber,
     drop_rate,
+    ber_silent,
     pe_kill_count,
     pe_kill_cycle,
     max_retries,
@@ -489,8 +498,11 @@ impl OuterSpaceConfig {
         if self.outstanding_requests == 0 {
             return Err(ConfigError::ZeroQueueCapacity);
         }
-        for (knob, p) in [("hbm_ber", self.faults.hbm_ber), ("drop_rate", self.faults.drop_rate)]
-        {
+        for (knob, p) in [
+            ("hbm_ber", self.faults.hbm_ber),
+            ("drop_rate", self.faults.drop_rate),
+            ("ber_silent", self.faults.ber_silent),
+        ] {
             if !p.is_finite() || !(0.0..=1.0).contains(&p) {
                 return Err(ConfigError::BadFaultProbability { knob, got: p });
             }
@@ -629,6 +641,12 @@ mod tests {
             Err(ConfigError::BadFaultProbability { knob: "drop_rate", .. })
         ));
         let mut c = OuterSpaceConfig::default();
+        c.faults.ber_silent = f64::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadFaultProbability { knob: "ber_silent", .. })
+        ));
+        let mut c = OuterSpaceConfig::default();
         c.faults.drop_rate = 0.01;
         c.faults.max_retries = 0;
         assert_eq!(c.validate(), Err(ConfigError::BadRetryPolicy));
@@ -734,9 +752,15 @@ mod tests {
     fn config_round_trips_through_json() {
         let mut c = OuterSpaceConfig::default();
         c.faults.hbm_ber = 1e-9;
+        c.faults.ber_silent = 3e-8;
         c.faults.seed = 42;
         let parsed = outerspace_json::parse(&c.to_json().to_string_compact()).unwrap();
         assert_eq!(OuterSpaceConfig::from_json(&parsed), Some(c));
+        // A silent-only model counts as active (the injector must be built).
+        let mut s = OuterSpaceConfig::default();
+        s.faults.ber_silent = 1e-8;
+        assert!(s.faults.is_active());
+        assert!(s.validate().is_ok());
     }
 
     #[test]

@@ -34,6 +34,7 @@ const STREAM_ECC: u64 = 0x45cc_0000_0000_0001;
 const STREAM_DROP: u64 = 0xd809_0000_0000_0002;
 const STREAM_KILL: u64 = 0x1c11_0000_0000_0003;
 const STREAM_SPLIT: u64 = 0x5717_0000_0000_0004;
+const STREAM_SILENT: u64 = 0x51e7_0000_0000_0005;
 
 /// Cap on the exponential-backoff shift so `timeout << attempt` cannot
 /// overflow with adversarial retry counts.
@@ -74,6 +75,10 @@ pub struct FaultInjector {
     ecc_p: f64,
     /// Per-delivery drop probability.
     drop_p: f64,
+    /// Per-block *silent* corruption probability (`ber_silent × block_bits`,
+    /// clamped): the bit flip escapes ECC, so no error is raised, no latency
+    /// is charged, and the delivered value is simply wrong.
+    silent_p: f64,
     /// Retries allowed after the initial delivery attempt.
     pub max_retries: u32,
     /// Latency of one ECC detect-and-correct re-read.
@@ -87,7 +92,7 @@ impl FaultInjector {
     /// memory-fault knobs are zero (the hot path then skips injection
     /// entirely, keeping fault-free runs cycle-identical to the baseline).
     pub fn for_memory(model: &FaultModel, block_bytes: u32) -> Option<Self> {
-        if model.hbm_ber <= 0.0 && model.drop_rate <= 0.0 {
+        if model.hbm_ber <= 0.0 && model.drop_rate <= 0.0 && model.ber_silent <= 0.0 {
             return None;
         }
         let block_bits = f64::from(block_bytes) * 8.0;
@@ -95,6 +100,7 @@ impl FaultInjector {
             seed: model.seed,
             ecc_p: (model.hbm_ber * block_bits).clamp(0.0, 1.0),
             drop_p: model.drop_rate.clamp(0.0, 1.0),
+            silent_p: (model.ber_silent * block_bits).clamp(0.0, 1.0),
             max_retries: model.max_retries,
             ecc_retry_cycles: model.ecc_retry_cycles,
             timeout_cycles: model.timeout_cycles,
@@ -130,6 +136,42 @@ impl FaultInjector {
     pub fn backoff_cycles(&self, attempt: u32) -> u64 {
         self.timeout_cycles << attempt.min(MAX_BACKOFF_SHIFT)
     }
+
+    /// Whether HBM read number `read_idx` is corrupted *silently*: the flip
+    /// escapes ECC, so the memory system raises no error and charges no
+    /// retry — the event is only tallied so the functional result can be
+    /// corrupted to match. Independent of [`Self::ecc_corrupted`] by stream
+    /// separation: `ber_silent` models the post-ECC escape rate, not a
+    /// fraction of the detected-error rate.
+    pub fn silent_escape(&self, read_idx: u64) -> bool {
+        self.silent_p > 0.0 && self.unit(STREAM_SILENT, read_idx, 1) < self.silent_p
+    }
+}
+
+/// Deterministically corrupts `v` the way an escaped DRAM bit flip would:
+/// one mantissa bit in the 44..=51 range (relative error between 2⁻⁸ and
+/// 2⁻¹) chosen by hashing `salt` is XOR-flipped. Exponent and sign bits are
+/// left alone so finite values stay finite — the corruption is *silent*,
+/// never a NaN/Inf a downstream range check would catch for free.
+pub fn corrupt_value(v: f64, salt: u64) -> f64 {
+    let bit = 44 + (mix(salt ^ STREAM_SILENT) % 8);
+    f64::from_bits(v.to_bits() ^ (1u64 << bit))
+}
+
+/// Applies `events` deterministic single-value corruptions (seeded by
+/// `seed`) to `values`, returning how many were actually applied (0 when
+/// the slice is empty). Used by the simulator to make silent escapes
+/// visible in the functional result, and by the serve layer's chaos hooks.
+pub fn corrupt_values(values: &mut [f64], events: u64, seed: u64) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    for e in 0..events {
+        let h = mix(seed ^ mix(STREAM_SILENT ^ e));
+        let idx = (h % values.len() as u64) as usize;
+        values[idx] = corrupt_value(values[idx], h);
+    }
+    events
 }
 
 /// The deterministic set of PEs (indices into a `total`-sized array) that
@@ -247,6 +289,42 @@ mod tests {
         assert_eq!(split_seed(7, 3), split_seed(7, 3));
         assert_ne!(split_seed(7, 3), split_seed(7, 4));
         assert_ne!(split_seed(7, 3), split_seed(8, 3));
+    }
+
+    #[test]
+    fn silent_escapes_activate_the_injector_and_stay_finite() {
+        // A silent-only model must still build an injector (the timing knobs
+        // all zero keeps detected-fault paths dormant).
+        let m = FaultModel { seed: 7, ber_silent: 1e-4, ..FaultModel::default() };
+        let inj = FaultInjector::for_memory(&m, 64).expect("silent-only model is active");
+        // Deterministic, and decorrelated from the ECC stream.
+        let pat: Vec<bool> = (0..50_000).map(|i| inj.silent_escape(i)).collect();
+        let again: Vec<bool> = (0..50_000).map(|i| inj.silent_escape(i)).collect();
+        assert_eq!(pat, again);
+        let hits = pat.iter().filter(|&&b| b).count();
+        // p = 1e-4 * 512 bits ≈ 5.1e-2 per block.
+        let rate = hits as f64 / 50_000.0;
+        assert!((0.04..0.065).contains(&rate), "observed silent rate {rate}");
+        // No detected events leak out of a silent-only model.
+        assert!((0..50_000).all(|i| !inj.ecc_corrupted(i) && !inj.response_dropped(i, 0)));
+
+        // Corruption perturbs measurably, finitely, and deterministically.
+        for salt in 0..256 {
+            let v = 1.234_567_f64;
+            let c = corrupt_value(v, salt);
+            assert!(c.is_finite());
+            assert_ne!(c, v);
+            let rel = ((c - v) / v).abs();
+            assert!((1e-4..0.6).contains(&rel), "relative change {rel}");
+            assert_eq!(c, corrupt_value(v, salt));
+        }
+        let mut vals = vec![1.0, 2.0, 3.0, 4.0];
+        let mut vals2 = vals.clone();
+        assert_eq!(corrupt_values(&mut vals, 3, 99), 3);
+        corrupt_values(&mut vals2, 3, 99);
+        assert_eq!(vals, vals2);
+        assert_ne!(vals, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(corrupt_values(&mut [], 5, 99), 0);
     }
 
     #[test]

@@ -54,6 +54,12 @@ use outerspace_sparse::{Csc, Csr, SparseVector};
 
 use phases::merge::RowMergeInfo;
 
+/// Seed-stream consumers for silent-corruption application, one per kernel
+/// so identical fault seeds corrupt SpGEMM and SpMV results independently.
+const SILENT_CONSUMER_SPGEMM: u64 = 0x51;
+const SILENT_CONSUMER_ELEMENTWISE: u64 = 0x52;
+const SILENT_CONSUMER_SPMV: u64 = 0x53;
+
 /// The OuterSPACE system simulator.
 ///
 /// Construction validates the configuration once; every simulation both
@@ -150,7 +156,29 @@ impl Simulator {
             .collect();
         let merge = phases::merge::simulate_merge(&self.cfg, &intermediate, &rows)?;
 
-        Ok((c, SimReport { convert, multiply, merge, config: self.cfg.clone() }))
+        let mut c = c;
+        let report = SimReport { convert, multiply, merge, config: self.cfg.clone() };
+        self.apply_silent_corruption(
+            c.values_mut(),
+            report.silent_corruptions(),
+            SILENT_CONSUMER_SPGEMM,
+        );
+        Ok((c, report))
+    }
+
+    /// Materializes ECC-escaped bit flips in the functional result: the
+    /// timing models tally how many reads were silently corrupted, and the
+    /// same count of deterministic value corruptions is applied here so
+    /// downstream verification layers see exactly what faulty hardware would
+    /// have delivered. Zero events (the fault-free common case) is a no-op.
+    fn apply_silent_corruption(&self, values: &mut [f64], events: u64, consumer: u64) {
+        if events > 0 {
+            faults::corrupt_values(
+                values,
+                events,
+                faults::split_seed(self.cfg.faults.seed, consumer),
+            );
+        }
     }
 
     /// Simulates an N-way element-wise sum `A₁ + A₂ + … + A_N` (§5.6's
@@ -164,8 +192,13 @@ impl Simulator {
     /// operand list, or a fault-injection failure under an overwhelming
     /// [`FaultModel`].
     pub fn elementwise_sum(&self, mats: &[&Csr]) -> Result<(Csr, SimReport), SimError> {
-        let (out, _) = outer::sum_all(mats)?;
+        let (mut out, _) = outer::sum_all(mats)?;
         let merge = phases::elementwise::simulate_elementwise(&self.cfg, mats, &out)?;
+        self.apply_silent_corruption(
+            out.values_mut(),
+            merge.silent_corruptions,
+            SILENT_CONSUMER_ELEMENTWISE,
+        );
         Ok((
             out,
             SimReport {
@@ -190,8 +223,13 @@ impl Simulator {
         a: &Csc,
         x: &SparseVector,
     ) -> Result<(SparseVector, SimReport), SimError> {
-        let (y, _) = outer::spmv(a, x)?;
+        let (mut y, _) = outer::spmv(a, x)?;
         let report = phases::spmv::simulate_spmv(&self.cfg, a, x, y.nnz() as u64)?;
+        self.apply_silent_corruption(
+            &mut y.values,
+            report.silent_corruptions(),
+            SILENT_CONSUMER_SPMV,
+        );
         Ok((y, report))
     }
 }
@@ -268,6 +306,53 @@ mod tests {
         let (y, rep) = sim().spmv(&a, &x).unwrap();
         assert!(y.nnz() > 0);
         assert!(rep.total_cycles() > 0);
+    }
+
+    #[test]
+    fn silent_faults_corrupt_results_without_changing_timing() {
+        let a = uniform::matrix(96, 96, 800, 21);
+        let b = uniform::matrix(96, 96, 800, 22);
+        let clean = sim().spgemm(&a, &b).unwrap();
+        let faulty_sim = Simulator::new(OuterSpaceConfig {
+            faults: FaultModel { ber_silent: 2e-6, seed: 77, ..Default::default() },
+            ..Default::default()
+        })
+        .unwrap();
+        let (c, rep) = faulty_sim.spgemm(&a, &b).unwrap();
+        assert!(rep.silent_corruptions() > 0, "silent events must be tallied");
+        assert_eq!(
+            rep.total_cycles(),
+            clean.1.total_cycles(),
+            "escaped faults are undetected: timing must match the clean run"
+        );
+        assert_eq!(rep.fault_events(), 0, "no detected fault events");
+        let reference = ops::spgemm_reference(&a, &b).unwrap();
+        assert!(clean.0.approx_eq(&reference, 1e-9));
+        assert!(
+            !c.approx_eq(&reference, 1e-9),
+            "the delivered result must actually be corrupted"
+        );
+        assert_eq!(c.nnz(), reference.nnz(), "corruption flips values, not structure");
+        assert!(c.values().iter().all(|v| v.is_finite()));
+        // Deterministic: same config, same corruption.
+        let (c2, _) = faulty_sim.spgemm(&a, &b).unwrap();
+        assert!(c.approx_eq(&c2, 0.0));
+    }
+
+    #[test]
+    fn silent_faults_corrupt_spmv_results() {
+        let a = uniform::matrix(512, 512, 8_192, 23).to_csc();
+        let x = vector::sparse(512, 0.2, 24);
+        let faulty_sim = Simulator::new(OuterSpaceConfig {
+            faults: FaultModel { ber_silent: 5e-6, seed: 78, ..Default::default() },
+            ..Default::default()
+        })
+        .unwrap();
+        let (y, rep) = faulty_sim.spmv(&a, &x).unwrap();
+        assert!(rep.silent_corruptions() > 0);
+        let (y_clean, _) = sim().spmv(&a, &x).unwrap();
+        assert_eq!(y.indices, y_clean.indices);
+        assert_ne!(y.values, y_clean.values, "SpMV values must be corrupted");
     }
 
     #[test]

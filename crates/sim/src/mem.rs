@@ -101,6 +101,11 @@ pub struct MemCounters {
     pub dropped_responses: u64,
     /// Extra completion-latency cycles charged by fault recovery.
     pub fault_penalty_cycles: u64,
+    /// Bit flips that escaped ECC (fault injection, `ber_silent`). Unlike
+    /// every other fault counter these events are *undetected* by the
+    /// simulated hardware: no retry, no latency, no error — the functional
+    /// result is silently corrupted to match (see `Simulator`).
+    pub silent_corruptions: u64,
 }
 
 impl MemCounters {
@@ -327,6 +332,13 @@ impl MemorySystem {
             MemCounters::accumulate(&mut self.counters.ecc_retries, 1);
             MemCounters::accumulate(&mut self.counters.hbm_read_bytes, self.block_bytes);
             done = self.chan[ch].book(done + inj.ecc_retry_cycles, self.hbm_cycles_per_block);
+        }
+        // Silent escapes: the flip sails past ECC, so the *only* effect is
+        // the tally — no retry, no extra traffic, no latency. The simulator
+        // corrupts the functional result to match after the phase completes;
+        // timing stays identical to a run without the escape.
+        if inj.silent_escape(idx) {
+            MemCounters::accumulate(&mut self.counters.silent_corruptions, 1);
         }
         MemCounters::accumulate(&mut self.counters.fault_penalty_cycles, done - base);
         done
@@ -613,6 +625,34 @@ mod tests {
         let mut clean = MemorySystem::for_multiply(&cfg());
         assert!(last > sweep(&mut clean, 2000), "faults must not speed reads up");
         assert!(m.failure().is_none());
+    }
+
+    #[test]
+    fn silent_escapes_corrupt_without_ecc_retries_or_latency() {
+        // ber_silent alone: escapes are tallied but the simulated hardware
+        // never notices — no ECC retries, no penalty cycles, no extra
+        // traffic, and cycle timing identical to a fault-free run.
+        let mut c = cfg();
+        c.faults.seed = 11;
+        c.faults.ber_silent = 1e-4;
+        let mut m = MemorySystem::for_multiply(&c);
+        let last = sweep(&mut m, 2000);
+        assert!(m.counters.silent_corruptions > 0, "1e-4 silent BER over 2000 blocks");
+        assert_eq!(m.counters.ecc_retries, 0);
+        assert_eq!(m.counters.dropped_responses, 0);
+        assert_eq!(m.counters.fault_penalty_cycles, 0);
+        assert_eq!(m.counters.hbm_read_bytes, 2000 * 64);
+        let mut clean = MemorySystem::for_multiply(&cfg());
+        assert_eq!(last, sweep(&mut clean, 2000), "silent escapes must not perturb timing");
+        assert!(m.failure().is_none());
+        // Detected and silent faults coexist without stealing each other's
+        // event streams: adding hbm_ber does not change the escape tally.
+        let mut both_cfg = c.clone();
+        both_cfg.faults.hbm_ber = 1e-3;
+        let mut both = MemorySystem::for_multiply(&both_cfg);
+        sweep(&mut both, 2000);
+        assert_eq!(both.counters.silent_corruptions, m.counters.silent_corruptions);
+        assert!(both.counters.ecc_retries > 0);
     }
 
     #[test]

@@ -87,6 +87,7 @@ pub fn simulate_convert(cfg: &OuterSpaceConfig, a: &Csr) -> Result<PhaseStats, S
     total.ecc_retries += merge.ecc_retries;
     total.dropped_responses += merge.dropped_responses;
     total.fault_penalty_cycles += merge.fault_penalty_cycles;
+    total.silent_corruptions += merge.silent_corruptions;
     total.requeued_work_items += merge.requeued_work_items;
     total.killed_pes += merge.killed_pes;
     total.stall_l0_cycles += merge.stall_l0_cycles;

@@ -153,6 +153,7 @@ pub(crate) fn collect_stats(
         ecc_retries: c.ecc_retries,
         dropped_responses: c.dropped_responses,
         fault_penalty_cycles: c.fault_penalty_cycles,
+        silent_corruptions: c.silent_corruptions,
         requeued_work_items: pes.requeued,
         killed_pes: pes.killed,
         stall_l0_cycles: 0,

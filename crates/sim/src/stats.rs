@@ -37,6 +37,11 @@ pub struct PhaseStats {
     /// Extra latency cycles charged by fault recovery (ECC retries plus
     /// backoff timeouts), summed over all faulted accesses.
     pub fault_penalty_cycles: u64,
+    /// HBM bit flips that escaped ECC (`ber_silent`). Deliberately *not*
+    /// part of [`PhaseStats::fault_events`]: the hardware never detected
+    /// them, so they surface only here and as value corruption in the
+    /// functional result.
+    pub silent_corruptions: u64,
     /// Work items requeued from a failed PE onto survivors in its group.
     pub requeued_work_items: u64,
     /// PEs that failed hard during this phase.
@@ -100,6 +105,7 @@ impl PhaseStats {
         self.ecc_retries += o.ecc_retries;
         self.dropped_responses += o.dropped_responses;
         self.fault_penalty_cycles += o.fault_penalty_cycles;
+        self.silent_corruptions += o.silent_corruptions;
         self.requeued_work_items += o.requeued_work_items;
         self.killed_pes += o.killed_pes;
         self.stall_l0_cycles += o.stall_l0_cycles;
@@ -132,6 +138,7 @@ impl_to_json!(PhaseStats {
     ecc_retries,
     dropped_responses,
     fault_penalty_cycles,
+    silent_corruptions,
     requeued_work_items,
     killed_pes,
     stall_l0_cycles,
@@ -208,6 +215,15 @@ impl SimReport {
         self.convert.map_or(0, |c| c.fault_penalty_cycles)
             + self.multiply.fault_penalty_cycles
             + self.merge.fault_penalty_cycles
+    }
+
+    /// Total silent (ECC-escaped) corruptions across phases. When nonzero,
+    /// the functional result was corrupted to match — this is the ground
+    /// truth the serve layer's verification tier is tested against.
+    pub fn silent_corruptions(&self) -> u64 {
+        self.convert.map_or(0, |c| c.silent_corruptions)
+            + self.multiply.silent_corruptions
+            + self.merge.silent_corruptions
     }
 }
 

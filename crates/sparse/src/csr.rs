@@ -185,6 +185,14 @@ impl Csr {
         &self.vals
     }
 
+    /// Mutable view of all values, row-major. Only the *values* are exposed:
+    /// the structural invariants (`row_ptr` monotonicity, sorted column
+    /// indices) cannot be violated through this accessor, so it is safe for
+    /// in-place rescaling and for the fault model's silent-corruption hook.
+    pub fn values_mut(&mut self) -> &mut [Value] {
+        &mut self.vals
+    }
+
     /// The column indices and values of row `i`.
     ///
     /// # Panics

@@ -1,0 +1,338 @@
+//! Randomized result verification.
+//!
+//! [`freivalds_spgemm`] checks a claimed product `C = A·B` by comparing
+//! `A·(B·x)` against `C·x` for `rounds` independent random vectors
+//! `x ∈ {−1, +1}ⁿ`, at O(nnz) cost per round — asymptotically free next to
+//! any SpGEMM that produced `C`. [`spmv_residual`] checks a claimed
+//! `y = A·x` directly by recomputing the product row by row (SpMV is already
+//! O(nnz), so the "cheap check" *is* the recomputation).
+//!
+//! # False-negative bound
+//!
+//! If `C ≠ A·B`, let `D = A·B − C ≠ 0` and pick any row `i` with a nonzero
+//! entry. Over a uniform `x ∈ {−1, +1}ⁿ`, `(D·x)ᵢ = 0` requires the nonzero
+//! terms of row `i` to cancel exactly; conditioning on the sign of one
+//! nonzero coordinate shows this happens with probability ≤ 1/2. Rounds are
+//! independent, so a corrupted product survives `k` rounds with probability
+//! ≤ 2⁻ᵏ ([`false_negative_bound`]). The common SDC shapes do strictly
+//! better: a *single* corrupted entry `c_ij += δ` makes `(D·x)ᵢ = δ·x_j`
+//! with `|x_j| = 1`, so it is caught in **every** round (miss probability
+//! 0, up to float tolerance); only correlated multi-entry corruptions that
+//! can cancel (e.g. duplicate-index aliasing writing `+δ/−δ` into one row)
+//! attain the 1/2-per-round worst case. The oracle's adversarial suite pins
+//! both regimes.
+//!
+//! Verification compares floats, so "caught" is relative to the
+//! [`Tolerance`] policy: a corruption smaller than the accumulated rounding
+//! slack is accepted, which is exactly the set of corruptions the rest of
+//! the system also treats as equal results.
+
+use outerspace_gen::rng::{Rng, SmallRng};
+use outerspace_sparse::{Csr, Index, SparseVector};
+
+use crate::tol::Tolerance;
+
+/// Default number of Freivalds rounds: `2⁻⁷ < 1%` worst-case false-negative
+/// probability, matching the serve layer's ≥99% detection target.
+pub const DEFAULT_ROUNDS: u32 = 7;
+
+/// Worst-case probability that a corrupted product passes `rounds` rounds.
+pub fn false_negative_bound(rounds: u32) -> f64 {
+    0.5f64.powi(rounds.max(1) as i32)
+}
+
+/// Knobs for a verification pass. Fully deterministic: the same config
+/// checking the same triple always draws the same probe vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerifyConfig {
+    /// Independent probe rounds (≥ 1 enforced at use).
+    pub rounds: u32,
+    /// Base seed for the probe-vector stream.
+    pub seed: u64,
+    /// Float comparison policy for the probe products.
+    pub tol: Tolerance,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            rounds: DEFAULT_ROUNDS,
+            seed: 0x005e_edf4_eed5_u64,
+            // abs is looser than the oracle's canonical compare because probe
+            // sums accumulate nnz-many terms; rel rides the magnitude scale
+            // computed per row, so it can stay at the repo-wide 1e-9.
+            tol: Tolerance { abs: 1e-9, rel: 1e-9, max_ulps: 256 },
+        }
+    }
+}
+
+/// Why a claimed result failed verification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// The operands themselves are not conformable (`A.ncols != B.nrows` for
+    /// SpGEMM, `x.len != A.ncols` for SpMV) — the claimed result cannot be a
+    /// product of these inputs.
+    OperandShape {
+        /// Inner dimension on the left operand.
+        left_inner: Index,
+        /// Inner dimension on the right operand.
+        right_inner: Index,
+    },
+    /// The claimed result has the wrong dimensions.
+    Shape {
+        /// Dimensions the product must have.
+        expected: (Index, Index),
+        /// Dimensions the claimed result has.
+        got: (Index, Index),
+    },
+    /// A probe product disagreed: the claimed result is not `A·B` (resp.
+    /// `A·x`) within tolerance.
+    Mismatch {
+        /// Probe round that caught the disagreement (0 for SpMV residuals).
+        round: u32,
+        /// Row where the probe products disagree.
+        row: Index,
+        /// `A·(B·x)` (resp. recomputed `(A·x)ᵢ`) at that row.
+        lhs: f64,
+        /// `C·x` (resp. claimed `yᵢ`) at that row.
+        rhs: f64,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::OperandShape { left_inner, right_inner } => write!(
+                f,
+                "operands not conformable: inner dimensions {left_inner} vs {right_inner}"
+            ),
+            VerifyError::Shape { expected, got } => write!(
+                f,
+                "result shape {} x {} does not match product shape {} x {}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            VerifyError::Mismatch { round, row, lhs, rhs } => write!(
+                f,
+                "probe mismatch at round {round}, row {row}: {lhs} vs {rhs}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Per-round probe seed. Mixed through splitmix64 inside
+/// [`SmallRng::seed_from_u64`], so a simple odd-multiplier spread suffices.
+fn round_seed(base: u64, round: u32) -> u64 {
+    base ^ (u64::from(round) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// A uniform `{−1, +1}` probe vector of length `n`.
+fn pm_one_vector(rng: &mut SmallRng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 }).collect()
+}
+
+/// Checks the claimed product `c = a · b` with `cfg.rounds` Freivalds
+/// probes. `Ok(())` means every probe agreed within tolerance.
+///
+/// # Errors
+///
+/// [`VerifyError::OperandShape`] / [`VerifyError::Shape`] for dimension
+/// violations, [`VerifyError::Mismatch`] when a probe catches corruption.
+pub fn freivalds_spgemm(a: &Csr, b: &Csr, c: &Csr, cfg: &VerifyConfig) -> Result<(), VerifyError> {
+    if a.ncols() != b.nrows() {
+        return Err(VerifyError::OperandShape { left_inner: a.ncols(), right_inner: b.nrows() });
+    }
+    let expected = (a.nrows(), b.ncols());
+    if (c.nrows(), c.ncols()) != expected {
+        return Err(VerifyError::Shape { expected, got: (c.nrows(), c.ncols()) });
+    }
+    let (m, k, n) = (a.nrows() as usize, b.nrows() as usize, b.ncols() as usize);
+    for round in 0..cfg.rounds.max(1) {
+        let mut rng = SmallRng::seed_from_u64(round_seed(cfg.seed, round));
+        let x = pm_one_vector(&mut rng, n);
+        // u = B·x, and mu[k] = Σⱼ |b_kj| (|x_j| = 1) bounding |u_k| and the
+        // magnitude of what was summed into it.
+        let mut u = vec![0.0f64; k];
+        let mut mu = vec![0.0f64; k];
+        for i in 0..k {
+            let (cols, vals) = b.row(i as Index);
+            let (mut s, mut mag) = (0.0, 0.0);
+            for (&j, &v) in cols.iter().zip(vals) {
+                s += v * x[j as usize];
+                mag += v.abs();
+            }
+            u[i] = s;
+            mu[i] = mag;
+        }
+        // v = A·u with mv[i] = Σₖ |a_ik|·mu[k], the magnitude actually
+        // flowing through both stages of the left-hand probe.
+        let mut v = vec![0.0f64; m];
+        let mut mv = vec![0.0f64; m];
+        for i in 0..m {
+            let (cols, vals) = a.row(i as Index);
+            let (mut s, mut mag) = (0.0, 0.0);
+            for (&j, &av) in cols.iter().zip(vals) {
+                s += av * u[j as usize];
+                mag += av.abs() * mu[j as usize];
+            }
+            v[i] = s;
+            mv[i] = mag;
+        }
+        // w = C·x with mw[i] = Σⱼ |c_ij|.
+        for i in 0..m {
+            let (cols, vals) = c.row(i as Index);
+            let (mut w, mut mw) = (0.0, 0.0);
+            for (&j, &cv) in cols.iter().zip(vals) {
+                w += cv * x[j as usize];
+                mw += cv.abs();
+            }
+            if !cfg.tol.close_scaled(v[i], w, mv[i].max(mw)) {
+                return Err(VerifyError::Mismatch { round, row: i as Index, lhs: v[i], rhs: w });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the claimed product `y = a · x` by recomputing each row of the
+/// product with magnitude tracking. Deterministic and probe-free: SpMV is
+/// O(nnz), so the check simply redoes the arithmetic in a fixed order.
+///
+/// # Errors
+///
+/// Same vocabulary as [`freivalds_spgemm`]; mismatches report `round: 0`.
+pub fn spmv_residual(
+    a: &Csr,
+    x: &SparseVector,
+    y: &SparseVector,
+    cfg: &VerifyConfig,
+) -> Result<(), VerifyError> {
+    if x.len != a.ncols() {
+        return Err(VerifyError::OperandShape { left_inner: a.ncols(), right_inner: x.len });
+    }
+    if y.len != a.nrows() {
+        return Err(VerifyError::Shape {
+            expected: (a.nrows(), 1),
+            got: (y.len, 1),
+        });
+    }
+    let xd = x.to_dense();
+    let yd = y.to_dense();
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        let (mut s, mut mag) = (0.0, 0.0);
+        for (&j, &v) in cols.iter().zip(vals) {
+            let term = v * xd[j as usize];
+            s += term;
+            mag += term.abs();
+        }
+        let claimed = yd[i as usize];
+        if !cfg.tol.close_scaled(s, claimed, mag) {
+            return Err(VerifyError::Mismatch { round: 0, row: i, lhs: s, rhs: claimed });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outerspace_gen::{uniform, vector};
+    use outerspace_sparse::ops;
+
+    fn operands(seed: u64) -> (Csr, Csr) {
+        let a = uniform::matrix(48, 48, 300, seed);
+        let b = uniform::matrix(48, 48, 300, seed ^ 0x9e37);
+        (a, b)
+    }
+
+    #[test]
+    fn clean_products_pass_every_seed() {
+        let cfg = VerifyConfig::default();
+        for seed in 0..16 {
+            let (a, b) = operands(seed);
+            let c = ops::spgemm_reference(&a, &b).unwrap();
+            assert_eq!(freivalds_spgemm(&a, &b, &c, &cfg), Ok(()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_entry_corruption_is_always_caught() {
+        // A lone perturbed entry contributes δ·x_j with |x_j| = 1 to one
+        // probe row: detection per round has probability 1, so even a single
+        // round must catch it for every seed.
+        let cfg = VerifyConfig { rounds: 1, ..VerifyConfig::default() };
+        for seed in 0..16 {
+            let (a, b) = operands(seed);
+            let mut c = ops::spgemm_reference(&a, &b).unwrap();
+            assert!(c.nnz() > 0);
+            let idx = c.nnz() / 2;
+            c.values_mut()[idx] *= 1.0 + 3e-2;
+            assert!(
+                matches!(freivalds_spgemm(&a, &b, &c, &cfg), Err(VerifyError::Mismatch { .. })),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn verification_is_deterministic() {
+        let cfg = VerifyConfig::default();
+        let (a, b) = operands(7);
+        let mut c = ops::spgemm_reference(&a, &b).unwrap();
+        c.values_mut()[0] += 0.5;
+        let e1 = freivalds_spgemm(&a, &b, &c, &cfg);
+        let e2 = freivalds_spgemm(&a, &b, &c, &cfg);
+        assert_eq!(e1, e2);
+        assert!(e1.is_err());
+    }
+
+    #[test]
+    fn shape_violations_are_typed() {
+        let cfg = VerifyConfig::default();
+        let a = uniform::matrix(8, 8, 20, 1);
+        let b = uniform::matrix(8, 8, 20, 2);
+        let wrong_dims = Csr::zero(9, 8);
+        assert!(matches!(
+            freivalds_spgemm(&a, &b, &wrong_dims, &cfg),
+            Err(VerifyError::Shape { expected: (8, 8), got: (9, 8) })
+        ));
+        let b_bad = uniform::matrix(9, 8, 20, 3);
+        assert!(matches!(
+            freivalds_spgemm(&a, &b_bad, &wrong_dims, &cfg),
+            Err(VerifyError::OperandShape { left_inner: 8, right_inner: 9 })
+        ));
+    }
+
+    #[test]
+    fn spmv_residual_catches_perturbations_and_passes_clean() {
+        let cfg = VerifyConfig::default();
+        let a = uniform::matrix(32, 32, 160, 11);
+        let x = vector::sparse(32, 0.4, 13);
+        let yd = ops::spmv_reference(&a, &x.to_dense()).unwrap();
+        let y = SparseVector::from_dense(&yd);
+        assert_eq!(spmv_residual(&a, &x, &y, &cfg), Ok(()));
+
+        let mut bad = y.clone();
+        assert!(!bad.values.is_empty());
+        let last = bad.values.len() - 1;
+        bad.values[last] = -bad.values[last] - 1.0;
+        assert!(matches!(
+            spmv_residual(&a, &x, &bad, &cfg),
+            Err(VerifyError::Mismatch { round: 0, .. })
+        ));
+
+        let short = SparseVector { len: 31, indices: vec![], values: vec![] };
+        assert!(matches!(spmv_residual(&a, &x, &short, &cfg), Err(VerifyError::Shape { .. })));
+    }
+
+    #[test]
+    fn bound_shrinks_geometrically() {
+        assert_eq!(false_negative_bound(1), 0.5);
+        assert_eq!(false_negative_bound(7), 1.0 / 128.0);
+        assert!(false_negative_bound(DEFAULT_ROUNDS) < 0.01);
+        // rounds = 0 is clamped to one round everywhere.
+        assert_eq!(false_negative_bound(0), 0.5);
+    }
+}

@@ -1,0 +1,31 @@
+//! Result verification for sparse kernels.
+//!
+//! This crate answers one question cheaply: *is this claimed product
+//! actually the product of these operands?* It exists because every fault
+//! the simulator and service model elsewhere is **detected** — ECC retries,
+//! typed errors, watchdogged compute — while a bit flip that escapes ECC
+//! (or a buggy kernel variant) produces a plausible-looking wrong answer
+//! that would otherwise be delivered, cached, and re-served indefinitely.
+//!
+//! Two checkers (see [`freivalds`] for the math and the false-negative
+//! bound):
+//!
+//! * [`freivalds_spgemm`] — randomized `A·(B·x)` vs `C·x` probes over
+//!   deterministic ±1 vectors, O(nnz) per round.
+//! * [`spmv_residual`] — direct row-by-row recomputation for SpMV.
+//!
+//! The float [`Tolerance`] policy lives here (module [`tol`]) and is
+//! re-exported by `oracle::compare` for backward compatibility; keeping it
+//! in this leaf crate lets both the oracle and the serve layer share it
+//! without a dependency cycle.
+
+#![warn(missing_docs)]
+
+pub mod freivalds;
+pub mod tol;
+
+pub use freivalds::{
+    false_negative_bound, freivalds_spgemm, spmv_residual, VerifyConfig, VerifyError,
+    DEFAULT_ROUNDS,
+};
+pub use tol::{ulp_distance, Tolerance};

@@ -1,0 +1,134 @@
+//! ULP-aware float comparison policy.
+//!
+//! Sparse kernels sum the same elementary products in different orders (heap
+//! order, sort order, hash-probe order, per-thread block order), so bitwise
+//! equality is the wrong bar. Two values are *close* when any of three
+//! criteria holds — absolute slack for near-zero accumulations, relative
+//! slack for the common case, and a ULP budget that scales correctly across
+//! magnitudes where a fixed relative epsilon misbehaves.
+//!
+//! This policy historically lived in `oracle::compare`; it moved here so the
+//! verification layer (which the service depends on) and the oracle (which
+//! depends on the service) can share it without a dependency cycle. The
+//! oracle re-exports it under the old path.
+
+use outerspace_sparse::Value;
+
+/// The tolerance policy (documented in DESIGN.md §8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Absolute slack, covering sums that cancel toward zero.
+    pub abs: f64,
+    /// Relative slack against the larger magnitude.
+    pub rel: f64,
+    /// Maximum units-in-the-last-place distance.
+    pub max_ulps: u64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        // rel mirrors the 1e-9 the repo's hand-written differential tests
+        // use; 256 ULPs ≈ 6e-14 relative for f64, a strictly tighter backstop
+        // that exists for magnitudes where abs/rel are miscalibrated.
+        Tolerance { abs: 1e-12, rel: 1e-9, max_ulps: 256 }
+    }
+}
+
+impl Tolerance {
+    /// Are `x` and `y` equal under this policy?
+    pub fn close(&self, x: Value, y: Value) -> bool {
+        if x == y {
+            return true; // covers ±0.0 and exact equality
+        }
+        if x.is_nan() || y.is_nan() {
+            return false;
+        }
+        let diff = (x - y).abs();
+        if diff <= self.abs {
+            return true;
+        }
+        if diff <= self.rel * x.abs().max(y.abs()) {
+            return true;
+        }
+        ulp_distance(x, y) <= self.max_ulps
+    }
+
+    /// Are `x` and `y` equal when both are accumulations whose rounding
+    /// error is governed by `scale` (a magnitude sum over the summed terms)
+    /// rather than by the results themselves?
+    ///
+    /// A Freivalds probe compares `A·(B·x)` against `C·x`: both sides sum
+    /// many products whose individual magnitudes can dwarf the (possibly
+    /// cancelled) result, so the relative criterion must use the magnitude
+    /// of what was summed, not of what survived.
+    pub fn close_scaled(&self, x: Value, y: Value, scale: Value) -> bool {
+        if x == y {
+            return true;
+        }
+        if x.is_nan() || y.is_nan() {
+            return false;
+        }
+        let diff = (x - y).abs();
+        diff <= self.abs + self.rel * scale.max(x.abs()).max(y.abs())
+    }
+}
+
+/// Units-in-the-last-place distance between two finite doubles, via the
+/// standard monotone mapping of IEEE-754 bit patterns onto a signed integer
+/// line. Opposite-sign pairs measure through zero; non-finite operands
+/// return `u64::MAX`.
+pub fn ulp_distance(x: f64, y: f64) -> u64 {
+    if !x.is_finite() || !y.is_finite() {
+        return u64::MAX;
+    }
+    fn ordered(v: f64) -> i64 {
+        let bits = v.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN.wrapping_add(bits.wrapping_neg()) // map negatives below zero
+        } else {
+            bits
+        }
+    }
+    let (a, b) = (ordered(x), ordered(y));
+    a.abs_diff(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        // Distance across zero measures through both subnormal ranges.
+        assert_eq!(
+            ulp_distance(f64::MIN_POSITIVE, -f64::MIN_POSITIVE),
+            ulp_distance(f64::MIN_POSITIVE, 0.0) * 2
+        );
+        assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_distance(f64::INFINITY, 1.0), u64::MAX);
+    }
+
+    #[test]
+    fn tolerance_accepts_reordered_sums() {
+        let tol = Tolerance::default();
+        let forward: f64 = (1..=1000).map(|i| 1.0 / i as f64).sum();
+        let backward: f64 = (1..=1000).rev().map(|i| 1.0 / i as f64).sum();
+        assert!(tol.close(forward, backward));
+        assert!(!tol.close(forward, forward + 1e-3));
+        assert!(!tol.close(1.0, f64::NAN));
+    }
+
+    #[test]
+    fn scaled_tolerance_uses_the_summed_magnitude() {
+        let tol = Tolerance::default();
+        // Two accumulations of magnitude-1e6 terms that cancelled to ~0:
+        // their difference is rounding noise relative to 1e6, not to 0.
+        assert!(tol.close_scaled(1e-11, -1e-11, 1e6));
+        // ... but a genuine disagreement is still caught.
+        assert!(!tol.close_scaled(0.5, 0.0, 1e6));
+        assert!(!tol.close_scaled(1.0, f64::NAN, 1e6));
+    }
+}
