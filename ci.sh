@@ -28,9 +28,23 @@ trap 'rm -rf "$HERMETIC_CARGO_HOME" "$SMOKE_OUT"' EXIT
 ./target/release/runall --smoke --out "$SMOKE_OUT"
 grep -q '"harness": "smoke_fault"' "$SMOKE_OUT/runall.json"
 grep -A6 '"harness": "smoke_fault"' "$SMOKE_OUT/runall.json" | grep -q '"panicked": 1'
-for artifact in fig03 fig07 fig12 ablations runall; do
+for artifact in fig03 fig07 fig12 ablations kernels runall; do
     test -s "$SMOKE_OUT/$artifact.json"
 done
+
+echo "==> kernels perf gate (pinned cells vs the smoke trajectory; injected slowdown must fail)"
+# The runall smoke sweep above appended one perf-trajectory entry to
+# BENCH_kernels.json. Re-measuring the pinned cells minutes later on the same
+# machine must stay inside the gate's tolerance (machine-probe calibration +
+# retry-to-confirm absorb scheduler noise); a synthetic 100000x slowdown
+# injected into one pinned cell must trip it. See DESIGN.md §14.
+test -s "$SMOKE_OUT/BENCH_kernels.json"
+./target/release/kernels_bench --scale 8 --check --out "$SMOKE_OUT"
+if BENCH_INJECT_SLOWDOWN="multiply_arena:100000" \
+    ./target/release/kernels_bench --scale 8 --check --out "$SMOKE_OUT"; then
+    echo "ERROR: perf gate did not flag an injected 100000x slowdown" >&2
+    exit 1
+fi
 
 echo "==> oracle (clean differential sweep at tiny scale)"
 ORACLE_OUT="$(mktemp -d)"

@@ -19,6 +19,7 @@ pub mod fig04;
 pub mod fig06;
 pub mod fig07;
 pub mod fig12;
+pub mod kernels;
 pub mod sec43;
 pub mod sec73;
 pub mod sec8;
@@ -62,6 +63,12 @@ pub const ALL: &[Harness] = &[
     },
     Harness { name: dse::NAME, defaults: dse::DEFAULTS, smoke_scale: 32, run: dse::run },
     Harness { name: serve::NAME, defaults: serve::DEFAULTS, smoke_scale: 4, run: serve::run },
+    Harness {
+        name: kernels::NAME,
+        defaults: kernels::DEFAULTS,
+        smoke_scale: kernels::DEFAULTS.scale,
+        run: kernels::run,
+    },
 ];
 
 /// Looks a harness up by its artifact name.

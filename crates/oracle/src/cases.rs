@@ -90,8 +90,19 @@ fn duplicate_entry_coo(n: Index, nnz: usize, seed: u64) -> Csr {
     coo.to_csr()
 }
 
+/// A matrix with exactly one dense row — paired with a dense-column left
+/// operand it makes every partial-product chunk as large as possible.
+fn single_dense_row(nrows: Index, ncols: Index, row: Index, seed: u64) -> Csr {
+    let mut coo = Coo::new(nrows, ncols);
+    for c in 0..ncols {
+        let v = 0.5 + ((seed.wrapping_add(c as u64 * 2246822519)) % 1000) as f64 / 1000.0;
+        coo.push(row, c, v);
+    }
+    coo.to_csr()
+}
+
 /// The SpGEMM family rotation, indexed by `i % SPGEMM_FAMILIES`.
-pub const SPGEMM_FAMILIES: u64 = 12;
+pub const SPGEMM_FAMILIES: u64 = 14;
 
 /// Generates the `i`-th SpGEMM case for `(base_seed, scale)`.
 pub fn spgemm_case(base_seed: u64, i: u64, scale: u32) -> SpgemmCase {
@@ -168,12 +179,33 @@ pub fn spgemm_case(base_seed: u64, i: u64, scale: u32) -> SpgemmCase {
             uniform::matrix(1, n, (n / 2).max(1) as usize, seed ^ 0x9e37),
             false,
         ),
-        _ => (
+        11 => (
             // Inner dimensions disagree by one: every path must reject.
             "reject_dim_mismatch",
             uniform::matrix(n, n + 1, nnz, seed),
             uniform::matrix(n, n, nnz, seed ^ 0x9e37),
             true,
+        ),
+        12 => (
+            // Allocation pressure, small end: B has one non-zero per row, so
+            // every partial-product chunk holds exactly one entry and the
+            // multiply phase allocates the maximum number of chunks per
+            // elementary product (the shape the arena intermediate exists
+            // for).
+            "alloc_many_tiny_chunks",
+            uniform::matrix(n, n, (n as usize) * 8, seed),
+            banded::circulant(n, 1, seed ^ 0x9e37),
+            false,
+        ),
+        _ => (
+            // Allocation pressure, large end: a dense column of A against
+            // the matching dense row of B makes every result row a single
+            // enormous chunk (n entries) — an n² intermediate from n non-zero
+            // inputs per side.
+            "alloc_one_huge_chunk",
+            single_dense_column(n, n, 0, seed),
+            single_dense_row(n, n, 0, seed ^ 0x9e37),
+            false,
         ),
     };
     SpgemmCase { name: format!("{family}@{seed}"), family, seed, a, b, expect_reject }
@@ -261,6 +293,8 @@ mod tests {
             "rank_one_blowup",
             "reject_dim_mismatch",
             "sparse_empty_rows_cols",
+            "alloc_many_tiny_chunks",
+            "alloc_one_huge_chunk",
         ] {
             assert!(families.contains(&needed), "missing family {needed}");
         }
@@ -297,5 +331,14 @@ mod tests {
         assert_eq!(outer_vec.b.ncols(), 1);
         let blowup = spgemm_case(1, 10, 48);
         assert_eq!((blowup.a.ncols(), blowup.b.nrows()), (1, 1));
+        let tiny = spgemm_case(1, 12, 48);
+        // One non-zero per B row → every multiply-phase chunk has 1 entry.
+        for r in 0..tiny.b.nrows() {
+            assert_eq!(tiny.b.row(r).0.len(), 1, "{}", tiny.name);
+        }
+        let huge = spgemm_case(1, 13, 48);
+        assert_eq!(huge.a.nnz(), huge.a.nrows() as usize);
+        assert_eq!(huge.b.row(0).0.len(), huge.b.ncols() as usize);
+        assert_eq!(huge.b.nnz(), huge.b.ncols() as usize);
     }
 }

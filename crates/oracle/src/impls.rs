@@ -82,6 +82,28 @@ pub fn spgemm_impls() -> Vec<SpgemmImpl> {
             run: |a, b| outer::spgemm_cc(a, b).map(|c| c.to_csr()).map_err(err),
         },
         SpgemmImpl {
+            name: "outer_arena",
+            run: |a, b| {
+                // Arena intermediate, streaming merge — isolates the arena
+                // multiply from the blocked merge.
+                outer::spgemm_arena(a, b, outer::MergeKind::Streaming)
+                    .map(|(c, _)| c)
+                    .map_err(err)
+            },
+        },
+        SpgemmImpl {
+            name: "outer_blocked",
+            run: |a, b| outer::spgemm_blocked(a, b).map(|(c, _)| c).map_err(err),
+        },
+        SpgemmImpl {
+            name: "outer_ws_par",
+            run: |a, b| {
+                outer::spgemm_arena_parallel(a, b, PAR_THREADS)
+                    .map(|(c, _)| c)
+                    .map_err(err)
+            },
+        },
+        SpgemmImpl {
             name: "mkl_gustavson",
             run: |a, b| baselines::gustavson::spgemm(a, b).map(|(c, _)| c).map_err(err),
         },
@@ -259,7 +281,7 @@ mod tests {
     fn filter_rejects_unknown_names() {
         assert!(filter_impls(spgemm_impls(), Some("outer_streaming,cusp_esc")).unwrap().len() == 2);
         assert!(filter_impls(spgemm_impls(), Some("nope")).is_err());
-        assert_eq!(filter_impls(spgemm_impls(), None).unwrap().len(), 12);
+        assert_eq!(filter_impls(spgemm_impls(), None).unwrap().len(), 15);
     }
 
     #[test]

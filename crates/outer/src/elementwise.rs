@@ -7,10 +7,10 @@
 //! phase; this module realizes that correspondence directly by reusing
 //! [`crate::merge`].
 
-use outerspace_sparse::{Csr, SparseError, Value};
+use outerspace_sparse::{Csr, Index, SparseError, Value};
 
 use crate::chunks::{Chunk, PartialProducts};
-use crate::merge::{merge, MergeKind, MergeStats};
+use crate::merge::{merge, merge_batches_parallel, merge_row, MergeKind, MergeStats};
 
 /// Combines `mats` element-wise with a reduction `op` applied pairwise in
 /// matrix order over present entries (absent entries contribute nothing).
@@ -120,6 +120,50 @@ pub fn sum_all(mats: &[&Csr]) -> Result<(Csr, MergeStats), SparseError> {
     elementwise_merge(mats, std::ops::Add::add)
 }
 
+/// [`sum_all`] with `n_threads` workers over work-stealing row batches
+/// (see [`crate::worksteal`]). The source rows are borrowed straight from
+/// the operands — no intermediate chunk structure is materialized — and the
+/// batch-stitched output is identical to [`sum_all`] for every thread
+/// count.
+///
+/// # Errors
+///
+/// Propagates the same shape/emptiness errors as [`sum_all`].
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0`.
+pub fn sum_all_parallel(
+    mats: &[&Csr],
+    n_threads: usize,
+) -> Result<(Csr, MergeStats), SparseError> {
+    let first = mats.first().ok_or_else(|| {
+        SparseError::MalformedPointers("sum_all_parallel needs at least one matrix".into())
+    })?;
+    for m in &mats[1..] {
+        if m.nrows() != first.nrows() || m.ncols() != first.ncols() {
+            return Err(SparseError::ShapeMismatch {
+                left: (first.nrows() as u64, first.ncols() as u64),
+                right: (m.nrows() as u64, m.ncols() as u64),
+                op: "elementwise",
+            });
+        }
+    }
+    Ok(merge_batches_parallel(
+        first.nrows(),
+        first.ncols(),
+        n_threads,
+        &|i, cols, vals, blocked| {
+            let slices: Vec<(&[Index], &[Value])> = mats
+                .iter()
+                .map(|m| m.row(i))
+                .filter(|(c, _)| !c.is_empty())
+                .collect();
+            merge_row(&slices, MergeKind::Streaming, cols, vals, blocked)
+        },
+    ))
+}
+
 /// Detects the plain-`+` reduction so [`elementwise_merge`] can take the
 /// merge-phase fast path. Probes the closure on sentinel values; exact for
 /// every op whose behaviour on these probes distinguishes it from `+`.
@@ -167,8 +211,22 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sum_is_identical_to_sequential() {
+        let mats: Vec<_> = (0..5).map(|s| uniform::matrix(200, 64, 900, s)).collect();
+        let refs: Vec<&Csr> = mats.iter().collect();
+        let (seq, s_seq) = sum_all(&refs).unwrap();
+        for threads in [1, 2, 3, 4] {
+            let (par, s_par) = sum_all_parallel(&refs, threads).unwrap();
+            assert_eq!(seq, par, "{threads} threads");
+            assert_eq!(s_seq.output_entries, s_par.output_entries);
+            assert_eq!(s_seq.collisions, s_par.collisions);
+        }
+    }
+
+    #[test]
     fn empty_input_rejected() {
         assert!(elementwise_merge(&[], |a, _| a).is_err());
+        assert!(sum_all_parallel(&[], 2).is_err());
     }
 
     #[test]

@@ -18,10 +18,19 @@
 //!    to minimize memory traffic.
 //!
 //! Both phases come in sequential and multi-threaded flavours; the
-//! multi-threaded versions mimic OuterSPACE's greedy SPMD scheduling with a
-//! shared work counter. Format conversion (§4.3, `I_CC × A_CR → A_CC`),
-//! outer-product SpMV (§5.6) and `N`-way element-wise operations (§5.6) are
-//! built from the same machinery.
+//! multi-threaded versions schedule over work-stealing ranges
+//! ([`worksteal`]) and reconstruct their outputs in item order, so they are
+//! byte-identical to the sequential paths for every thread count. Format
+//! conversion (§4.3, `I_CC × A_CR → A_CC`), outer-product SpMV (§5.6) and
+//! `N`-way element-wise operations (§5.6) are built from the same
+//! machinery.
+//!
+//! For raw software speed, the chunk-list intermediate has an arena twin
+//! ([`ArenaProducts`], six allocations per multiply phase instead of one
+//! per chunk) and the merge has a cache-blocked variant
+//! ([`MergeKind::Blocked`]); [`spgemm_blocked`] and
+//! [`spgemm_arena_parallel`] combine them. All variants produce
+//! bitwise-identical results (see DESIGN.md §14).
 //!
 //! # Example
 //!
@@ -40,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arena;
 mod chunks;
 mod convert;
 mod elementwise;
@@ -47,15 +57,19 @@ mod merge;
 mod multiply;
 mod spgemm;
 mod spmv;
+pub mod worksteal;
 
+pub use arena::{multiply_arena, multiply_arena_parallel, ArenaProducts};
 pub use chunks::{Chunk, MultiplyStats, PartialProducts};
 pub use convert::{csr_to_csc_via_outer, ConversionStats};
-pub use elementwise::{elementwise_merge, sum_all};
+pub use elementwise::{elementwise_merge, sum_all, sum_all_parallel};
 pub use merge::{
-    merge, merge_parallel, merge_sort_based, MergeKind, MergeStats,
+    merge, merge_arena, merge_arena_parallel, merge_parallel, merge_sort_based,
+    MergeKind, MergeStats, MERGE_BLOCK_COLS,
 };
 pub use multiply::{multiply, multiply_parallel};
 pub use spgemm::{
-    multiply_only, spgemm, spgemm_cc, spgemm_parallel, spgemm_with_stats, SpGemmReport,
+    multiply_only, spgemm, spgemm_arena, spgemm_arena_parallel, spgemm_blocked,
+    spgemm_cc, spgemm_parallel, spgemm_with_stats, SpGemmReport,
 };
 pub use spmv::{spmv, spmv_dense, SpmvStats};

@@ -2,7 +2,7 @@
 //!
 //! Each result row is processed independently (the phase with *no* data
 //! sharing, which OuterSPACE exploits by reconfiguring its caches into
-//! private scratchpads). Two strategies are provided:
+//! private scratchpads). Three strategies are provided:
 //!
 //! * [`MergeKind::Streaming`] — the paper's algorithm: keep one *head*
 //!   element per chunk in a sorted working set, repeatedly emit the smallest
@@ -13,13 +13,26 @@
 //!   paper rejects (§5.4.2): concatenate every chunk and sort
 //!   (`O(rN log rN)` per row), at the cost of holding entire rows in local
 //!   memory. Kept as the ablation baseline.
+//! * [`MergeKind::Blocked`] — the software raw-speed variant: scatter each
+//!   chunk segment into a dense accumulator covering one
+//!   [`MERGE_BLOCK_COLS`]-column block (an L1-resident scratchpad, the
+//!   software analogue of the paper's reconfigured caches), using
+//!   generation stamps so the scratch is reused across rows without
+//!   clearing. Per element this costs one array write instead of one heap
+//!   sift, at `O(block)` local memory.
+//!
+//! All three accumulate collisions in chunk-index-ascending order, so for a
+//! given intermediate their floating-point results are **bitwise
+//! identical** — the property that lets the differential oracle and the
+//! determinism tests use exact equality across variants and thread counts.
 
 use std::collections::BinaryHeap;
-use std::sync::Mutex;
 
 use outerspace_sparse::{Csr, Index, Value};
 
+use crate::arena::ArenaProducts;
 use crate::chunks::{Chunk, PartialProducts};
+use crate::worksteal::WorkStealQueues;
 
 /// Which merge algorithm to run. See the module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -29,7 +42,19 @@ pub enum MergeKind {
     Streaming,
     /// Concatenate-and-sort ablation baseline.
     SortBased,
+    /// Cache-blocked dense-accumulator merge (software fast path).
+    Blocked,
 }
+
+/// Columns covered by one blocked-merge accumulator block: 4096 columns of
+/// (value, stamp) occupy 48 KiB — sized to sit in L1 alongside the chunk
+/// cursors being streamed through it.
+pub const MERGE_BLOCK_COLS: usize = 4096;
+
+/// Result rows per parallel work item. Rows are batched so the stitch pass
+/// handles `nrows / MERGE_ROW_BATCH` fragments instead of `nrows`, and so
+/// one blocked-merge scratchpad serves a whole batch while it stays warm.
+const MERGE_ROW_BATCH: u32 = 256;
 
 /// Counters captured during a merge phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,27 +83,100 @@ impl MergeStats {
     }
 }
 
+/// A chunk's data, independent of how it is stored: owned `Vec`s
+/// ([`Chunk`]) or arena slices. Lets every merge algorithm serve both the
+/// linked-list and the arena intermediate without copies or per-row
+/// adapter allocations.
+pub(crate) trait ChunkView {
+    /// Column indices, strictly increasing.
+    fn view_cols(&self) -> &[Index];
+    /// Values, parallel to the columns.
+    fn view_vals(&self) -> &[Value];
+}
+
+impl ChunkView for Chunk {
+    fn view_cols(&self) -> &[Index] {
+        &self.cols
+    }
+    fn view_vals(&self) -> &[Value] {
+        &self.vals
+    }
+}
+
+impl ChunkView for (&[Index], &[Value]) {
+    fn view_cols(&self) -> &[Index] {
+        self.0
+    }
+    fn view_vals(&self) -> &[Value] {
+        self.1
+    }
+}
+
+/// Upper bound on merged output entries, used to pre-size the result
+/// arrays: the output can be no larger than the intermediate
+/// (`total_entries`) and no larger than a dense result (`nrows × ncols`).
+///
+/// This is the fix for the re-allocation churn audit (ISSUE 8 satellite):
+/// `merge` previously grew its `cols`/`vals` output through the doubling
+/// schedule — up to ~log₂(nnz) reallocation-plus-copy cycles of the entire
+/// result. The dense cap uses saturating arithmetic: `u32 × u32` products
+/// up to 2⁶⁴ must not overflow `usize` on 32-bit targets.
+pub(crate) fn output_capacity_hint(
+    total_entries: usize,
+    nrows: Index,
+    ncols: Index,
+) -> usize {
+    total_entries.min((nrows as usize).saturating_mul(ncols as usize))
+}
+
 /// Merges all rows sequentially with the chosen algorithm, producing the
 /// final CSR result.
 pub fn merge(mut pp: PartialProducts, kind: MergeKind) -> (Csr, MergeStats) {
     let nrows = pp.nrows();
+    let ncols = pp.ncols();
+    let hint = output_capacity_hint(pp.total_entries(), nrows, ncols);
     let mut row_ptr = Vec::with_capacity(nrows as usize + 1);
     row_ptr.push(0usize);
-    let mut cols: Vec<Index> = Vec::new();
-    let mut vals: Vec<Value> = Vec::new();
+    let mut cols: Vec<Index> = Vec::with_capacity(hint);
+    let mut vals: Vec<Value> = Vec::with_capacity(hint);
     let mut stats = MergeStats::default();
+    let mut blocked = BlockedMerger::new();
     for i in 0..nrows {
         let chunks = pp.take_row(i);
-        let s = merge_row(&chunks, kind, &mut cols, &mut vals);
+        let s = merge_row(&chunks, kind, &mut cols, &mut vals, &mut blocked);
         stats.absorb(s);
         row_ptr.push(cols.len());
     }
-    let ncols = pp.ncols();
     (Csr::from_raw_parts_unchecked(nrows, ncols, row_ptr, cols, vals), stats)
 }
 
-/// Merges rows with `n_threads` workers pulling row blocks from a greedy
-/// work counter, then stitches the per-block outputs together.
+/// Merges an arena intermediate sequentially. Borrows the arena (nothing
+/// is consumed), so benchmarks can merge the same intermediate repeatedly
+/// and callers can compare merge variants on identical input.
+pub fn merge_arena(ap: &ArenaProducts, kind: MergeKind) -> (Csr, MergeStats) {
+    let nrows = ap.nrows();
+    let ncols = ap.ncols();
+    let hint = output_capacity_hint(ap.total_entries(), nrows, ncols);
+    let mut row_ptr = Vec::with_capacity(nrows as usize + 1);
+    row_ptr.push(0usize);
+    let mut cols: Vec<Index> = Vec::with_capacity(hint);
+    let mut vals: Vec<Value> = Vec::with_capacity(hint);
+    let mut stats = MergeStats::default();
+    let mut blocked = BlockedMerger::new();
+    let mut scratch: Vec<(&[Index], &[Value])> = Vec::new();
+    for i in 0..nrows {
+        scratch.clear();
+        scratch.extend(ap.row_chunk_slices(i));
+        let s = merge_row(&scratch, kind, &mut cols, &mut vals, &mut blocked);
+        stats.absorb(s);
+        row_ptr.push(cols.len());
+    }
+    (Csr::from_raw_parts_unchecked(nrows, ncols, row_ptr, cols, vals), stats)
+}
+
+/// Merges rows with `n_threads` workers over work-stealing row-batch
+/// queues (see [`crate::worksteal`]), then stitches the per-batch outputs
+/// in batch order — so the result is identical for every thread count.
 ///
 /// # Panics
 ///
@@ -88,50 +186,75 @@ pub fn merge_parallel(
     kind: MergeKind,
     n_threads: usize,
 ) -> (Csr, MergeStats) {
-    assert!(n_threads > 0, "need at least one thread");
-    const BLOCK: u32 = 256;
     let nrows = pp.nrows();
     let ncols = pp.ncols();
-    let n_blocks = nrows.div_ceil(BLOCK);
-    // Pre-split the rows so each worker owns its slice without locking.
-    let mut row_lists: Vec<Vec<Chunk>> =
-        (0..nrows).map(|i| pp.take_row(i)).collect();
-    let blocks: Vec<(u32, &mut [Vec<Chunk>])> = {
-        let mut rest = row_lists.as_mut_slice();
-        let mut out = Vec::with_capacity(n_blocks as usize);
-        let mut idx = 0u32;
-        while !rest.is_empty() {
-            let take = rest.len().min(BLOCK as usize);
-            let (head, tail) = rest.split_at_mut(take);
-            out.push((idx, head));
-            rest = tail;
-            idx += 1;
-        }
-        out
-    };
-    let work = Mutex::new(blocks);
+    // Pre-split the rows so workers read their batches without locking.
+    let row_lists: Vec<Vec<Chunk>> = (0..nrows).map(|i| pp.take_row(i)).collect();
+    merge_batches_parallel(nrows, ncols, n_threads, &|i, cols, vals, blocked| {
+        merge_row(&row_lists[i as usize], kind, cols, vals, blocked)
+    })
+}
 
-    type BlockOut = (u32, Vec<usize>, Vec<Index>, Vec<Value>, MergeStats);
-    let mut outputs: Vec<BlockOut> = std::thread::scope(|scope| {
+/// [`merge_arena`] with `n_threads` work-stealing workers. Same
+/// batch-stitched determinism guarantee as [`merge_parallel`].
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0`.
+pub fn merge_arena_parallel(
+    ap: &ArenaProducts,
+    kind: MergeKind,
+    n_threads: usize,
+) -> (Csr, MergeStats) {
+    merge_batches_parallel(ap.nrows(), ap.ncols(), n_threads, &|i, cols, vals, blocked| {
+        let scratch: Vec<(&[Index], &[Value])> = ap.row_chunk_slices(i).collect();
+        merge_row(&scratch, kind, cols, vals, blocked)
+    })
+}
+
+/// Shared parallel-merge skeleton: workers pull [`MERGE_ROW_BATCH`]-row
+/// batches from work-stealing queues, merge each row via `merge_one` into
+/// batch-local buffers, and the batches are stitched in index order.
+/// `merge_one(i, cols, vals, blocked)` appends row `i`'s merged entries.
+pub(crate) fn merge_batches_parallel<F>(
+    nrows: Index,
+    ncols: Index,
+    n_threads: usize,
+    merge_one: &F,
+) -> (Csr, MergeStats)
+where
+    F: Fn(Index, &mut Vec<Index>, &mut Vec<Value>, &mut BlockedMerger) -> MergeStats + Sync,
+{
+    assert!(n_threads > 0, "need at least one thread");
+    let n_batches = nrows.div_ceil(MERGE_ROW_BATCH);
+    let queues = WorkStealQueues::split(n_batches, n_threads);
+
+    type BatchOut = (u32, Vec<usize>, Vec<Index>, Vec<Value>, MergeStats);
+    let mut outputs: Vec<BatchOut> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
-            .map(|_| {
-                let work = &work;
+            .map(|me| {
+                let queues = &queues;
                 scope.spawn(move || {
-                    let mut done: Vec<BlockOut> = Vec::new();
-                    loop {
-                        let item = work.lock().expect("queue poisoned").pop();
-                        let Some((block_idx, rows)) = item else { break };
-                        let mut cols = Vec::new();
-                        let mut vals = Vec::new();
-                        let mut sizes = Vec::with_capacity(rows.len());
-                        let mut stats = MergeStats::default();
-                        for chunks in rows.iter() {
-                            let before = cols.len();
-                            let s = merge_row(chunks, kind, &mut cols, &mut vals);
-                            stats.absorb(s);
-                            sizes.push(cols.len() - before);
+                    let mut done: Vec<BatchOut> = Vec::new();
+                    let mut blocked = BlockedMerger::new();
+                    // Batches are already 256 rows; grain 1 maximizes balance.
+                    while let Some((lo, hi)) = queues.take(me, 1) {
+                        for batch in lo..hi {
+                            let row_lo = batch * MERGE_ROW_BATCH;
+                            let row_hi = (row_lo + MERGE_ROW_BATCH).min(nrows);
+                            let mut cols = Vec::new();
+                            let mut vals = Vec::new();
+                            let mut sizes =
+                                Vec::with_capacity((row_hi - row_lo) as usize);
+                            let mut stats = MergeStats::default();
+                            for i in row_lo..row_hi {
+                                let before = cols.len();
+                                let s = merge_one(i, &mut cols, &mut vals, &mut blocked);
+                                stats.absorb(s);
+                                sizes.push(cols.len() - before);
+                            }
+                            done.push((batch, sizes, cols, vals, stats));
                         }
-                        done.push((block_idx, sizes, cols, vals, stats));
                     }
                     done
                 })
@@ -144,10 +267,11 @@ pub fn merge_parallel(
     });
 
     outputs.sort_by_key(|&(idx, ..)| idx);
+    let total: usize = outputs.iter().map(|(_, _, c, ..)| c.len()).sum();
     let mut row_ptr = Vec::with_capacity(nrows as usize + 1);
     row_ptr.push(0usize);
-    let mut cols: Vec<Index> = Vec::new();
-    let mut vals: Vec<Value> = Vec::new();
+    let mut cols: Vec<Index> = Vec::with_capacity(total);
+    let mut vals: Vec<Value> = Vec::with_capacity(total);
     let mut stats = MergeStats::default();
     for (_, sizes, bcols, bvals, s) in outputs {
         for size in sizes {
@@ -167,15 +291,17 @@ pub fn merge_sort_based(pp: PartialProducts) -> (Csr, MergeStats) {
 }
 
 /// Merges one row's chunks, appending the combined entries to `cols`/`vals`.
-fn merge_row(
-    chunks: &[Chunk],
+pub(crate) fn merge_row<C: ChunkView>(
+    chunks: &[C],
     kind: MergeKind,
     cols: &mut Vec<Index>,
     vals: &mut Vec<Value>,
+    blocked: &mut BlockedMerger,
 ) -> MergeStats {
     match kind {
         MergeKind::Streaming => merge_row_streaming(chunks, cols, vals),
         MergeKind::SortBased => merge_row_sort(chunks, cols, vals),
+        MergeKind::Blocked => blocked.merge_row(chunks, cols, vals),
     }
 }
 
@@ -199,8 +325,8 @@ impl PartialOrd for Head {
     }
 }
 
-fn merge_row_streaming(
-    chunks: &[Chunk],
+fn merge_row_streaming<C: ChunkView>(
+    chunks: &[C],
     cols: &mut Vec<Index>,
     vals: &mut Vec<Value>,
 ) -> MergeStats {
@@ -210,8 +336,8 @@ fn merge_row_streaming(
     let mut heads = BinaryHeap::with_capacity(chunks.len());
     let mut cursor = vec![0usize; chunks.len()];
     for (ci, chunk) in chunks.iter().enumerate() {
-        if !chunk.is_empty() {
-            heads.push(Head { col: chunk.cols[0], chunk: ci as u32 });
+        if !chunk.view_cols().is_empty() {
+            heads.push(Head { col: chunk.view_cols()[0], chunk: ci as u32 });
             stats.sort_steps += 1;
             stats.bytes_read += 12;
         }
@@ -222,7 +348,7 @@ fn merge_row_streaming(
     while let Some(Head { col, chunk }) = heads.pop() {
         let ci = chunk as usize;
         let pos = cursor[ci];
-        let v = chunks[ci].vals[pos];
+        let v = chunks[ci].view_vals()[pos];
         match current {
             Some((ccol, ref mut acc)) if ccol == col => {
                 *acc += v;
@@ -236,8 +362,8 @@ fn merge_row_streaming(
             None => current = Some((col, v)),
         }
         cursor[ci] += 1;
-        if cursor[ci] < chunks[ci].len() {
-            heads.push(Head { col: chunks[ci].cols[cursor[ci]], chunk });
+        if cursor[ci] < chunks[ci].view_cols().len() {
+            heads.push(Head { col: chunks[ci].view_cols()[cursor[ci]], chunk });
             stats.sort_steps += 1;
             stats.bytes_read += 12;
         }
@@ -252,16 +378,18 @@ fn merge_row_streaming(
     stats
 }
 
-fn merge_row_sort(
-    chunks: &[Chunk],
+fn merge_row_sort<C: ChunkView>(
+    chunks: &[C],
     cols: &mut Vec<Index>,
     vals: &mut Vec<Value>,
 ) -> MergeStats {
     let mut stats = MergeStats::default();
-    let total: usize = chunks.iter().map(Chunk::len).sum();
+    let total: usize = chunks.iter().map(|c| c.view_cols().len()).sum();
     let mut buf: Vec<(Index, Value)> = Vec::with_capacity(total);
     for chunk in chunks {
-        buf.extend(chunk.cols.iter().copied().zip(chunk.vals.iter().copied()));
+        buf.extend(
+            chunk.view_cols().iter().copied().zip(chunk.view_vals().iter().copied()),
+        );
     }
     stats.bytes_read += 12 * total as u64;
     // Stable sort keeps duplicate accumulation order deterministic.
@@ -287,9 +415,132 @@ fn merge_row_sort(
     stats
 }
 
+/// Reusable scratch state for [`MergeKind::Blocked`].
+///
+/// Holds a dense accumulator over one [`MERGE_BLOCK_COLS`]-column window
+/// plus a generation-stamp array: a slot belongs to the current block iff
+/// its stamp equals the current generation, so advancing a block (or a
+/// row) costs one counter increment instead of clearing 4096 slots. The
+/// same scratch serves every row of a merge call — the row-batched reuse
+/// that keeps it cache-resident.
+#[derive(Debug)]
+pub(crate) struct BlockedMerger {
+    /// Dense value accumulator for the current block (lazily allocated so
+    /// streaming/sort merges pay nothing for carrying one of these).
+    acc: Vec<Value>,
+    /// `stamp[off] == gen` marks `acc[off]` live in the current block.
+    stamp: Vec<u32>,
+    gen: u32,
+    /// Block-local offsets touched in the current block, sorted at emit.
+    touched: Vec<u32>,
+    /// Per-chunk read positions for the current row.
+    cursors: Vec<usize>,
+}
+
+impl BlockedMerger {
+    pub(crate) fn new() -> BlockedMerger {
+        BlockedMerger {
+            acc: Vec::new(),
+            stamp: Vec::new(),
+            gen: 0,
+            touched: Vec::new(),
+            cursors: Vec::new(),
+        }
+    }
+
+    fn merge_row<C: ChunkView>(
+        &mut self,
+        chunks: &[C],
+        cols: &mut Vec<Index>,
+        vals: &mut Vec<Value>,
+    ) -> MergeStats {
+        let mut stats = MergeStats::default();
+        let mut nonempty = chunks.iter().filter(|c| !c.view_cols().is_empty());
+        let Some(first) = nonempty.next() else {
+            return stats;
+        };
+        if nonempty.next().is_none() {
+            // Single-chunk fast path: the chunk is already sorted and
+            // collision-free, so the merged row is a straight copy.
+            let n = first.view_cols().len() as u64;
+            cols.extend_from_slice(first.view_cols());
+            vals.extend_from_slice(first.view_vals());
+            stats.bytes_read = 12 * n;
+            stats.output_entries = n;
+            stats.bytes_written = 12 * n;
+            return stats;
+        }
+        if self.acc.is_empty() {
+            self.acc = vec![0.0; MERGE_BLOCK_COLS];
+            self.stamp = vec![0; MERGE_BLOCK_COLS];
+        }
+        self.cursors.clear();
+        self.cursors.resize(chunks.len(), 0);
+        loop {
+            // Next block = the one holding the smallest unconsumed column;
+            // blocks with no entries are skipped entirely.
+            let mut min_col = Index::MAX;
+            let mut exhausted = true;
+            for (ci, chunk) in chunks.iter().enumerate() {
+                let ccols = chunk.view_cols();
+                let pos = self.cursors[ci];
+                if pos < ccols.len() {
+                    min_col = min_col.min(ccols[pos]);
+                    exhausted = false;
+                }
+            }
+            if exhausted {
+                break;
+            }
+            let block_lo = (min_col as usize / MERGE_BLOCK_COLS) * MERGE_BLOCK_COLS;
+            let block_hi = block_lo + MERGE_BLOCK_COLS;
+            self.gen = self.gen.wrapping_add(1);
+            if self.gen == 0 {
+                // Generation counter wrapped: stale stamps could alias the
+                // new generation, so pay one full clear every 2^32 blocks.
+                self.stamp.fill(0);
+                self.gen = 1;
+            }
+            self.touched.clear();
+            // Chunk-index-ascending scatter keeps collision accumulation
+            // order identical to the streaming heap's tiebreak (bitwise-
+            // equal floating point across merge kinds).
+            for (ci, chunk) in chunks.iter().enumerate() {
+                let ccols = chunk.view_cols();
+                let cvals = chunk.view_vals();
+                let mut pos = self.cursors[ci];
+                while pos < ccols.len() && (ccols[pos] as usize) < block_hi {
+                    let off = ccols[pos] as usize - block_lo;
+                    if self.stamp[off] == self.gen {
+                        self.acc[off] += cvals[pos];
+                        stats.collisions += 1;
+                    } else {
+                        self.stamp[off] = self.gen;
+                        self.acc[off] = cvals[pos];
+                        self.touched.push(off as u32);
+                    }
+                    stats.bytes_read += 12;
+                    stats.sort_steps += 1;
+                    pos += 1;
+                }
+                self.cursors[ci] = pos;
+            }
+            self.touched.sort_unstable();
+            for &off in &self.touched {
+                cols.push((block_lo + off as usize) as Index);
+                vals.push(self.acc[off as usize]);
+            }
+            stats.output_entries += self.touched.len() as u64;
+        }
+        stats.bytes_written = stats.output_entries * 12;
+        stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arena::multiply_arena;
     use crate::multiply::multiply;
     use outerspace_sparse::{ops, Csc, Dense};
 
@@ -342,12 +593,61 @@ mod tests {
     }
 
     #[test]
+    fn blocked_agrees_with_streaming_bitwise() {
+        let mut pp1 = PartialProducts::new(2, 16);
+        let mut pp2 = PartialProducts::new(2, 16);
+        for pp in [&mut pp1, &mut pp2] {
+            pp.push_chunk(0, chunk(&[(1, 0.1), (9, 2.0), (15, 3.0)]));
+            pp.push_chunk(0, chunk(&[(0, 4.0), (9, 0.2)]));
+            pp.push_chunk(0, chunk(&[(9, 0.7)]));
+            pp.push_chunk(1, chunk(&[(7, 6.0)]));
+        }
+        let (c1, s1) = merge(pp1, MergeKind::Streaming);
+        let (c2, s2) = merge(pp2, MergeKind::Blocked);
+        // Exact equality: collision accumulation order is pinned to chunk
+        // index in both variants, so even 0.1 + 0.2-style non-associative
+        // sums come out bit-identical.
+        assert_eq!(c1, c2);
+        assert_eq!(s1.collisions, s2.collisions);
+        assert_eq!(s1.output_entries, s2.output_entries);
+        assert_eq!(s1.bytes_read, s2.bytes_read);
+        assert_eq!(s1.bytes_written, s2.bytes_written);
+    }
+
+    #[test]
+    fn blocked_handles_columns_spanning_many_blocks() {
+        // Columns straddle 3 accumulator blocks with a collision in each.
+        let far = |b: u32, off: u32| b * MERGE_BLOCK_COLS as u32 + off;
+        let mut pp = PartialProducts::new(1, far(3, 0));
+        pp.push_chunk(0, chunk(&[(far(0, 1), 1.0), (far(1, 5), 2.0), (far(2, 9), 3.0)]));
+        pp.push_chunk(0, chunk(&[(far(0, 1), 4.0), (far(1, 5), 8.0), (far(2, 9), 16.0)]));
+        let (c, stats) = merge(pp, MergeKind::Blocked);
+        assert_eq!(c.row(0).0, &[far(0, 1), far(1, 5), far(2, 9)]);
+        assert_eq!(c.row(0).1, &[5.0, 10.0, 19.0]);
+        assert_eq!(stats.collisions, 3);
+        assert_eq!(stats.output_entries, 3);
+    }
+
+    #[test]
+    fn blocked_single_chunk_fast_path() {
+        let mut pp = PartialProducts::new(1, 8);
+        pp.push_chunk(0, chunk(&[(2, 1.5), (5, 2.5)]));
+        let (c, stats) = merge(pp, MergeKind::Blocked);
+        assert_eq!(c.row(0).0, &[2, 5]);
+        assert_eq!(c.row(0).1, &[1.5, 2.5]);
+        assert_eq!(stats.bytes_read, 24);
+        assert_eq!(stats.output_entries, 2);
+    }
+
+    #[test]
     fn empty_rows_produce_empty_result_rows() {
-        let pp = PartialProducts::new(3, 3);
-        let (c, stats) = merge(pp, MergeKind::Streaming);
-        assert_eq!(c.nnz(), 0);
-        assert_eq!(c.nrows(), 3);
-        assert_eq!(stats.output_entries, 0);
+        for kind in [MergeKind::Streaming, MergeKind::SortBased, MergeKind::Blocked] {
+            let pp = PartialProducts::new(3, 3);
+            let (c, stats) = merge(pp, kind);
+            assert_eq!(c.nnz(), 0);
+            assert_eq!(c.nrows(), 3);
+            assert_eq!(stats.output_entries, 0);
+        }
     }
 
     #[test]
@@ -375,11 +675,67 @@ mod tests {
     }
 
     #[test]
+    fn arena_merge_matches_chunk_list_merge() {
+        let a = outerspace_gen::uniform::matrix(64, 64, 600, 17);
+        let b = outerspace_gen::uniform::matrix(64, 64, 600, 18);
+        let a_cc: Csc = a.to_csc();
+        for kind in [MergeKind::Streaming, MergeKind::SortBased, MergeKind::Blocked] {
+            let (pp, _) = multiply(&a_cc, &b).unwrap();
+            let (ap, _) = multiply_arena(&a_cc, &b).unwrap();
+            let (c_list, s_list) = merge(pp, kind);
+            let (c_arena, s_arena) = merge_arena(&ap, kind);
+            assert_eq!(c_list, c_arena, "{kind:?}");
+            assert_eq!(s_list, s_arena, "{kind:?}");
+            let (c_arena_par, s_par) = merge_arena_parallel(&ap, kind, 3);
+            assert_eq!(c_list, c_arena_par, "{kind:?} parallel");
+            assert_eq!(s_list.output_entries, s_par.output_entries, "{kind:?} parallel");
+        }
+    }
+
+    #[test]
     fn merge_stats_byte_accounting() {
         let mut pp = PartialProducts::new(1, 4);
         pp.push_chunk(0, chunk(&[(0, 1.0), (1, 2.0)]));
         let (_, stats) = merge(pp, MergeKind::Streaming);
         assert_eq!(stats.bytes_read, 24);
         assert_eq!(stats.bytes_written, 24);
+    }
+
+    #[test]
+    fn capacity_hint_caps_at_dense_and_saturates() {
+        // Intermediate smaller than dense: the intermediate bounds output.
+        assert_eq!(output_capacity_hint(100, 64, 64), 100);
+        // Collision-heavy intermediate larger than dense: dense bounds it.
+        assert_eq!(output_capacity_hint(10_000, 8, 8), 64);
+        // u32::MAX² must not overflow usize arithmetic on any target.
+        let h = output_capacity_hint(usize::MAX, Index::MAX, Index::MAX);
+        assert_eq!(h, (Index::MAX as usize).saturating_mul(Index::MAX as usize));
+    }
+
+    #[test]
+    fn worst_offender_many_tiny_chunks_single_row() {
+        // The re-allocation worst case found in the audit: one row fed by
+        // thousands of one-entry chunks. Before the capacity hint, `merge`
+        // grew its output arrays through ~log2(n) full copies; the hint
+        // (total_entries = 4000, under the dense cap) sizes them once.
+        let n_chunks = 4000u32;
+        let mut pp = PartialProducts::new(1, n_chunks);
+        for c in 0..n_chunks {
+            pp.push_chunk(0, chunk(&[(c, 1.0)]));
+        }
+        assert_eq!(
+            output_capacity_hint(pp.total_entries(), pp.nrows(), pp.ncols()),
+            n_chunks as usize
+        );
+        for kind in [MergeKind::Streaming, MergeKind::SortBased, MergeKind::Blocked] {
+            let mut pp = PartialProducts::new(1, n_chunks);
+            for c in 0..n_chunks {
+                pp.push_chunk(0, chunk(&[(c, 1.0)]));
+            }
+            let (c, stats) = merge(pp, kind);
+            assert_eq!(c.nnz(), n_chunks as usize, "{kind:?}");
+            assert_eq!(stats.output_entries, u64::from(n_chunks), "{kind:?}");
+            assert_eq!(stats.collisions, 0, "{kind:?}");
+        }
     }
 }

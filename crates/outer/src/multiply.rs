@@ -6,11 +6,13 @@
 //! every fetched non-zero contributes to output — the two properties (§4)
 //! that distinguish the outer-product method from inner-product SpGEMM.
 
-use std::sync::atomic::{AtomicU32, Ordering};
-
 use outerspace_sparse::{Csc, Csr, Index, SparseError};
 
 use crate::chunks::{Chunk, MultiplyStats, PartialProducts};
+use crate::worksteal::WorkStealQueues;
+
+/// Outer products per work-stealing batch (matches the arena path).
+const MULTIPLY_GRAIN: u32 = 8;
 
 /// Runs the multiply phase sequentially in CR mode: `A` in CC format, `B`
 /// in CR format (§4's required layouts), producing row-major partial
@@ -29,14 +31,19 @@ pub fn multiply(a: &Csc, b: &Csr) -> Result<(PartialProducts, MultiplyStats), Sp
     Ok((pp, stats))
 }
 
-/// Runs the multiply phase with `n_threads` workers pulling outer products
-/// from a shared greedy work counter — the scheduling model the paper
-/// assumes for its PEs (§6).
+/// Runs the multiply phase with `n_threads` workers over work-stealing
+/// k-ranges (see [`crate::worksteal`]) — pre-split spans with tail-half
+/// stealing instead of the old shared greedy counter, so workers stop
+/// contending on one cache line per outer product.
 ///
-/// Each worker buffers `(row, chunk)` pairs locally; a cheap single-threaded
-/// pass then groups chunks by result row. (On real OuterSPACE hardware the
-/// grouping is free: chunks land in per-row linked lists via atomic pointer
-/// bumps. The software grouping pass stands in for that and is O(#chunks).)
+/// Each worker buffers `(k, row, chunk)` records locally; a single-threaded
+/// pass then replays all records in k-ascending order. Every `k` is owned by
+/// exactly one worker and records within a `k` keep column order, so the
+/// grouped result is **identical to the sequential [`multiply`]** for every
+/// thread count — the schedule cannot leak into the output. (On real
+/// OuterSPACE hardware the grouping is free: chunks land in per-row linked
+/// lists via atomic pointer bumps. The software pass stands in for that and
+/// is O(#chunks log #k).)
 ///
 /// # Errors
 ///
@@ -52,44 +59,48 @@ pub fn multiply_parallel(
 ) -> Result<(PartialProducts, MultiplyStats), SparseError> {
     assert!(n_threads > 0, "need at least one thread");
     check_shapes(a, b)?;
-    let next_k = AtomicU32::new(0);
-    let n = a.ncols();
+    let queues = WorkStealQueues::split(a.ncols(), n_threads);
 
-    let mut worker_outputs: Vec<(Vec<(Index, Chunk)>, MultiplyStats)> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..n_threads)
-                .map(|_| {
-                    let next_k = &next_k;
-                    scope.spawn(move || {
-                        let mut local: Vec<(Index, Chunk)> = Vec::new();
-                        let mut stats = MultiplyStats::default();
-                        loop {
-                            let k = next_k.fetch_add(1, Ordering::Relaxed);
-                            if k >= n {
-                                break;
-                            }
+    // One (k, row, chunk) record list plus local stats per worker.
+    type WorkerOutput = (Vec<(Index, Index, Chunk)>, MultiplyStats);
+    let worker_outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|me| {
+                let queues = &queues;
+                scope.spawn(move || {
+                    let mut local: Vec<(Index, Index, Chunk)> = Vec::new();
+                    let mut stats = MultiplyStats::default();
+                    while let Some((lo, hi)) = queues.take(me, MULTIPLY_GRAIN) {
+                        for k in lo..hi {
                             outer_product(a, b, k, &mut stats, |i, chunk| {
-                                local.push((i, chunk));
+                                local.push((k, i, chunk));
                             });
                         }
-                        (local, stats)
-                    })
+                    }
+                    (local, stats)
                 })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
 
-    let mut pp = PartialProducts::new(a.nrows(), b.ncols());
+    let mut records: Vec<(Index, Index, Chunk)> = Vec::new();
     let mut stats = MultiplyStats::default();
-    for (chunks, s) in worker_outputs.drain(..) {
+    for (chunks, s) in worker_outputs {
         stats.elementary_products += s.elementary_products;
         stats.chunks += s.chunks;
         stats.nonempty_outer_products += s.nonempty_outer_products;
         stats.bytes_read += s.bytes_read;
         stats.bytes_written += s.bytes_written;
-        for (i, chunk) in chunks {
-            pp.push_chunk(i, chunk);
-        }
+        records.extend(chunks);
+    }
+    // Stable sort on k alone: one worker owns all of a k's records (already
+    // in column order), so equal-k order is preserved and the replay below
+    // reproduces the exact sequential push sequence.
+    records.sort_by_key(|&(k, ..)| k);
+    let mut pp = PartialProducts::new(a.nrows(), b.ncols());
+    for (_, i, chunk) in records {
+        pp.push_chunk(i, chunk);
     }
     Ok((pp, stats))
 }
@@ -202,19 +213,21 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matches_sequential_up_to_chunk_order() {
+    fn parallel_matches_sequential_exactly() {
+        // Not just up to chunk order: the k-ordered replay makes the
+        // parallel intermediate identical to the sequential one.
         let (a, b) = fig2_like();
         let (pp_seq, s_seq) = multiply(&a, &b).unwrap();
-        let (pp_par, s_par) = multiply_parallel(&a, &b, 3).unwrap();
-        assert_eq!(s_seq.elementary_products, s_par.elementary_products);
-        assert_eq!(s_seq.chunks, s_par.chunks);
-        for i in 0..pp_seq.nrows() {
-            let mut seq: Vec<_> = pp_seq.row_chunks(i).to_vec();
-            let mut par: Vec<_> = pp_par.row_chunks(i).to_vec();
-            let key = |c: &Chunk| (c.cols.clone(), c.vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
-            seq.sort_by_key(key);
-            par.sort_by_key(key);
-            assert_eq!(seq, par, "row {i}");
+        for threads in [1, 2, 3, 5] {
+            let (pp_par, s_par) = multiply_parallel(&a, &b, threads).unwrap();
+            assert_eq!(s_seq, s_par, "{threads} threads");
+            for i in 0..pp_seq.nrows() {
+                assert_eq!(
+                    pp_seq.row_chunks(i),
+                    pp_par.row_chunks(i),
+                    "row {i}, {threads} threads"
+                );
+            }
         }
     }
 

@@ -2,9 +2,12 @@
 
 use outerspace_sparse::{ops, Csc, Csr, SparseError};
 
+use crate::arena::{multiply_arena, multiply_arena_parallel};
 use crate::chunks::{MultiplyStats, PartialProducts};
 use crate::convert::{csr_to_csc_via_outer, ConversionStats};
-use crate::merge::{merge, merge_parallel, MergeKind, MergeStats};
+use crate::merge::{
+    merge, merge_arena, merge_arena_parallel, merge_parallel, MergeKind, MergeStats,
+};
 use crate::multiply::{multiply, multiply_parallel};
 
 /// Everything measured during one outer-product SpGEMM run.
@@ -69,7 +72,63 @@ pub fn spgemm_with_stats(
     Ok((c, SpGemmReport { conversion, multiply: mul, merge: mrg, intermediate_bytes }))
 }
 
-/// Computes `C = A × B` with `n_threads` greedy workers in both phases.
+/// [`spgemm_with_stats`] on the arena fast path: the multiply phase writes
+/// scaled chunks straight into a flat arena (six allocations total instead
+/// of one per chunk) and the chosen merge reads slice pairs out of it.
+/// Produces results bitwise-identical to the chunk-list pipeline.
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
+pub fn spgemm_arena(
+    a: &Csr,
+    b: &Csr,
+    kind: MergeKind,
+) -> Result<(Csr, SpGemmReport), SparseError> {
+    ops::check_spgemm_dims((a.nrows(), a.ncols()), (b.nrows(), b.ncols()))?;
+    let (a_cc, conversion) = csr_to_csc_via_outer(a);
+    let (ap, mul) = multiply_arena(&a_cc, b)?;
+    let intermediate_bytes = ap.memory_footprint_bytes();
+    let (c, mrg) = merge_arena(&ap, kind);
+    Ok((c, SpGemmReport { conversion, multiply: mul, merge: mrg, intermediate_bytes }))
+}
+
+/// The full software fast path: arena multiply + cache-blocked merge
+/// ([`MergeKind::Blocked`]). Shorthand for
+/// `spgemm_arena(a, b, MergeKind::Blocked)`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
+pub fn spgemm_blocked(a: &Csr, b: &Csr) -> Result<(Csr, SpGemmReport), SparseError> {
+    spgemm_arena(a, b, MergeKind::Blocked)
+}
+
+/// The parallel software fast path: work-stealing arena multiply +
+/// work-stealing blocked merge. Deterministic — the result is
+/// byte-identical to [`spgemm_blocked`] for every thread count.
+///
+/// # Errors
+///
+/// Returns [`SparseError::ShapeMismatch`] if `a.ncols() != b.nrows()`.
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0`.
+pub fn spgemm_arena_parallel(
+    a: &Csr,
+    b: &Csr,
+    n_threads: usize,
+) -> Result<(Csr, SpGemmReport), SparseError> {
+    ops::check_spgemm_dims((a.nrows(), a.ncols()), (b.nrows(), b.ncols()))?;
+    let (a_cc, conversion) = csr_to_csc_via_outer(a);
+    let (ap, mul) = multiply_arena_parallel(&a_cc, b, n_threads)?;
+    let intermediate_bytes = ap.memory_footprint_bytes();
+    let (c, mrg) = merge_arena_parallel(&ap, MergeKind::Blocked, n_threads);
+    Ok((c, SpGemmReport { conversion, multiply: mul, merge: mrg, intermediate_bytes }))
+}
+
+/// Computes `C = A × B` with `n_threads` work-stealing workers in both phases.
 ///
 /// # Errors
 ///
@@ -190,6 +249,38 @@ mod tests {
             report.merge.output_entries,
             report.multiply.elementary_products - report.merge.collisions
         );
+    }
+
+    #[test]
+    fn arena_paths_are_bitwise_identical_to_chunk_list_path() {
+        let (a, b) = random_pair(96, 1000, 55);
+        let (c_list, r_list) = spgemm_with_stats(&a, &b, MergeKind::Streaming).unwrap();
+        let (c_arena, r_arena) = spgemm_arena(&a, &b, MergeKind::Streaming).unwrap();
+        let (c_blocked, _) = spgemm_blocked(&a, &b).unwrap();
+        let (c_par, _) = spgemm_arena_parallel(&a, &b, 4).unwrap();
+        assert_eq!(c_list, c_arena);
+        assert_eq!(c_list, c_blocked);
+        assert_eq!(c_list, c_par);
+        assert_eq!(r_list.multiply, r_arena.multiply);
+        assert_eq!(r_list.merge, r_arena.merge);
+        // The arena drops the per-chunk Vec bookkeeping, so its recorded
+        // intermediate footprint must come in under the chunk lists'.
+        assert!(r_arena.intermediate_bytes < r_list.intermediate_bytes);
+    }
+
+    #[test]
+    fn arena_report_identities_hold() {
+        let (a, b) = random_pair(64, 500, 77);
+        for report in [
+            spgemm_blocked(&a, &b).unwrap().1,
+            spgemm_arena_parallel(&a, &b, 3).unwrap().1,
+        ] {
+            assert_eq!(report.merge.bytes_read, report.multiply.bytes_written);
+            assert_eq!(
+                report.merge.output_entries,
+                report.multiply.elementary_products - report.merge.collisions
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Range-splitting work-stealing queues for the software kernel phases.
+//!
+//! The multi-threaded multiply/merge/elementwise paths used to pull work
+//! items one at a time from a single shared greedy counter — the scheduling
+//! model the paper assumes for its PEs (§6), but a measured contention point
+//! in software: every worker hammers one cache line per item. This module
+//! replaces the counter with the classic range-stealing discipline (the same
+//! shape `rayon`'s join splitter and the `dse` sweep executor use, kept
+//! std-only here):
+//!
+//! * the item range `0..n` is pre-split into one contiguous span per worker;
+//! * a worker takes *grain*-sized batches off the **head** of its own span —
+//!   contention-free in the common case, since nobody else touches that span
+//!   until it runs dry;
+//! * an idle worker scans the other spans round-robin and steals the **tail
+//!   half** of the first non-empty victim, deposits it as its new span, and
+//!   continues locally.
+//!
+//! Each span sits behind its own [`Mutex`]; the lock is uncontended except
+//! at steal time, and steals are `O(log n)` per worker by the halving
+//! argument. Output determinism is the *caller's* job: batches identify the
+//! items they cover, so callers reassemble results in item order and the
+//! schedule (who ran what) never leaks into the result — the property the
+//! work-stealing determinism regression tests pin.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A half-open span of work items.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    lo: u32,
+    hi: u32,
+}
+
+impl Span {
+    fn len(self) -> u32 {
+        self.hi - self.lo
+    }
+}
+
+/// Per-worker spans over `0..n` with tail-half stealing.
+#[derive(Debug)]
+pub struct WorkStealQueues {
+    spans: Vec<Mutex<Span>>,
+    steals: AtomicU64,
+}
+
+impl WorkStealQueues {
+    /// Pre-splits `0..n` into `workers` contiguous spans (the first
+    /// `n % workers` spans get one extra item).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn split(n: u32, workers: usize) -> WorkStealQueues {
+        assert!(workers > 0, "need at least one worker");
+        let per = n / workers as u32;
+        let extra = n % workers as u32;
+        let mut spans = Vec::with_capacity(workers);
+        let mut lo = 0u32;
+        for w in 0..workers as u32 {
+            let len = per + u32::from(w < extra);
+            spans.push(Mutex::new(Span { lo, hi: lo + len }));
+            lo += len;
+        }
+        WorkStealQueues { spans, steals: AtomicU64::new(0) }
+    }
+
+    /// Takes the next batch (at most `grain` items) for worker `me`: from
+    /// the head of its own span, or — when that is dry — by stealing the
+    /// tail half of another worker's span. Returns `None` only when every
+    /// span is empty *at the moment of the scan* (a worker still chewing on
+    /// a batch it already took is unaffected: batches are removed from the
+    /// spans when taken, so every item is handed out exactly once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not a valid worker index or `grain == 0`.
+    pub fn take(&self, me: usize, grain: u32) -> Option<(u32, u32)> {
+        assert!(grain > 0, "grain must be positive");
+        // Fast path: the head of my own span. Uncontended unless a thief is
+        // simultaneously halving my tail, and even then we touch opposite
+        // ends of the range.
+        {
+            let mut own = lock(&self.spans[me]);
+            if own.len() > 0 {
+                let lo = own.lo;
+                own.lo = lo + grain.min(own.len());
+                return Some((lo, own.lo));
+            }
+        }
+        // Steal path: scan victims round-robin starting after me. Copy the
+        // stolen half out *before* touching my own span again — holding two
+        // span locks at once could deadlock with a symmetric thief.
+        for off in 1..self.spans.len() {
+            let victim = (me + off) % self.spans.len();
+            let stolen = {
+                let mut v = lock(&self.spans[victim]);
+                let remaining = v.len();
+                if remaining == 0 {
+                    continue;
+                }
+                let take = remaining.div_ceil(2);
+                let mid = v.hi - take;
+                let stolen = Span { lo: mid, hi: v.hi };
+                v.hi = mid;
+                stolen
+            };
+            self.steals.fetch_add(1, Ordering::Relaxed);
+            let mut own = lock(&self.spans[me]);
+            // My span is empty (nobody deposits into another worker's span),
+            // so overwriting it cannot discard work.
+            debug_assert_eq!(own.len(), 0);
+            *own = stolen;
+            let lo = own.lo;
+            own.lo = lo + grain.min(own.len());
+            return Some((lo, own.lo));
+        }
+        None
+    }
+
+    /// Number of successful steals so far (diagnostic; used by tests to
+    /// prove stealing actually engages under imbalance).
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
+fn lock(m: &Mutex<Span>) -> std::sync::MutexGuard<'_, Span> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Runs `work(worker_index, item)` for every item of `0..n` across
+/// `n_threads` scoped workers with tail-half stealing. `work` must be
+/// schedule-independent (results keyed by item, not by arrival order) for
+/// the output to be deterministic.
+pub fn for_each_stolen<F>(n: u32, n_threads: usize, grain: u32, work: F) -> u64
+where
+    F: Fn(usize, u32) + Sync,
+{
+    let queues = WorkStealQueues::split(n, n_threads);
+    std::thread::scope(|scope| {
+        for me in 0..n_threads {
+            let queues = &queues;
+            let work = &work;
+            scope.spawn(move || {
+                while let Some((lo, hi)) = queues.take(me, grain) {
+                    for item in lo..hi {
+                        work(me, item);
+                    }
+                }
+            });
+        }
+    });
+    queues.steals()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn split_covers_range_exactly_once_single_worker() {
+        let q = WorkStealQueues::split(10, 1);
+        let mut seen = Vec::new();
+        while let Some((lo, hi)) = q.take(0, 3) {
+            seen.extend(lo..hi);
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(q.steals(), 0);
+    }
+
+    #[test]
+    fn every_item_handed_out_exactly_once_under_stealing() {
+        const N: u32 = 10_000;
+        let counts: Vec<AtomicU32> = (0..N).map(|_| AtomicU32::new(0)).collect();
+        for_each_stolen(N, 4, 16, |_, item| {
+            counts[item as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn imbalanced_load_triggers_steals() {
+        // All the expensive items sit in worker 0's span; the others must
+        // steal to help or the test would serialize.
+        const N: u32 = 64;
+        let steals = for_each_stolen(N, 4, 1, |_, item| {
+            if item < N / 4 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        });
+        assert!(steals > 0, "no steals despite a 4x imbalanced span");
+    }
+
+    #[test]
+    fn empty_range_yields_no_batches() {
+        let q = WorkStealQueues::split(0, 3);
+        for me in 0..3 {
+            assert!(q.take(me, 8).is_none());
+        }
+    }
+
+    #[test]
+    fn degenerate_more_workers_than_items() {
+        const N: u32 = 3;
+        let counts: Vec<AtomicU32> = (0..N).map(|_| AtomicU32::new(0)).collect();
+        for_each_stolen(N, 8, 4, |_, item| {
+            counts[item as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+}

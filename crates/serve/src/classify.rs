@@ -191,9 +191,14 @@ impl Classifier {
             Op::Spgemm { .. } if p.nnz <= self.sim_nnz_cap => "sim",
             Op::Spmv { .. } if p.nnz <= self.sim_nnz_cap => "sim_spmv",
             Op::Spgemm { .. } => match class {
-                WorkloadClass::Skewed => "outer_par",
+                // The work-stealing arena path: skew is exactly what range
+                // stealing rebalances (hub columns make uneven k-spans).
+                WorkloadClass::Skewed => "outer_ws_par",
                 WorkloadClass::Regular => "mkl_gustavson_par",
-                WorkloadClass::Uniform | WorkloadClass::Tiny => "cusparse_hash",
+                // Flat row lengths keep the cache-blocked merge's dense
+                // accumulator hot — the fastest sequential outer path in the
+                // kernels bench (see bench_results/BENCH_kernels.json).
+                WorkloadClass::Uniform | WorkloadClass::Tiny => "outer_blocked",
             },
             Op::Spmv { .. } => match class {
                 WorkloadClass::Regular => "mkl_spmv_densified",
@@ -217,9 +222,9 @@ impl Classifier {
         // Preferred kernel is tripped: the class's software kernel.
         let software = match op {
             Op::Spgemm { .. } => match route.class {
-                WorkloadClass::Skewed => "outer_par",
+                WorkloadClass::Skewed => "outer_ws_par",
                 WorkloadClass::Regular => "mkl_gustavson_par",
-                WorkloadClass::Uniform | WorkloadClass::Tiny => "cusparse_hash",
+                WorkloadClass::Uniform | WorkloadClass::Tiny => "outer_blocked",
             },
             Op::Spmv { .. } => match route.class {
                 WorkloadClass::Regular => "mkl_spmv_densified",
@@ -267,7 +272,7 @@ mod tests {
         assert_eq!(cl.route(&tiny, false).kernel, CHEAPEST_SPGEMM);
         let big = op_for(outerspace_gen::rmat::graph500(512, 60_000, 2));
         assert_eq!(cl.route(&big, true).kernel, CHEAPEST_SPGEMM);
-        assert_eq!(cl.route(&big, false).kernel, "outer_par");
+        assert_eq!(cl.route(&big, false).kernel, "outer_ws_par");
     }
 
     #[test]
@@ -288,8 +293,8 @@ mod tests {
         let op = op_for(outerspace_gen::uniform::matrix(512, 512, 6_000, 3));
         assert_eq!(cl.route_avoiding(&op, false, &[]).kernel, "sim");
         let blocked = vec!["sim".to_string()];
-        assert_eq!(cl.route_avoiding(&op, false, &blocked).kernel, "cusparse_hash");
-        let both = vec!["sim".to_string(), "cusparse_hash".to_string()];
+        assert_eq!(cl.route_avoiding(&op, false, &blocked).kernel, "outer_blocked");
+        let both = vec!["sim".to_string(), "outer_blocked".to_string()];
         assert_eq!(cl.route_avoiding(&op, false, &both).kernel, CHEAPEST_SPGEMM);
         // SpMV falls the same ladder.
         let a = Arc::new(outerspace_gen::uniform::matrix(512, 512, 6_000, 3));
