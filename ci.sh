@@ -28,7 +28,7 @@ trap 'rm -rf "$HERMETIC_CARGO_HOME" "$SMOKE_OUT"' EXIT
 ./target/release/runall --smoke --out "$SMOKE_OUT"
 grep -q '"harness": "smoke_fault"' "$SMOKE_OUT/runall.json"
 grep -A6 '"harness": "smoke_fault"' "$SMOKE_OUT/runall.json" | grep -q '"panicked": 1'
-for artifact in fig03 fig07 fig12 ablations kernels runall; do
+for artifact in fig03 fig07 fig12 fig_sparch ablations kernels runall; do
     test -s "$SMOKE_OUT/$artifact.json"
 done
 
@@ -46,9 +46,22 @@ if BENCH_INJECT_SLOWDOWN="multiply_arena:100000" \
     exit 1
 fi
 
+echo "==> fig_sparch --smoke (machine-model frontier: deterministic artifact)"
+SPARCH_OUT="$(mktemp -d)"
+trap 'rm -rf "$HERMETIC_CARGO_HOME" "$SMOKE_OUT" "$SPARCH_OUT"' EXIT
+# The OuterSPACE-vs-SpArch head-to-head must produce its frontier artifact
+# with both machines present, and two runs at the same scale + seed must be
+# byte-identical (no wall-clock leaks into the frontier file).
+./target/release/fig_sparch --smoke --out "$SPARCH_OUT/a"
+./target/release/fig_sparch --smoke --out "$SPARCH_OUT/b"
+test -s "$SPARCH_OUT/a/fig_sparch_frontier.json"
+grep -q '"machine": "outer_space"' "$SPARCH_OUT/a/fig_sparch_frontier.json"
+grep -q '"machine": "sparch"' "$SPARCH_OUT/a/fig_sparch_frontier.json"
+diff "$SPARCH_OUT/a/fig_sparch_frontier.json" "$SPARCH_OUT/b/fig_sparch_frontier.json"
+
 echo "==> oracle (clean differential sweep at tiny scale)"
 ORACLE_OUT="$(mktemp -d)"
-trap 'rm -rf "$HERMETIC_CARGO_HOME" "$SMOKE_OUT" "$ORACLE_OUT"' EXIT
+trap 'rm -rf "$HERMETIC_CARGO_HOME" "$SMOKE_OUT" "$SPARCH_OUT" "$ORACLE_OUT"' EXIT
 # Every implementation vs the reference across all case families: must agree
 # everywhere (set -e enforces exit 0) and leave no repro directory behind.
 ./target/release/oracle --seeds 32 --scale 48 \
@@ -79,7 +92,7 @@ diff "$ORACLE_OUT/replay1.txt" "$ORACLE_OUT/replay2.txt"
 
 echo "==> dse --smoke (deterministic sweep + memo-cache gate)"
 DSE_OUT="$(mktemp -d)"
-trap 'rm -rf "$HERMETIC_CARGO_HOME" "$SMOKE_OUT" "$ORACLE_OUT" "$DSE_OUT"' EXIT
+trap 'rm -rf "$HERMETIC_CARGO_HOME" "$SMOKE_OUT" "$SPARCH_OUT" "$ORACLE_OUT" "$DSE_OUT"' EXIT
 # First run simulates every point of the bundled 64-point smoke grid; a
 # second run with the same seed must (a) serve every point from the
 # content-addressed cache (0 re-simulations) and (b) regenerate the Pareto
@@ -95,7 +108,7 @@ diff "$DSE_OUT/first_pareto.json" "$DSE_OUT/a/dse_smoke_pareto.json"
 
 echo "==> serve --chaos (faults + overload: no panics, no hangs, airtight accounting)"
 SERVE_OUT="$(mktemp -d)"
-trap 'rm -rf "$HERMETIC_CARGO_HOME" "$SMOKE_OUT" "$ORACLE_OUT" "$DSE_OUT" "$SERVE_OUT"' EXIT
+trap 'rm -rf "$HERMETIC_CARGO_HOME" "$SMOKE_OUT" "$SPARCH_OUT" "$ORACLE_OUT" "$DSE_OUT" "$SERVE_OUT"' EXIT
 # The chaos preset injects accelerator faults, panicking and stalling kernels,
 # and drives 2x overload through the bounded queue. The binary asserts the
 # accounting identity and zero late deliveries itself (exit 2 on violation);

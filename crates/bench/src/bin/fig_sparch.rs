@@ -1,0 +1,28 @@
+//! Thin CLI wrapper; the study body lives in
+//! [`outerspace_bench::harnesses::fig_sparch`] so `runall` can drive the
+//! same code in-process with crash isolation and `--resume` checkpointing.
+//!
+//! Accepts one extra flag beyond the shared harness options: `--smoke`
+//! multiplies the workload divisor by the harness's smoke scale — the
+//! tiny-scale determinism gate `ci.sh` reruns and diffs.
+
+use outerspace_bench::harnesses::fig_sparch;
+use outerspace_bench::{HarnessOpts, USAGE};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
+    let mut opts = match HarnessOpts::parse(args, fig_sparch::DEFAULTS) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE} [--smoke]");
+            std::process::exit(2);
+        }
+    };
+    if smoke {
+        opts.scale = opts.scale.saturating_mul(fig_sparch::SMOKE_SCALE);
+    }
+    fig_sparch::run(&opts);
+}

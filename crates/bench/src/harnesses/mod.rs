@@ -19,6 +19,7 @@ pub mod fig04;
 pub mod fig06;
 pub mod fig07;
 pub mod fig12;
+pub mod fig_sparch;
 pub mod kernels;
 pub mod sec43;
 pub mod sec73;
@@ -52,6 +53,12 @@ pub const ALL: &[Harness] = &[
     Harness { name: table5::NAME, defaults: table5::DEFAULTS, smoke_scale: 64, run: table5::run },
     Harness { name: table6::NAME, defaults: table6::DEFAULTS, smoke_scale: 32, run: table6::run },
     Harness { name: fig12::NAME, defaults: fig12::DEFAULTS, smoke_scale: 64, run: fig12::run },
+    Harness {
+        name: fig_sparch::NAME,
+        defaults: fig_sparch::DEFAULTS,
+        smoke_scale: fig_sparch::SMOKE_SCALE,
+        run: fig_sparch::run,
+    },
     Harness { name: sec73::NAME, defaults: sec73::DEFAULTS, smoke_scale: 64, run: sec73::run },
     Harness { name: sec43::NAME, defaults: sec43::DEFAULTS, smoke_scale: 16, run: sec43::run },
     Harness { name: sec8::NAME, defaults: sec8::DEFAULTS, smoke_scale: 32, run: sec8::run },

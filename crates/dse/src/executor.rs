@@ -9,10 +9,10 @@
 //! 1. `validate()`s its config — invalid corners of the space are *skipped*,
 //!    not fatal;
 //! 2. probes the cache under its content address — a hit costs one hash;
-//! 3. on a miss, synthesizes the workload and runs convert + multiply +
-//!    merge through `sim::engine` with cycle breakdowns, prices the design
-//!    with the Table 6 area/power model, and appends the metrics to the
-//!    cache.
+//! 3. on a miss, synthesizes the workload and runs the configured machine
+//!    model's phase pipeline (`sim::model::for_kind`) with cycle breakdowns,
+//!    prices the design with the Table 6 area/power model, and appends the
+//!    metrics to the cache.
 //!
 //! Outcomes are returned sorted by point index, and every metric is a pure
 //! function of (config, workload, seed) — so a re-run with the same seed
@@ -25,9 +25,7 @@ use std::sync::Mutex;
 
 use outerspace_energy::AreaPowerModel;
 use outerspace_json::{Json, ToJson};
-use outerspace_sim::phases::merge::{self, RowMergeInfo};
-use outerspace_sim::phases::{convert, multiply};
-use outerspace_sim::{alloc, SimReport};
+use outerspace_sim::{alloc, model, SimReport};
 
 use crate::cache::{key_material, SimCache};
 use crate::spec::DsePoint;
@@ -186,35 +184,18 @@ fn simulate_point(point: &DsePoint, seed: u64) -> Result<Json, String> {
     let cfg = &point.config;
     let a = point.workload.generate(seed)?;
 
-    // The full three-phase pipeline, mirroring `Simulator::spgemm` but
-    // through the `_with_breakdown` entry points so utilization comes along.
-    let (a_cc, conv_soft) = outerspace_outer::csr_to_csc_via_outer(&a);
-    let convert_stats = if conv_soft.skipped_symmetric {
-        None
-    } else {
-        Some(convert::simulate_convert(cfg, &a).map_err(|e| e.to_string())?)
-    };
-    let (mult_stats, layout, mult_bd) =
-        multiply::simulate_multiply_with_breakdown(cfg, &a_cc, &a).map_err(|e| e.to_string())?;
-    let (pp, _) = outerspace_outer::multiply(&a_cc, &a).map_err(|e| e.to_string())?;
-    let (c, _) = outerspace_outer::merge(pp, outerspace_outer::MergeKind::Streaming);
-    let rows: Vec<RowMergeInfo> = (0..layout.nrows())
-        .map(|i| {
-            let produced: u64 = layout.row(i).iter().map(|ch| ch.len as u64).sum();
-            let out = c.row_nnz(i) as u64;
-            RowMergeInfo {
-                out_len: out as u32,
-                collisions: produced.saturating_sub(out) as u32,
-            }
-        })
-        .collect();
-    let (merge_stats, merge_bd) =
-        merge::simulate_merge_with_breakdown(cfg, &layout, &rows).map_err(|e| e.to_string())?;
+    // The machine model owns the phase pipeline (OuterSPACE: convert +
+    // tiled multiply + streaming merge; SpArch: condensed multiply + merge
+    // tree), so one executor serves every swept machine.
+    let pipe = model::for_kind(cfg.machine)
+        .spgemm(cfg, &a, &a)
+        .map_err(|e| e.to_string())?;
+    let (c, mult_bd, merge_bd) = (pipe.c, pipe.multiply_breakdown, pipe.merge_breakdown);
 
     let report = SimReport {
-        convert: convert_stats,
-        multiply: mult_stats,
-        merge: merge_stats,
+        convert: pipe.convert,
+        multiply: pipe.multiply,
+        merge: pipe.merge,
         config: cfg.clone(),
     };
 
@@ -260,7 +241,7 @@ fn simulate_point(point: &DsePoint, seed: u64) -> Result<Json, String> {
     ];
 
     if let Some(alpha) = point.alpha {
-        let reports = alloc::analyze(&a_cc, &a, &[alpha]);
+        let reports = alloc::analyze(&a.to_csc(), &a, &[alpha]);
         let r = reports.first().ok_or("alloc::analyze returned nothing")?;
         pairs.push((
             "alloc".to_string(),

@@ -8,7 +8,7 @@
 //! beyond `u32`, so a malformed spec fails loudly at expansion time instead
 //! of wrapping inside the simulator.
 
-use outerspace_sim::OuterSpaceConfig;
+use outerspace_sim::{MachineKind, OuterSpaceConfig};
 
 /// Every sweepable knob name, in the order reports list them.
 pub const KNOBS: &[&str] = &[
@@ -36,6 +36,9 @@ pub const KNOBS: &[&str] = &[
     "l0_hit_cycles",
     "l1_hit_cycles",
     "xbar_cycles",
+    "machine_model",
+    "merge_tree_ways",
+    "sparch_mul_pes",
     "system_scale",
 ];
 
@@ -99,6 +102,17 @@ pub fn apply(cfg: &mut OuterSpaceConfig, knob: &str, v: f64) -> Result<(), Strin
         "l0_hit_cycles" => cfg.l0_hit_cycles = as_u64(knob, v)?,
         "l1_hit_cycles" => cfg.l1_hit_cycles = as_u64(knob, v)?,
         "xbar_cycles" => cfg.xbar_cycles = as_u64(knob, v)?,
+        "machine_model" => {
+            if !v.is_finite() {
+                return Err(format!("knob 'machine_model': {v} is not finite"));
+            }
+            // A numeric axis like every other knob: < 0.5 selects the
+            // OuterSPACE baseline, anything else the SpArch analog.
+            cfg.machine =
+                if v < 0.5 { MachineKind::OuterSpace } else { MachineKind::SpArch };
+        }
+        "merge_tree_ways" => cfg.merge_tree_ways = as_u32(knob, v)?,
+        "sparch_mul_pes" => cfg.sparch_mul_pes = as_u32(knob, v)?,
         "system_scale" => {
             let s = as_u32(knob, v)?;
             match s {
@@ -153,6 +167,20 @@ mod tests {
         let mut c64 = base.clone();
         apply(&mut c64, "system_scale", 64.0).unwrap();
         assert_eq!(c64, base.torus(16));
+    }
+
+    #[test]
+    fn machine_model_knob_switches_machines() {
+        let mut cfg = OuterSpaceConfig::default();
+        apply(&mut cfg, "machine_model", 1.0).unwrap();
+        assert_eq!(cfg.machine, MachineKind::SpArch);
+        apply(&mut cfg, "machine_model", 0.0).unwrap();
+        assert_eq!(cfg.machine, MachineKind::OuterSpace);
+        apply(&mut cfg, "merge_tree_ways", 16.0).unwrap();
+        apply(&mut cfg, "sparch_mul_pes", 32.0).unwrap();
+        assert_eq!(cfg.merge_tree_ways, 16);
+        assert_eq!(cfg.sparch_mul_pes, 32);
+        assert!(apply(&mut cfg, "machine_model", f64::NAN).is_err());
     }
 
     #[test]

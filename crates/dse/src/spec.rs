@@ -27,9 +27,10 @@
 //!   axis (grid axes draw one of their values, `range` axes a uniform
 //!   point), deterministic in the sweep seed.
 //!
-//! Three specs ship with the crate (`SpaceSpec::bundled`): `smoke` (the CI
-//! determinism gate), `sec73_alpha` (the §7.3 allocation-α sweep), and
-//! `sec8_scaling` (the §8 interposer/torus scaling study).
+//! Four specs ship with the crate (`SpaceSpec::bundled`): `smoke` (the CI
+//! determinism gate), `sec73_alpha` (the §7.3 allocation-α sweep),
+//! `sec8_scaling` (the §8 interposer/torus scaling study), and
+//! `sparch_vs_ospace` (the OuterSPACE-vs-SpArch machine-model frontier).
 
 use outerspace_gen::{powerlaw, rmat, suite, uniform, Rng, SmallRng};
 use outerspace_json::{Json, ToJson};
@@ -347,19 +348,21 @@ impl SpaceSpec {
     }
 
     /// The specs bundled with the crate: `smoke`, `sec73_alpha`,
-    /// `sec8_scaling`.
+    /// `sec8_scaling`, `sparch_vs_ospace`.
     pub fn bundled(name: &str) -> Option<SpaceSpec> {
         let text = match name {
             "smoke" => include_str!("../specs/smoke.json"),
             "sec73_alpha" => include_str!("../specs/sec73_alpha.json"),
             "sec8_scaling" => include_str!("../specs/sec8_scaling.json"),
+            "sparch_vs_ospace" => include_str!("../specs/sparch_vs_ospace.json"),
             _ => return None,
         };
         Some(SpaceSpec::parse_str(text).expect("bundled specs are valid"))
     }
 
     /// Names of the bundled specs.
-    pub const BUNDLED: &'static [&'static str] = &["smoke", "sec73_alpha", "sec8_scaling"];
+    pub const BUNDLED: &'static [&'static str] =
+        &["smoke", "sec73_alpha", "sec8_scaling", "sparch_vs_ospace"];
 
     /// Expands the spec into concrete points.
     ///

@@ -26,7 +26,7 @@
 
 use outerspace_json::impl_to_json;
 use outerspace_sim::engine::CycleBreakdown;
-use outerspace_sim::{OuterSpaceConfig, PhaseStats, SimReport};
+use outerspace_sim::{MachineKind, OuterSpaceConfig, PhaseStats, SimReport};
 
 /// The activity factors Table 6's dynamic-power terms consume: how hard
 /// each component actually works. One value of this type fully determines
@@ -55,6 +55,23 @@ impl ActivityFactors {
             l0_accesses_per_cycle: 6.8,
             l1_accesses_per_cycle: 0.55,
             bw_utilization: 0.6,
+        }
+    }
+
+    /// Suite-average activity for `kind` when no measured report exists.
+    /// OuterSPACE uses the paper's Table 6 assumptions; the SpArch analog
+    /// touches its small condensed working set less (fewer, wider streams
+    /// through L0/L1) but keeps HBM hotter — partials stream to and from
+    /// DRAM instead of parking in per-tile caches.
+    pub fn defaults_for(kind: MachineKind) -> Self {
+        match kind {
+            MachineKind::OuterSpace => Self::paper_defaults(),
+            MachineKind::SpArch => ActivityFactors {
+                pe_busy: 0.9,
+                l0_accesses_per_cycle: 4.0,
+                l1_accesses_per_cycle: 0.3,
+                bw_utilization: 0.8,
+            },
         }
     }
 
@@ -190,9 +207,16 @@ impl AreaPowerModel {
         }
     }
 
-    /// Number of cores in the system: PEs plus one LCP per tile plus the CCP.
+    /// Number of cores in the system. OuterSPACE: PEs plus one LCP per tile
+    /// plus the CCP. SpArch: the condensed-multiply PEs, one comparator node
+    /// per internal merge-tree level fan-in (`ways − 1`), and a control core.
     fn n_cores(cfg: &OuterSpaceConfig) -> u64 {
-        cfg.total_pes() + cfg.n_tiles as u64 + 1
+        match cfg.machine {
+            MachineKind::OuterSpace => cfg.total_pes() + cfg.n_tiles as u64 + 1,
+            MachineKind::SpArch => {
+                cfg.sparch_mul_pes as u64 + (cfg.merge_tree_ways as u64).saturating_sub(1) + 1
+            }
+        }
     }
 
     /// Area of one banked cache instance of `kb` kilobytes.
@@ -209,7 +233,7 @@ impl AreaPowerModel {
     pub fn table6(&self, cfg: &OuterSpaceConfig, report: Option<&SimReport>) -> Table6 {
         let activity = match report {
             Some(r) => ActivityFactors::from_report(cfg, r),
-            None => ActivityFactors::paper_defaults(),
+            None => ActivityFactors::defaults_for(cfg.machine),
         };
         self.table6_with_activity(cfg, &activity)
     }
@@ -247,6 +271,15 @@ impl AreaPowerModel {
 
         let hbm_power = self.hbm_idle_w + self.hbm_active_w * bw_util;
 
+        // SpArch has no swizzle-switch crossbars: its comparator array is
+        // already counted in the core row, so the crossbar row zeroes out.
+        let (xbar_area, xbar_power) = match cfg.machine {
+            MachineKind::OuterSpace => {
+                (self.xbar_area_mm2, self.xbar_power_w * pe_busy.max(0.5))
+            }
+            MachineKind::SpArch => (0.0, 0.0),
+        };
+
         Table6 {
             components: vec![
                 ComponentEstimate {
@@ -266,8 +299,8 @@ impl AreaPowerModel {
                 },
                 ComponentEstimate {
                     name: "All crossbars".into(),
-                    area_mm2: Some(self.xbar_area_mm2),
-                    power_w: self.xbar_power_w * pe_busy.max(0.5),
+                    area_mm2: Some(xbar_area),
+                    power_w: xbar_power,
                 },
                 ComponentEstimate { name: "Main memory".into(), area_mm2: None, power_w: hbm_power },
             ],
@@ -507,6 +540,38 @@ mod tests {
         );
         assert!(t.total_power_w() > idle.total_power_w());
         assert!(t.total_power_w() < 30.0);
+    }
+
+    #[test]
+    fn sparch_machine_reshapes_the_estimate() {
+        let m = AreaPowerModel::tsmc32nm();
+        let cfg =
+            OuterSpaceConfig { machine: MachineKind::SpArch, ..OuterSpaceConfig::default() };
+        let sparch = m.table6(&cfg, None);
+        let ospace = m.table6(&OuterSpaceConfig::default(), None);
+        // 16 mul PEs + 63 comparators + control ≪ 256 PEs + 17 control
+        // cores, and no crossbar: the SpArch die is markedly smaller (the
+        // shared L0/L1 arrays stay, so the gap is the core estate).
+        assert!(
+            sparch.total_area_mm2() < ospace.total_area_mm2() * 0.7,
+            "sparch {} vs outerspace {}",
+            sparch.total_area_mm2(),
+            ospace.total_area_mm2()
+        );
+        let xbar = |t: &Table6| {
+            t.components.iter().find(|c| c.name.contains("crossbars")).unwrap().power_w
+        };
+        assert_eq!(xbar(&sparch), 0.0);
+        assert!(xbar(&ospace) > 0.0);
+        // Each machine gets its own default activity surface.
+        assert_eq!(
+            ActivityFactors::defaults_for(MachineKind::OuterSpace),
+            ActivityFactors::paper_defaults()
+        );
+        assert_ne!(
+            ActivityFactors::defaults_for(MachineKind::SpArch),
+            ActivityFactors::paper_defaults()
+        );
     }
 
     #[test]

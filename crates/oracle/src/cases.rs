@@ -101,8 +101,27 @@ fn single_dense_row(nrows: Index, ncols: Index, row: Index, seed: u64) -> Csr {
     coo.to_csr()
 }
 
+/// Heavily skewed row lengths: one row holding `wide` entries amid rows
+/// holding exactly one. Condensing such a matrix (the SpArch path) yields
+/// `wide` condensed columns of sharply unequal population, so the Huffman
+/// merge scheduler sees maximally skewed chunk counts — and when `wide`
+/// exceeds the merge-tree width, partial results must spill.
+fn skewed_row_lengths(n: Index, wide: usize, seed: u64) -> Csr {
+    let mut coo = Coo::new(n, n);
+    for c in 0..(wide.min(n as usize) as Index) {
+        let v = 0.5 + ((seed.wrapping_add(c as u64 * 2654435761)) % 1000) as f64 / 1000.0;
+        coo.push(0, c, v);
+    }
+    for r in 1..n {
+        let c = (seed.wrapping_add(r as u64 * 40503) % n as u64) as Index;
+        let v = 0.5 + ((seed.wrapping_add(r as u64 * 2246822519)) % 1000) as f64 / 1000.0;
+        coo.push(r, c, v);
+    }
+    coo.to_csr()
+}
+
 /// The SpGEMM family rotation, indexed by `i % SPGEMM_FAMILIES`.
-pub const SPGEMM_FAMILIES: u64 = 14;
+pub const SPGEMM_FAMILIES: u64 = 15;
 
 /// Generates the `i`-th SpGEMM case for `(base_seed, scale)`.
 pub fn spgemm_case(base_seed: u64, i: u64, scale: u32) -> SpgemmCase {
@@ -197,7 +216,7 @@ pub fn spgemm_case(base_seed: u64, i: u64, scale: u32) -> SpgemmCase {
             banded::circulant(n, 1, seed ^ 0x9e37),
             false,
         ),
-        _ => (
+        13 => (
             // Allocation pressure, large end: a dense column of A against
             // the matching dense row of B makes every result row a single
             // enormous chunk (n entries) — an n² intermediate from n non-zero
@@ -205,6 +224,16 @@ pub fn spgemm_case(base_seed: u64, i: u64, scale: u32) -> SpgemmCase {
             "alloc_one_huge_chunk",
             single_dense_column(n, n, 0, seed),
             single_dense_row(n, n, 0, seed ^ 0x9e37),
+            false,
+        ),
+        _ => (
+            // Skewed chunk counts for the SpArch merge tree: one row wider
+            // than the default tree width (96 > 64 ways, forcing partial
+            // spills at full scale) amid single-entry rows whose condensed
+            // streams merge in one leaf round.
+            "merge_tree_skew",
+            skewed_row_lengths(n, 96, seed),
+            uniform::matrix(n, n, nnz, seed ^ 0x9e37),
             false,
         ),
     };
@@ -295,6 +324,7 @@ mod tests {
             "sparse_empty_rows_cols",
             "alloc_many_tiny_chunks",
             "alloc_one_huge_chunk",
+            "merge_tree_skew",
         ] {
             assert!(families.contains(&needed), "missing family {needed}");
         }
@@ -340,5 +370,11 @@ mod tests {
         assert_eq!(huge.a.nnz(), huge.a.nrows() as usize);
         assert_eq!(huge.b.row(0).0.len(), huge.b.ncols() as usize);
         assert_eq!(huge.b.nnz(), huge.b.ncols() as usize);
+        let skew = spgemm_case(1, 14, 48);
+        let n = skew.a.nrows();
+        assert_eq!(skew.a.row(0).0.len(), 96.min(n as usize), "{}", skew.name);
+        for r in 1..n {
+            assert_eq!(skew.a.row(r).0.len(), 1, "{}", skew.name);
+        }
     }
 }

@@ -147,6 +147,16 @@ pub fn spgemm_impls() -> Vec<SpgemmImpl> {
             },
         },
         SpgemmImpl {
+            name: "sparch_cc",
+            run: |a, b| {
+                // The SpArch-analog functional pipeline: condensed multiply
+                // plus the Huffman-scheduled merge tree, at the default
+                // tree width. Differenced against the same oracle so the
+                // second machine model's dataflow is held to the same bar.
+                outer::spgemm_sparch(a, b).map_err(err)
+            },
+        },
+        SpgemmImpl {
             name: "serve",
             run: |a, b| {
                 // End-to-end through the request service: admission,
@@ -281,7 +291,7 @@ mod tests {
     fn filter_rejects_unknown_names() {
         assert!(filter_impls(spgemm_impls(), Some("outer_streaming,cusp_esc")).unwrap().len() == 2);
         assert!(filter_impls(spgemm_impls(), Some("nope")).is_err());
-        assert_eq!(filter_impls(spgemm_impls(), None).unwrap().len(), 15);
+        assert_eq!(filter_impls(spgemm_impls(), None).unwrap().len(), 16);
     }
 
     #[test]

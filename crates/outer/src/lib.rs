@@ -55,6 +55,7 @@ mod convert;
 mod elementwise;
 mod merge;
 mod multiply;
+mod sparch;
 mod spgemm;
 mod spmv;
 pub mod worksteal;
@@ -68,6 +69,10 @@ pub use merge::{
     MergeKind, MergeStats, MERGE_BLOCK_COLS,
 };
 pub use multiply::{multiply, multiply_parallel};
+pub use sparch::{
+    condense, spgemm_sparch, spgemm_sparch_with_plan, CondensedA, CondensedEntry,
+    SparchMergeOp, SparchPlan, DEFAULT_MERGE_WAYS,
+};
 pub use spgemm::{
     multiply_only, spgemm, spgemm_arena, spgemm_arena_parallel, spgemm_blocked,
     spgemm_cc, spgemm_parallel, spgemm_with_stats, SpGemmReport,

@@ -1,7 +1,54 @@
 //! Simulation parameters — Table 2 of the paper, plus derived quantities,
 //! the fault-injection knobs, and the typed [`ConfigError`] validation.
 
-use outerspace_json::{impl_to_json, Json};
+use outerspace_json::{impl_to_json, Json, ToJson};
+
+/// Which machine model the simulator instantiates (see `crate::model`).
+///
+/// The configuration struct is shared: Table-2 fields parameterize both
+/// designs (clock, HBM, caches), while the `sparch_*`/`merge_tree_*` fields
+/// only matter under [`MachineKind::SpArch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MachineKind {
+    /// The OuterSPACE pipeline: format conversion, tiled outer-product
+    /// multiply into a chunked intermediate, streaming multi-way merge.
+    #[default]
+    OuterSpace,
+    /// The SpArch analog: condensed-A streamed multiply feeding a pipelined
+    /// comparator-array merge tree with a Huffman merge scheduler.
+    SpArch,
+}
+
+impl MachineKind {
+    /// Stable identifier used in JSON artifacts and memo-cache keys.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MachineKind::OuterSpace => "outerspace",
+            MachineKind::SpArch => "sparch",
+        }
+    }
+
+    /// Inverse of [`MachineKind::as_str`].
+    pub fn parse(s: &str) -> Option<MachineKind> {
+        match s {
+            "outerspace" => Some(MachineKind::OuterSpace),
+            "sparch" => Some(MachineKind::SpArch),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for MachineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl ToJson for MachineKind {
+    fn to_json(&self) -> Json {
+        Json::Str(self.as_str().to_string())
+    }
+}
 
 /// A violated configuration invariant, returned by
 /// [`OuterSpaceConfig::validate`] and [`crate::Simulator::new`].
@@ -60,6 +107,14 @@ pub enum ConfigError {
     /// Response drops are enabled but the retry budget or timeout is zero,
     /// so a dropped response could never be recovered.
     BadRetryPolicy,
+    /// SpArch machine parameters out of range: the merge tree needs at
+    /// least two ways and at least one multiplier PE.
+    BadSparchShape {
+        /// Configured merge-tree arity.
+        merge_tree_ways: u32,
+        /// Configured multiplier PE count.
+        sparch_mul_pes: u32,
+    },
     /// More PEs killed than exist in the system.
     TooManyKilledPes {
         /// Requested kill count.
@@ -102,6 +157,13 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::BadRetryPolicy => {
                 write!(f, "response drops enabled but max_retries or timeout_cycles is zero")
+            }
+            ConfigError::BadSparchShape { merge_tree_ways, sparch_mul_pes } => {
+                write!(
+                    f,
+                    "sparch needs >= 2 merge-tree ways and >= 1 multiplier PE, \
+                     got {merge_tree_ways} ways / {sparch_mul_pes} PEs"
+                )
             }
             ConfigError::TooManyKilledPes { kills, total } => {
                 write!(f, "cannot kill {kills} of {total} PEs")
@@ -304,6 +366,16 @@ pub struct OuterSpaceConfig {
     /// switch).
     pub xbar_cycles: u64,
 
+    /// Which machine model to simulate (OuterSPACE by default).
+    pub machine: MachineKind,
+    /// SpArch only: comparator-array merge-tree arity (64-way in the
+    /// paper). Ignored under [`MachineKind::OuterSpace`].
+    pub merge_tree_ways: u32,
+    /// SpArch only: multiplier-array PE count streaming condensed outer
+    /// products (16 in the paper's multiplier array). Ignored under
+    /// [`MachineKind::OuterSpace`].
+    pub sparch_mul_pes: u32,
+
     /// Fault-injection knobs (inert by default).
     pub faults: FaultModel,
 }
@@ -335,6 +407,9 @@ impl Default for OuterSpaceConfig {
             l0_hit_cycles: 2,
             l1_hit_cycles: 10,
             xbar_cycles: 3,
+            machine: MachineKind::OuterSpace,
+            merge_tree_ways: 64,
+            sparch_mul_pes: 16,
             faults: FaultModel::default(),
         }
     }
@@ -365,6 +440,9 @@ impl_to_json!(OuterSpaceConfig {
     l0_hit_cycles,
     l1_hit_cycles,
     xbar_cycles,
+    machine,
+    merge_tree_ways,
+    sparch_mul_pes,
     faults,
 });
 
@@ -411,6 +489,16 @@ impl OuterSpaceConfig {
     /// Seconds represented by `cycles` PE cycles.
     pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
         cycles as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// SpArch merge-tree steady-state throughput in elements per PE cycle.
+    ///
+    /// A `w`-way comparator array retires one merged element per comparator
+    /// column per cycle once the pipeline fills; scaled against the paper's
+    /// 16-way baseline column so the default 64-way tree retires 4
+    /// elements/cycle.
+    pub fn merge_tree_throughput(&self) -> u64 {
+        (self.merge_tree_ways as u64 / 16).max(1)
     }
 
     /// Capacity of a merge scratchpad in 12 B elements — the bound on how
@@ -498,6 +586,14 @@ impl OuterSpaceConfig {
         if self.outstanding_requests == 0 {
             return Err(ConfigError::ZeroQueueCapacity);
         }
+        if self.machine == MachineKind::SpArch
+            && (self.merge_tree_ways < 2 || self.sparch_mul_pes == 0)
+        {
+            return Err(ConfigError::BadSparchShape {
+                merge_tree_ways: self.merge_tree_ways,
+                sparch_mul_pes: self.sparch_mul_pes,
+            });
+        }
         for (knob, p) in [
             ("hbm_ber", self.faults.hbm_ber),
             ("drop_rate", self.faults.drop_rate),
@@ -553,6 +649,15 @@ impl OuterSpaceConfig {
             l0_hit_cycles: u64_of("l0_hit_cycles")?,
             l1_hit_cycles: u64_of("l1_hit_cycles")?,
             xbar_cycles: u64_of("xbar_cycles")?,
+            // Machine-model fields are tolerant like `faults`: artifacts
+            // older than the abstraction decode as the OuterSPACE default.
+            machine: j
+                .get("machine")
+                .and_then(Json::as_str)
+                .and_then(MachineKind::parse)
+                .unwrap_or_default(),
+            merge_tree_ways: u32_of("merge_tree_ways").unwrap_or(64),
+            sparch_mul_pes: u32_of("sparch_mul_pes").unwrap_or(16),
             faults: j.get("faults").map(FaultModel::from_json).unwrap_or_default(),
         })
     }
@@ -761,6 +866,45 @@ mod tests {
         s.faults.ber_silent = 1e-8;
         assert!(s.faults.is_active());
         assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn machine_kind_round_trips_and_gates_validation() {
+        assert_eq!(MachineKind::parse("outerspace"), Some(MachineKind::OuterSpace));
+        assert_eq!(MachineKind::parse("sparch"), Some(MachineKind::SpArch));
+        assert_eq!(MachineKind::parse("tpu"), None);
+        let c = OuterSpaceConfig::default();
+        assert_eq!(c.machine, MachineKind::OuterSpace);
+        assert_eq!(c.merge_tree_throughput(), 4);
+        // The sparch shape constraint only bites under the SpArch machine.
+        let lax = OuterSpaceConfig { merge_tree_ways: 1, ..Default::default() };
+        assert!(lax.validate().is_ok());
+        let strict = OuterSpaceConfig {
+            machine: MachineKind::SpArch,
+            merge_tree_ways: 1,
+            ..Default::default()
+        };
+        assert_eq!(
+            strict.validate(),
+            Err(ConfigError::BadSparchShape { merge_tree_ways: 1, sparch_mul_pes: 16 })
+        );
+        let sparch = OuterSpaceConfig { machine: MachineKind::SpArch, ..Default::default() };
+        assert!(sparch.validate().is_ok());
+        let parsed =
+            outerspace_json::parse(&sparch.to_json().to_string_compact()).unwrap();
+        assert_eq!(OuterSpaceConfig::from_json(&parsed), Some(sparch));
+    }
+
+    #[test]
+    fn config_decode_tolerates_missing_machine_fields() {
+        let c = OuterSpaceConfig::default();
+        let mut j = match c.to_json() {
+            Json::Obj(pairs) => pairs,
+            _ => unreachable!(),
+        };
+        j.retain(|(k, _)| !matches!(k.as_str(), "machine" | "merge_tree_ways" | "sparch_mul_pes"));
+        let back = OuterSpaceConfig::from_json(&Json::Obj(j)).unwrap();
+        assert_eq!(back, c);
     }
 
     #[test]

@@ -13,11 +13,13 @@
 //! attribute every PE cycle: busy, stalled on an L0/L1/HBM completion, or
 //! idle. The result is a hierarchical [`CycleBreakdown`] (per PE class,
 //! plus per-HBM-channel occupancy) — the accounting behind the paper's
-//! Fig. 12 utilization and bandwidth plots. Fault-free runs satisfy
-//! `busy + stalls + idle == makespan × n_pes` exactly (asserted in tests);
-//! under PE-kill injection the reap/requeue path bypasses the script
-//! wrappers, so the breakdown becomes advisory while [`PhaseStats`] stays
-//! exact.
+//! Fig. 12 utilization and bandwidth plots. Every run satisfies
+//! `busy + stalls + idle + lost == makespan × n_pes` exactly (asserted in
+//! tests): the reap/requeue recovery path advances survivor clocks outside
+//! the script wrappers, so those cycles — recovery waits, re-executed
+//! overshoot, and each corpse's dead-silicon tail — land in the explicit
+//! `lost` bucket rather than polluting busy or idle. Fault-free runs have
+//! `lost == 0` and the classic three-way identity.
 //!
 //! [`KernelObserver`] taps the same loop for tracing: the multiply-phase
 //! trace recorder is an observer, and [`EventLog`] serializes every engine
@@ -404,8 +406,15 @@ where
     check_phase_health(phase, cfg, mem, pes)?;
     // Pre-drain attribution: the end-of-phase drain will jump each PE over
     // its remaining completions; classify those jumps now, while the level
-    // annotations are still paired with the queue entries.
+    // annotations are still paired with the queue entries. A corpse is
+    // different: its timeline was rolled back to the kill cycle and its
+    // in-flight responses abandoned, so the jumps its shadow describes
+    // never happen — drop the entries instead of booking phantom stalls.
     for (i, attr) in attrs.iter_mut().enumerate() {
+        if pes.is_dead(i) {
+            attr.shadow.clear();
+            continue;
+        }
         let mut t = pes.pe(i).time;
         while let Some((c, lvl)) = attr.shadow.pop_front() {
             if c > t {
@@ -418,21 +427,33 @@ where
     let makespan = stats.cycles;
     let mut stall = [0u64; 3];
     let mut idle = 0u64;
+    // Recovery waits and re-executed work already tallied by the reaper,
+    // plus each corpse's post-death tail: a dead PE contributes no useful,
+    // stalled, or idle cycles after its kill cycle — that silicon is lost.
+    let mut lost = pes.recovery_lost();
     for (i, attr) in attrs.iter().enumerate() {
         for (acc, s) in stall.iter_mut().zip(attr.stall) {
             *acc += s;
         }
-        idle += attr.idle + makespan.saturating_sub(pes.pe(i).time);
+        let tail = makespan.saturating_sub(pes.pe(i).time);
+        if pes.is_dead(i) {
+            lost += tail;
+            idle += attr.idle;
+        } else {
+            idle += attr.idle + tail;
+        }
     }
     stats.stall_l0_cycles = stall[LEVEL_L0];
     stats.stall_l1_cycles = stall[LEVEL_L1];
     stats.stall_hbm_cycles = stall[LEVEL_HBM];
     stats.idle_pe_cycles = idle;
+    stats.lost_pe_cycles = lost;
     kernel.finish(&mut stats);
 
     let busy = (makespan * n as u64)
         .saturating_sub(stall.iter().sum::<u64>())
-        .saturating_sub(idle);
+        .saturating_sub(idle)
+        .saturating_sub(lost);
     let breakdown = CycleBreakdown {
         pe_class: kernel.pe_class().to_string(),
         n_pes: n as u32,
@@ -442,6 +463,7 @@ where
         stall_l1_cycles: stall[LEVEL_L1],
         stall_hbm_cycles: stall[LEVEL_HBM],
         idle_cycles: idle,
+        lost_cycles: lost,
         channel_busy_cycles: mem.channel_busy(),
     };
     Ok((stats, breakdown))
@@ -489,10 +511,11 @@ fn run_one<K, O>(
 }
 
 /// Hierarchical cycle attribution for one phase: where every PE cycle of
-/// one PE class went, plus per-HBM-channel occupancy. Fault-free phases
-/// satisfy `busy + stall_* + idle == makespan × n_pes` exactly; under PE
-/// kill injection the breakdown is advisory (the reap/requeue recovery path
-/// bypasses the script wrappers).
+/// one PE class went, plus per-HBM-channel occupancy. Every phase satisfies
+/// `busy + stall_* + idle + lost == makespan × n_pes` exactly: PE-kill
+/// recovery (survivor waits, re-executed overshoot, dead-silicon tails) is
+/// routed into [`lost_cycles`](Self::lost_cycles), which is 0 for
+/// fault-free phases.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct CycleBreakdown {
     /// PE class label ("tile_pe", "merge_worker", …).
@@ -511,6 +534,10 @@ pub struct CycleBreakdown {
     pub stall_hbm_cycles: u64,
     /// Cycles idle (pass-dependency gates, post-work tail).
     pub idle_cycles: u64,
+    /// Cycles consumed by PE-kill recovery: survivors waiting for a death
+    /// to become observable, re-executed overshoot and re-issued requests,
+    /// and each corpse's dead-silicon tail. 0 in fault-free runs.
+    pub lost_cycles: u64,
     /// Service cycles booked per HBM pseudo-channel.
     pub channel_busy_cycles: Vec<u64>,
 }
@@ -524,6 +551,7 @@ impl_to_json!(CycleBreakdown {
     stall_l1_cycles,
     stall_hbm_cycles,
     idle_cycles,
+    lost_cycles,
     channel_busy_cycles,
 });
 
@@ -711,6 +739,30 @@ mod tests {
         assert!(bd.stall_hbm_cycles > 0, "cold streams must stall on HBM");
         let s = bd.shares();
         assert!((s.busy + s.memory + s.idle - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pe_kill_recovery_lands_in_the_lost_bucket() {
+        let mut c = cfg();
+        c.faults.seed = 11;
+        c.faults.pe_kill_count = 6;
+        c.faults.pe_kill_cycle = 40;
+        let mut mem = MemorySystem::for_multiply(&c);
+        let mut pes = PeArray::new(16, 16, 64);
+        let kernel = crate::phases::StreamKernel::new("engine_test", stream_items(400));
+        let (stats, bd) = run_kernel(&c, &mut mem, &mut pes, kernel).unwrap();
+        assert!(stats.killed_pes > 0, "the kill set must fire");
+        assert!(bd.lost_cycles > 0, "recovery must surface as lost cycles");
+        assert_eq!(
+            bd.busy_cycles + bd.stall_cycles() + bd.idle_cycles + bd.lost_cycles,
+            bd.total_pe_cycles(),
+            "the four-way identity must hold under PE-kill injection"
+        );
+        assert_eq!(stats.lost_pe_cycles, bd.lost_cycles);
+        // Fault-free runs keep the bucket empty.
+        let (s2, bd2) = run_stream(&cfg(), stream_items(400));
+        assert_eq!(bd2.lost_cycles, 0);
+        assert_eq!(s2.lost_pe_cycles, 0);
     }
 
     #[test]

@@ -40,19 +40,20 @@ pub mod faults;
 pub mod layout;
 pub mod machine;
 pub mod mem;
+pub mod model;
 pub mod phases;
 mod stats;
 pub mod trace;
 pub mod xmodels;
 
-pub use config::{ConfigError, FaultModel, OuterSpaceConfig};
+pub use config::{ConfigError, FaultModel, MachineKind, OuterSpaceConfig};
 pub use error::SimError;
 pub use stats::{PhaseStats, SimReport};
 
 use outerspace_outer as outer;
 use outerspace_sparse::{Csc, Csr, SparseVector};
 
-use phases::merge::RowMergeInfo;
+use model::SpgemmPipeline;
 
 /// Seed-stream consumers for silent-corruption application, one per kernel
 /// so identical fault seeds corrupt SpGEMM and SpMV results independently.
@@ -87,10 +88,18 @@ impl Simulator {
         &self.cfg
     }
 
-    /// Simulates `C = A × B` (both CR in, CR out), charging format
-    /// conversion for non-symmetric `A` as the paper's evaluation does
-    /// (§7.1: "we account for format conversion overheads for non-symmetric
-    /// matrices ... to model the worst-case scenario").
+    /// The machine model this simulator runs (selected by
+    /// [`OuterSpaceConfig::machine`]).
+    pub fn machine_model(&self) -> &'static dyn model::MachineModel {
+        model::for_kind(self.cfg.machine)
+    }
+
+    /// Simulates `C = A × B` (both CR in, CR out) on the configured machine
+    /// model. Under [`MachineKind::OuterSpace`] format conversion is
+    /// charged for non-symmetric `A` as the paper's evaluation does (§7.1:
+    /// "we account for format conversion overheads for non-symmetric
+    /// matrices ... to model the worst-case scenario"); under
+    /// [`MachineKind::SpArch`] no conversion phase exists.
     ///
     /// # Errors
     ///
@@ -99,24 +108,20 @@ impl Simulator {
     /// [`SimError::MemoryFailure`], [`SimError::WatchdogTimeout`]) when the
     /// configured [`FaultModel`] overwhelms the machine.
     pub fn spgemm(&self, a: &Csr, b: &Csr) -> Result<(Csr, SimReport), SimError> {
-        // Reject malformed operands before simulating (and charging) the
-        // conversion phase — the same guard every software kernel uses.
+        // Reject malformed operands before simulating (and charging) any
+        // phase — the same guard every software kernel uses.
         outerspace_sparse::ops::check_spgemm_dims(
             (a.nrows(), a.ncols()),
             (b.nrows(), b.ncols()),
         )
         .map_err(outerspace_sparse::SparseError::from)?;
-        let (a_cc, conv_soft) = outer::csr_to_csc_via_outer(a);
-        let convert = if conv_soft.skipped_symmetric {
-            None
-        } else {
-            Some(phases::convert::simulate_convert(&self.cfg, a)?)
-        };
-        self.spgemm_preconverted(&a_cc, b, convert)
+        let pipe = self.machine_model().spgemm(&self.cfg, a, b)?;
+        Ok(self.deliver(pipe))
     }
 
-    /// Simulates `C = A × B` with `A` already in CC format (no conversion
-    /// charged) — the steady state of chained multiplications (§4.3).
+    /// Simulates `C = A × B` with `A` already in the machine's preferred
+    /// operand format (no preprocessing charged) — the steady state of
+    /// chained multiplications (§4.3).
     ///
     /// # Errors
     ///
@@ -127,43 +132,22 @@ impl Simulator {
         a: &Csc,
         b: &Csr,
     ) -> Result<(Csr, SimReport), SimError> {
-        self.spgemm_preconverted(a, b, None)
+        let pipe = self.machine_model().spgemm_preconverted(&self.cfg, a, b)?;
+        Ok(self.deliver(pipe))
     }
 
-    fn spgemm_preconverted(
-        &self,
-        a_cc: &Csc,
-        b: &Csr,
-        convert: Option<PhaseStats>,
-    ) -> Result<(Csr, SimReport), SimError> {
-        // Functional execution (the result and per-row merge shapes).
-        let (pp, _) = outer::multiply(a_cc, b)?;
-        let (c, _) = outer::merge(pp, outer::MergeKind::Streaming);
-
-        // Timing.
-        let (multiply, intermediate) =
-            phases::multiply::simulate_multiply(&self.cfg, a_cc, b)?;
-        let rows: Vec<RowMergeInfo> = (0..intermediate.nrows())
-            .map(|i| {
-                let produced: u64 =
-                    intermediate.row(i).iter().map(|ch| ch.len as u64).sum();
-                let out = c.row_nnz(i) as u64;
-                RowMergeInfo {
-                    out_len: out as u32,
-                    collisions: produced.saturating_sub(out) as u32,
-                }
-            })
-            .collect();
-        let merge = phases::merge::simulate_merge(&self.cfg, &intermediate, &rows)?;
-
-        let mut c = c;
+    /// Wraps a machine-model pipeline into the delivered result: builds the
+    /// [`SimReport`] and materializes any silently-corrupted reads in the
+    /// functional values.
+    fn deliver(&self, pipe: SpgemmPipeline) -> (Csr, SimReport) {
+        let SpgemmPipeline { mut c, convert, multiply, merge, .. } = pipe;
         let report = SimReport { convert, multiply, merge, config: self.cfg.clone() };
         self.apply_silent_corruption(
             c.values_mut(),
             report.silent_corruptions(),
             SILENT_CONSUMER_SPGEMM,
         );
-        Ok((c, report))
+        (c, report)
     }
 
     /// Materializes ECC-escaped bit flips in the functional result: the

@@ -100,6 +100,12 @@ pub struct PeArray {
     pub requeued: u64,
     /// PEs reaped so far.
     pub killed: u32,
+    /// Cycles consumed by reap/requeue recovery: the survivor's wait for a
+    /// death to become observable plus the re-executed overshoot and
+    /// re-issued abandoned requests. These cycles advance survivor
+    /// timelines outside the engine's script wrappers, so the engine folds
+    /// them into an explicit `lost` bucket instead of `busy`.
+    lost: u64,
 }
 
 impl PeArray {
@@ -115,6 +121,7 @@ impl PeArray {
             any_kills: false,
             requeued: 0,
             killed: 0,
+            lost: 0,
         }
     }
 
@@ -179,6 +186,10 @@ impl PeArray {
                 self.requeued += 1;
                 // Re-issue of the abandoned requests plus redone compute;
                 // recovery cannot begin before the death is observable.
+                // Both the wait and the re-execution are recovery overhead,
+                // tallied so the engine can attribute them as lost cycles.
+                self.lost += at.saturating_sub(self.pes[s].time);
+                self.lost += overshoot + abandoned;
                 self.pes[s].wait_until(at);
                 self.pes[s].advance(overshoot + abandoned);
             }
@@ -296,6 +307,18 @@ impl PeArray {
     pub fn total_busy(&self) -> u64 {
         self.pes.iter().map(|p| p.busy).sum()
     }
+
+    /// Whether PE `idx` has been reaped. Its timeline is frozen at the kill
+    /// cycle, so its post-death tail is dead silicon, not idle time.
+    pub fn is_dead(&self, idx: usize) -> bool {
+        self.dead[idx]
+    }
+
+    /// Recovery cycles accumulated by [`reap`](Self::reap) so far (0 in any
+    /// kill-free run).
+    pub fn recovery_lost(&self) -> u64 {
+        self.lost
+    }
 }
 
 #[cfg(test)]
@@ -379,6 +402,10 @@ mod tests {
         // The corpse is frozen at its kill cycle and never selected again.
         assert_eq!(arr.pe_mut(0).time, 50);
         assert_eq!(arr.try_earliest_pe_in_group(0), Some(1));
+        // Recovery overhead is tallied: the survivor idled 50 cycles until
+        // the death was observable, then redid 30 + 1 cycles of work.
+        assert!(arr.is_dead(0) && !arr.is_dead(1));
+        assert_eq!(arr.recovery_lost(), 50 + 30 + 1);
     }
 
     #[test]

@@ -94,6 +94,7 @@ pub fn simulate_convert(cfg: &OuterSpaceConfig, a: &Csr) -> Result<PhaseStats, S
     total.stall_l1_cycles += merge.stall_l1_cycles;
     total.stall_hbm_cycles += merge.stall_hbm_cycles;
     total.idle_pe_cycles += merge.idle_pe_cycles;
+    total.lost_pe_cycles += merge.lost_pe_cycles;
     Ok(total)
 }
 

@@ -4,6 +4,7 @@ pub mod convert;
 pub mod elementwise;
 pub mod merge;
 pub mod multiply;
+pub mod sparch;
 pub mod spmv;
 
 use outerspace_json::impl_to_json;
@@ -160,6 +161,7 @@ pub(crate) fn collect_stats(
         stall_l1_cycles: 0,
         stall_hbm_cycles: 0,
         idle_pe_cycles: 0,
+        lost_pe_cycles: 0,
     }
 }
 

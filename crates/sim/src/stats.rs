@@ -55,6 +55,10 @@ pub struct PhaseStats {
     /// PE cycles idle (before first dispatch, between work items, or after
     /// a PE's last item while stragglers finish).
     pub idle_pe_cycles: u64,
+    /// PE cycles lost to hard-failure recovery: survivors waiting for a
+    /// death to become observable, re-executed overshoot, and dead PEs'
+    /// post-kill tails. 0 in fault-free runs.
+    pub lost_pe_cycles: u64,
 }
 
 impl PhaseStats {
@@ -112,6 +116,7 @@ impl PhaseStats {
         self.stall_l1_cycles += o.stall_l1_cycles;
         self.stall_hbm_cycles += o.stall_hbm_cycles;
         self.idle_pe_cycles += o.idle_pe_cycles;
+        self.lost_pe_cycles += o.lost_pe_cycles;
     }
 }
 
@@ -145,6 +150,7 @@ impl_to_json!(PhaseStats {
     stall_l1_cycles,
     stall_hbm_cycles,
     idle_pe_cycles,
+    lost_pe_cycles,
 });
 
 /// Complete report for one simulated kernel invocation.

@@ -12,7 +12,7 @@
 //! golden_cycles -- --nocapture` and paste the printed tables.
 
 use outerspace_gen::{rmat, uniform, vector};
-use outerspace_sim::{OuterSpaceConfig, PhaseStats, Simulator};
+use outerspace_sim::{MachineKind, OuterSpaceConfig, PhaseStats, Simulator};
 
 /// One pinned phase snapshot.
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +79,12 @@ fn check(scenario: &str, phase: &str, s: &PhaseStats, g: &Golden) {
 
 fn sim() -> Simulator {
     Simulator::new(OuterSpaceConfig::default()).expect("default config valid")
+}
+
+fn sparch_sim() -> Simulator {
+    let cfg =
+        OuterSpaceConfig { machine: MachineKind::SpArch, ..OuterSpaceConfig::default() };
+    Simulator::new(cfg).expect("SpArch config valid")
 }
 
 /// Symmetric R-MAT product: conversion skipped, multiply + merge pinned.
@@ -215,6 +221,91 @@ fn golden_spmv() {
             hbm_write_bytes: 13824,
             flops: 821,
             work_items: 820,
+        },
+    );
+}
+
+/// SpArch machine model on the symmetric R-MAT workload: condensed multiply
+/// and merge tree pinned. Same operands as `golden_rmat_spgemm`, so any
+/// cross-machine drift shows up side by side.
+#[test]
+fn golden_sparch_rmat_spgemm() {
+    let g = rmat::graph500(512, 8000, 4);
+    let (_, rep) = sparch_sim().spgemm(&g, &g).unwrap();
+    assert!(rep.convert.is_none(), "SpArch never charges conversion");
+    check(
+        "sparch_rmat",
+        "multiply",
+        &rep.multiply,
+        &Golden {
+            cycles: 147408,
+            l0_hits: 59366,
+            l0_misses: 76339,
+            l1_hits: 12072,
+            l1_misses: 64267,
+            hbm_read_bytes: 4113088,
+            hbm_write_bytes: 8090048,
+            flops: 627471,
+            work_items: 9357,
+        },
+    );
+    check(
+        "sparch_rmat",
+        "merge",
+        &rep.merge,
+        &Golden {
+            cycles: 435057,
+            l0_hits: 39,
+            l0_misses: 127693,
+            l1_hits: 18,
+            l1_misses: 127675,
+            hbm_read_bytes: 8171200,
+            hbm_write_bytes: 2194240,
+            flops: 497054,
+            work_items: 5,
+        },
+    );
+}
+
+/// SpArch machine model on the asymmetric uniform workload: no conversion
+/// phase exists (SpArch consumes CSR directly), unlike the OuterSPACE pin
+/// for the same operands.
+#[test]
+fn golden_sparch_uniform_spgemm() {
+    let a = uniform::matrix(384, 384, 6000, 7);
+    let b = uniform::matrix(384, 384, 6000, 11);
+    let (_, rep) = sparch_sim().spgemm(&a, &b).unwrap();
+    assert!(rep.convert.is_none(), "SpArch never charges conversion");
+    check(
+        "sparch_uniform",
+        "multiply",
+        &rep.multiply,
+        &Golden {
+            cycles: 12251,
+            l0_hits: 7607,
+            l0_misses: 21652,
+            l1_hits: 6666,
+            l1_misses: 14986,
+            hbm_read_bytes: 959104,
+            hbm_write_bytes: 0,
+            flops: 93625,
+            work_items: 6000,
+        },
+    );
+    check(
+        "sparch_uniform",
+        "merge",
+        &rep.merge,
+        &Golden {
+            cycles: 36458,
+            l0_hits: 0,
+            l0_misses: 0,
+            l1_hits: 0,
+            l1_misses: 0,
+            hbm_read_bytes: 0,
+            hbm_write_bytes: 834816,
+            flops: 24059,
+            work_items: 1,
         },
     );
 }
