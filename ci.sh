@@ -39,7 +39,15 @@ echo "==> kernels perf gate (pinned cells vs the smoke trajectory; injected slow
 # retry-to-confirm absorb scheduler noise); a synthetic 100000x slowdown
 # injected into one pinned cell must trip it. See DESIGN.md §14.
 test -s "$SMOKE_OUT/BENCH_kernels.json"
-./target/release/kernels_bench --scale 8 --check --out "$SMOKE_OUT"
+# The gate re-measures wall-clock medians; on a shared/quota-throttled host
+# a noise window can outlast the binary's own retry-to-confirm loop, so CI
+# allows one spaced retry before declaring a regression. A real slowdown
+# (like the injected one below, which is deterministic) fails both attempts.
+if ! ./target/release/kernels_bench --scale 8 --check --out "$SMOKE_OUT"; then
+    echo "# kernels perf gate tripped once; retrying after a quiet period" >&2
+    sleep 60
+    ./target/release/kernels_bench --scale 8 --check --out "$SMOKE_OUT"
+fi
 if BENCH_INJECT_SLOWDOWN="multiply_arena:100000" \
     ./target/release/kernels_bench --scale 8 --check --out "$SMOKE_OUT"; then
     echo "ERROR: perf gate did not flag an injected 100000x slowdown" >&2
@@ -105,6 +113,38 @@ cp "$DSE_OUT/a/dse_smoke_pareto.json" "$DSE_OUT/first_pareto.json"
 ./target/release/dse --smoke --out "$DSE_OUT/b"
 diff "$DSE_OUT/first_pareto.json" "$DSE_OUT/b/dse_smoke_pareto.json"
 diff "$DSE_OUT/first_pareto.json" "$DSE_OUT/a/dse_smoke_pareto.json"
+# The full tier must also reproduce, byte for byte, the Pareto frontier
+# pinned in the repo: the fast tiers may only ever add speed, never perturb
+# the exact tier's results.
+diff crates/dse/tests/golden/smoke_pareto_full.json "$DSE_OUT/a/dse_smoke_pareto.json"
+
+echo "==> dse tiers (trace replay, interval + error bars, dominance abort)"
+# Trace tier: records each schedule neighborhood's multiply trace once,
+# then replays it for every point sharing the schedule. Must satisfy the
+# same smoke assertions, including the accounting identity.
+./target/release/dse --smoke --tier trace --out "$DSE_OUT/trace" \
+    | tee "$DSE_OUT/trace_run.txt"
+grep -q "== 64 points: ok" "$DSE_OUT/trace_run.txt"
+# Interval tier with validation: a deterministic sample is re-run at full
+# fidelity; the held-out half must land within its own error bars.
+./target/release/dse --smoke --tier interval --validate 2 --min-within-bars 0.8 \
+    --out "$DSE_OUT/interval" | tee "$DSE_OUT/interval_run.txt"
+grep -q "== 64 points: ok" "$DSE_OUT/interval_run.txt"
+# Dominance early-abort: with abort rounds enabled the accounting identity
+# (evaluated + aborted + invalid + failed == points) must still partition
+# every point. The kill path itself (a dominated point must abort, and must
+# surface as a counted outcome) is pinned by the executor unit tests above.
+./target/release/dse --smoke --tier interval --abort --out "$DSE_OUT/abort" \
+    | tee "$DSE_OUT/abort_run.txt"
+grep -q "== 64 points: ok" "$DSE_OUT/abort_run.txt"
+
+echo "==> dse interval economics gate (>= 10x points/cpu-hour at <= 5% median cycle error)"
+# The headline acceptance gate, on the bundled OuterSPACE-vs-SpArch space:
+# the interval tier must evaluate >= 10x more points per CPU-hour than the
+# full tier while its validated median |cycle error| stays <= 5%.
+./target/release/dse --space sparch_vs_ospace --tier interval --validate 2 \
+    --min-speedup 10 --max-median-err 0.05 --min-within-bars 0.8 \
+    --out "$DSE_OUT/economics"
 
 echo "==> serve --chaos (faults + overload: no panics, no hangs, airtight accounting)"
 SERVE_OUT="$(mktemp -d)"

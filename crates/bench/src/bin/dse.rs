@@ -7,28 +7,45 @@
 //!
 //! ```text
 //! dse [--space NAME|FILE] [--samples N] [--threads N] [--pareto-out FILE]
-//!     [--cache DIR] [--smoke] [--scale N] [--full] [--seed N] [--out DIR]
-//!     [--resume] [--max-case-secs S]
+//!     [--cache DIR] [--smoke] [--tier full|trace|interval] [--abort]
+//!     [--windows N] [--stride N] [--validate N] [--tiers-out FILE]
+//!     [--min-speedup X] [--max-median-err X] [--min-within-bars X]
+//!     [--scale N] [--full] [--seed N] [--out DIR] [--resume]
+//!     [--max-case-secs S]
 //! ```
 //!
-//! * `--space` — a bundled spec (`smoke`, `sec73_alpha`, `sec8_scaling`) or
-//!   a path to a spec JSON file. Default `smoke`.
+//! * `--space` — a bundled spec (`smoke`, `sec73_alpha`, `sec8_scaling`,
+//!   `sparch_vs_ospace`, `fixtures`) or a path to a spec JSON file.
+//!   Default `smoke`.
 //! * `--samples N` — override the spec's sample count (`0` = full grid).
 //! * `--threads N` — worker threads (default: one per core).
 //! * `--pareto-out FILE` — where the Pareto report goes (default
 //!   `<out>/dse_<spec>_pareto.json`).
 //! * `--cache DIR` — the memo cache directory (default `<out>/dse_cache`).
+//! * `--tier` — evaluation tier: `full` (exact, default), `trace`
+//!   (trace-replay what-if), `interval` (sampled windows with error bars).
+//! * `--abort` — dominance early-abort: kill points whose lower bounds are
+//!   already Pareto-dominated (reported as explicit `aborted` outcomes).
+//! * `--windows N` / `--stride N` — interval-tier sampling parameters.
+//! * `--validate N` — validate every `fnv(index) % N == 0`-th interval
+//!   point against a full-fidelity rerun and write the tier report
+//!   (`--tiers-out`, default `<out>/dse_<spec>_tiers.json`).
+//! * `--min-speedup X`, `--max-median-err X`, `--min-within-bars X` —
+//!   tier gates checked against the tier report; exit 1 on violation.
 //! * `--smoke` — CI gate: run the bundled `smoke` grid unscaled and assert
-//!   it has ≥ 64 points, includes the paper-default config, and produces a
-//!   non-empty frontier; exit 1 on any violation.
+//!   it has ≥ 64 points, includes the paper-default config, produces a
+//!   non-empty frontier, and satisfies the accounting identity
+//!   (evaluated + aborted + invalid + failed == points); exit 1 on any
+//!   violation.
 //!
-//! Exit status: 0 on success, 1 on a failed sweep or smoke assertion, 2 on
-//! a malformed command line.
+//! Exit status: 0 on success, 1 on a failed sweep, smoke assertion, or
+//! tier gate, 2 on a malformed command line.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use outerspace::dse::SpaceSpec;
+use outerspace::dse::{EvalTier, SpaceSpec};
+use outerspace::sim::interval::IntervalOpts;
 use outerspace::sim::OuterSpaceConfig;
 use outerspace_bench::harnesses::dse;
 use outerspace_bench::runner::Runner;
@@ -36,8 +53,10 @@ use outerspace_bench::{HarnessOpts, UsageError};
 use outerspace_json::{Json, ToJson};
 
 const USAGE: &str = "usage: dse [--space NAME|FILE] [--samples N] [--threads N] \
-     [--pareto-out FILE] [--cache DIR] [--smoke] [--scale N] [--full] [--seed N] \
-     [--out DIR] [--resume] [--max-case-secs S]";
+     [--pareto-out FILE] [--cache DIR] [--smoke] [--tier full|trace|interval] \
+     [--abort] [--windows N] [--stride N] [--validate N] [--tiers-out FILE] \
+     [--min-speedup X] [--max-median-err X] [--min-within-bars X] \
+     [--scale N] [--full] [--seed N] [--out DIR] [--resume] [--max-case-secs S]";
 
 struct DseArgs {
     space: String,
@@ -46,6 +65,10 @@ struct DseArgs {
     pareto_out: Option<PathBuf>,
     cache: Option<PathBuf>,
     smoke: bool,
+    tier_run: dse::TierRun,
+    min_speedup: Option<f64>,
+    max_median_err: Option<f64>,
+    min_within_bars: Option<f64>,
     harness: HarnessOpts,
 }
 
@@ -60,27 +83,32 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<DseArgs, UsageE
     let mut pareto_out = None;
     let mut cache = None;
     let mut smoke = false;
+    let mut tier_run = dse::TierRun::default();
+    let mut min_speedup = None;
+    let mut max_median_err = None;
+    let mut min_within_bars = None;
     let mut rest: Vec<String> = Vec::new();
     let mut args = args.into_iter();
+
+    fn next_num<T: std::str::FromStr>(
+        args: &mut impl Iterator<Item = String>,
+        flag: &str,
+        kind: &str,
+    ) -> Result<T, UsageError> {
+        let v = args.next().ok_or_else(|| usage_error(format!("{flag} needs {kind}")))?;
+        v.parse().map_err(|_| usage_error(format!("{flag}: '{v}' is not {kind}")))
+    }
+
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--space" => {
                 space = args.next().ok_or_else(|| usage_error("--space needs a name or file"))?;
             }
             "--samples" => {
-                let v = args
-                    .next()
-                    .ok_or_else(|| usage_error("--samples needs a non-negative integer"))?;
-                samples = Some(v.parse().map_err(|_| {
-                    usage_error(format!("--samples: '{v}' is not a non-negative integer"))
-                })?);
+                samples = Some(next_num(&mut args, "--samples", "a non-negative integer")?);
             }
             "--threads" => {
-                let v =
-                    args.next().ok_or_else(|| usage_error("--threads needs a positive integer"))?;
-                threads = v.parse().map_err(|_| {
-                    usage_error(format!("--threads: '{v}' is not a positive integer"))
-                })?;
+                threads = next_num(&mut args, "--threads", "a positive integer")?;
                 if threads == 0 {
                     return Err(usage_error("--threads must be at least 1"));
                 }
@@ -94,11 +122,68 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<DseArgs, UsageE
                 cache = Some(PathBuf::from(v));
             }
             "--smoke" => smoke = true,
+            "--tier" => {
+                let v = args.next().ok_or_else(|| usage_error("--tier needs a tier name"))?;
+                tier_run.sweep.tier = EvalTier::parse(&v)
+                    .ok_or_else(|| usage_error(format!("--tier: unknown tier '{v}'")))?;
+            }
+            "--abort" => tier_run.sweep.abort = true,
+            "--windows" => {
+                let w: u32 = next_num(&mut args, "--windows", "a positive integer")?;
+                if w == 0 {
+                    return Err(usage_error("--windows must be at least 1"));
+                }
+                tier_run.sweep.interval = IntervalOpts { windows: w, ..tier_run.sweep.interval };
+            }
+            "--stride" => {
+                let s: u32 = next_num(&mut args, "--stride", "a positive integer")?;
+                if s == 0 {
+                    return Err(usage_error("--stride must be at least 1"));
+                }
+                tier_run.sweep.interval = IntervalOpts { stride: s, ..tier_run.sweep.interval };
+            }
+            "--validate" => {
+                tier_run.validate_every =
+                    next_num(&mut args, "--validate", "a positive integer")?;
+                if tier_run.validate_every == 0 {
+                    return Err(usage_error("--validate must be at least 1"));
+                }
+            }
+            "--tiers-out" => {
+                let v = args.next().ok_or_else(|| usage_error("--tiers-out needs a file"))?;
+                tier_run.tiers_path = Some(PathBuf::from(v));
+            }
+            "--min-speedup" => {
+                min_speedup = Some(next_num(&mut args, "--min-speedup", "a number")?);
+            }
+            "--max-median-err" => {
+                max_median_err = Some(next_num(&mut args, "--max-median-err", "a number")?);
+            }
+            "--min-within-bars" => {
+                min_within_bars = Some(next_num(&mut args, "--min-within-bars", "a number")?);
+            }
             other => rest.push(other.to_string()),
         }
     }
     let harness = HarnessOpts::parse(rest, dse::DEFAULTS)?;
-    Ok(DseArgs { space, samples, threads, pareto_out, cache, smoke, harness })
+    if (min_speedup.is_some() || max_median_err.is_some() || min_within_bars.is_some())
+        && tier_run.validate_every == 0
+    {
+        return Err(usage_error("tier gates need --validate N to produce a tier report"));
+    }
+    Ok(DseArgs {
+        space,
+        samples,
+        threads,
+        pareto_out,
+        cache,
+        smoke,
+        tier_run,
+        min_speedup,
+        max_median_err,
+        min_within_bars,
+        harness,
+    })
 }
 
 fn load_spec(name_or_path: &str) -> Result<SpaceSpec, String> {
@@ -111,7 +196,8 @@ fn load_spec(name_or_path: &str) -> Result<SpaceSpec, String> {
 }
 
 fn smoke_gate(row: &Json, points: &[outerspace::dse::DsePoint]) -> Result<(), String> {
-    let n = row.get("points").and_then(Json::as_u64).unwrap_or(0);
+    let u = |k: &str| row.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let n = u("points");
     if n < 64 {
         return Err(format!("smoke sweep has {n} points, needs >= 64"));
     }
@@ -119,12 +205,55 @@ fn smoke_gate(row: &Json, points: &[outerspace::dse::DsePoint]) -> Result<(), St
     if !points.iter().any(|p| p.config_canonical() == default_canon) {
         return Err("smoke space does not include the paper-default config".into());
     }
-    let frontier = row.get("frontier").and_then(Json::as_u64).unwrap_or(0);
+    let frontier = u("frontier");
     if frontier == 0 {
         return Err("smoke sweep produced an empty Pareto frontier".into());
     }
     if row.get("failed").and_then(Json::as_u64).unwrap_or(1) != 0 {
         return Err("smoke sweep had failed points".into());
+    }
+    // Accounting identity: every point is an explicit outcome — evaluated,
+    // aborted, invalid, or failed. Nothing is ever silently skipped.
+    let accounted = u("simulated") + u("cache_hits") + u("aborted") + u("invalid") + u("failed");
+    if accounted != n {
+        return Err(format!("accounting identity violated: {accounted} outcomes != {n} points"));
+    }
+    Ok(())
+}
+
+/// Checks the tier gates against the written tier report.
+fn tier_gates(a: &DseArgs, tiers_path: &std::path::Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(tiers_path)
+        .map_err(|e| format!("read {}: {e}", tiers_path.display()))?;
+    let report = outerspace_json::parse(&text).map_err(|e| format!("parse tier report: {e}"))?;
+    let f = |k: &str| report.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    let v = report.get("validation").ok_or("tier report missing validation block")?;
+    let vf = |k: &str| v.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    if let Some(min) = a.min_speedup {
+        let got = f("speedup_vs_full");
+        if got < min {
+            return Err(format!("speedup {got:.2}x below the required {min:.2}x"));
+        }
+    }
+    if let Some(max) = a.max_median_err {
+        let got = vf("median_abs_err");
+        if got > max {
+            return Err(format!(
+                "median |cycle error| {:.2}% above the allowed {:.2}%",
+                100.0 * got,
+                100.0 * max
+            ));
+        }
+    }
+    if let Some(min) = a.min_within_bars {
+        let got = vf("within_bars_frac");
+        if got < min {
+            return Err(format!(
+                "only {:.0}% of holdout points within their error bars (need {:.0}%)",
+                100.0 * got,
+                100.0 * min
+            ));
+        }
     }
     Ok(())
 }
@@ -156,13 +285,21 @@ fn main() -> ExitCode {
         .clone()
         .unwrap_or_else(|| a.harness.out_dir.join(format!("dse_{}_pareto.json", spec.name)));
     let cache_dir = a.cache.clone().unwrap_or_else(|| dse::cache_dir(&a.harness));
+    let tiers_path = a
+        .tier_run
+        .tiers_path
+        .clone()
+        .unwrap_or_else(|| a.harness.out_dir.join(format!("dse_{}_tiers.json", spec.name)));
+    a.tier_run.tiers_path = Some(tiers_path.clone());
 
     println!(
-        "# dse: space '{}' ({} axes, {} workloads), {} workers",
+        "# dse: space '{}' ({} axes, {} workloads), {} workers, tier {}{}",
         spec.name,
         spec.axes.len(),
         spec.workloads.len(),
-        a.threads
+        a.threads,
+        a.tier_run.sweep.tier.tag(),
+        if a.tier_run.sweep.abort { " + early-abort" } else { "" },
     );
 
     let mut runner = Runner::new("dse", &a.harness);
@@ -170,8 +307,17 @@ fn main() -> ExitCode {
     let case_opts = a.harness.clone();
     let (samples, threads) = (a.samples, a.threads);
     let (case_cache, case_pareto) = (cache_dir.clone(), pareto_path.clone());
+    let case_tier = a.tier_run.clone();
     let row = runner.run_case(&spec.name, move || {
-        dse::sweep_spec(&case_spec, &case_opts, samples, threads, &case_cache, &case_pareto)
+        dse::sweep_spec(
+            &case_spec,
+            &case_opts,
+            samples,
+            threads,
+            &case_cache,
+            &case_pareto,
+            &case_tier,
+        )
     });
     let summary = runner.finalize();
 
@@ -190,6 +336,15 @@ fn main() -> ExitCode {
             Ok(()) => println!("# smoke gate: ok"),
             Err(e) => {
                 eprintln!("error: smoke gate failed: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    if a.tier_run.validate_every > 0 {
+        match tier_gates(&a, &tiers_path) {
+            Ok(()) => println!("# tier gates: ok"),
+            Err(e) => {
+                eprintln!("error: tier gate failed: {e}");
                 return ExitCode::from(1);
             }
         }

@@ -27,7 +27,9 @@ use outerspace_json::Json;
 /// Cache-key salt covering the simulator's semantics. Bump on any change to
 /// the timing, energy, or area models that alters metrics for an unchanged
 /// config + workload, or stale cached metrics will be served as fresh.
-pub const CODE_VERSION: &str = "outerspace-sim-v6";
+/// (v7: evaluation-tier tag joined the key material — full-fidelity results
+/// and fast-path estimates can never alias.)
+pub const CODE_VERSION: &str = "outerspace-sim-v7";
 
 /// 128-bit content hash as 32 hex digits: two independent FNV-1a-64 streams
 /// over the same bytes, decorrelated by distinct offset bases (the second is
@@ -48,18 +50,24 @@ fn fnv128_hex(bytes: &[u8]) -> String {
 ///
 /// `config_canonical` is the compact JSON of the fully-applied config,
 /// `workload_manifest` the compact JSON of
-/// [`WorkloadSpec::manifest`](crate::spec::WorkloadSpec::manifest), and
-/// `alpha` the allocation-α swept alongside (if any).
+/// [`WorkloadSpec::manifest`](crate::spec::WorkloadSpec::manifest),
+/// `alpha` the allocation-α swept alongside (if any), and `tier` the
+/// evaluation tier's tag ([`EvalTier::tag`](crate::tiers::EvalTier::tag)) —
+/// part of the key so a fast-path *estimate* can never be served where a
+/// full-fidelity result was asked for, or vice versa.
 pub fn key_material(
     config_canonical: &str,
     workload_manifest: &str,
     alpha: Option<f64>,
+    tier: &str,
 ) -> String {
     let alpha_tag = match alpha {
         Some(a) => format!("{a}"),
         None => "none".to_string(),
     };
-    format!("{CODE_VERSION}\u{1f}{config_canonical}\u{1f}{workload_manifest}\u{1f}{alpha_tag}")
+    format!(
+        "{CODE_VERSION}\u{1f}tier={tier}\u{1f}{config_canonical}\u{1f}{workload_manifest}\u{1f}{alpha_tag}"
+    )
 }
 
 /// Hashes key material into the content address.
@@ -174,6 +182,12 @@ impl SimCache {
         Ok(SimCache { path, entries, skipped_lines: skipped })
     }
 
+    /// The directory holding the cache file — where sibling content-addressed
+    /// stores (the [`TraceStore`]) live.
+    pub fn dir(&self) -> &Path {
+        self.path.parent().unwrap_or_else(|| Path::new("."))
+    }
+
     /// Number of entries currently held.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -214,6 +228,60 @@ impl SimCache {
     }
 }
 
+/// Content-addressed store for recorded multiply traces (the trace-replay
+/// tier's artifacts). One JSON file per trace neighborhood —
+/// `trace_<hash>.json` beside the memo cache — holding the full key
+/// material (collision-guarded exactly like [`SimCache`]) plus an opaque
+/// payload the tier layer interprets (the serialized
+/// [`MultiplyTrace`](outerspace_sim::trace::MultiplyTrace) and the
+/// neighborhood-baseline stats). Traces are whole-file atomic: a torn write
+/// fails to parse and reads as a miss, forcing a clean re-record.
+#[derive(Debug)]
+pub struct TraceStore {
+    dir: PathBuf,
+}
+
+impl TraceStore {
+    /// A store rooted at `dir` (the cache directory; created on first use).
+    pub fn open(dir: &Path) -> TraceStore {
+        TraceStore { dir: dir.to_path_buf() }
+    }
+
+    fn path_for(&self, material: &str) -> PathBuf {
+        self.dir.join(format!("trace_{}.json", key_of(material)))
+    }
+
+    /// Loads the payload stored under `material`, or `None` on a miss, a
+    /// torn file, or a hash collision whose stored material differs.
+    pub fn load(&self, material: &str) -> Option<Json> {
+        let text = std::fs::read_to_string(self.path_for(material)).ok()?;
+        let j = outerspace_json::parse(&text).ok()?;
+        let stored = j.get("material").and_then(Json::as_str)?;
+        if stored != material {
+            return None;
+        }
+        j.get("payload").cloned()
+    }
+
+    /// Stores `payload` under `material`'s content address (atomic: write
+    /// to a temp file, then rename).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failure creating the directory or writing the file.
+    pub fn store(&self, material: &str, payload: Json) -> io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let doc = Json::Obj(vec![
+            ("material".into(), Json::Str(material.to_string())),
+            ("payload".into(), payload),
+        ]);
+        let path = self.path_for(material);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, doc.to_string_compact())?;
+        std::fs::rename(&tmp, &path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,7 +298,7 @@ mod tests {
     #[test]
     fn round_trips_through_disk() {
         let dir = scratch("rt");
-        let mat = key_material("{\"n_tiles\":16}", "{\"kind\":\"uniform\"}", Some(2.0));
+        let mat = key_material("{\"n_tiles\":16}", "{\"kind\":\"uniform\"}", Some(2.0), "full");
         {
             let mut c = SimCache::open(&dir).unwrap();
             assert!(c.is_empty());
@@ -253,10 +321,10 @@ mod tests {
 
     #[test]
     fn distinct_material_gets_distinct_keys() {
-        let a = key_material("{\"n_tiles\":16}", "{\"seed\":1}", None);
-        let b = key_material("{\"n_tiles\":16}", "{\"seed\":2}", None);
-        let c = key_material("{\"n_tiles\":32}", "{\"seed\":1}", None);
-        let d = key_material("{\"n_tiles\":16}", "{\"seed\":1}", Some(1.0));
+        let a = key_material("{\"n_tiles\":16}", "{\"seed\":1}", None, "full");
+        let b = key_material("{\"n_tiles\":16}", "{\"seed\":2}", None, "full");
+        let c = key_material("{\"n_tiles\":32}", "{\"seed\":1}", None, "full");
+        let d = key_material("{\"n_tiles\":16}", "{\"seed\":1}", Some(1.0), "full");
         let keys = [key_of(&a), key_of(&b), key_of(&c), key_of(&d)];
         for i in 0..keys.len() {
             for j in (i + 1)..keys.len() {
@@ -274,14 +342,63 @@ mod tests {
         let ospace = OuterSpaceConfig::default();
         let sparch =
             OuterSpaceConfig { machine: MachineKind::SpArch, ..OuterSpaceConfig::default() };
-        let m_o = key_material(&ospace.to_json().to_string_compact(), "{}", None);
-        let m_s = key_material(&sparch.to_json().to_string_compact(), "{}", None);
+        let m_o = key_material(&ospace.to_json().to_string_compact(), "{}", None, "full");
+        let m_s = key_material(&sparch.to_json().to_string_compact(), "{}", None, "full");
         assert_ne!(key_of(&m_o), key_of(&m_s));
         // The distinction must come from the config serialization itself,
         // not from the CODE_VERSION salt: strip the salt and the material
         // still differs, so a future salt bump cannot alias the machines.
         let tail = |m: &str| m.split_once('\u{1f}').unwrap().1.to_string();
         assert_ne!(tail(&m_o), tail(&m_s));
+    }
+
+    #[test]
+    fn tiers_are_keyed_alongside_the_config() {
+        use outerspace_json::ToJson;
+        use outerspace_sim::OuterSpaceConfig;
+        // Same config + workload + alpha under different evaluation tiers
+        // must produce different content addresses: an interval-tier
+        // *estimate* can never answer a full-fidelity lookup.
+        let cfg = OuterSpaceConfig::default().to_json().to_string_compact();
+        let wl = "{\"kind\":\"rmat\",\"n\":1024}";
+        let tiers = ["full", "trace", "interval"];
+        let keys: Vec<String> =
+            tiers.iter().map(|t| key_of(&key_material(&cfg, wl, Some(2.0), t))).collect();
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j], "{} vs {}", tiers[i], tiers[j]);
+            }
+        }
+        // And within one tier the config still distinguishes, so the tier
+        // tag narrows the key rather than replacing it.
+        let other = "{\"n_tiles\":4}";
+        assert_ne!(
+            key_of(&key_material(&cfg, wl, Some(2.0), "interval")),
+            key_of(&key_material(other, wl, Some(2.0), "interval")),
+        );
+    }
+
+    #[test]
+    fn trace_store_round_trips_and_guards_material() {
+        let dir = scratch("traces");
+        let store = TraceStore::open(&dir);
+        let mat = key_material("{\"cfg\":1}", "{\"wl\":1}", None, "trace");
+        assert!(store.load(&mat).is_none());
+        store.store(&mat, Json::Obj(vec![("macs".into(), Json::UInt(42))])).unwrap();
+        let back = store.load(&mat).expect("stored payload must load");
+        assert_eq!(back.get("macs").and_then(Json::as_u64), Some(42));
+        // Forge the stored material: the guarded load must miss.
+        let path = dir.join(format!("trace_{}.json", key_of(&mat)));
+        let doc = Json::Obj(vec![
+            ("material".into(), Json::Str("forged".into())),
+            ("payload".into(), Json::UInt(1)),
+        ]);
+        fs::write(&path, doc.to_string_compact()).unwrap();
+        assert!(store.load(&mat).is_none());
+        // A torn file parses as garbage and reads as a miss, not an error.
+        fs::write(&path, "{\"material\":").unwrap();
+        assert!(store.load(&mat).is_none());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -304,7 +421,7 @@ mod tests {
     #[test]
     fn collision_guard_refuses_mismatched_material() {
         let dir = scratch("guard");
-        let mat = key_material("{}", "{}", None);
+        let mat = key_material("{}", "{}", None, "full");
         let mut c = SimCache::open(&dir).unwrap();
         c.insert(&mat, Json::UInt(1)).unwrap();
         // Forge an entry on disk whose key does not hash its material: it
@@ -327,8 +444,8 @@ mod tests {
     #[test]
     fn torn_tail_recovers_earlier_entries() {
         let dir = scratch("torn");
-        let mat_a = key_material("{\"a\":1}", "{}", None);
-        let mat_b = key_material("{\"b\":2}", "{}", None);
+        let mat_a = key_material("{\"a\":1}", "{}", None, "full");
+        let mat_b = key_material("{\"b\":2}", "{}", None, "full");
         {
             let mut c = SimCache::open(&dir).unwrap();
             c.insert(&mat_a, Json::UInt(1)).unwrap();

@@ -1,34 +1,48 @@
 //! The parallel sweep executor: fans expanded [`DsePoint`]s over a
-//! work-stealing pool of worker threads, memoizing every simulated point in
+//! work-stealing pool of worker threads, memoizing every evaluated point in
 //! the [`SimCache`].
 //!
 //! Workers pull point indices from one shared atomic counter (work stealing
 //! without queues: whichever thread frees up takes the next index), so an
 //! expensive point never serializes the sweep behind it. Each point:
 //!
-//! 1. `validate()`s its config — invalid corners of the space are *skipped*,
-//!    not fatal;
-//! 2. probes the cache under its content address — a hit costs one hash;
-//! 3. on a miss, synthesizes the workload and runs the configured machine
-//!    model's phase pipeline (`sim::model::for_kind`) with cycle breakdowns,
-//!    prices the design with the Table 6 area/power model, and appends the
-//!    metrics to the cache.
+//! 1. `validate()`s its config — invalid corners of the space are *counted
+//!    and reported* ([`PointOutcome::Invalid`]), never silently dropped;
+//! 2. probes the cache under its content address (which includes the
+//!    evaluation tier tag) — a hit costs one hash;
+//! 3. on a miss, synthesizes the workload and evaluates it through the
+//!    sweep's [`EvalTier`]: the full phase pipeline, a trace replay, or a
+//!    sampled-window interval estimate (see [`crate::tiers`]), priced by
+//!    the Table 6 area/power model.
+//!
+//! With [`SweepOptions::abort`] set, points run in fixed-size rounds; a
+//! [`FrontierTracker`] frozen during each round supplies dominance abort
+//! thresholds, and points killed by it surface as
+//! [`PointOutcome::Aborted`] — an explicit, counted outcome. The round
+//! barrier keeps the abort decisions (and therefore the whole sweep)
+//! deterministic for a given point order, independent of thread count.
 //!
 //! Outcomes are returned sorted by point index, and every metric is a pure
-//! function of (config, workload, seed) — so a re-run with the same seed
-//! produces byte-identical reports whether the numbers came from the
+//! function of (config, workload, seed, tier) — so a re-run with the same
+//! seed produces byte-identical reports whether the numbers came from the
 //! simulator or from the cache.
 
+use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use outerspace_energy::AreaPowerModel;
 use outerspace_json::{Json, ToJson};
-use outerspace_sim::{alloc, model, SimReport};
+use outerspace_sparse::Csr;
 
-use crate::cache::{key_material, SimCache};
+use crate::cache::{key_material, SimCache, TraceStore};
 use crate::spec::DsePoint;
+use crate::tiers::{self, EvalTier, FrontierTracker, SweepOptions, TierFailure};
+
+/// Points per abort round: long enough to keep every worker busy between
+/// frontier refreshes, short enough that a freshly completed fast point
+/// starts killing dominated stragglers within the same sweep.
+const ABORT_ROUND: usize = 32;
 
 /// What happened to one design point.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +63,14 @@ pub enum PointOutcome {
         /// The validation error.
         reason: String,
     },
+    /// The dominance early-abort killed the point: its lower bound was
+    /// already Pareto-dominated by a completed point of the same workload.
+    Aborted {
+        /// Point index in expansion order.
+        index: usize,
+        /// Why (which bound, against which frontier value).
+        reason: String,
+    },
     /// The simulator returned an error or panicked.
     Failed {
         /// Point index in expansion order.
@@ -64,12 +86,15 @@ impl PointOutcome {
         match *self {
             PointOutcome::Ok { index, .. }
             | PointOutcome::Invalid { index, .. }
+            | PointOutcome::Aborted { index, .. }
             | PointOutcome::Failed { index, .. } => index,
         }
     }
 }
 
-/// Aggregate result of one sweep.
+/// Aggregate result of one sweep. The counters partition the point list:
+/// `cache_hits + simulated + invalid + aborted + failed` always equals the
+/// number of points swept (the accounting identity `ci.sh` asserts).
 #[derive(Debug)]
 pub struct SweepResult {
     /// One outcome per point, sorted by point index.
@@ -80,6 +105,8 @@ pub struct SweepResult {
     pub simulated: usize,
     /// Points skipped because their config failed validation.
     pub invalid: usize,
+    /// Points killed by the dominance early-abort.
+    pub aborted: usize,
     /// Points that errored or panicked.
     pub failed: usize,
 }
@@ -96,40 +123,99 @@ impl SweepResult {
     }
 }
 
-/// Runs every point, fanning across `threads` workers (≥ 1; a value of 0 is
-/// treated as 1). The cache is shared under a mutex — held only around the
-/// lookup and the insert, never across a simulation.
+/// Runs every point at full fidelity, fanning across `threads` workers
+/// (≥ 1; a value of 0 is treated as 1) — [`run_sweep_opts`] with default
+/// [`SweepOptions`]. The cache is shared under a mutex — held only around
+/// the lookup and the insert, never across a simulation.
 pub fn run_sweep(points: &[DsePoint], cache: &mut SimCache, threads: usize) -> SweepResult {
+    run_sweep_opts(points, cache, threads, &SweepOptions::default())
+}
+
+/// [`run_sweep`] with explicit tier routing and early-abort control.
+pub fn run_sweep_opts(
+    points: &[DsePoint],
+    cache: &mut SimCache,
+    threads: usize,
+    opts: &SweepOptions,
+) -> SweepResult {
     let threads = threads.max(1).min(points.len().max(1));
-    let next = AtomicUsize::new(0);
+    let store = TraceStore::open(cache.dir());
     let shared_cache = Mutex::new(&mut *cache);
-    let outcomes_mx: Mutex<Vec<PointOutcome>> = Mutex::new(Vec::with_capacity(points.len()));
+    // Workload synthesis memo, keyed by manifest (generator + shape +
+    // seed): a sweep re-visits each workload once per config combo, and
+    // for the fast tiers generation is a visible share of the per-point
+    // cost. Metrics stay pure functions of the manifest either way.
+    let gen_memo: Mutex<HashMap<String, Arc<Csr>>> = Mutex::new(HashMap::new());
+    let mut outcomes: Vec<PointOutcome> = Vec::with_capacity(points.len());
+    let mut tracker = FrontierTracker::default();
+    let round = if opts.abort {
+        if opts.round > 0 { opts.round } else { ABORT_ROUND }
+    } else {
+        points.len().max(1)
+    };
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= points.len() {
-                    break;
+    let mut start = 0usize;
+    while start < points.len() {
+        let chunk = &points[start..(start + round).min(points.len())];
+        let next = AtomicUsize::new(0);
+        let chunk_mx: Mutex<Vec<PointOutcome>> = Mutex::new(Vec::with_capacity(chunk.len()));
+        let frontier = opts.abort.then_some(&tracker);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(chunk.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= chunk.len() {
+                        break;
+                    }
+                    let outcome = evaluate(
+                        &chunk[i],
+                        &shared_cache,
+                        &gen_memo,
+                        &store,
+                        opts,
+                        frontier,
+                    );
+                    chunk_mx.lock().unwrap().push(outcome);
+                });
+            }
+        });
+        let mut chunk_outcomes = chunk_mx.into_inner().unwrap();
+        chunk_outcomes.sort_by_key(PointOutcome::index);
+        if opts.abort {
+            // The frontier only advances at round barriers, so every point
+            // in a round sees the same (frozen) thresholds regardless of
+            // which worker ran it — abort decisions stay deterministic.
+            for o in &chunk_outcomes {
+                if let PointOutcome::Ok { metrics, .. } = o {
+                    if let Some(p) = chunk.iter().find(|p| p.index == o.index()) {
+                        tracker.record_metrics(p, metrics);
+                    }
                 }
-                let outcome = evaluate(&points[i], &shared_cache);
-                outcomes_mx.lock().unwrap().push(outcome);
-            });
+            }
         }
-    });
+        outcomes.extend(chunk_outcomes);
+        start += chunk.len();
+    }
 
-    let mut outcomes = outcomes_mx.into_inner().unwrap();
     outcomes.sort_by_key(PointOutcome::index);
     let cache_hits =
         outcomes.iter().filter(|o| matches!(o, PointOutcome::Ok { cached: true, .. })).count();
     let simulated =
         outcomes.iter().filter(|o| matches!(o, PointOutcome::Ok { cached: false, .. })).count();
     let invalid = outcomes.iter().filter(|o| matches!(o, PointOutcome::Invalid { .. })).count();
+    let aborted = outcomes.iter().filter(|o| matches!(o, PointOutcome::Aborted { .. })).count();
     let failed = outcomes.iter().filter(|o| matches!(o, PointOutcome::Failed { .. })).count();
-    SweepResult { outcomes, cache_hits, simulated, invalid, failed }
+    SweepResult { outcomes, cache_hits, simulated, invalid, aborted, failed }
 }
 
-fn evaluate(point: &DsePoint, cache: &Mutex<&mut SimCache>) -> PointOutcome {
+fn evaluate(
+    point: &DsePoint,
+    cache: &Mutex<&mut SimCache>,
+    gen_memo: &Mutex<HashMap<String, Arc<Csr>>>,
+    store: &TraceStore,
+    opts: &SweepOptions,
+    frontier: Option<&FrontierTracker>,
+) -> PointOutcome {
     let index = point.index;
     if let Err(e) = point.config.validate() {
         return PointOutcome::Invalid { index, reason: e.to_string() };
@@ -137,15 +223,55 @@ fn evaluate(point: &DsePoint, cache: &Mutex<&mut SimCache>) -> PointOutcome {
     // The workload seed folds in the generator identity via the manifest, so
     // two workloads in one spec get decorrelated streams from one sweep seed.
     let seed = point.workload_seed();
-    let material = key_material(
-        &point.config_canonical(),
-        &point.workload.manifest(seed).to_string_compact(),
-        point.alpha,
-    );
+    let manifest = point.workload.manifest(seed).to_string_compact();
+    let material =
+        key_material(&point.config_canonical(), &manifest, point.alpha, opts.tier.tag());
     if let Some(metrics) = cache.lock().unwrap().lookup(&material) {
         return PointOutcome::Ok { index, metrics: metrics.clone(), cached: true };
     }
-    let sim = panic::catch_unwind(AssertUnwindSafe(|| simulate_point(point, seed)));
+    let memoized = gen_memo.lock().unwrap().get(&manifest).cloned();
+    let a: Arc<Csr> = match memoized {
+        Some(a) => a,
+        None => match point.workload.generate(seed) {
+            Ok(a) => {
+                let a = Arc::new(a);
+                gen_memo.lock().unwrap().insert(manifest.clone(), Arc::clone(&a));
+                a
+            }
+            Err(e) => return PointOutcome::Failed { index, error: e },
+        },
+    };
+
+    // Dominance pre-check on config-only + workload-shape lower bounds: a
+    // point that cannot beat the frozen frontier is never simulated at all.
+    let threshold = frontier.and_then(|t| {
+        t.abort_threshold(
+            &point.workload.label(),
+            tiers::power_floor_w(&point.config),
+            tiers::config_area_mm2(&point.config),
+        )
+    });
+    if let Some(t) = threshold {
+        let floor = tiers::apriori_cycle_floor(&point.config, &a);
+        if floor > t {
+            return PointOutcome::Aborted {
+                index,
+                reason: format!(
+                    "dominated before simulation: cycle floor {floor} > frontier {t}"
+                ),
+            };
+        }
+    }
+
+    let sim = panic::catch_unwind(AssertUnwindSafe(|| match opts.tier {
+        EvalTier::Full => tiers::simulate_full_tier(point, &a).map_err(TierFailure::Error),
+        EvalTier::Trace => {
+            tiers::simulate_trace_tier(point, &a, &manifest, store).map_err(TierFailure::Error)
+        }
+        EvalTier::Interval => {
+            tiers::simulate_interval_tier(point, &a, &opts.interval, threshold)
+        }
+    }));
     match sim {
         Ok(Ok(metrics)) => {
             if let Err(e) = cache.lock().unwrap().insert(&material, metrics.clone()) {
@@ -153,7 +279,13 @@ fn evaluate(point: &DsePoint, cache: &Mutex<&mut SimCache>) -> PointOutcome {
             }
             PointOutcome::Ok { index, metrics, cached: false }
         }
-        Ok(Err(error)) => PointOutcome::Failed { index, error },
+        // Aborted points are never cached: on a later run without (or with a
+        // different) frontier they must be free to evaluate for real.
+        Ok(Err(TierFailure::Aborted { frontier })) => PointOutcome::Aborted {
+            index,
+            reason: format!("dominated mid-simulation at cycle frontier {frontier}"),
+        },
+        Ok(Err(TierFailure::Error(error))) => PointOutcome::Failed { index, error },
         Err(panic) => {
             let msg = panic
                 .downcast_ref::<&str>()
@@ -177,86 +309,6 @@ impl DsePoint {
     }
 }
 
-/// Simulates one point end to end and flattens everything downstream
-/// analysis needs into one deterministic metrics object (fixed key order,
-/// pure function of the inputs).
-fn simulate_point(point: &DsePoint, seed: u64) -> Result<Json, String> {
-    let cfg = &point.config;
-    let a = point.workload.generate(seed)?;
-
-    // The machine model owns the phase pipeline (OuterSPACE: convert +
-    // tiled multiply + streaming merge; SpArch: condensed multiply + merge
-    // tree), so one executor serves every swept machine.
-    let pipe = model::for_kind(cfg.machine)
-        .spgemm(cfg, &a, &a)
-        .map_err(|e| e.to_string())?;
-    let (c, mult_bd, merge_bd) = (pipe.c, pipe.multiply_breakdown, pipe.merge_breakdown);
-
-    let report = SimReport {
-        convert: pipe.convert,
-        multiply: pipe.multiply,
-        merge: pipe.merge,
-        config: cfg.clone(),
-    };
-
-    // Price the design: measured-activity power, config-only area, energy.
-    let model = AreaPowerModel::tsmc32nm();
-    let table6 = model.table6(cfg, Some(&report));
-    let energy = model.energy_report(cfg, &report);
-
-    let mut pairs = vec![
-        ("cycles".to_string(), Json::UInt(report.total_cycles())),
-        ("seconds".to_string(), Json::Float(report.seconds())),
-        ("gflops".to_string(), Json::Float(report.gflops())),
-        ("power_w".to_string(), Json::Float(table6.total_power_w())),
-        ("area_mm2".to_string(), Json::Float(table6.total_area_mm2())),
-        ("energy_j".to_string(), Json::Float(energy.total_j)),
-        ("edp_js".to_string(), Json::Float(energy.energy_delay_js)),
-        ("nj_per_flop".to_string(), Json::Float(energy.nj_per_flop)),
-        (
-            "convert_cycles".to_string(),
-            Json::UInt(report.convert.as_ref().map_or(0, |p| p.cycles)),
-        ),
-        ("multiply_cycles".to_string(), Json::UInt(report.multiply.cycles)),
-        ("merge_cycles".to_string(), Json::UInt(report.merge.cycles)),
-        ("flops".to_string(), Json::UInt(report.flops())),
-        ("hbm_bytes".to_string(), Json::UInt(report.hbm_bytes())),
-        ("result_nnz".to_string(), Json::UInt(c.nnz() as u64)),
-        (
-            "multiply_l0_hit_rate".to_string(),
-            Json::Float(report.multiply.l0_hit_rate()),
-        ),
-        (
-            "multiply_busy_share".to_string(),
-            Json::Float(mult_bd.busy_cycles as f64 / mult_bd.total_pe_cycles().max(1) as f64),
-        ),
-        (
-            "merge_busy_share".to_string(),
-            Json::Float(merge_bd.busy_cycles as f64 / merge_bd.total_pe_cycles().max(1) as f64),
-        ),
-        (
-            "hbm_mean_occupancy".to_string(),
-            Json::Float(mult_bd.mean_channel_occupancy()),
-        ),
-    ];
-
-    if let Some(alpha) = point.alpha {
-        let reports = alloc::analyze(&a.to_csc(), &a, &[alpha]);
-        let r = reports.first().ok_or("alloc::analyze returned nothing")?;
-        pairs.push((
-            "alloc".to_string(),
-            Json::Obj(vec![
-                ("alpha".into(), Json::Float(r.alpha)),
-                ("dynamic_requests".into(), Json::UInt(r.dynamic_requests)),
-                ("static_elements".into(), Json::UInt(r.static_elements)),
-                ("spilled_elements".into(), Json::UInt(r.spilled_elements)),
-                ("wasted_elements".into(), Json::UInt(r.wasted_elements)),
-            ]),
-        ));
-    }
-    Ok(Json::Obj(pairs))
-}
-
 /// Serializes one outcome for reports (fixed field order; `metrics` omitted
 /// for non-`Ok` outcomes).
 pub fn outcome_json(point: &DsePoint, outcome: &PointOutcome) -> Json {
@@ -276,6 +328,10 @@ pub fn outcome_json(point: &DsePoint, outcome: &PointOutcome) -> Json {
         }
         PointOutcome::Invalid { reason, .. } => {
             pairs.push(("status".to_string(), Json::Str("invalid".into())));
+            pairs.push(("reason".to_string(), Json::Str(reason.clone())));
+        }
+        PointOutcome::Aborted { reason, .. } => {
+            pairs.push(("status".to_string(), Json::Str("aborted".into())));
             pairs.push(("reason".to_string(), Json::Str(reason.clone())));
         }
         PointOutcome::Failed { error, .. } => {
@@ -317,7 +373,7 @@ mod tests {
         let first = run_sweep(&points, &mut cache, 2);
         assert_eq!(first.simulated, 2);
         assert_eq!(first.cache_hits, 0);
-        assert_eq!(first.failed + first.invalid, 0);
+        assert_eq!(first.failed + first.invalid + first.aborted, 0);
 
         let mut cache2 = SimCache::open(&dir).unwrap();
         let second = run_sweep(&points, &mut cache2, 2);
@@ -387,5 +443,111 @@ mod tests {
         .unwrap();
         let pts = spec.expand(None, 1).unwrap();
         assert_ne!(pts[0].workload_seed(), pts[1].workload_seed());
+    }
+
+    #[test]
+    fn tiers_cache_separately_and_report_their_blocks() {
+        let dir = scratch("tiers");
+        let points = tiny_spec().expand(None, 9).unwrap();
+        let mut cache = SimCache::open(&dir).unwrap();
+        let full = run_sweep_opts(&points, &mut cache, 2, &SweepOptions::default());
+        assert_eq!(full.simulated, 2);
+
+        // A different tier misses the full tier's entries and re-evaluates.
+        let interval_opts =
+            SweepOptions { tier: EvalTier::Interval, ..SweepOptions::default() };
+        let interval = run_sweep_opts(&points, &mut cache, 2, &interval_opts);
+        assert_eq!(interval.cache_hits, 0, "tiers must not alias in the cache");
+        assert_eq!(interval.simulated, 2);
+        for o in &interval.outcomes {
+            let PointOutcome::Ok { metrics, .. } = o else { panic!("non-ok") };
+            assert!(metrics.get("interval").is_some(), "interval block present");
+            assert!(metrics.get("cycles").is_some());
+        }
+
+        let trace_opts = SweepOptions { tier: EvalTier::Trace, ..SweepOptions::default() };
+        let trace = run_sweep_opts(&points, &mut cache, 2, &trace_opts);
+        assert_eq!(trace.cache_hits, 0);
+        assert_eq!(trace.simulated, 2);
+        for o in &trace.outcomes {
+            let PointOutcome::Ok { metrics, .. } = o else { panic!("non-ok") };
+            assert!(metrics.get("trace").is_some(), "trace block present");
+        }
+
+        // Re-running each tier is now all hits, tier by tier.
+        let mut cache2 = SimCache::open(&dir).unwrap();
+        for o in [&SweepOptions::default(), &interval_opts, &trace_opts] {
+            let again = run_sweep_opts(&points, &mut cache2, 2, o);
+            assert_eq!(again.cache_hits, 2, "{:?} rerun must hit", o.tier);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn abort_accounting_identity_holds_and_is_thread_independent() {
+        // Point 0 is the paper default: fast and cheap. The monster point
+        // (huge L0 leakage floor + 200x HBM latency) is strictly dominated
+        // once point 0 completes — its zero-activity power floor already
+        // exceeds point 0's measured power, its area is larger, and its
+        // cycles blow past point 0's mid-estimate — so it must abort.
+        let dir = scratch("abort");
+        let spec = SpaceSpec::parse_str(
+            r#"{"name":"t","axes":[
+                {"knob":"hbm_latency_max_ns","values":[100.0,20000.0]},
+                {"knob":"l0_multiply_bytes","values":[16384.0,16777216.0]}],
+              "workloads":[{"kind":"uniform","n":96,"nnz":900}]}"#,
+        )
+        .unwrap();
+        let points = spec.expand(None, 9).unwrap();
+        let opts = SweepOptions {
+            abort: true,
+            round: 1,
+            tier: EvalTier::Interval,
+            interval: outerspace_sim::interval::IntervalOpts { windows: 16, stride: 1 },
+        };
+        let mut reference: Option<Vec<String>> = None;
+        for threads in [1usize, 4] {
+            let tdir = scratch(&format!("abort-{threads}"));
+            let mut cache = SimCache::open(&tdir).unwrap();
+            let r = run_sweep_opts(&points, &mut cache, threads, &opts);
+            assert_eq!(
+                r.cache_hits + r.simulated + r.invalid + r.aborted + r.failed,
+                points.len(),
+                "accounting identity"
+            );
+            let summary: Vec<String> = r
+                .outcomes
+                .iter()
+                .map(|o| match o {
+                    PointOutcome::Ok { index, metrics, .. } => format!(
+                        "{index}:ok:{}",
+                        metrics.get("cycles").and_then(Json::as_u64).unwrap()
+                    ),
+                    PointOutcome::Invalid { index, .. } => format!("{index}:invalid"),
+                    PointOutcome::Aborted { index, .. } => format!("{index}:aborted"),
+                    PointOutcome::Failed { index, error } => {
+                        format!("{index}:failed:{error}")
+                    }
+                })
+                .collect();
+            assert!(r.aborted >= 1, "the dominated monster point must abort");
+            match &reference {
+                None => reference = Some(summary),
+                Some(first) => {
+                    assert_eq!(first, &summary, "abort outcomes depend on thread count")
+                }
+            }
+            let _ = fs::remove_dir_all(&tdir);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aborted_points_are_explicit_not_silent() {
+        let p = tiny_spec().expand(None, 9).unwrap().remove(0);
+        let o = PointOutcome::Aborted { index: p.index, reason: "dominated".into() };
+        let j = outcome_json(&p, &o);
+        assert_eq!(j.get("status").and_then(Json::as_str), Some("aborted"));
+        assert_eq!(j.get("reason").and_then(Json::as_str), Some("dominated"));
     }
 }

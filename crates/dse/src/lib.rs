@@ -13,11 +13,17 @@
 //!   `smoke` grid, the §7.3 `sec73_alpha` sweep, and the §8 `sec8_scaling`
 //!   study.
 //! * [`executor`] — a work-stealing parallel sweep over the expanded
-//!   points; each point runs all three phases through `sim::engine` with
-//!   cycle breakdowns and is priced by the Table 6 area/power model.
+//!   points; each point runs through the sweep's evaluation tier and is
+//!   priced by the Table 6 area/power model.
+//! * [`tiers`] — tiered fast-path evaluation: full-fidelity simulation,
+//!   trace-replay what-if within config neighborhoods, and sampled-window
+//!   interval estimation with validated error bars, plus the dominance
+//!   early-abort that kills Pareto-dominated points mid-flight (explicitly
+//!   counted, never silent).
 //! * [`cache`] — content-addressed memoization keyed on (code-version salt,
-//!   canonical config, workload manifest, α): re-runs only simulate points
-//!   whose inputs changed, and a crash mid-sweep costs at most one point.
+//!   evaluation tier, canonical config, workload manifest, α): re-runs only
+//!   simulate points whose inputs changed, a crash mid-sweep costs at most
+//!   one point, and a fast-path estimate can never alias a full result.
 //! * [`pareto`] — the Pareto frontier over {cycles, power, area}, per-knob
 //!   ln–ln sensitivity slopes, and the best config per workload.
 //!
@@ -34,8 +40,13 @@ pub mod executor;
 pub mod knobs;
 pub mod pareto;
 pub mod spec;
+pub mod tiers;
 
-pub use cache::{MemoMap, SimCache};
-pub use executor::{run_sweep, PointOutcome, SweepResult};
+pub use cache::{MemoMap, SimCache, TraceStore};
+pub use executor::{run_sweep, run_sweep_opts, PointOutcome, SweepResult};
 pub use pareto::{analyze, DefaultStatus, ParetoReport};
 pub use spec::{Axis, AxisKind, DsePoint, SpaceSpec, WorkloadSpec};
+pub use tiers::{
+    validate_interval, EvalTier, FrontierTracker, SweepOptions, TierValidation,
+    ValidationSample,
+};

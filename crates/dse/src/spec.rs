@@ -156,9 +156,12 @@ impl Axis {
 /// A workload axis: what matrix each point multiplies (`C = A × A`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
-    /// Generator family: `uniform`, `rmat`, `powerlaw`, or `suite`.
+    /// Generator family: `uniform`, `rmat`, `powerlaw`, `suite`, or `mtx`
+    /// (a bundled Matrix Market fixture — a real parsed matrix, not a
+    /// synthetic generator).
     pub kind: String,
-    /// Table 4 matrix name (suite kind only; empty otherwise).
+    /// Table 4 matrix name (suite kind) or bundled fixture name (mtx kind);
+    /// empty otherwise.
     pub name: String,
     /// Square dimension (synthetic kinds).
     pub n: u32,
@@ -173,6 +176,8 @@ impl WorkloadSpec {
     pub fn label(&self) -> String {
         if self.kind == "suite" {
             format!("suite:{}/{}", self.name, self.scale)
+        } else if self.kind == "mtx" {
+            format!("mtx:{}", self.name)
         } else {
             format!("{}:{}x{}", self.kind, self.n, self.nnz)
         }
@@ -184,7 +189,9 @@ impl WorkloadSpec {
     /// so scaled and unscaled sweeps never share cache entries.
     pub fn scaled(&self, divisor: u32) -> WorkloadSpec {
         let mut w = self.clone();
-        if divisor <= 1 {
+        // A fixture is a fixed real matrix (already small): scaling is a
+        // no-op rather than a corruption of its manifest.
+        if divisor <= 1 || w.kind == "mtx" {
             return w;
         }
         if w.kind == "suite" {
@@ -213,6 +220,11 @@ impl WorkloadSpec {
                     return Err(format!("scale {} collapses {}", self.scale, self.name));
                 }
                 Ok(e.generate_scaled(self.scale, seed))
+            }
+            "mtx" => {
+                let f = suite::fixture_by_name(&self.name)
+                    .ok_or_else(|| format!("fixture '{}' not in the bundled corpus", self.name))?;
+                Ok(f.load())
             }
             other => Err(format!("unknown workload kind '{other}'")),
         }
@@ -256,10 +268,11 @@ impl WorkloadSpec {
         };
         match w.kind.as_str() {
             "suite" if w.name.is_empty() => Err("suite workload needs a 'name'".into()),
+            "mtx" if w.name.is_empty() => Err("mtx workload needs a 'name'".into()),
             "uniform" | "rmat" | "powerlaw" if w.n == 0 || w.nnz == 0 => {
                 Err(format!("{} workload needs n > 0 and nnz > 0", w.kind))
             }
-            "suite" | "uniform" | "rmat" | "powerlaw" => Ok(w),
+            "suite" | "uniform" | "rmat" | "powerlaw" | "mtx" => Ok(w),
             other => Err(format!("unknown workload kind '{other}'")),
         }
     }
@@ -348,13 +361,14 @@ impl SpaceSpec {
     }
 
     /// The specs bundled with the crate: `smoke`, `sec73_alpha`,
-    /// `sec8_scaling`, `sparch_vs_ospace`.
+    /// `sec8_scaling`, `sparch_vs_ospace`, `fixtures`.
     pub fn bundled(name: &str) -> Option<SpaceSpec> {
         let text = match name {
             "smoke" => include_str!("../specs/smoke.json"),
             "sec73_alpha" => include_str!("../specs/sec73_alpha.json"),
             "sec8_scaling" => include_str!("../specs/sec8_scaling.json"),
             "sparch_vs_ospace" => include_str!("../specs/sparch_vs_ospace.json"),
+            "fixtures" => include_str!("../specs/fixtures.json"),
             _ => return None,
         };
         Some(SpaceSpec::parse_str(text).expect("bundled specs are valid"))
@@ -362,7 +376,7 @@ impl SpaceSpec {
 
     /// Names of the bundled specs.
     pub const BUNDLED: &'static [&'static str] =
-        &["smoke", "sec73_alpha", "sec8_scaling", "sparch_vs_ospace"];
+        &["smoke", "sec73_alpha", "sec8_scaling", "sparch_vs_ospace", "fixtures"];
 
     /// Expands the spec into concrete points.
     ///

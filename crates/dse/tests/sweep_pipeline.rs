@@ -135,3 +135,21 @@ fn alpha_and_system_scale_flow_end_to_end() {
     assert!(!report.frontier.is_empty());
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// The full-fidelity tier is the pre-tier executor, bit for bit: the smoke
+/// spec's Pareto report must match the golden baseline pinned before the
+/// tier subsystem landed. Any drift here means the fast-path work changed
+/// full-tier semantics — exactly what the tier keying is meant to prevent.
+#[test]
+fn full_tier_matches_the_pinned_smoke_golden() {
+    let dir = scratch("golden");
+    let spec = SpaceSpec::bundled("smoke").unwrap();
+    let points = spec.expand(None, 42).unwrap();
+    let mut cache = SimCache::open(&dir).unwrap();
+    let sweep = run_sweep(&points, &mut cache, 4);
+    let mut pareto = analyze(&points, &sweep.outcomes).to_json().to_string_pretty();
+    pareto.push('\n');
+    let golden = include_str!("golden/smoke_pareto_full.json");
+    assert_eq!(pareto, golden, "full tier drifted from the pinned baseline");
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -127,6 +127,16 @@ pub trait KernelObserver<Item> {
     fn on_control_read(&mut self, _group: usize, _addr: u64) {}
     /// `item` is about to execute on `pe` (global index) in `group`.
     fn on_item(&mut self, _pe: usize, _group: usize, _item: &Item) {}
+    /// Polled at every dispatch step with the earliest live-PE cycle — a
+    /// monotone lower bound on the phase's final makespan. Returning `true`
+    /// stops the run with [`SimError::Aborted`]; the default never aborts,
+    /// so observers that only trace see identical behavior to before the
+    /// hook existed. This is the engine half of the DSE dominance
+    /// early-abort: once the lower bound crosses a Pareto-dominated
+    /// threshold, finishing the simulation cannot change any frontier.
+    fn poll_abort(&mut self, _frontier: u64) -> bool {
+        false
+    }
 }
 
 /// The do-nothing observer [`run_kernel`] uses.
@@ -335,6 +345,10 @@ where
             Step::Done => break,
             Step::Control { reads } => {
                 check_phase_health(phase, cfg, mem, pes)?;
+                let frontier = pes.min_live_time();
+                if obs.poll_abort(frontier) {
+                    return Err(SimError::Aborted { phase, frontier });
+                }
                 let g = pes.try_earliest_group().ok_or(SimError::AllPesFailed { phase })?;
                 let l0 = g.min(mem.n_l0() - 1);
                 let t = pes.group_min_time(g);
@@ -344,6 +358,10 @@ where
                 }
             }
             Step::Batch(batch) => {
+                let frontier = pes.min_live_time();
+                if obs.poll_abort(frontier) {
+                    return Err(SimError::Aborted { phase, frontier });
+                }
                 let mut done = 0u64;
                 match kernel.dispatch() {
                     Dispatch::PerItem => {

@@ -39,6 +39,17 @@ pub enum SimError {
         /// The configured `watchdog_cycles` limit.
         limit: u64,
     },
+    /// An observer's [`poll_abort`](crate::engine::KernelObserver::poll_abort)
+    /// hook asked the engine to stop — the DSE dominance early-abort path:
+    /// the run's partial lower bound is already Pareto-dominated, so
+    /// finishing it cannot change the frontier.
+    Aborted {
+        /// Phase that was cut short.
+        phase: &'static str,
+        /// Earliest live-PE time when the abort fired (a lower bound on the
+        /// makespan the full run would have had).
+        frontier: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -56,6 +67,10 @@ impl std::fmt::Display for SimError {
             SimError::WatchdogTimeout { phase, frontier, limit } => write!(
                 f,
                 "{phase} phase: watchdog fired at cycle {frontier} (limit {limit})"
+            ),
+            SimError::Aborted { phase, frontier } => write!(
+                f,
+                "{phase} phase: aborted by observer at cycle {frontier} (dominance early-abort)"
             ),
         }
     }
@@ -98,6 +113,8 @@ mod tests {
         assert!(e.to_string().contains("0x40"), "{e}");
         let e = SimError::WatchdogTimeout { phase: "merge", frontier: 10, limit: 5 };
         assert!(e.to_string().contains("watchdog"));
+        let e = SimError::Aborted { phase: "multiply", frontier: 42 };
+        assert!(e.to_string().contains("early-abort"), "{e}");
         assert!(SimError::AllPesFailed { phase: "multiply" }.to_string().contains("every PE"));
     }
 }

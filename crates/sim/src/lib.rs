@@ -37,6 +37,7 @@ mod config;
 pub mod engine;
 mod error;
 pub mod faults;
+pub mod interval;
 pub mod layout;
 pub mod machine;
 pub mod mem;
